@@ -1,0 +1,70 @@
+"""Ablation — ECC choice under the Figure-4 attack and contiguous loss.
+
+The paper picks majority voting without comparison; this bench supplies
+one: all four registered codes under (a) the random alteration attack and
+(b) a contiguous key-range partition, where the interleaved layout's
+advantage over contiguous block repetition shows up.
+"""
+
+from conftest import BENCH_PASSES, once
+
+from repro.attacks import KeyRangePartitionAttack, SubsetAlterationAttack
+from repro.datagen import generate_item_scan
+from repro.ecc import registered_codes
+from repro.experiments import format_table, run_attack_experiment
+
+TUPLES = 4000
+E = 30
+
+
+def run_matrix():
+    from repro.relational import sort_by
+
+    # Key-sorted physical order: with the map variant, sequential slot
+    # assignment then aligns with key order, so a key-range cut removes a
+    # contiguous slot run (the worst case for a block layout).
+    table = sort_by(
+        generate_item_scan(TUPLES, item_count=400, seed=64), "Visit_Nbr"
+    )
+    rows = []
+    # The layout contrast needs the map variant: sequential slot assignment
+    # follows scan order, so a contiguous key-range cut erases contiguous
+    # slots — precisely where block repetition concentrates one bit's
+    # replicas and the interleaved layout spreads them.
+    attacks = (
+        ("A3 alteration 40%", SubsetAlterationAttack("Item_Nbr", 0.4, 0.7),
+         "keyed"),
+        ("A1 key-range keep 40%", KeyRangePartitionAttack(0.4), "map"),
+    )
+    outcome = {}
+    for ecc_name in registered_codes():
+        for attack_label, attack, variant in attacks:
+            results = run_attack_experiment(
+                table,
+                "Item_Nbr",
+                E,
+                attack,
+                passes=BENCH_PASSES,
+                ecc_name=ecc_name,
+                variant=variant,
+            )
+            alteration = sum(r.mark_alteration for r in results) / len(results)
+            rows.append((ecc_name, attack_label, f"{alteration:.1%}"))
+            outcome[(ecc_name, attack_label)] = alteration
+    return rows, outcome
+
+
+def test_ablation_ecc(benchmark, record):
+    rows, outcome = once(benchmark, run_matrix)
+    record(
+        "ablation_ecc",
+        format_table(("ecc", "attack", "mark alteration"), rows),
+    )
+
+    # No-ECC is the weakest defence against random alteration.
+    assert outcome[("majority", "A3 alteration 40%")] <= \
+        outcome[("identity", "A3 alteration 40%")] + 0.02
+    # Interleaved majority beats contiguous block repetition under
+    # contiguous (key-range) loss — the layout argument from DESIGN.md.
+    assert outcome[("majority", "A1 key-range keep 40%")] <= \
+        outcome[("block-repetition", "A1 key-range keep 40%")] + 0.02

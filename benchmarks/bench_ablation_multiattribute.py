@@ -1,0 +1,96 @@
+"""Ablation — single-pair vs multi-attribute embedding under A5.
+
+§3.3's motivation: a single ``mark(K, A)`` dies when the attacker projects
+the key away; the pair closure keeps witnesses alive in every surviving
+attribute pair.
+"""
+
+import random
+
+from conftest import BENCH_PASSES, once
+
+from repro.attacks import VerticalPartitionAttack
+from repro.core import embed_pairs, verify_pairs
+from repro.crypto import MarkKey
+from repro.core import Watermark, Watermarker
+from repro.datagen import generate_sales
+from repro.experiments import format_table
+
+TUPLES = 5000
+E = 40
+
+PARTITIONS = (
+    ("keep K + Item", ["Scan_Id", "Item_Nbr"]),
+    ("keep Item + Store (PK dropped)", ["Item_Nbr", "Store_Nbr"]),
+    ("keep Store + Dept (PK dropped)", ["Store_Nbr", "Dept"]),
+)
+
+
+def run_matrix():
+    table = generate_sales(TUPLES, item_count=300, seed=21)
+    rows = []
+    outcome = {}
+    for label, kept in PARTITIONS:
+        single_hits = 0
+        multi_hits = 0
+        for pass_index in range(BENCH_PASSES):
+            key = MarkKey.from_seed(f"multi-{pass_index}")
+            watermark = Watermark.random(
+                10, random.Random(f"wm-{pass_index}")
+            )
+            attack = VerticalPartitionAttack(kept)
+            rng = random.Random(f"attack-{pass_index}")
+
+            # single-pair scheme: mark(K, Item_Nbr) only
+            marker = Watermarker(key, e=E)
+            outcome_single = marker.embed(table, watermark, "Item_Nbr")
+            attacked = attack.apply(outcome_single.table, rng)
+            try:
+                verdict = marker.verify(attacked, outcome_single.record)
+                single_hits += verdict.detected
+            except Exception:
+                pass  # marked pair gone: no detection possible
+
+            # multi-attribute closure
+            marked = table.clone()
+            embedding = embed_pairs(marked, watermark, key, e=E)
+            attacked = attack.apply(marked, rng)
+            try:
+                multi = verify_pairs(attacked, key, embedding, watermark)
+                multi_hits += multi.detected
+            except Exception:
+                pass
+        rows.append(
+            (
+                label,
+                f"{single_hits}/{BENCH_PASSES}",
+                f"{multi_hits}/{BENCH_PASSES}",
+            )
+        )
+        outcome[label] = (single_hits, multi_hits)
+    return rows, outcome
+
+
+def test_ablation_multiattribute(benchmark, record):
+    rows, outcome = once(benchmark, run_matrix)
+    record(
+        "ablation_multiattribute",
+        format_table(
+            ("A5 partition", "single-pair detected", "multi-pair detected"),
+            rows,
+        ),
+    )
+
+    # Both schemes survive when the marked (K, Item) pair survives.
+    assert outcome["keep K + Item"][0] == BENCH_PASSES
+    assert outcome["keep K + Item"][1] == BENCH_PASSES
+    # Once the PK is projected away, only the closure still testifies.
+    # The projection dedups on its new key, so each witness decodes from a
+    # single tuple per key value; with the conservative p<=0.01 bar a
+    # 9/10-bit witness (p=0.0107) narrowly misses, which happens in some
+    # passes of the hardest (both-attributes-low-cardinality) partition.
+    # The load-bearing contrast is single-pair 0/5 vs closure majority.
+    assert outcome["keep Item + Store (PK dropped)"][0] == 0
+    assert outcome["keep Item + Store (PK dropped)"][1] >= BENCH_PASSES - 1
+    assert outcome["keep Store + Dept (PK dropped)"][0] == 0
+    assert outcome["keep Store + Dept (PK dropped)"][1] >= (BENCH_PASSES + 1) // 2

@@ -1,0 +1,80 @@
+"""Additive (re-watermarking) attack — the §6 open problem, quantified.
+
+Mallory overlays his own watermark on the stolen relation.  The bench
+measures, over multiple key passes:
+
+* the damage Mallory's pass does to the owner's mark (bounded by the
+  carrier-overlap argument: ~``1/e_mallory`` of the owner's carriers);
+* that both marks detect in Mallory's copy (the "deadlock");
+* the dispute-resolution asymmetry that breaks the deadlock: the owner's
+  mark is absent from nothing, Mallory's is absent from the owner's
+  original.
+"""
+
+import random
+
+from conftest import BENCH_PASSES, once
+
+from repro.attacks import AdditiveWatermarkAttack
+from repro.core import Watermark, Watermarker
+from repro.crypto import MarkKey
+from repro.datagen import generate_item_scan
+from repro.experiments import format_table
+
+TUPLES = 6000
+OWNER_E = 40
+MALLORY_E = 30
+
+
+def run_dispute():
+    table = generate_item_scan(TUPLES, item_count=400, seed=51)
+    counters = {
+        "owner mark in Mallory's copy": 0,
+        "Mallory mark in Mallory's copy": 0,
+        "Mallory mark in owner's original": 0,
+    }
+    damages = []
+    for pass_index in range(BENCH_PASSES):
+        owner_key = MarkKey.from_seed(f"owner-{pass_index}")
+        owner = Watermarker(owner_key, e=OWNER_E)
+        watermark = Watermark.random(
+            10, random.Random(f"owm-{pass_index}")
+        )
+        outcome = owner.embed(table, watermark, "Item_Nbr")
+        attack = AdditiveWatermarkAttack("Item_Nbr", e=MALLORY_E)
+        stolen = attack.apply(
+            outcome.table, random.Random(f"mallory-{pass_index}")
+        )
+
+        owner_verdict = owner.verify(stolen, outcome.record)
+        counters["owner mark in Mallory's copy"] += owner_verdict.detected
+        damages.append(owner_verdict.association.mark_alteration)
+
+        mallory = Watermarker(attack.mallory_key, e=MALLORY_E)
+        counters["Mallory mark in Mallory's copy"] += mallory.verify(
+            stolen, attack.mallory_record
+        ).detected
+        counters["Mallory mark in owner's original"] += mallory.verify(
+            outcome.table, attack.mallory_record
+        ).detected
+    mean_damage = sum(damages) / len(damages)
+    return counters, mean_damage
+
+
+def test_additive_attack(benchmark, record):
+    counters, mean_damage = once(benchmark, run_dispute)
+    rows = [(label, f"{hits}/{BENCH_PASSES}") for label, hits in counters.items()]
+    rows.append(("owner mark damage (mean)", f"{mean_damage:.1%}"))
+    record(
+        "additive_attack",
+        format_table(("claim", "outcome"), rows),
+    )
+
+    # The deadlock: both marks detect in Mallory's published copy.
+    assert counters["owner mark in Mallory's copy"] == BENCH_PASSES
+    assert counters["Mallory mark in Mallory's copy"] >= BENCH_PASSES - 1
+    # The tie-breaker: Mallory can never exhibit his mark in data he never
+    # touched — the owner's original.
+    assert counters["Mallory mark in owner's original"] == 0
+    # Overlap damage stays near the 1/e_mallory bound.
+    assert mean_damage <= 0.15

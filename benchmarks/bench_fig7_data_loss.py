@@ -1,0 +1,39 @@
+"""Figure 7 — mark alteration vs data loss (attack A1).
+
+Paper: "the watermark degrades almost linearly with increasing data loss",
+and the headline claim — "tolerating up to 80% data loss with a watermark
+alteration of only 25%".
+"""
+
+from conftest import PAPER_CONFIG, once
+
+from repro.experiments import figure7_series, format_series
+
+LOSS_FRACTIONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+E = 65
+
+
+def test_figure7(benchmark, record):
+    points = once(
+        benchmark,
+        lambda: figure7_series(
+            PAPER_CONFIG, e=E, loss_fractions=LOSS_FRACTIONS
+        ),
+    )
+    record(
+        "fig7_data_loss",
+        format_series(
+            f"Figure 7 — mark alteration vs data loss (e={E}, "
+            f"N={PAPER_CONFIG.tuple_count}, passes={PAPER_CONFIG.passes})",
+            points,
+            x_label="data loss",
+            percent_x=True,
+        ),
+    )
+
+    # Headline claim: <= 25% mark alteration at 80% data loss.
+    assert points[-1].mean_alteration <= 0.25
+    # Moderate loss is nearly free (error correction riding the majority).
+    assert points[2].mean_alteration <= 0.10
+    # Roughly monotone degradation.
+    assert points[0].mean_alteration <= points[-1].mean_alteration + 0.05

@@ -1,0 +1,92 @@
+"""Frequency channel (§4.2) and remap recovery (§4.5) benches.
+
+Covers the two scenarios only this channel handles:
+
+* extreme vertical partitioning down to one categorical column, with
+  additional row loss on top;
+* bijective value re-mapping, where rank-aligned frequency recovery
+  restores detection — including how recovery quality scales with the
+  rows-per-value ratio the paper's "over large data sets" premise needs.
+"""
+
+import random
+
+from conftest import BENCH_PASSES, once
+
+from repro.attacks import (
+    BijectiveRemapAttack,
+    DataLossAttack,
+    SingleColumnAttack,
+)
+from repro.core import (
+    FrequencyProfile,
+    Watermark,
+    embed_frequency,
+    recover_mapping,
+    recovery_quality,
+    verify_frequency,
+)
+from repro.crypto import MarkKey
+from repro.datagen import generate_bookings, generate_item_scan
+from repro.experiments import format_table
+
+TUPLES = 15_000
+ITEMS = 120
+
+
+def run_single_column():
+    counters = {"single column": 0, "single column + 50% loss": 0}
+    for pass_index in range(BENCH_PASSES):
+        table = generate_item_scan(TUPLES, item_count=ITEMS, seed=40)
+        key = MarkKey.from_seed(f"freq-{pass_index}")
+        watermark = Watermark.random(8, random.Random(f"fwm-{pass_index}"))
+        result = embed_frequency(table, watermark, key, "Item_Nbr")
+        rng = random.Random(f"fattack-{pass_index}")
+        column_only = SingleColumnAttack("Item_Nbr").apply(table, rng)
+        counters["single column"] += verify_frequency(
+            column_only, key, result.record, watermark
+        ).detected
+        lossy = DataLossAttack(0.5).apply(column_only, rng)
+        counters["single column + 50% loss"] += verify_frequency(
+            lossy, key, result.record, watermark
+        ).detected
+    return counters
+
+
+def run_remap_recovery():
+    qualities = []
+    for size in (5_000, 20_000, 80_000):
+        table = generate_bookings(size, seed=41)
+        profile = FrequencyProfile.capture(table, "Depart_City")
+        attack = BijectiveRemapAttack("Depart_City")
+        attacked = attack.apply(table, random.Random(42))
+        recovered = recover_mapping(attacked, profile)
+        qualities.append(
+            (size, recovery_quality(attack.true_inverse, recovered))
+        )
+    return qualities
+
+
+def test_frequency_channel(benchmark, record):
+    counters, qualities = once(
+        benchmark, lambda: (run_single_column(), run_remap_recovery())
+    )
+    rows = [
+        (label, f"{hits}/{BENCH_PASSES}") for label, hits in counters.items()
+    ]
+    rows += [
+        (f"remap recovery quality @ N={size}", f"{quality:.0%}")
+        for size, quality in qualities
+    ]
+    record(
+        "frequency_channel",
+        format_table(("scenario", "outcome"), rows),
+    )
+
+    # The frequency channel survives the extreme A5 partition.
+    assert counters["single column"] == BENCH_PASSES
+    assert counters["single column + 50% loss"] >= BENCH_PASSES - 1
+    # Recovery quality improves with rows-per-value and saturates at 100%.
+    ordered = [quality for _, quality in qualities]
+    assert ordered[-1] == 1.0
+    assert ordered[0] <= ordered[-1] + 1e-9

@@ -1,0 +1,55 @@
+"""Paper-scale run: the full 141 000-tuple experiment (§5).
+
+The paper's largest sample of `UnivClassTables.ItemScan` was 141 000
+tuples.  This bench replays the headline experiment at exactly that scale —
+embed, 80 % data loss, blind detect — to show the implementation handles
+the paper's real workload in seconds.
+
+Skipped by default (it dominates suite time); enable with::
+
+    REPRO_BENCH_PAPER_SCALE=1 pytest benchmarks/bench_paper_scale.py --benchmark-only
+"""
+
+import os
+import random
+
+import pytest
+
+from conftest import once
+
+from repro import MarkKey, Watermark, Watermarker
+from repro.attacks import DataLossAttack
+from repro.datagen import generate_item_scan
+from repro.experiments import format_table
+
+PAPER_MAX_TUPLES = 141_000
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_BENCH_PAPER_SCALE"),
+    reason="paper-scale bench is opt-in (REPRO_BENCH_PAPER_SCALE=1)",
+)
+
+
+def run_paper_scale():
+    table = generate_item_scan(PAPER_MAX_TUPLES, item_count=500, seed=2004)
+    key = MarkKey.from_seed("paper-scale")
+    watermark = Watermark.from_int(0x2AB, 10)
+    marker = Watermarker(key, e=65)
+    outcome = marker.embed(table, watermark, "Item_Nbr")
+    attacked = DataLossAttack(0.8).apply(outcome.table, random.Random(1))
+    verdict = marker.verify(attacked, outcome.record)
+    return [
+        ("tuples", f"{PAPER_MAX_TUPLES:,}"),
+        ("carriers", str(outcome.embedding.fit_count)),
+        ("alteration", f"{outcome.embedding.applied / PAPER_MAX_TUPLES:.2%}"),
+        ("survivors after 80% loss", f"{len(attacked):,}"),
+        ("mark alteration", f"{verdict.association.mark_alteration:.1%}"),
+        ("detected", str(verdict.detected)),
+    ], verdict
+
+
+def test_paper_scale(benchmark, record):
+    rows, verdict = once(benchmark, run_paper_scale)
+    record("paper_scale", format_table(("quantity", "value"), rows))
+    assert verdict.detected
+    assert verdict.association.mark_alteration <= 0.25

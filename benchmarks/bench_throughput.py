@@ -1,0 +1,66 @@
+"""Throughput — embed/detect tuples per second vs relation size.
+
+The paper's pitch includes "massive data" (840 M-tuple relations, marked in
+subsamples); this bench records the scalability of the pure-Python
+implementation so absolute wall-times elsewhere have context.  Embedding
+and detection are both single-scan (O(N) keyed hashes), so tuples/sec
+should be roughly flat in N.
+"""
+
+import time
+
+from conftest import once
+
+from repro.core import Watermark, Watermarker
+from repro.crypto import MarkKey
+from repro.datagen import generate_item_scan
+from repro.experiments import format_table
+
+SIZES = (2_000, 8_000, 32_000)
+
+
+def run_scaling():
+    rows = []
+    rates = []
+    watermark = Watermark.from_int(0x2AB, 10)
+    key = MarkKey.from_seed("throughput")
+    for size in SIZES:
+        table = generate_item_scan(size, item_count=500, seed=3)
+        marker = Watermarker(key, e=60)
+        started = time.perf_counter()
+        outcome = marker.embed(table, watermark, "Item_Nbr")
+        embed_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        verdict = marker.verify(outcome.table, outcome.record)
+        detect_seconds = time.perf_counter() - started
+        # Sanity only (this bench measures speed): at the smallest size the
+        # keyed variant's expected ~half-bit erasure loss is tolerated.
+        assert verdict.association.matching_bits >= 9
+        embed_rate = size / embed_seconds
+        detect_rate = size / detect_seconds
+        rates.append((embed_rate, detect_rate))
+        rows.append(
+            (
+                size,
+                f"{embed_rate:,.0f}",
+                f"{detect_rate:,.0f}",
+            )
+        )
+    return rows, rates
+
+
+def test_throughput(benchmark, record):
+    rows, rates = once(benchmark, run_scaling)
+    record(
+        "throughput",
+        format_table(
+            ("tuples", "embed tuples/s", "detect tuples/s"), rows
+        ),
+    )
+    # Single-scan algorithms: rate at the largest size stays within 4x of
+    # the rate at the smallest (no superlinear blowup).
+    assert rates[-1][0] > rates[0][0] / 4
+    assert rates[-1][1] > rates[0][1] / 4
+    # And the absolute floor is usable on laptop-scale data.
+    assert rates[-1][0] > 20_000
+    assert rates[-1][1] > 20_000

@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's figures (or an ablation) and
+
+* prints the series (visible with ``pytest -s``),
+* writes it to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can
+  reference stable artefacts, and
+* asserts the paper's *shape* claims (who wins, rough factors, crossover
+  direction) — never absolute percentages (different data/ECC constants).
+
+Workload sizing follows §5 (N = 6000 ItemScan tuples, |wm| = 10) with the
+pass count reduced from 15 to 5 to keep the suite fast; the
+``REPRO_BENCH_PASSES`` environment variable restores full averaging.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import FigureConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_PASSES = int(os.environ.get("REPRO_BENCH_PASSES", "5"))
+
+#: the paper's workload shape at bench-friendly pass count
+PAPER_CONFIG = FigureConfig(
+    tuple_count=6000, item_count=500, passes=BENCH_PASSES
+)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Persist a bench's series text under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _record
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The figure sweeps are multi-second workloads; statistical repetition
+    belongs to the experiment runner (multi-pass averaging), not the timer.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Airline B2B scenario: semantic constraints, remapping, and recovery.
+
+The paper's interactive-use scenario (§1): an airline reservation portal
+exposes bookings data to partners.  This example shows
+
+* embedding under *semantic* quality constraints (§4.1): certain city
+  substitutions are business-forbidden, and fare-class frequencies must
+  stay stable;
+* the A6 attack: a pirate bijectively re-maps city codes ("sells a secret
+  reverse mapper"), plus re-sorting;
+* §4.5 recovery: the detector aligns frequency profiles to invert the
+  mapping, restoring both the association and frequency channels.
+
+Run:  python examples/airline_portal.py
+"""
+
+import random
+
+from repro import MarkKey, Watermark, Watermarker
+from repro.attacks import BijectiveRemapAttack, ShuffleAttack
+from repro.core import recovery_quality, recover_mapping
+from repro.datagen import generate_bookings
+from repro.quality import ForbiddenTransitions, MaxFrequencyDrift
+
+
+def main() -> None:
+    bookings = generate_bookings(40_000, seed=20)
+    print(f"relation: {bookings.name}, {len(bookings)} tuples")
+    print(f"schema  : {bookings.schema}")
+
+    # -- business rules as constraints (§4.1) --------------------------------
+    # A booking can be re-routed between major hubs without destroying its
+    # analytical value, but never into the smallest regional airports.
+    regional = {"SMF", "SJC", "AUS", "RDU", "MCI"}
+    constraints = [
+        ForbiddenTransitions(
+            "Depart_City",
+            predicate=lambda old, new: new in regional,
+        ),
+        MaxFrequencyDrift("Depart_City", 0.05),
+    ]
+
+    key = MarkKey.from_seed("a2")
+    # 16 bits: the frequency channel spreads bits over the 30 city bins, so
+    # a short payload keeps ~2 bins of evidence per bit.
+    watermark = Watermark.from_hex("ACE5", 16)
+    owner = Watermarker(key, e=45)
+    outcome = owner.embed(
+        bookings,
+        watermark,
+        mark_attribute="Depart_City",
+        constraints=constraints,
+        with_frequency_channel=True,
+    )
+    guard_report = outcome.embedding.guard_report
+    print(f"\nembedded: {outcome.embedding.applied} alterations, "
+          f"{outcome.embedding.vetoed} vetoed by constraints")
+    if guard_report is not None and guard_report.vetoes_by_constraint:
+        for name, count in guard_report.vetoes_by_constraint.items():
+            print(f"  veto source: {name} x{count}")
+
+    # -- the pirate: remap city codes + shuffle -------------------------------
+    rng = random.Random(9)
+    remap = BijectiveRemapAttack("Depart_City", label_prefix="CTY")
+    stolen = ShuffleAttack().apply(remap.apply(outcome.table, rng), rng)
+    sample = sorted(set(stolen.column("Depart_City")))[:3]
+    print(f"\npirate re-mapped city codes, e.g. {sample} ...")
+
+    # -- detection with §4.5 recovery -------------------------------------------
+    recovered = recover_mapping(
+        stolen, outcome.record.frequency_profile
+    )
+    quality = recovery_quality(remap.true_inverse, recovered)
+    print(f"frequency-profile recovery reconstructed "
+          f"{quality:.0%} of the inverse mapping")
+
+    verdict = owner.verify(stolen, outcome.record, try_remap_recovery=True)
+    print()
+    print(verdict.summary())
+    assert verdict.detected
+
+    # -- contrast: detection without recovery fails ------------------------------
+    naive = owner.verify(stolen, outcome.record)
+    print(f"\nwithout recovery the same suspect yields: "
+          f"{'DETECTED' if naive.detected else 'not detected'}")
+
+
+if __name__ == "__main__":
+    main()

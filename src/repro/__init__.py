@@ -1,0 +1,90 @@
+"""repro — a reproduction of *Proving Ownership over Categorical Data*
+(Radu Sion, ICDE 2004).
+
+Watermarking for categorical relational data: embed a secret, blindly
+detectable ownership mark into the association between a relation's primary
+key and its categorical attributes, surviving subset selection, tuple
+addition, random alteration, re-sorting, vertical partitioning and
+bijective value re-mapping.
+
+Quickstart::
+
+    from repro import MarkKey, Watermark, Watermarker
+    from repro.datagen import generate_item_scan
+
+    table = generate_item_scan(10_000)
+    key = MarkKey.generate()
+    marker = Watermarker(key, e=60)
+    outcome = marker.embed(table, Watermark.from_text("(c)"), "Item_Nbr")
+    verdict = marker.verify(outcome.table, outcome.record)
+    assert verdict.detected
+
+Subpackages
+-----------
+``repro.core``
+    The paper's algorithms: embedding, blind detection, multi-attribute
+    embeddings, frequency channel, remap recovery, data addition.
+``repro.relational``
+    The in-memory relational substrate (schemas, tables, operations).
+``repro.crypto`` / ``repro.ecc`` / ``repro.numericwm``
+    Keyed hashing, error-correcting codes, numeric-set watermarking.
+``repro.quality``
+    On-the-fly quality constraints, rollback log, usability plugins.
+``repro.attacks``
+    The adversary model A1–A6.
+``repro.analysis``
+    §4.4 closed forms (vulnerability, false positives, bandwidth).
+``repro.baseline``
+    Agrawal–Kiernan numeric watermarking for comparison.
+``repro.datagen`` / ``repro.experiments``
+    Synthetic workloads and the figure-regeneration harness.
+"""
+
+from .core import (
+    BandwidthError,
+    DetectionError,
+    DetectionResult,
+    EmbedOutcome,
+    EmbeddingResult,
+    EmbeddingSpec,
+    MarkRecord,
+    SpecError,
+    VerificationResult,
+    VerifyOutcome,
+    Watermark,
+    Watermarker,
+    WatermarkingError,
+)
+from .crypto import MarkKey
+from .relational import (
+    Attribute,
+    AttributeType,
+    CategoricalDomain,
+    Schema,
+    Table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "BandwidthError",
+    "CategoricalDomain",
+    "DetectionError",
+    "DetectionResult",
+    "EmbedOutcome",
+    "EmbeddingResult",
+    "EmbeddingSpec",
+    "MarkKey",
+    "MarkRecord",
+    "Schema",
+    "SpecError",
+    "Table",
+    "VerificationResult",
+    "VerifyOutcome",
+    "Watermark",
+    "Watermarker",
+    "WatermarkingError",
+    "__version__",
+]

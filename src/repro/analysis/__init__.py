@@ -1,0 +1,73 @@
+"""Closed-form analysis from §4.4: vulnerability, false positives, bandwidth."""
+
+from .advisor import AdvisorError, Recommendation, recommend_parameters
+from .bandwidth import (
+    BandwidthError,
+    association_channel_bits,
+    direct_domain_bits,
+    expected_alteration_fraction,
+    minimum_tuples_for_watermark,
+    replication_factor,
+)
+from .erasure import (
+    ErasureError,
+    bit_undecidable_probability,
+    carriers_for_fidelity,
+    expected_clean_alteration,
+    expected_erased_slots,
+    slot_erasure_probability,
+)
+from .false_positive import (
+    FalsePositiveError,
+    full_channel_match_probability,
+    monte_carlo_match_distribution,
+    partial_match_probability,
+    random_watermark_match_probability,
+    required_matches_for_significance,
+)
+from .vulnerability import (
+    AnalysisError,
+    VulnerabilityProfile,
+    attack_success_exact,
+    attack_success_normal,
+    conservative_minimum_e,
+    effective_trials,
+    normal_approximation_valid,
+    paper_minimum_e,
+    vulnerability_profile,
+    watermark_bits_damaged,
+)
+
+__all__ = [
+    "AdvisorError",
+    "AnalysisError",
+    "Recommendation",
+    "recommend_parameters",
+    "BandwidthError",
+    "ErasureError",
+    "bit_undecidable_probability",
+    "carriers_for_fidelity",
+    "expected_clean_alteration",
+    "expected_erased_slots",
+    "slot_erasure_probability",
+    "FalsePositiveError",
+    "VulnerabilityProfile",
+    "association_channel_bits",
+    "attack_success_exact",
+    "attack_success_normal",
+    "conservative_minimum_e",
+    "direct_domain_bits",
+    "effective_trials",
+    "expected_alteration_fraction",
+    "full_channel_match_probability",
+    "minimum_tuples_for_watermark",
+    "monte_carlo_match_distribution",
+    "normal_approximation_valid",
+    "paper_minimum_e",
+    "partial_match_probability",
+    "random_watermark_match_probability",
+    "replication_factor",
+    "required_matches_for_significance",
+    "vulnerability_profile",
+    "watermark_bits_damaged",
+]

@@ -1,0 +1,192 @@
+"""Parameter advisor: choose ``e`` (and check |wm|) from first principles.
+
+§4.4 derives the alteration/resilience trade-off but leaves parameter
+selection to the owner.  This module packages the repo's closed forms into
+one decision: given the relation size, the domain size, the payload length
+and the owner's budgets, recommend the largest ``e`` (fewest alterations)
+that still satisfies
+
+* a clean-detection fidelity target (slot-erasure model,
+  :mod:`repro.analysis.erasure`);
+* a random-alteration vulnerability bound against an assumed attacker
+  (:mod:`repro.analysis.vulnerability`); and
+* the owner's alteration budget (:mod:`repro.analysis.bandwidth`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .bandwidth import expected_alteration_fraction
+from .erasure import bit_undecidable_probability
+from .false_positive import required_matches_for_significance
+from .vulnerability import attack_success_exact
+
+
+class AdvisorError(Exception):
+    """No parameter choice satisfies the requested budgets."""
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A concrete, justified parameter choice."""
+
+    e: int
+    expected_alteration_fraction: float
+    channel_length: int
+    carriers_per_bit: float
+    clean_bit_failure: float
+    attack_success: float
+    required_matches: int
+    warnings: tuple[str, ...] = field(default=())
+
+    def summary(self) -> str:
+        lines = [
+            f"e = {self.e}",
+            f"expected data alteration : {self.expected_alteration_fraction:.2%}",
+            f"channel length |wm_data| : {self.channel_length}",
+            f"carriers per wm bit      : {self.carriers_per_bit:.1f}",
+            f"clean bit-failure prob   : {self.clean_bit_failure:.2g}",
+            f"attack success P(r,a)    : {self.attack_success:.2g}",
+            f"matches needed in court  : {self.required_matches}",
+        ]
+        lines.extend(f"warning: {w}" for w in self.warnings)
+        return "\n".join(lines)
+
+
+def recommend_parameters(
+    tuple_count: int,
+    domain_size: int,
+    watermark_length: int,
+    max_alteration: float = 0.05,
+    attack_fraction: float = 0.10,
+    flip_probability: float = 0.7,
+    vulnerability_bound: float = 0.10,
+    clean_fidelity: float = 1e-3,
+    significance: float = 0.01,
+    ecc_tolerance: float = 1.0 / 3.0,
+    e_max: int = 500,
+) -> Recommendation:
+    """Largest ``e`` meeting every budget (fewest alterations wins).
+
+    ``attack_fraction`` models the strongest random-alteration attack the
+    owner wants protection against (the paper's working example: 10 % of
+    tuples, ``p = 0.7``); ``vulnerability_bound`` caps the probability that
+    such an attack flips at least one *net* watermark bit (computed via
+    the binomial tail at the channel damage needed for one bit).
+
+    Raises :class:`AdvisorError` when even ``e = 1`` cannot satisfy the
+    budgets — the §2.4 "lack of bandwidth" condition.
+    """
+    _validate(tuple_count, domain_size, watermark_length, max_alteration,
+              attack_fraction, flip_probability, vulnerability_bound,
+              clean_fidelity, significance, ecc_tolerance, e_max)
+    attack_tuples = round(attack_fraction * tuple_count)
+    warnings: list[str] = []
+
+    required = required_matches_for_significance(
+        watermark_length, significance
+    )
+    if required > watermark_length:
+        raise AdvisorError(
+            f"a {watermark_length}-bit watermark can never reach "
+            f"significance {significance:g}; use a longer payload"
+        )
+    if required == watermark_length:
+        warnings.append(
+            f"court test needs a PERFECT {watermark_length}-bit match at "
+            f"significance {significance:g}; consider a longer payload"
+        )
+
+    best: Recommendation | None = None
+    for e in range(1, e_max + 1):
+        alteration = expected_alteration_fraction(e, domain_size)
+        if alteration > max_alteration:
+            continue  # larger e only improves this; keep scanning upward
+        channel_length = max(watermark_length, round(tuple_count / e))
+        carriers = round(tuple_count / e)
+        if carriers < watermark_length:
+            break  # and every larger e is worse
+        clean_failure = bit_undecidable_probability(
+            carriers, channel_length, watermark_length
+        )
+        if clean_failure > clean_fidelity:
+            break
+        # Channel bits an attacker must flip to damage one net wm bit —
+        # the inverse of §4.4's damage formula: the ECC absorbs a
+        # ``t_ecc`` fraction of the channel, and one surviving bit of
+        # damage costs a further L/|wm| channel flips.  ``t_ecc = 1/3``
+        # is conservative for the interleaved majority code (which
+        # tolerates just under 1/2 per residue class).
+        r = max(
+            1,
+            math.ceil(
+                ecc_tolerance * channel_length
+                + channel_length / watermark_length
+            ),
+        )
+        success = attack_success_exact(
+            r, attack_tuples, flip_probability, e
+        )
+        if success > vulnerability_bound:
+            # not monotone in e (both the damage threshold r and the
+            # attacked-carrier count shrink with e): keep scanning
+            continue
+        candidate = Recommendation(
+            e=e,
+            expected_alteration_fraction=alteration,
+            channel_length=channel_length,
+            carriers_per_bit=carriers / watermark_length,
+            clean_bit_failure=clean_failure,
+            attack_success=success,
+            required_matches=required,
+            warnings=tuple(warnings),
+        )
+        best = candidate  # keep the largest passing e
+    if best is None:
+        raise AdvisorError(
+            "no e satisfies the requested budgets: relax max_alteration, "
+            "shorten the watermark, or accept more vulnerability"
+        )
+    if best.e == e_max:
+        best = Recommendation(
+            **{
+                **best.__dict__,
+                "warnings": best.warnings + (
+                    f"recommendation saturated at e_max={e_max}; larger e "
+                    f"may also satisfy the budgets",
+                ),
+            }
+        )
+    return best
+
+
+def _validate(
+    tuple_count, domain_size, watermark_length, max_alteration,
+    attack_fraction, flip_probability, vulnerability_bound,
+    clean_fidelity, significance, ecc_tolerance, e_max,
+) -> None:
+    if tuple_count <= 0:
+        raise AdvisorError(f"tuple count must be positive, got {tuple_count}")
+    if domain_size < 2:
+        raise AdvisorError(
+            f"domain size must be at least 2, got {domain_size}"
+        )
+    if watermark_length <= 0:
+        raise AdvisorError(
+            f"watermark length must be positive, got {watermark_length}"
+        )
+    for name, value in (
+        ("max_alteration", max_alteration),
+        ("attack_fraction", attack_fraction),
+        ("flip_probability", flip_probability),
+        ("vulnerability_bound", vulnerability_bound),
+        ("clean_fidelity", clean_fidelity),
+        ("significance", significance),
+        ("ecc_tolerance", ecc_tolerance),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise AdvisorError(f"{name} must be in [0, 1], got {value}")
+    if e_max <= 0:
+        raise AdvisorError(f"e_max must be positive, got {e_max}")

@@ -1,0 +1,75 @@
+"""Embedding-bandwidth accounting (§2.4, §3.1).
+
+Watermarking needs bandwidth; for categorical data it comes from two
+channels the paper identifies: the direct domain (only ``log2(nA)`` bits —
+usually hopeless, e.g. 14 bits for 16 000 departure cities) and the
+attribute associations (``~N/e`` carrier tuples).  These helpers quantify
+both, plus the data-alteration cost a given parameter choice implies.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class BandwidthError(Exception):
+    """Invalid parameters for a bandwidth computation."""
+
+
+def direct_domain_bits(domain_size: int) -> float:
+    """``log2(nA)`` — entropy of a single categorical value (§3.1).
+
+    The paper's example: ``nA = 16000`` yields only ~14 bits, which is why
+    direct-domain embedding is a dead end for any convincing mark.
+    """
+    if domain_size <= 0:
+        raise BandwidthError(f"domain size must be positive, got {domain_size}")
+    return math.log2(domain_size)
+
+
+def association_channel_bits(tuple_count: int, e: int) -> int:
+    """``N/e`` — carrier slots in the key↔attribute association channel."""
+    if tuple_count < 0:
+        raise BandwidthError(f"tuple count must be non-negative, got {tuple_count}")
+    if e <= 0:
+        raise BandwidthError(f"e must be positive, got {e}")
+    return round(tuple_count / e)
+
+
+def expected_alteration_fraction(e: int, domain_size: int) -> float:
+    """Expected fraction of tuples actually altered by one embedding pass.
+
+    One tuple in ``e`` is a carrier; a carrier's value is rewritten to a
+    keyed pseudo-random pair member, which coincides with the current value
+    roughly once in ``nA`` (for an approximately uniform prior) — those
+    coincidences cost nothing.
+    """
+    if e <= 0:
+        raise BandwidthError(f"e must be positive, got {e}")
+    if domain_size <= 0:
+        raise BandwidthError(f"domain size must be positive, got {domain_size}")
+    return (1.0 / e) * (1.0 - 1.0 / domain_size)
+
+
+def replication_factor(tuple_count: int, e: int, watermark_length: int) -> float:
+    """Average carriers per watermark bit under the majority layout.
+
+    The resilience dial of Figure 5: more carriers per bit (smaller ``e``)
+    means a random attack must flip more of them to swing a majority.
+    """
+    if watermark_length <= 0:
+        raise BandwidthError(
+            f"watermark length must be positive, got {watermark_length}"
+        )
+    return association_channel_bits(tuple_count, e) / watermark_length
+
+
+def minimum_tuples_for_watermark(watermark_length: int, e: int) -> int:
+    """Smallest relation that can carry ``watermark_length`` bits at all."""
+    if watermark_length <= 0:
+        raise BandwidthError(
+            f"watermark length must be positive, got {watermark_length}"
+        )
+    if e <= 0:
+        raise BandwidthError(f"e must be positive, got {e}")
+    return watermark_length * e

@@ -1,0 +1,100 @@
+"""Slot-erasure analysis for the keyed variant.
+
+The keyed variant addresses ``wm_data`` slots by a hash of the tuple key
+(§3.2.1), so with ``C`` carriers and ``L`` slots the per-slot hit count is
+~Binomial(C, 1/L): some slots receive no carrier at all.  The paper notes
+the case qualitatively ("arguably rare cases... error correction can
+tolerate such small changes"); this module makes it quantitative, so owners
+can size ``e`` (and hence ``C/L``) for a target clean-detection fidelity —
+and so the test suite can assert the observed erasure behaviour matches the
+model.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class ErasureError(Exception):
+    """Invalid parameters for an erasure computation."""
+
+
+def slot_erasure_probability(carriers: int, channel_length: int) -> float:
+    """P[a given slot receives no carrier] = ``(1 − 1/L)^C``."""
+    if channel_length <= 0:
+        raise ErasureError(
+            f"channel length must be positive, got {channel_length}"
+        )
+    if carriers < 0:
+        raise ErasureError(f"carriers must be non-negative, got {carriers}")
+    return (1.0 - 1.0 / channel_length) ** carriers
+
+
+def expected_erased_slots(carriers: int, channel_length: int) -> float:
+    """Expected number of never-written ``wm_data`` slots."""
+    return channel_length * slot_erasure_probability(carriers, channel_length)
+
+
+def bit_undecidable_probability(
+    carriers: int, channel_length: int, watermark_length: int
+) -> float:
+    """P[an entire watermark bit decodes from zero evidence].
+
+    Under the interleaved majority layout, bit ``i`` owns the residue class
+    ``{j ≡ i (mod |wm|)}`` of ``floor(L/|wm|)`` (±1) slots; the bit is
+    undecidable iff *every* slot of the class is erased.  Slot erasures are
+    negatively correlated (a carrier always lands somewhere), so the
+    independent-slot product is a slightly conservative upper estimate.
+    """
+    if watermark_length <= 0:
+        raise ErasureError(
+            f"watermark length must be positive, got {watermark_length}"
+        )
+    if channel_length < watermark_length:
+        raise ErasureError(
+            f"channel {channel_length} shorter than watermark "
+            f"{watermark_length}"
+        )
+    slots_per_bit = channel_length / watermark_length
+    per_slot = slot_erasure_probability(carriers, channel_length)
+    if per_slot == 0.0:
+        return 0.0
+    return per_slot ** slots_per_bit
+
+
+def expected_clean_alteration(
+    carriers: int, channel_length: int, watermark_length: int
+) -> float:
+    """Expected clean-detection mark alteration from erasures alone.
+
+    An undecidable bit falls back to the tie value and is wrong with
+    probability 1/2 for a uniform payload.
+    """
+    return 0.5 * bit_undecidable_probability(
+        carriers, channel_length, watermark_length
+    )
+
+
+def carriers_for_fidelity(
+    channel_length: int,
+    watermark_length: int,
+    max_bit_failure: float,
+) -> int:
+    """Smallest carrier count keeping the per-bit failure below target.
+
+    Inverts :func:`bit_undecidable_probability`:
+    ``C ≥ ln(p_target^{m/L}) / ln(1 − 1/L)``.
+    """
+    if not 0.0 < max_bit_failure < 1.0:
+        raise ErasureError(
+            f"target failure must be in (0, 1), got {max_bit_failure}"
+        )
+    if channel_length < watermark_length:
+        raise ErasureError(
+            f"channel {channel_length} shorter than watermark "
+            f"{watermark_length}"
+        )
+    slots_per_bit = channel_length / watermark_length
+    per_slot_target = max_bit_failure ** (1.0 / slots_per_bit)
+    carriers = math.log(per_slot_target) / math.log(1.0 - 1.0 / channel_length)
+    return max(0, math.ceil(carriers))

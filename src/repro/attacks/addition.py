@@ -1,0 +1,86 @@
+"""A2 — subset addition.
+
+Mallory dilutes the watermarked relation with fresh tuples that do not
+"significantly alter the useful properties" of the set.  The paper flags
+this as the hardest attack to reason about for categorical data — the
+attacker prefers cheap additions over value-destroying alterations — and
+the keyed slot selection is what absorbs it: added tuples are fit with
+probability only ``1/e``, and even fit ones inject *random* (uncorrelated)
+bit votes that the majority decode outvotes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from ..relational import Table, empirical_distribution
+from .base import Attack
+
+
+class SubsetAdditionAttack(Attack):
+    """Add ``add_fraction * N`` synthetic tuples mimicking the data.
+
+    Non-key attributes are sampled from the marginal empirical distribution
+    of the existing data (a smart attacker keeps the statistics plausible);
+    primary keys are fresh values outside the existing key set.
+    """
+
+    def __init__(self, add_fraction: float):
+        if add_fraction < 0.0:
+            raise ValueError(
+                f"add_fraction must be non-negative, got {add_fraction}"
+            )
+        self.add_fraction = add_fraction
+        self.name = f"A2:addition({add_fraction:g})"
+
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        attacked = table.clone(name=f"{table.name}_diluted")
+        goal = round(self.add_fraction * len(table))
+        if goal == 0:
+            return attacked
+
+        samplers = {}
+        for attribute in table.schema.names:
+            if attribute == table.primary_key:
+                continue
+            distribution = empirical_distribution(table.column(attribute))
+            values = [value for value, _ in distribution]
+            weights = [weight for _, weight in distribution]
+            samplers[attribute] = (values, weights)
+
+        for key in _fresh_keys(table, goal, rng):
+            row = []
+            for attribute in table.schema.names:
+                if attribute == table.primary_key:
+                    row.append(key)
+                else:
+                    values, weights = samplers[attribute]
+                    row.append(rng.choices(values, weights=weights, k=1)[0])
+            attacked.insert(row)
+        return attacked
+
+
+def _fresh_keys(table: Table, count: int, rng: random.Random) -> list[Hashable]:
+    """Generate ``count`` primary keys absent from ``table``."""
+    position = table.schema.position(table.primary_key)
+    existing = {row[position] for row in table}
+    sample = next(iter(existing)) if existing else 0
+    keys: list[Hashable] = []
+    if isinstance(sample, int):
+        cursor = max(existing) + 1 if existing else 1
+        window = max(10 * (len(existing) + count), 1000)
+        while len(keys) < count:
+            candidate = rng.randrange(cursor, cursor + window)
+            if candidate not in existing:
+                existing.add(candidate)
+                keys.append(candidate)
+    else:
+        serial = 0
+        while len(keys) < count:
+            candidate = f"added-{rng.randrange(10 ** 9)}-{serial}"
+            serial += 1
+            if candidate not in existing:
+                existing.add(candidate)
+                keys.append(candidate)
+    return keys

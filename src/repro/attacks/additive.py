@@ -1,0 +1,81 @@
+"""Additive watermark attack (flagged open in §6).
+
+Mallory does not try to *remove* the owner's mark — he embeds his **own**
+watermark over the stolen relation and claims ownership too.  The paper
+leaves the analysis of this attack to future work; we implement it so the
+repository can quantify the outcome:
+
+* Mallory's pass only overwrites ~``1/e_mallory`` of the tuples, of which
+  only ~``1/e_owner`` were the owner's carriers — the owner's majority vote
+  loses ~``1/(e_owner · e_mallory)`` of its evidence and survives easily;
+* both marks therefore detect, and the dispute is resolved *outside* the
+  scheme (the classic resolution: the owner can additionally exhibit a
+  mark in Mallory's published copy while Mallory cannot exhibit one in the
+  owner's original — see ``tests/attacks/test_additive.py``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.embedding import embed, make_spec
+from ..core.pipeline import MarkRecord
+from ..core.watermark import Watermark
+from ..crypto import MarkKey
+from ..relational import Table
+from .base import Attack
+
+
+class AdditiveWatermarkAttack(Attack):
+    """Re-watermark the relation under Mallory's own key.
+
+    After :meth:`apply`, ``mallory_key`` and ``mallory_record`` hold
+    everything Mallory would take to court, so experiments can run both
+    parties' detections against both copies.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        e: int = 60,
+        watermark_length: int = 10,
+        ecc_name: str = "majority",
+    ):
+        if e <= 0:
+            raise ValueError(f"e must be positive, got {e}")
+        if watermark_length <= 0:
+            raise ValueError(
+                f"watermark length must be positive, got {watermark_length}"
+            )
+        self.attribute = attribute
+        self.e = e
+        self.watermark_length = watermark_length
+        self.ecc_name = ecc_name
+        self.name = f"additive:rewatermark({attribute}, e={e})"
+        #: filled on apply()
+        self.mallory_key: MarkKey | None = None
+        self.mallory_record: MarkRecord | None = None
+
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        attacked = table.clone(name=f"{table.name}_rewatermarked")
+        self.mallory_key = MarkKey.from_seed(
+            f"mallory-{rng.randrange(10 ** 12)}"
+        )
+        watermark = Watermark(
+            tuple(rng.randrange(2) for _ in range(self.watermark_length))
+        )
+        spec = make_spec(
+            attacked,
+            watermark,
+            mark_attribute=self.attribute,
+            e=self.e,
+            ecc_name=self.ecc_name,
+        )
+        embed(attacked, watermark, self.mallory_key, spec)
+        domain = attacked.schema.attribute(self.attribute).domain
+        self.mallory_record = MarkRecord(
+            watermark=watermark,
+            spec=spec,
+            domain_values=domain.values if domain is not None else None,
+        )
+        return attacked

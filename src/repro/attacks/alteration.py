@@ -1,0 +1,114 @@
+"""A3 — subset alteration (the random data-altering attack of §4.4).
+
+Without the keys, Mallory cannot tell carrier tuples from the rest; "faced
+with the issue of destroying the watermark while preserving the value of
+the data, [Mallory] has only one alternative available, namely a random
+attack".  A fraction ``a/N`` of tuples is picked uniformly and their
+categorical value replaced.  Only ``(a/N)/e`` of those hits land on actual
+carriers, and each hit flips the embedded bit with probability ``p`` —
+the quantities equation (1) of the paper is written in.
+
+Figures 4–6 sweep exactly this attack.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational import Table
+from .base import Attack
+
+
+class SubsetAlterationAttack(Attack):
+    """Randomly re-assign the values of one categorical attribute.
+
+    ``flip_probability`` models the paper's ``p`` — the chance an altered
+    carrier actually loses its embedded bit.  Drawing the replacement
+    uniformly from the *other* domain values yields ``p ≈ 1`` for the bit's
+    parity half the time; to track the paper's analysis we implement the
+    alteration as: with probability ``p`` replace with a uniformly random
+    different value, otherwise leave the tuple as-is.  ``p = 0.7`` is the
+    paper's working estimate ("it is quite likely that when Mallory alters
+    a watermarked tuple, it will destroy the embedded bit").
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        alter_fraction: float,
+        flip_probability: float = 1.0,
+    ):
+        if not 0.0 <= alter_fraction <= 1.0:
+            raise ValueError(
+                f"alter_fraction must be in [0, 1], got {alter_fraction}"
+            )
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError(
+                f"flip_probability must be in [0, 1], got {flip_probability}"
+            )
+        self.attribute = attribute
+        self.alter_fraction = alter_fraction
+        self.flip_probability = flip_probability
+        self.name = (
+            f"A3:alteration({attribute}, a={alter_fraction:g}, "
+            f"p={flip_probability:g})"
+        )
+
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        attacked = table.clone(name=f"{table.name}_altered")
+        domain = attacked.schema.attribute(self.attribute).domain
+        if domain is None:
+            raise ValueError(f"attribute {self.attribute!r} is not categorical")
+        if domain.size < 2:
+            return attacked  # nothing to alter to
+
+        pk_position = attacked.schema.position(attacked.primary_key)
+        value_position = attacked.schema.position(self.attribute)
+        rows = list(attacked)
+        target_count = round(self.alter_fraction * len(rows))
+        victims = rng.sample(rows, min(target_count, len(rows)))
+        for row in victims:
+            if rng.random() >= self.flip_probability:
+                continue
+            current = row[value_position]
+            replacement = domain.value_at(rng.randrange(domain.size - 1))
+            if replacement == current:
+                replacement = domain.value_at(domain.size - 1)
+            attacked.set_value(row[pk_position], self.attribute, replacement)
+        return attacked
+
+
+class TargetedValueAttack(Attack):
+    """Re-assign every occurrence of specific values (semantic cleanup).
+
+    A plausible "normal use" transformation: e.g. merging deprecated product
+    codes.  Included to exercise detection under structured (non-uniform)
+    alteration.
+    """
+
+    def __init__(self, attribute: str, merges: dict):
+        if not merges:
+            raise ValueError("provide at least one value merge")
+        self.attribute = attribute
+        self.merges = dict(merges)
+        self.name = f"A3:merge({attribute}, {len(merges)} values)"
+
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        attacked = table.clone(name=f"{table.name}_merged")
+        domain = attacked.schema.attribute(self.attribute).domain
+        if domain is not None:
+            for target in self.merges.values():
+                if target not in domain:
+                    raise ValueError(
+                        f"merge target {target!r} outside the domain of "
+                        f"{self.attribute!r}"
+                    )
+        pk_position = attacked.schema.position(attacked.primary_key)
+        value_position = attacked.schema.position(self.attribute)
+        for row in list(attacked):
+            value = row[value_position]
+            if value in self.merges:
+                attacked.set_value(
+                    row[pk_position], self.attribute, self.merges[value]
+                )
+        return attacked

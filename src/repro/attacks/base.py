@@ -1,0 +1,37 @@
+"""Attack interface (adversary model, §2.3).
+
+Every attack is a transformation Mallory might apply to a watermarked
+relation while trying to keep it valuable.  Attacks never mutate their
+input — they return a fresh relation — so experiments can compare the
+original, marked and attacked versions side by side.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from ..relational import Table
+
+
+class Attack(abc.ABC):
+    """A value-preserving (from Mallory's perspective) transformation."""
+
+    #: identifier used in experiment reports (e.g. ``"A1:horizontal"``)
+    name: str = "attack"
+
+    @abc.abstractmethod
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        """Return the attacked copy of ``table``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class IdentityAttack(Attack):
+    """No-op control: the 'attack' of simply redistributing the data."""
+
+    name = "identity"
+
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        return table.clone(name=f"{table.name}_copy")

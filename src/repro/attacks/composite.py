@@ -1,0 +1,29 @@
+"""Composite attacks: sequences of primitive attacks.
+
+Real adversaries chain transformations — subset, then dilute, then shuffle.
+:class:`CompositeAttack` applies a pipeline of attacks in order, forwarding
+the same RNG so a composite run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational import Table
+from .base import Attack
+
+
+class CompositeAttack(Attack):
+    """Apply ``stages`` left to right."""
+
+    def __init__(self, stages: list[Attack]):
+        if not stages:
+            raise ValueError("a composite attack needs at least one stage")
+        self.stages = list(stages)
+        self.name = " + ".join(stage.name for stage in self.stages)
+
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        current = table
+        for stage in self.stages:
+            current = stage.apply(current, rng)
+        return current

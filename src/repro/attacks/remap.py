@@ -1,0 +1,98 @@
+"""A6 — bijective attribute re-mapping.
+
+Mallory maps the categorical values ``{a_1..a_nA}`` through a bijection into
+a foreign label set ``{a'_1..a'_nA}`` (keeping a secret "reverse mapper" to
+restore value for paying customers).  Tuple-level associations survive but
+the detector can no longer resolve ``T(A) = a_t`` — until §4.5's
+frequency-profile alignment reconstructs the inverse map.
+
+The attack instance remembers the true mapping (and its inverse) so
+experiments can score :func:`repro.core.recovery_quality` against ground
+truth.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from ..relational import Table, apply_to_column
+from .base import Attack
+
+
+class BijectiveRemapAttack(Attack):
+    """Re-label one categorical attribute through a random bijection."""
+
+    def __init__(self, attribute: str, label_prefix: str = "remapped"):
+        self.attribute = attribute
+        self.label_prefix = label_prefix
+        self.name = f"A6:remap({attribute})"
+        #: filled on apply(): original value -> foreign label
+        self.mapping: dict[Hashable, Hashable] = {}
+        #: filled on apply(): foreign label -> original value
+        self.true_inverse: dict[Hashable, Hashable] = {}
+
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        meta = table.schema.attribute(self.attribute)
+        if meta.domain is None:
+            raise ValueError(f"attribute {self.attribute!r} is not categorical")
+        originals = list(meta.domain.values)
+        # Foreign labels in shuffled correspondence: position in the *new*
+        # canonical order carries no information about the original value.
+        shuffled = originals[:]
+        rng.shuffle(shuffled)
+        self.mapping = {
+            value: f"{self.label_prefix}-{index:06d}"
+            for index, value in zip(range(len(shuffled)), shuffled)
+        }
+        self.true_inverse = {label: value for value, label in self.mapping.items()}
+
+        new_domain = meta.domain.remapped(self.mapping)
+        schema = table.schema.replace_attribute(meta.with_domain(new_domain))
+        position = table.schema.position(self.attribute)
+        return Table(
+            schema,
+            (
+                tuple(
+                    self.mapping[cell] if slot == position else cell
+                    for slot, cell in enumerate(row)
+                )
+                for row in table
+            ),
+            name=f"{table.name}_remapped",
+        )
+
+
+class PermutationRemapAttack(Attack):
+    """Re-map within the same label set (a derangement of the values).
+
+    Harder to spot than foreign labels: the schema looks untouched, only
+    the value-to-tuple assignment is permuted.  Frequency-profile recovery
+    works identically.
+    """
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+        self.name = f"A6:permute({attribute})"
+        self.mapping: dict[Hashable, Hashable] = {}
+        self.true_inverse: dict[Hashable, Hashable] = {}
+
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        meta = table.schema.attribute(self.attribute)
+        if meta.domain is None:
+            raise ValueError(f"attribute {self.attribute!r} is not categorical")
+        originals = list(meta.domain.values)
+        permuted = originals[:]
+        if len(permuted) > 1:
+            while True:  # draw until it's an actual derangement somewhere
+                rng.shuffle(permuted)
+                if any(a != b for a, b in zip(originals, permuted)):
+                    break
+        self.mapping = dict(zip(originals, permuted))
+        self.true_inverse = {new: old for old, new in self.mapping.items()}
+        return apply_to_column(
+            table,
+            self.attribute,
+            lambda value: self.mapping[value],
+            name=f"{table.name}_permuted",
+        )

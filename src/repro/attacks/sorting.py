@@ -1,0 +1,37 @@
+"""A4 — subset re-sorting.
+
+If any order can be imposed on the data, detection "should be resilient to
+re-sorting attacks and should not depend on this predefined ordering".
+Both the random shuffle and deterministic re-sorts are provided; the scheme
+is immune by construction (fitness and slot selection are per-tuple), and
+the tests assert bit-identical detection either way.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational import Table, shuffle, sort_by
+from .base import Attack
+
+
+class ShuffleAttack(Attack):
+    """Random physical re-ordering of the tuples."""
+
+    name = "A4:shuffle"
+
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        return shuffle(table, rng)
+
+
+class SortAttack(Attack):
+    """Deterministic re-sort on an arbitrary attribute."""
+
+    def __init__(self, attribute: str, reverse: bool = False):
+        self.attribute = attribute
+        self.reverse = reverse
+        direction = "desc" if reverse else "asc"
+        self.name = f"A4:sort({attribute}, {direction})"
+
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        return sort_by(table, self.attribute, reverse=self.reverse)

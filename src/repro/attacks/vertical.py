@@ -1,0 +1,67 @@
+"""A5 — vertical data partitioning.
+
+Mallory keeps a valuable subset of the attributes.  Variants:
+
+* keep the primary key and some attributes — the single-pair scheme
+  survives iff its (key, mark) pair survives;
+* drop the primary key, keep two attributes where one can act as a key —
+  §3.3's motivating scenario for multi-attribute embeddings;
+* keep a *single* categorical column — the extreme case only the
+  frequency-domain channel (§4.2) survives.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational import Table, project
+from .base import Attack
+
+
+class VerticalPartitionAttack(Attack):
+    """Project onto ``kept_attributes`` (optionally re-keying)."""
+
+    def __init__(
+        self, kept_attributes: list[str], new_primary_key: str | None = None
+    ):
+        if not kept_attributes:
+            raise ValueError("must keep at least one attribute")
+        self.kept_attributes = list(kept_attributes)
+        self.new_primary_key = new_primary_key
+        kept = ",".join(kept_attributes)
+        self.name = f"A5:vertical({kept})"
+
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        return project(
+            table, self.kept_attributes, primary_key=self.new_primary_key
+        )
+
+
+class SingleColumnAttack(Attack):
+    """The extreme partition: keep one categorical column only.
+
+    The projection deduplicates (a one-column relation keyed on itself has
+    one tuple per distinct value), which would *also* destroy the frequency
+    channel — so, like a real attacker who wants the distribution, this
+    attack keeps the column as a multiset: the surviving relation carries a
+    synthetic row-number key that holds no information.
+    """
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+        self.name = f"A5:single-column({attribute})"
+
+    def apply(self, table: Table, rng: random.Random) -> Table:
+        from ..relational import Attribute, AttributeType, Schema
+
+        meta = table.schema.attribute(self.attribute)
+        schema = Schema(
+            (Attribute("_row", AttributeType.INTEGER), meta),
+            primary_key="_row",
+        )
+        rows = [
+            (index, value)
+            for index, value in enumerate(table.column(self.attribute))
+        ]
+        rng.shuffle(rows)
+        return Table(schema, rows, name=f"{table.name}_{self.attribute}_only")

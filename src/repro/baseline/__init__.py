@@ -1,0 +1,19 @@
+"""Baseline watermarking schemes the paper compares against."""
+
+from .agrawal_kiernan import (
+    AKDetectResult,
+    AKEmbedResult,
+    AKParameters,
+    BaselineError,
+    ak_detect,
+    ak_embed,
+)
+
+__all__ = [
+    "AKDetectResult",
+    "AKEmbedResult",
+    "AKParameters",
+    "BaselineError",
+    "ak_detect",
+    "ak_embed",
+]

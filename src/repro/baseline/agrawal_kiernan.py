@@ -1,0 +1,169 @@
+"""Agrawal–Kiernan numeric relational watermarking (VLDB 2002) — baseline.
+
+The paper's reference [6] and the scheme its categorical channel is defined
+against.  AHK marks *numeric* attributes: for one tuple in ``gamma`` (keyed
+hash of the primary key), one candidate attribute and one of its ``xi``
+least-significant bits are selected by further keyed hashes, and that bit is
+set to a keyed pseudo-random value.  Detection re-derives the selections,
+counts how many marked bits carry the expected value, and applies a
+binomial significance test.
+
+Implemented here so benches can compare, under identical attacks, the
+categorical association channel against the numeric-LSB channel (which
+categorical data does not offer — the paper's core motivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats
+
+from ..crypto import keyed_hash
+from ..relational import AttributeType, Table
+
+
+class BaselineError(Exception):
+    """Invalid parameters for the Agrawal–Kiernan scheme."""
+
+
+@dataclass(frozen=True)
+class AKParameters:
+    """AHK tuning knobs.
+
+    ``gamma`` — one tuple in ``gamma`` is marked (like the paper's ``e``);
+    ``candidate_attributes`` — numeric attributes eligible for marking;
+    ``xi`` — number of least-significant bits considered markable.
+    """
+
+    candidate_attributes: tuple[str, ...]
+    gamma: int = 60
+    xi: int = 2
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 0:
+            raise BaselineError(f"gamma must be positive, got {self.gamma}")
+        if self.xi <= 0:
+            raise BaselineError(f"xi must be positive, got {self.xi}")
+        if not self.candidate_attributes:
+            raise BaselineError("need at least one candidate attribute")
+
+
+@dataclass
+class AKEmbedResult:
+    """Marking statistics."""
+
+    marked_tuples: int
+    changed_tuples: int
+
+    @property
+    def change_fraction_of_marked(self) -> float:
+        if self.marked_tuples == 0:
+            return 0.0
+        return self.changed_tuples / self.marked_tuples
+
+
+@dataclass(frozen=True)
+class AKDetectResult:
+    """Detection verdict: matched marked bits + binomial significance."""
+
+    total_count: int
+    match_count: int
+    significance: float
+
+    @property
+    def false_hit_probability(self) -> float:
+        """``P[Binom(total, 1/2) >= matches]`` — chance of this evidence in
+        unmarked data."""
+        if self.total_count == 0:
+            return 1.0
+        return float(
+            stats.binom.sf(self.match_count - 1, self.total_count, 0.5)
+        )
+
+    @property
+    def detected(self) -> bool:
+        return self.total_count > 0 and \
+            self.false_hit_probability <= self.significance
+
+    @property
+    def match_fraction(self) -> float:
+        if self.total_count == 0:
+            return 0.0
+        return self.match_count / self.total_count
+
+
+def _selections(
+    pk_value, key: bytes, params: AKParameters
+) -> tuple[bool, int, int, int]:
+    """(is_marked, attribute_index, bit_index, bit_value) for one tuple."""
+    base = keyed_hash(pk_value, key)
+    if base % params.gamma != 0:
+        return False, 0, 0, 0
+    attribute_index = keyed_hash((pk_value, "attr"), key) % len(
+        params.candidate_attributes
+    )
+    bit_index = keyed_hash((pk_value, "bit"), key) % params.xi
+    bit_value = keyed_hash((pk_value, "value"), key) % 2
+    return True, attribute_index, bit_index, bit_value
+
+
+def _check_numeric(table: Table, params: AKParameters) -> None:
+    for name in params.candidate_attributes:
+        meta = table.schema.attribute(name)
+        if meta.atype is not AttributeType.INTEGER:
+            raise BaselineError(
+                f"Agrawal–Kiernan marks integer attributes; {name!r} is "
+                f"{meta.atype.value}"
+            )
+
+
+def ak_embed(table: Table, key: bytes, params: AKParameters) -> AKEmbedResult:
+    """Mark ``table`` in place; returns marking statistics."""
+    _check_numeric(table, params)
+    pk_position = table.schema.position(table.primary_key)
+    marked = 0
+    changed = 0
+    for row in list(table):
+        pk_value = row[pk_position]
+        selected, attribute_index, bit_index, bit_value = _selections(
+            pk_value, key, params
+        )
+        if not selected:
+            continue
+        marked += 1
+        attribute = params.candidate_attributes[attribute_index]
+        current = table.value(pk_value, attribute)
+        mask = 1 << bit_index
+        target = (current | mask) if bit_value else (current & ~mask)
+        if target != current:
+            table.set_value(pk_value, attribute, target)
+            changed += 1
+    return AKEmbedResult(marked_tuples=marked, changed_tuples=changed)
+
+
+def ak_detect(
+    table: Table,
+    key: bytes,
+    params: AKParameters,
+    significance: float = 0.01,
+) -> AKDetectResult:
+    """Blindly test ``table`` for the AHK mark under ``key``."""
+    _check_numeric(table, params)
+    pk_position = table.schema.position(table.primary_key)
+    total = 0
+    matches = 0
+    for row in table:
+        pk_value = row[pk_position]
+        selected, attribute_index, bit_index, bit_value = _selections(
+            pk_value, key, params
+        )
+        if not selected:
+            continue
+        attribute = params.candidate_attributes[attribute_index]
+        value = row[table.schema.position(attribute)]
+        total += 1
+        matches += ((value >> bit_index) & 1) == bit_value
+    return AKDetectResult(
+        total_count=total, match_count=matches, significance=significance
+    )

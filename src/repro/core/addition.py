@@ -1,0 +1,178 @@
+"""Watermark reinforcement by data addition (§4.6).
+
+Data alteration destroys value; data *addition* often costs less.  Within an
+allowed budget ``p_add`` (fraction of extra tuples), the owner injects
+synthetic tuples that
+
+* satisfy the secret fitness criterion (``H(K, k1) mod e == 0``) — found by
+  generate-and-test, which the one-wayness of the hash does **not** prevent
+  because fitness only tests a value ``mod e``: on average one candidate in
+  ``e`` conforms;
+* carry the correct watermark bit in the mark attribute (computed exactly
+  like a regular embedding write); and
+* follow the empirical distribution of the non-key attributes, preserving
+  stealthiness.
+
+The injected tuples add ``p_add * N`` carrier bits to the channel, directly
+strengthening the majority vote (§4.4's resilience analysis applies with
+the enlarged carrier count).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..crypto import MarkKey, keyed_hash, keyed_rng
+from ..relational import Table, empirical_distribution
+from .embedding import EmbeddingSpec, embedded_value_index, slot_index
+from .errors import BandwidthError, SpecError
+from .watermark import Watermark
+
+
+@dataclass
+class AdditionResult:
+    """Outcome of a data-addition pass."""
+
+    added: int
+    candidates_tested: int
+    added_keys: tuple[Hashable, ...]
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.candidates_tested == 0:
+            return 0.0
+        return self.added / self.candidates_tested
+
+
+def integer_key_generator(table: Table) -> Callable[[random.Random], Hashable]:
+    """Fresh-key generator for integer primary keys.
+
+    Draws keys uniformly from a window above the current maximum so the
+    synthetic keys look like a continuation of the real key sequence rather
+    than a recognisable block.
+    """
+    position = table.schema.position(table.primary_key)
+    existing = [row[position] for row in table]
+    if existing and not all(isinstance(value, int) for value in existing):
+        raise SpecError(
+            "integer_key_generator needs an integer primary key; supply a "
+            "custom key_generator instead"
+        )
+    start = (max(existing) if existing else 0) + 1
+    window = max(10 * len(existing), 1000)
+
+    def generate(rng: random.Random) -> Hashable:
+        return rng.randrange(start, start + window)
+
+    return generate
+
+
+def _column_samplers(
+    table: Table, spec: EmbeddingSpec, rng: random.Random
+) -> dict[str, Callable[[], Any]]:
+    """Per-attribute samplers following the empirical data distribution."""
+    samplers: dict[str, Callable[[], Any]] = {}
+    for attribute in table.schema.names:
+        if attribute in (table.primary_key, spec.mark_attribute):
+            continue
+        distribution = empirical_distribution(table.column(attribute))
+        if not distribution:
+            raise BandwidthError(
+                f"cannot sample attribute {attribute!r} of an empty relation"
+            )
+        values = [value for value, _ in distribution]
+        weights = [weight for _, weight in distribution]
+
+        def sample(values=values, weights=weights) -> Any:
+            return rng.choices(values, weights=weights, k=1)[0]
+
+        samplers[attribute] = sample
+    return samplers
+
+
+def _candidate_keys(
+    generate: Callable[[random.Random], Hashable],
+    rng: random.Random,
+    attempts: int,
+) -> Iterator[Hashable]:
+    for _ in range(attempts):
+        yield generate(rng)
+
+
+def add_watermarked_tuples(
+    table: Table,
+    watermark: Watermark,
+    key: MarkKey,
+    spec: EmbeddingSpec,
+    p_add: float,
+    key_generator: Callable[[random.Random], Hashable] | None = None,
+    max_attempts_factor: int = 50,
+) -> AdditionResult:
+    """Inject ``round(p_add * N)`` fit, watermark-carrying tuples in place.
+
+    Only the ``keyed`` variant is supported: the map variant's sequential
+    indices are fixed at embedding time, whereas keyed slot selection lets
+    any fresh fit tuple join the channel (the very property §3.2.1 credits
+    for surviving data addition).
+    """
+    if not 0.0 <= p_add <= 1.0:
+        raise SpecError(f"p_add must be in [0, 1], got {p_add}")
+    if spec.variant != "keyed":
+        raise SpecError("data addition requires the 'keyed' variant")
+    if spec.key_attribute != table.primary_key:
+        raise SpecError(
+            "data addition synthesises whole tuples and therefore needs the "
+            "embedding keyed on the relation's primary key"
+        )
+    domain = table.schema.attribute(spec.mark_attribute).domain
+    if domain is None:
+        raise SpecError(f"{spec.mark_attribute!r} is not categorical")
+
+    goal = round(p_add * len(table))
+    if goal == 0:
+        return AdditionResult(added=0, candidates_tested=0, added_keys=())
+
+    rng = keyed_rng(key.k1, "data-addition", len(table))
+    generate = key_generator or integer_key_generator(table)
+    samplers = _column_samplers(table, spec, rng)
+    wm_data = spec.ecc().encode(watermark.bits, spec.channel_length)
+
+    added_keys: list[Hashable] = []
+    tested = 0
+    attempts_budget = max_attempts_factor * spec.e * goal
+    for candidate in _candidate_keys(generate, rng, attempts_budget):
+        if len(added_keys) >= goal:
+            break
+        tested += 1
+        if candidate in table:
+            continue
+        if keyed_hash(candidate, key.k1) % spec.e != 0:
+            continue
+        slot = slot_index(candidate, key.k2, spec.channel_length)
+        bit = wm_data[slot]
+        value_index = embedded_value_index(candidate, key.k1, bit, domain)
+        row = []
+        for attribute in table.schema.names:
+            if attribute == table.primary_key:
+                row.append(candidate)
+            elif attribute == spec.mark_attribute:
+                row.append(domain.value_at(value_index))
+            else:
+                row.append(samplers[attribute]())
+        table.insert(row)
+        added_keys.append(candidate)
+
+    if len(added_keys) < goal:
+        raise BandwidthError(
+            f"found only {len(added_keys)}/{goal} fit candidate keys after "
+            f"{tested} attempts; widen the key window or raise "
+            f"max_attempts_factor"
+        )
+    return AdditionResult(
+        added=len(added_keys),
+        candidates_tested=tested,
+        added_keys=tuple(added_keys),
+    )

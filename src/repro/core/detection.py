@@ -1,0 +1,224 @@
+"""Blind watermark detection (§3.2.2, Figure 2).
+
+Detection re-runs the secret fitness criterion on the *suspect* relation,
+reads one bit per fit tuple (``bit = t & 1`` where ``T(A) = a_t``), routes
+it to its ``wm_data`` slot (via ``H(T(K), k2)`` or the embedding map), and
+majority-decodes the slots back into the watermark.  No original data is
+consulted — "mark detection is fully blind", the property the paper calls
+out as essential for massive data sets.
+
+Statistical verdicts follow §4.4: the probability that a *random* relation
+of this size would match ``r`` of ``|wm|`` watermark bits is the binomial
+tail ``P(Binom(|wm|, 1/2) >= r)``; a detection is declared when that
+false-hit probability falls below the court-time threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from scipy import stats
+
+from ..crypto import MarkKey, keyed_hash
+from ..ecc import DecodeResult
+from ..relational import CategoricalDomain, Table
+from .embedding import EmbeddingSpec, VARIANT_KEYED, VARIANT_MAP, slot_index
+from .errors import DetectionError
+from .watermark import Watermark
+
+#: default court-time threshold on the false-hit probability
+DEFAULT_SIGNIFICANCE = 0.01
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of blind extraction from a suspect relation."""
+
+    watermark: Watermark
+    decode: DecodeResult
+    fit_count: int
+    slots_recovered: int
+    channel_length: int
+
+    @property
+    def slot_coverage(self) -> float:
+        """Fraction of ``wm_data`` slots recovered from surviving carriers."""
+        if self.channel_length == 0:
+            return 0.0
+        return self.slots_recovered / self.channel_length
+
+    @property
+    def mean_confidence(self) -> float:
+        """Mean per-bit majority agreement (1.0 = unanimous votes)."""
+        if not self.decode.confidence:
+            return 0.0
+        return sum(self.decode.confidence) / len(self.decode.confidence)
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Comparison of a detection against the owner's claimed watermark."""
+
+    detection: DetectionResult
+    expected: Watermark
+    matching_bits: int
+    false_hit_probability: float
+    significance: float
+
+    @property
+    def detected(self) -> bool:
+        """True when the match is too good to be chance at ``significance``."""
+        return self.false_hit_probability <= self.significance
+
+    @property
+    def mark_alteration(self) -> float:
+        """Fraction of watermark bits damaged — the Figures 4–7 y-axis."""
+        return 1.0 - self.matching_bits / len(self.expected)
+
+    def summary(self) -> str:
+        return (
+            f"matched {self.matching_bits}/{len(self.expected)} bits "
+            f"(alteration {self.mark_alteration:.1%}), false-hit probability "
+            f"{self.false_hit_probability:.3g} -> "
+            f"{'DETECTED' if self.detected else 'not detected'}"
+        )
+
+
+def extract_slots(
+    table: Table,
+    key: MarkKey,
+    spec: EmbeddingSpec,
+    embedding_map: dict[Hashable, int] | None = None,
+    domain: CategoricalDomain | None = None,
+    value_mapping: dict[Hashable, Hashable] | None = None,
+) -> tuple[list[int | None], int]:
+    """Recover the ``wm_data`` slots from the suspect relation.
+
+    Returns ``(slots, fit_count)`` where ``slots[i]`` is the majority of the
+    bits recovered for slot ``i`` (``None`` when no surviving tuple
+    addressed it).  ``domain`` overrides the canonical value ordering when
+    the suspect schema lost it (e.g. after CSV round-trips); values outside
+    the domain — which a remapping attack produces — are skipped, not
+    errors, so partial recovery still counts.  ``value_mapping`` translates
+    suspect values back to original-domain values before decoding — the
+    inverse map of §4.5 remapping recovery (entries mapping to the
+    :data:`~repro.core.remapping.UNRECOVERED` sentinel fall outside the
+    domain and are skipped).
+    """
+    if spec.variant == VARIANT_MAP and embedding_map is None:
+        raise DetectionError(
+            "the 'map' variant needs the embedding_map recorded at embedding"
+        )
+    resolved_domain = domain or table.schema.attribute(spec.mark_attribute).domain
+    if resolved_domain is None:
+        raise DetectionError(
+            f"no categorical domain available for {spec.mark_attribute!r}"
+        )
+    key_position = table.schema.position(spec.key_attribute)
+    mark_position = table.schema.position(spec.mark_attribute)
+
+    votes: list[list[int]] = [[] for _ in range(spec.channel_length)]
+    fit_count = 0
+    fitness_cache: dict[Hashable, bool] = {}
+    for row in table:
+        key_value = row[key_position]
+        fit = fitness_cache.get(key_value)
+        if fit is None:
+            fit = keyed_hash(key_value, key.k1) % spec.e == 0
+            fitness_cache[key_value] = fit
+        if not fit:
+            continue
+        fit_count += 1
+        value = row[mark_position]
+        if value_mapping is not None:
+            value = value_mapping.get(value, value)
+        if value not in resolved_domain:
+            continue
+        bit = resolved_domain.index_of(value) & 1
+        if spec.variant == VARIANT_KEYED:
+            slot = slot_index(key_value, key.k2, spec.channel_length)
+        else:
+            assert embedding_map is not None
+            if key_value not in embedding_map:
+                continue
+            slot = embedding_map[key_value]
+            if not 0 <= slot < spec.channel_length:
+                raise DetectionError(
+                    f"embedding map entry {slot} outside channel "
+                    f"[0, {spec.channel_length})"
+                )
+        votes[slot].append(bit)
+
+    slots: list[int | None] = []
+    recovered = 0
+    for slot_votes in votes:
+        if not slot_votes:
+            slots.append(None)
+            continue
+        ones = sum(slot_votes)
+        slots.append(1 if ones * 2 > len(slot_votes) else
+                     0 if ones * 2 < len(slot_votes) else slot_votes[0])
+        recovered += 1
+    return slots, fit_count
+
+
+def detect(
+    table: Table,
+    key: MarkKey,
+    spec: EmbeddingSpec,
+    embedding_map: dict[Hashable, int] | None = None,
+    domain: CategoricalDomain | None = None,
+    value_mapping: dict[Hashable, Hashable] | None = None,
+) -> DetectionResult:
+    """Blindly extract the most likely watermark from ``table``."""
+    slots, fit_count = extract_slots(
+        table, key, spec, embedding_map, domain, value_mapping
+    )
+    decode = spec.ecc().decode(slots, spec.watermark_length)
+    return DetectionResult(
+        watermark=Watermark(decode.bits),
+        decode=decode,
+        fit_count=fit_count,
+        slots_recovered=sum(slot is not None for slot in slots),
+        channel_length=spec.channel_length,
+    )
+
+
+def false_hit_probability(matching_bits: int, watermark_length: int) -> float:
+    """``P[Binom(|wm|, 1/2) >= matching_bits]`` — §4.4's court-time test.
+
+    With every bit matched this is the paper's ``(1/2)^|wm|``.
+    """
+    if not 0 <= matching_bits <= watermark_length:
+        raise DetectionError(
+            f"matching bits {matching_bits} outside [0, {watermark_length}]"
+        )
+    return float(stats.binom.sf(matching_bits - 1, watermark_length, 0.5))
+
+
+def verify(
+    table: Table,
+    key: MarkKey,
+    spec: EmbeddingSpec,
+    expected: Watermark,
+    embedding_map: dict[Hashable, int] | None = None,
+    domain: CategoricalDomain | None = None,
+    value_mapping: dict[Hashable, Hashable] | None = None,
+    significance: float = DEFAULT_SIGNIFICANCE,
+) -> VerificationResult:
+    """Detect and compare against the owner's claimed watermark."""
+    if len(expected) != spec.watermark_length:
+        raise DetectionError(
+            f"expected watermark has {len(expected)} bits, spec says "
+            f"{spec.watermark_length}"
+        )
+    detection = detect(table, key, spec, embedding_map, domain, value_mapping)
+    matches = expected.matching_bits(detection.watermark)
+    return VerificationResult(
+        detection=detection,
+        expected=expected,
+        matching_bits=matches,
+        false_hit_probability=false_hit_probability(matches, len(expected)),
+        significance=significance,
+    )

@@ -1,0 +1,25 @@
+"""Exceptions raised by the core watermarking algorithms."""
+
+from __future__ import annotations
+
+
+class WatermarkingError(Exception):
+    """Base class for all core watermarking errors."""
+
+
+class BandwidthError(WatermarkingError):
+    """The relation cannot carry the requested watermark (§2.4).
+
+    Raised when the available embedding bandwidth (roughly ``N/e`` fit
+    tuples, or ``floor(nA/2)`` value pairs) is too small for the watermark —
+    the "watermarking could potentially fail due to lack of bandwidth"
+    condition the paper calls out.
+    """
+
+
+class SpecError(WatermarkingError):
+    """An embedding specification is malformed or inconsistent."""
+
+
+class DetectionError(WatermarkingError):
+    """Blind detection could not be performed on the suspect relation."""

@@ -1,0 +1,71 @@
+"""Fit-tuple selection (§3.2.1).
+
+A tuple ``T_i`` is *fit* for encoding iff ``H(T_i(K), k1) mod e == 0``: its
+primary-key attribute satisfies a secret criterion.  On average one tuple in
+``e`` is fit, so ``e`` directly trades data alteration (fewer marked tuples)
+against resilience (less redundancy) — the trade-off quantified in §4.4 and
+swept in Figure 5.
+
+Selection depends only on the individual tuple's key value and the secret
+key, never on position or neighbours; that single property is what buys
+immunity to re-sorting (A4), subset selection (A1) and subset addition (A2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any, Hashable
+
+from ..crypto import keyed_hash
+from ..relational import Table
+from .errors import SpecError
+
+
+def is_fit(key_value: Hashable, k1: bytes, e: int) -> bool:
+    """``H(T(K), k1) mod e == 0`` — the paper's fitness criterion."""
+    if e <= 0:
+        raise SpecError(f"encoding parameter e must be positive, got {e}")
+    return keyed_hash(key_value, k1) % e == 0
+
+
+def fit_keys(
+    table: Table, key_attribute: str, k1: bytes, e: int
+) -> Iterator[Hashable]:
+    """Primary-key values of the fit tuples, in physical scan order.
+
+    ``key_attribute`` need not be the table's declared primary key: the
+    multi-attribute extension (§3.3) treats other attributes as "primary key
+    place-holders".  Duplicate values of a non-key ``key_attribute`` are all
+    yielded (each backing tuple is a carrier).
+    """
+    position = table.schema.position(key_attribute)
+    if e <= 0:
+        raise SpecError(f"encoding parameter e must be positive, got {e}")
+    for row in table:
+        value = row[position]
+        if keyed_hash(value, k1) % e == 0:
+            yield value
+
+
+def fit_rows(
+    table: Table, key_attribute: str, k1: bytes, e: int
+) -> Iterator[tuple[Any, ...]]:
+    """The fit tuples themselves, in physical scan order."""
+    position = table.schema.position(key_attribute)
+    if e <= 0:
+        raise SpecError(f"encoding parameter e must be positive, got {e}")
+    for row in table:
+        if keyed_hash(row[position], k1) % e == 0:
+            yield row
+
+
+def count_fit(table: Table, key_attribute: str, k1: bytes, e: int) -> int:
+    """Number of fit tuples — the realised embedding bandwidth (≈ ``N/e``)."""
+    return sum(1 for _ in fit_keys(table, key_attribute, k1, e))
+
+
+def expected_bandwidth(tuple_count: int, e: int) -> int:
+    """Nominal bandwidth ``N/e`` the paper sizes ``wm_data`` with."""
+    if e <= 0:
+        raise SpecError(f"encoding parameter e must be positive, got {e}")
+    return max(1, round(tuple_count / e))

@@ -1,0 +1,422 @@
+"""Frequency-domain watermark encoding (§4.2).
+
+Defence for the *extreme* vertical-partitioning attack: Mallory keeps a
+single categorical column ``A``.  All tuple-level associations are gone, but
+the main residual value of the column — its value-occurrence frequency
+distribution ``[f_A(a_i)]`` — is still there, and that is exactly where this
+channel hides the mark.
+
+The histogram is treated as a numeric set and marked with the
+minimal-absolute-change scheme of :mod:`repro.numericwm` (the paper's [10]).
+As §4.2 observes, minimising absolute change in frequency space
+*simultaneously* minimises the number of categorical items re-labelled —
+the natural distortion measure of the categorical domain.  Count changes are
+realised by re-labelling randomly chosen tuples between categories, and the
+total count is reconciled so the relation size never changes.
+
+Detection is blind and needs no tuple identity at all: it recomputes the
+histogram of the suspect column and majority-votes quantisation-cell
+parities, so it survives row loss (frequencies are scale-free), re-sorting,
+and loss of every other attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..crypto import MarkKey, keyed_rng
+from ..numericwm import detect_numeric_set, embed_numeric_set
+from ..quality import QualityGuard, permissive_guard
+from ..relational import CategoricalDomain, Table
+from .detection import false_hit_probability
+from .errors import BandwidthError, DetectionError, SpecError
+from .watermark import Watermark
+
+_LABEL = "frequency-channel"
+
+
+@dataclass(frozen=True)
+class FrequencyMarkRecord:
+    """Escrowed description of one frequency-domain embedding."""
+
+    attribute: str
+    watermark_length: int
+    quantum: float
+    domain_values: tuple[Hashable, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "attribute": self.attribute,
+            "watermark_length": self.watermark_length,
+            "quantum": self.quantum,
+            "domain_values": list(self.domain_values),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FrequencyMarkRecord":
+        return cls(
+            attribute=payload["attribute"],
+            watermark_length=payload["watermark_length"],
+            quantum=payload["quantum"],
+            domain_values=tuple(payload["domain_values"]),
+        )
+
+
+@dataclass
+class FrequencyEmbeddingResult:
+    """Outcome of a frequency-domain embedding pass.
+
+    ``shortfall`` counts re-labellings that quality constraints vetoed;
+    when non-zero, some histogram bins missed their target counts and the
+    corresponding watermark bits may decode weakly (constraints take
+    precedence over channel strength, per §4.1).
+    """
+
+    record: FrequencyMarkRecord
+    relabelled: int
+    target_counts: tuple[int, ...]
+    original_counts: tuple[int, ...]
+    shortfall: int = 0
+
+    @property
+    def relabelled_fraction(self) -> float:
+        total = sum(self.original_counts)
+        return self.relabelled / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class FrequencyVerification:
+    """Detection verdict for the frequency channel."""
+
+    detected_watermark: Watermark
+    expected: Watermark
+    matching_bits: int
+    false_hit_probability: float
+    significance: float
+
+    @property
+    def detected(self) -> bool:
+        return self.false_hit_probability <= self.significance
+
+    @property
+    def mark_alteration(self) -> float:
+        return 1.0 - self.matching_bits / len(self.expected)
+
+
+def default_quantum(domain_size: int) -> float:
+    """A conservative frequency quantum: ~a quarter of a uniform bin.
+
+    Small enough that re-labelling stays a small fraction of the data, large
+    enough that sampling noise from substantial row loss stays inside the
+    ``q/2`` decision margin.
+
+    The reciprocal is deliberately a *half-integer* (``1/q = 4·nA + 0.5``):
+    when ``1/q`` is an integer, the lattice of parity-constrained cell
+    centres can make the total frequency mass 1.0 exactly unreachable
+    (e.g. ``nA = 2, q = 1/8`` with two even-parity bins), whereas a
+    half-integer reciprocal pins the reconciliation residue at ``±0.5·q·N``
+    — always absorbable within cells.
+    """
+    if domain_size <= 0:
+        raise SpecError(f"domain size must be positive, got {domain_size}")
+    return 2.0 / (8.0 * domain_size + 1.0)
+
+
+def _dodge_integer_reciprocal(quantum: float) -> float:
+    """Nudge a user-supplied quantum whose reciprocal is (near-)integral.
+
+    See :func:`default_quantum`: integral ``1/q`` admits payloads whose
+    parity-constrained histograms cannot sum to 1.0; ``1/q`` half-integral
+    guarantees feasibility.  The nudged value is stored in the mark record,
+    so detection always uses exactly the embedding quantum.
+    """
+    reciprocal = 1.0 / quantum
+    if abs(reciprocal - round(reciprocal)) < 1e-6:
+        return 1.0 / (round(reciprocal) + 0.5)
+    return quantum
+
+
+def embed_frequency(
+    table: Table,
+    watermark: Watermark,
+    key: MarkKey,
+    attribute: str,
+    quantum: float | None = None,
+    guard: QualityGuard | None = None,
+) -> FrequencyEmbeddingResult:
+    """Embed ``watermark`` into the frequency histogram of ``attribute``.
+
+    Mutates ``table`` in place by re-labelling the minimal number of tuples.
+    Raises :class:`BandwidthError` when the domain has fewer values than is
+    sane for the watermark (every bin carries at most one parity symbol).
+    """
+    meta = table.schema.attribute(attribute)
+    if not meta.is_categorical or meta.domain is None:
+        raise SpecError(f"attribute {attribute!r} is not categorical")
+    domain = meta.domain
+    if domain.size < 2:
+        raise BandwidthError(
+            f"domain of {attribute!r} has {domain.size} value(s); the "
+            f"frequency channel needs at least 2"
+        )
+    if domain.size < len(watermark):
+        raise BandwidthError(
+            f"domain of {attribute!r} has {domain.size} value(s) but the "
+            f"watermark has {len(watermark)} bits; each histogram bin "
+            f"carries one parity symbol, so |wm| <= nA is required"
+        )
+    if len(table) == 0:
+        raise BandwidthError("cannot embed into an empty relation")
+    if quantum is None:
+        quantum = default_quantum(domain.size)
+    if not 0.0 < quantum < 1.0:
+        raise SpecError(f"quantum must be in (0, 1), got {quantum}")
+    quantum = _dodge_integer_reciprocal(quantum)
+
+    total = len(table)
+    counts = _counts_in_domain_order(table, attribute, domain)
+    frequencies = [count / total for count in counts]
+
+    numeric = embed_numeric_set(
+        frequencies, watermark.bits, key.k2, quantum, label=_LABEL
+    )
+    targets = _reconcile_counts(numeric.values, total, quantum)
+
+    if guard is None:
+        guard = permissive_guard()
+        guard.bind(table)
+    relabelled, shortfall = _apply_count_deltas(
+        table, attribute, domain, counts, targets, key, guard
+    )
+    record = FrequencyMarkRecord(
+        attribute=attribute,
+        watermark_length=len(watermark),
+        quantum=quantum,
+        domain_values=domain.values,
+    )
+    return FrequencyEmbeddingResult(
+        record=record,
+        relabelled=relabelled,
+        target_counts=tuple(targets),
+        original_counts=tuple(counts),
+        shortfall=shortfall,
+    )
+
+
+def detect_frequency(
+    table: Table,
+    key: MarkKey,
+    record: FrequencyMarkRecord,
+    value_mapping: dict[Hashable, Hashable] | None = None,
+) -> Watermark:
+    """Blindly extract the frequency-channel watermark from ``table``.
+
+    ``value_mapping`` translates suspect values back to original domain
+    values — the inverse map produced by §4.5 remapping recovery.  Unknown
+    values fall outside every bin and are ignored.
+    """
+    if record.attribute not in table.schema:
+        raise DetectionError(
+            f"attribute {record.attribute!r} missing from the suspect relation"
+        )
+    domain = CategoricalDomain(record.domain_values)
+    column = table.column(record.attribute)
+    if value_mapping is not None:
+        column = [value_mapping.get(value, value) for value in column]
+    known = [value for value in column if value in domain]
+    if not known:
+        raise DetectionError(
+            f"no recognisable {record.attribute!r} values in the suspect data"
+        )
+    total = len(known)
+    counts = [0] * domain.size
+    for value in known:
+        counts[domain.index_of(value)] += 1
+    frequencies = [count / total for count in counts]
+    detection = detect_numeric_set(
+        frequencies, record.watermark_length, key.k2, record.quantum,
+        label=_LABEL,
+    )
+    return Watermark(detection.bits)
+
+
+def verify_frequency(
+    table: Table,
+    key: MarkKey,
+    record: FrequencyMarkRecord,
+    expected: Watermark,
+    value_mapping: dict[Hashable, Hashable] | None = None,
+    significance: float = 0.01,
+) -> FrequencyVerification:
+    """Detect and compare against the claimed watermark."""
+    if len(expected) != record.watermark_length:
+        raise DetectionError(
+            f"expected watermark has {len(expected)} bits, record says "
+            f"{record.watermark_length}"
+        )
+    detected = detect_frequency(table, key, record, value_mapping)
+    matches = expected.matching_bits(detected)
+    return FrequencyVerification(
+        detected_watermark=detected,
+        expected=expected,
+        matching_bits=matches,
+        false_hit_probability=false_hit_probability(matches, len(expected)),
+        significance=significance,
+    )
+
+
+# -- internals -------------------------------------------------------------------
+
+def _counts_in_domain_order(
+    table: Table, attribute: str, domain: CategoricalDomain
+) -> list[int]:
+    counts = [0] * domain.size
+    for value in table.column(attribute):
+        counts[domain.index_of(value)] += 1
+    return counts
+
+
+def _reconcile_counts(
+    target_frequencies: tuple[float, ...], total: int, quantum: float
+) -> list[int]:
+    """Round frequency targets to integer counts summing exactly to ``total``.
+
+    The per-bin parity moves of the numeric embedding do not conserve the
+    total frequency mass, so the integer targets can miss ``total`` by many
+    counts (the worst case grows with the quantum, not the bin count).
+    Reconciliation proceeds in two parity-safe phases:
+
+    1. **whole-cell jumps** — while the residue exceeds a single bin's
+       within-cell slack, a bin is moved by a full ``±2·quantum`` (two
+       cells), which lands in a cell of the *same parity* and so never
+       disturbs a watermark bit;
+    2. **within-cell distribution** — the remaining few counts are absorbed
+       by the bins sitting deepest inside their cells.
+    """
+    centres = list(target_frequencies)
+    targets = [round(f * total) for f in centres]
+    residue = total - sum(targets)
+    jump = round(2 * quantum * total)
+    if jump < 1 and residue != 0:
+        raise BandwidthError(
+            "quantum * N is below one tuple; the frequency channel cannot "
+            "quantise this relation — use a larger quantum or more data"
+        )
+
+    # Phase 1: parity-preserving two-cell jumps.
+    iterations = 0
+    while jump >= 1 and abs(residue) > jump // 2:
+        iterations += 1
+        if iterations > 4 * (total // max(jump, 1) + len(centres) + 4):
+            raise BandwidthError(
+                "could not reconcile histogram counts; use a larger quantum"
+            )
+        direction = 1 if residue > 0 else -1
+        best_index = None
+        for index, centre in enumerate(centres):
+            new_centre = centre + direction * 2 * quantum
+            new_target = targets[index] + direction * jump
+            if not 0.0 < new_centre < 1.0:
+                continue
+            if not 0 <= new_target <= total:
+                continue
+            # prefer disturbing the largest bin (smallest relative change)
+            if best_index is None or targets[index] > targets[best_index]:
+                best_index = index
+        if best_index is None:
+            raise BandwidthError(
+                "no histogram bin can absorb a parity-preserving jump; "
+                "use a larger quantum"
+            )
+        centres[best_index] += direction * 2 * quantum
+        targets[best_index] += direction * jump
+        residue -= direction * jump
+
+    # Phase 2: within-cell distribution of the remaining counts.
+    step = 1 if residue > 0 else -1
+    guard_limit = abs(residue) * (len(targets) + 1) + 1
+    iterations = 0
+    while residue != 0:
+        iterations += 1
+        if iterations > guard_limit:
+            raise BandwidthError(
+                "could not reconcile histogram counts within parity cells; "
+                "use a larger quantum"
+            )
+        best_index = None
+        best_slack = -1.0
+        for index, count in enumerate(targets):
+            adjusted = count + step
+            if adjusted < 0:
+                continue
+            slack = quantum / 2.0 - abs(adjusted / total - centres[index])
+            if slack > best_slack:
+                best_slack = slack
+                best_index = index
+        if best_index is None or best_slack <= 0:
+            raise BandwidthError(
+                "no histogram bin has slack to absorb rounding residue; "
+                "use a larger quantum"
+            )
+        targets[best_index] += step
+        residue -= step
+    return targets
+
+
+def _apply_count_deltas(
+    table: Table,
+    attribute: str,
+    domain: CategoricalDomain,
+    counts: list[int],
+    targets: list[int],
+    key: MarkKey,
+    guard: QualityGuard,
+) -> tuple[int, int]:
+    """Re-label tuples toward the ``targets`` histogram.
+
+    Returns ``(relabelled, shortfall)``.  Quality-constraint vetoes never
+    abort the pass: a vetoed donor is skipped (another tuple from a
+    surplus bin is tried), and whatever cannot be realised at all is
+    reported as shortfall — constraints outrank channel strength (§4.1).
+    """
+    deltas = [target - count for target, count in zip(targets, counts)]
+    rng = keyed_rng(key.k1, _LABEL, len(table))
+
+    pk_position = table.schema.position(table.primary_key)
+    value_position = table.schema.position(attribute)
+    donor_bins = {index for index, delta in enumerate(deltas) if delta < 0}
+    pools: dict[int, list[Hashable]] = {index: [] for index in donor_bins}
+    if donor_bins:
+        for row in table:
+            bin_index = domain.index_of(row[value_position])
+            if bin_index in donor_bins:
+                pools[bin_index].append(row[pk_position])
+
+    # Full donor queue (every tuple of every surplus bin) in keyed-random
+    # order; per-bin surplus budgets stop a bin from over-draining.
+    donor_queue: list[tuple[int, Hashable]] = [
+        (bin_index, pk)
+        for bin_index, pool in sorted(pools.items())
+        for pk in pool
+    ]
+    rng.shuffle(donor_queue)
+    remaining_surplus = {index: -deltas[index] for index in donor_bins}
+
+    relabelled = 0
+    shortfall = 0
+    cursor = 0
+    for bin_index, delta in enumerate(deltas):
+        needed = delta
+        target_value = domain.value_at(bin_index)
+        while needed > 0 and cursor < len(donor_queue):
+            donor_bin, pk = donor_queue[cursor]
+            cursor += 1
+            if remaining_surplus[donor_bin] <= 0:
+                continue
+            if guard.apply(pk, attribute, target_value):
+                remaining_surplus[donor_bin] -= 1
+                relabelled += 1
+                needed -= 1
+        shortfall += max(0, needed)
+    return relabelled, shortfall

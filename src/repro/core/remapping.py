@@ -1,0 +1,200 @@
+"""Bijective attribute re-mapping recovery (§4.5).
+
+Attack A6: Mallory re-maps the categorical values ``{a_1..a_nA}`` through a
+bijection into a foreign domain ``{a'_1..a'_nA}`` (and may even sell a
+"reverse mapper" alongside).  Detection then cannot resolve ``T(A) = a_t``.
+
+The paper's counter: over large data sets the values *do* carry a
+distinguishing property — their occurrence frequency.  Detection samples the
+suspect data's frequencies, sorts both frequency profiles, and aligns values
+rank-by-rank to reconstruct (most of) the inverse mapping, which is then
+applied before bit decoding.
+
+The recovery is inherently statistical: values with near-identical
+frequencies can swap ranks (the paper notes uniformly distributed values
+defeat it entirely).  :func:`recovery_quality` quantifies how much of a
+known mapping was recovered, which the frequency-channel bench reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..relational import Table, sorted_frequency_profile
+from .errors import DetectionError
+
+
+@dataclass(frozen=True)
+class FrequencyProfile:
+    """The owner's escrowed frequency fingerprint of an attribute.
+
+    Recorded at embedding time (*after* marking, so the profile matches what
+    was published): values with their normalised occurrence frequencies.
+    """
+
+    attribute: str
+    frequencies: tuple[tuple[Hashable, float], ...]  # sorted by frequency desc
+
+    @classmethod
+    def capture(cls, table: Table, attribute: str) -> "FrequencyProfile":
+        counts = Counter(table.column(attribute))
+        total = sum(counts.values())
+        if total == 0:
+            raise DetectionError(
+                f"cannot profile {attribute!r} of an empty relation"
+            )
+        normalised = {value: count / total for value, count in counts.items()}
+        return cls(
+            attribute=attribute,
+            frequencies=tuple(sorted_frequency_profile(normalised)),
+        )
+
+    @property
+    def values_by_rank(self) -> tuple[Hashable, ...]:
+        return tuple(value for value, _ in self.frequencies)
+
+    def to_dict(self) -> dict:
+        return {
+            "attribute": self.attribute,
+            "frequencies": [[value, freq] for value, freq in self.frequencies],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FrequencyProfile":
+        return cls(
+            attribute=payload["attribute"],
+            frequencies=tuple(
+                (value, float(freq)) for value, freq in payload["frequencies"]
+            ),
+        )
+
+
+def estimate_profile(table: Table, attribute: str) -> FrequencyProfile:
+    """Sample the suspect data's frequency profile (``E[f_A(a'_j)]``)."""
+    return FrequencyProfile.capture(table, attribute)
+
+
+class _Unrecovered:
+    """Sentinel marking suspect values whose original could not be
+    confidently identified; it is never a member of any domain, so
+    detection treats such cells as erasures rather than noise votes."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unrecovered>"
+
+    def __hash__(self) -> int:
+        return hash("repro.remapping.UNRECOVERED")
+
+
+UNRECOVERED = _Unrecovered()
+
+
+def recover_mapping(
+    suspect: Table,
+    original_profile: FrequencyProfile,
+    drop_ambiguous: bool = False,
+    confidence_z: float = 2.0,
+) -> dict[Hashable, Hashable]:
+    """Reconstruct the inverse of a bijective re-mapping by rank alignment.
+
+    Returns ``{suspect_value -> original_value}``.  When the suspect data
+    shows more distinct values than the original profile (e.g. added
+    tuples with foreign values), the lowest-frequency extras are left
+    unmapped; detection skips unmapped values.
+
+    Rank alignment is only trustworthy where frequencies are *distinct*:
+    inside a run of near-equal frequencies (the Zipf tail, or the uniform
+    worst case the paper calls out) the assignment is arbitrary.  With
+    ``drop_ambiguous`` every suspect value inside such a run maps to the
+    :data:`UNRECOVERED` sentinel — outside every domain — so the
+    association-channel decoder sees erasures (absorbed by majority
+    voting) instead of wrong bits.  Runs are detected by comparing
+    consecutive frequency gaps against a ``confidence_z``-sigma binomial
+    sampling-noise estimate.
+    """
+    if original_profile.attribute not in suspect.schema:
+        raise DetectionError(
+            f"attribute {original_profile.attribute!r} missing from the "
+            f"suspect relation"
+        )
+    suspect_profile = estimate_profile(suspect, original_profile.attribute)
+    original_ranked = original_profile.values_by_rank
+    suspect_ranked = suspect_profile.values_by_rank
+    mapping = {
+        suspect_value: original_value
+        for suspect_value, original_value in zip(suspect_ranked, original_ranked)
+    }
+    if not drop_ambiguous:
+        return mapping
+
+    sample_size = max(1, len(suspect))
+    frequencies = [freq for _, freq in suspect_profile.frequencies]
+
+    def noise(freq: float) -> float:
+        return confidence_z * ((freq * (1.0 - freq) / sample_size) ** 0.5)
+
+    ambiguous = [False] * len(frequencies)
+    for index in range(len(frequencies) - 1):
+        gap = frequencies[index] - frequencies[index + 1]
+        if gap < max(noise(frequencies[index]), noise(frequencies[index + 1])):
+            ambiguous[index] = True
+            ambiguous[index + 1] = True
+    for index, suspect_value in enumerate(suspect_ranked):
+        if index < len(ambiguous) and ambiguous[index] and suspect_value in mapping:
+            mapping[suspect_value] = UNRECOVERED
+    return mapping
+
+
+def apply_mapping(
+    table: Table, attribute: str, mapping: dict[Hashable, Hashable]
+) -> Table:
+    """Translate ``attribute`` through ``mapping`` into a new relation.
+
+    Values without a mapping entry are kept as-is (they will fall outside
+    the original domain and be skipped by detection).  The attribute's
+    domain is rebuilt from the translated values plus the mapping range so
+    the canonical ordering matches the original domain's.
+    """
+    position = table.schema.position(attribute)
+    translated_rows = [
+        tuple(
+            mapping.get(cell, cell) if slot == position else cell
+            for slot, cell in enumerate(row)
+        )
+        for row in table
+    ]
+    meta = table.schema.attribute(attribute)
+    if meta.is_categorical:
+        observed = {row[position] for row in translated_rows}
+        observed |= set(mapping.values())
+        observed.discard(UNRECOVERED)
+        if not observed:
+            raise DetectionError(
+                f"no recoverable {attribute!r} values after applying the map"
+            )
+        from ..relational import CategoricalDomain
+
+        schema = table.schema.replace_attribute(
+            meta.with_domain(CategoricalDomain(observed))
+        )
+    else:
+        schema = table.schema
+    return Table(schema, translated_rows, name=f"{table.name}_unmapped")
+
+
+def recovery_quality(
+    true_inverse: dict[Hashable, Hashable],
+    recovered: dict[Hashable, Hashable],
+) -> float:
+    """Fraction of the true inverse mapping recovered correctly."""
+    if not true_inverse:
+        return 1.0
+    correct = sum(
+        recovered.get(suspect_value) == original_value
+        for suspect_value, original_value in true_inverse.items()
+    )
+    return correct / len(true_inverse)

@@ -1,0 +1,132 @@
+"""The watermark payload: a short secret bit string.
+
+The paper's experiments use a 10-bit watermark ``wm`` with bits ``wm[i]``.
+:class:`Watermark` wraps the bit tuple with the constructors owners actually
+use (text tags, integers, hex) and the comparison metrics the evaluation
+reports (bit matches, *mark alteration* — the y-axis of Figures 4–7).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+
+from .errors import WatermarkingError
+
+
+class Watermark:
+    """An immutable sequence of watermark bits."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Iterable[int]):
+        materialised = tuple(bits)
+        if not materialised:
+            raise WatermarkingError("a watermark needs at least one bit")
+        for bit in materialised:
+            if bit not in (0, 1):
+                raise WatermarkingError(
+                    f"watermark bits must be 0 or 1, got {bit!r}"
+                )
+        self._bits = materialised
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def from_text(cls, text: str) -> "Watermark":
+        """UTF-8 bytes of ``text`` as bits (8 per byte, big-endian)."""
+        if not text:
+            raise WatermarkingError("cannot build a watermark from empty text")
+        payload = text.encode("utf-8")
+        return cls(
+            (byte >> shift) & 1 for byte in payload for shift in range(7, -1, -1)
+        )
+
+    @classmethod
+    def from_int(cls, value: int, length: int) -> "Watermark":
+        """``length`` low bits of ``value``, most significant first."""
+        if length <= 0:
+            raise WatermarkingError(f"length must be positive, got {length}")
+        if value < 0 or value.bit_length() > length:
+            raise WatermarkingError(f"{value} does not fit in {length} bits")
+        return cls((value >> shift) & 1 for shift in range(length - 1, -1, -1))
+
+    @classmethod
+    def from_hex(cls, text: str, length: int | None = None) -> "Watermark":
+        """Hex string as bits; ``length`` trims/validates the bit count."""
+        value = int(text, 16)
+        width = length if length is not None else max(1, 4 * len(text.strip()))
+        return cls.from_int(value, width)
+
+    @classmethod
+    def random(cls, length: int, rng: random.Random) -> "Watermark":
+        """Uniformly random ``length``-bit watermark (experiment harness)."""
+        if length <= 0:
+            raise WatermarkingError(f"length must be positive, got {length}")
+        return cls(rng.randrange(2) for _ in range(length))
+
+    # -- accessors ------------------------------------------------------------
+    @property
+    def bits(self) -> tuple[int, ...]:
+        return self._bits
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __iter__(self):
+        return iter(self._bits)
+
+    def __getitem__(self, index: int) -> int:
+        return self._bits[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Watermark):
+            return self._bits == other._bits
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __repr__(self) -> str:
+        return f"Watermark({self.to_bitstring()!r})"
+
+    def to_bitstring(self) -> str:
+        return "".join(str(bit) for bit in self._bits)
+
+    def to_int(self) -> int:
+        value = 0
+        for bit in self._bits:
+            value = (value << 1) | bit
+        return value
+
+    def to_text(self) -> str:
+        """Inverse of :meth:`from_text` (requires a multiple of 8 bits)."""
+        if len(self._bits) % 8:
+            raise WatermarkingError(
+                f"{len(self._bits)} bits is not a whole number of bytes"
+            )
+        data = bytearray()
+        for start in range(0, len(self._bits), 8):
+            byte = 0
+            for bit in self._bits[start:start + 8]:
+                byte = (byte << 1) | bit
+            data.append(byte)
+        return data.decode("utf-8")
+
+    # -- comparison metrics ------------------------------------------------------
+    def matching_bits(self, other: "Watermark | Sequence[int]") -> int:
+        """Number of positions where the two bit strings agree."""
+        other_bits = other.bits if isinstance(other, Watermark) else tuple(other)
+        if len(other_bits) != len(self._bits):
+            raise WatermarkingError(
+                f"cannot compare watermarks of lengths "
+                f"{len(self._bits)} and {len(other_bits)}"
+            )
+        return sum(a == b for a, b in zip(self._bits, other_bits))
+
+    def hamming_distance(self, other: "Watermark | Sequence[int]") -> int:
+        """Number of differing bit positions."""
+        return len(self._bits) - self.matching_bits(other)
+
+    def alteration(self, other: "Watermark | Sequence[int]") -> float:
+        """*Mark alteration*: fraction of bits that differ (Figures 4–7 y-axis)."""
+        return self.hamming_distance(other) / len(self._bits)

@@ -1,0 +1,34 @@
+"""Cryptographic substrate: keyed one-way hashing, bit utilities, keys.
+
+Implements §2.1 (notation: ``b``, ``msb``, ``set_bit``) and §2.2
+(``H(V,k) = crypto_hash(k;V;k)``) of the paper.
+"""
+
+from .bits import (
+    bit_length,
+    bits_to_int,
+    get_bit,
+    int_to_bits,
+    msb,
+    set_bit,
+)
+from .hashing import canonical_bytes, crypto_hash, keyed_hash, keyed_hash_mod
+from .keys import KeyError_, MarkKey
+from .prng import keyed_rng, seeded_rng
+
+__all__ = [
+    "KeyError_",
+    "MarkKey",
+    "bit_length",
+    "bits_to_int",
+    "canonical_bytes",
+    "crypto_hash",
+    "get_bit",
+    "int_to_bits",
+    "keyed_hash",
+    "keyed_hash_mod",
+    "keyed_rng",
+    "msb",
+    "seeded_rng",
+    "set_bit",
+]

@@ -1,0 +1,78 @@
+"""Bit-level primitives from the paper's notation section (§2.1).
+
+* ``b(X)`` — number of bits required to represent ``X``;
+* ``msb(X, b)`` — the most significant ``b`` bits of ``X``, left-padding
+  with zeroes when ``X`` is shorter than ``b`` bits;
+* ``set_bit(d, a, v)`` — ``d`` with bit position ``a`` set to ``v``.
+
+All functions operate on non-negative integers; bit position 0 is the least
+significant bit, matching the paper's use of ``t & 1`` to read back the
+embedded bit.
+"""
+
+from __future__ import annotations
+
+
+def bit_length(value: int) -> int:
+    """``b(X)``: bits required to represent ``value`` (``b(0) = 1``).
+
+    The paper's ``b()`` counts representation width; zero still occupies one
+    bit, and widths feed ``msb`` so they must never be 0.
+    """
+    if value < 0:
+        raise ValueError(f"b() is defined for non-negative integers, got {value}")
+    return max(1, value.bit_length())
+
+
+def msb(value: int, bits: int) -> int:
+    """``msb(X, b)``: the most significant ``bits`` bits of ``value``.
+
+    Per §2.1, when ``b(X) < bits`` the value is left-padded with zeroes to
+    form a ``bits``-bit result — i.e. the value itself is returned.
+    """
+    if bits <= 0:
+        raise ValueError(f"msb() needs a positive width, got {bits}")
+    if value < 0:
+        raise ValueError(f"msb() is defined for non-negative integers, got {value}")
+    width = value.bit_length()
+    if width <= bits:
+        return value
+    return value >> (width - bits)
+
+
+def set_bit(value: int, position: int, bit: int) -> int:
+    """``set_bit(d, a, b)``: return ``value`` with bit ``position`` forced to ``bit``."""
+    if position < 0:
+        raise ValueError(f"bit position must be non-negative, got {position}")
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit}")
+    if value < 0:
+        raise ValueError(f"set_bit() needs a non-negative integer, got {value}")
+    mask = 1 << position
+    return (value | mask) if bit else (value & ~mask)
+
+
+def get_bit(value: int, position: int) -> int:
+    """Bit at ``position`` of ``value`` (0 = least significant)."""
+    if position < 0:
+        raise ValueError(f"bit position must be non-negative, got {position}")
+    return (value >> position) & 1
+
+
+def int_to_bits(value: int, width: int) -> tuple[int, ...]:
+    """Big-endian tuple of ``width`` bits representing ``value``."""
+    if value < 0:
+        raise ValueError("only non-negative integers have a bit expansion here")
+    if value.bit_length() > width:
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return tuple((value >> shift) & 1 for shift in range(width - 1, -1, -1))
+
+
+def bits_to_int(bits) -> int:
+    """Inverse of :func:`int_to_bits` (big-endian)."""
+    result = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        result = (result << 1) | bit
+    return result

@@ -1,0 +1,62 @@
+"""One-way keyed hashing (§2.2).
+
+The paper defines ``H(V, k) = crypto_hash(k ; V ; k)`` where ``;`` is
+concatenation and ``crypto_hash`` is any cryptographically secure one-way
+hash (MD5 and SHA are named as era-appropriate candidates).  One-wayness is
+what defeats court-time exhaustive key-search claims: Mallory cannot find
+keys that make arbitrary data appear watermarked.
+
+We use SHA-256 from :mod:`hashlib`; the construction ``k;V;k`` is kept
+verbatim.  Values are serialised to bytes via a canonical, type-tagged
+encoding so that e.g. the integer ``1`` and the string ``"1"`` hash
+differently and hashing is stable across processes (no reliance on
+``hash()``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+_SEPARATOR = b"\x00;\x00"
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministic, type-tagged byte encoding of a scalar value."""
+    if isinstance(value, bool):
+        return b"b:" + (b"1" if value else b"0")
+    if isinstance(value, int):
+        return b"i:" + str(value).encode("ascii")
+    if isinstance(value, float):
+        # repr() round-trips floats exactly in Python 3.
+        return b"f:" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        return b"s:" + value.encode("utf-8")
+    if isinstance(value, bytes):
+        return b"y:" + value
+    if isinstance(value, tuple):
+        parts = [canonical_bytes(item) for item in value]
+        return b"t:" + _SEPARATOR.join(parts)
+    raise TypeError(
+        f"cannot canonically encode {type(value).__name__} value {value!r}"
+    )
+
+
+def crypto_hash(payload: bytes) -> int:
+    """The paper's ``crypto_hash()``: SHA-256, interpreted as an integer."""
+    return int.from_bytes(hashlib.sha256(payload).digest(), "big")
+
+
+def keyed_hash(value: Any, key: bytes) -> int:
+    """``H(V, k) = crypto_hash(k ; V ; k)`` as a 256-bit integer."""
+    if not isinstance(key, bytes):
+        raise TypeError(f"key must be bytes, got {type(key).__name__}")
+    payload = key + _SEPARATOR + canonical_bytes(value) + _SEPARATOR + key
+    return crypto_hash(payload)
+
+
+def keyed_hash_mod(value: Any, key: bytes, modulus: int) -> int:
+    """``H(V, k) mod m`` — the fitness criterion's workhorse."""
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    return keyed_hash(value, key) % modulus

@@ -1,0 +1,94 @@
+"""Secret key material for watermark embedding and detection.
+
+The scheme of §3.2 uses two independent secret keys:
+
+* ``k1`` — selects the "fit" tuples *and* the pseudo-random new attribute
+  value;
+* ``k2`` — selects which ``wm_data`` bit each fit tuple carries.
+
+§3.2.1 stresses they must differ so tuple selection and bit-position
+selection are uncorrelated (a correlation could starve some watermark bits
+of carriers).  :class:`MarkKey` packages the pair, generates fresh pairs,
+derives per-pass subkeys for multi-attribute embeddings (§3.3), and
+round-trips through a printable form the owner can store in escrow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+_KEY_BYTES = 32
+
+
+class KeyError_(Exception):
+    """Raised for malformed or mismatched key material."""
+
+
+@dataclass(frozen=True)
+class MarkKey:
+    """A (k1, k2) secret key pair."""
+
+    k1: bytes
+    k2: bytes
+
+    def __post_init__(self) -> None:
+        for label, key in (("k1", self.k1), ("k2", self.k2)):
+            if not isinstance(key, bytes) or not key:
+                raise KeyError_(f"{label} must be non-empty bytes")
+        if self.k1 == self.k2:
+            raise KeyError_(
+                "k1 and k2 must differ (the paper requires uncorrelated "
+                "tuple and bit selection)"
+            )
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def generate(cls) -> "MarkKey":
+        """Fresh cryptographically random key pair."""
+        k1 = secrets.token_bytes(_KEY_BYTES)
+        k2 = secrets.token_bytes(_KEY_BYTES)
+        while k2 == k1:  # pragma: no cover - astronomically unlikely
+            k2 = secrets.token_bytes(_KEY_BYTES)
+        return cls(k1, k2)
+
+    @classmethod
+    def from_seed(cls, seed: int | str) -> "MarkKey":
+        """Deterministic key pair from a seed.
+
+        Experiments average over "15 passes, each seeded with a different
+        key" (§5); deterministic derivation makes those passes reproducible.
+        """
+        material = str(seed).encode("utf-8")
+        k1 = hashlib.sha256(b"repro.k1:" + material).digest()
+        k2 = hashlib.sha256(b"repro.k2:" + material).digest()
+        return cls(k1, k2)
+
+    # -- derivation --------------------------------------------------------
+    def derive(self, label: str) -> "MarkKey":
+        """Independent subkey pair bound to ``label``.
+
+        Multi-attribute embedding (§3.3) marks several attribute pairs; each
+        pair gets its own derived keys so the embeddings are cryptographically
+        independent while the owner still escrows a single master key.
+        """
+        tag = label.encode("utf-8")
+        return MarkKey(
+            hashlib.sha256(b"repro.derive.k1:" + tag + b":" + self.k1).digest(),
+            hashlib.sha256(b"repro.derive.k2:" + tag + b":" + self.k2).digest(),
+        )
+
+    # -- persistence ----------------------------------------------------------
+    def to_dict(self) -> dict[str, str]:
+        return {"k1": self.k1.hex(), "k2": self.k2.hex()}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, str]) -> "MarkKey":
+        try:
+            return cls(bytes.fromhex(payload["k1"]), bytes.fromhex(payload["k2"]))
+        except (KeyError, ValueError) as exc:
+            raise KeyError_(f"malformed key payload: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"MarkKey(k1={self.k1[:4].hex()}…, k2={self.k2[:4].hex()}…)"

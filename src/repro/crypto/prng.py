@@ -1,0 +1,29 @@
+"""Hash-seeded deterministic randomness.
+
+Several components need randomness that is (a) reproducible given the secret
+key — so embedding and experiments are deterministic — and (b) independent
+across labelled uses.  :func:`keyed_rng` derives a :class:`random.Random`
+from key material and a purpose label via the same one-way hash used by the
+embedding, so no global seeding is involved and uses cannot collide.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .hashing import keyed_hash
+
+
+def keyed_rng(key: bytes, label: str, extra: int | str = 0) -> random.Random:
+    """Deterministic PRNG bound to ``(key, label, extra)``.
+
+    ``label`` separates purposes (e.g. ``"data-addition"`` vs
+    ``"numeric-set"``); ``extra`` separates iterations within a purpose.
+    """
+    seed = keyed_hash((label, str(extra)), key)
+    return random.Random(seed)
+
+
+def seeded_rng(seed: int | str) -> random.Random:
+    """Plain reproducible PRNG for non-secret uses (data generation, attacks)."""
+    return random.Random(seed)

@@ -1,0 +1,30 @@
+"""Synthetic data generators substituting the paper's proprietary corpus."""
+
+from .airline import airline_schema, generate_bookings
+from .distributions import (
+    CategoricalSampler,
+    DistributionError,
+    uniform_weights,
+    zipf_weights,
+)
+from .walmart import (
+    generate_item_scan,
+    generate_sales,
+    item_catalogue,
+    item_scan_schema,
+    sales_schema,
+)
+
+__all__ = [
+    "CategoricalSampler",
+    "DistributionError",
+    "airline_schema",
+    "generate_bookings",
+    "generate_item_scan",
+    "generate_sales",
+    "item_catalogue",
+    "item_scan_schema",
+    "sales_schema",
+    "uniform_weights",
+    "zipf_weights",
+]

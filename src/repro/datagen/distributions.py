@@ -1,0 +1,80 @@
+"""Categorical value-distribution generators.
+
+The embedding's behaviour — and especially §4.5 remapping recovery — depends
+on the *shape* of the value-occurrence distribution.  Retail and travel data
+are strongly skewed (a few bestsellers, a long tail), which Zipf models; the
+uniform generator exists to reproduce the paper's negative observation that
+uniform occurrence frequencies defeat frequency-based recovery.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import Hashable
+
+
+class DistributionError(Exception):
+    """Invalid distribution parameters."""
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> list[float]:
+    """Normalised Zipf weights: ``w_r ∝ 1/r^exponent`` for rank ``r``."""
+    if count <= 0:
+        raise DistributionError(f"count must be positive, got {count}")
+    if exponent < 0:
+        raise DistributionError(f"exponent must be >= 0, got {exponent}")
+    raw = [1.0 / (rank ** exponent) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+def uniform_weights(count: int) -> list[float]:
+    """Equal weights — the recovery-defeating worst case of §4.5."""
+    if count <= 0:
+        raise DistributionError(f"count must be positive, got {count}")
+    return [1.0 / count] * count
+
+
+class CategoricalSampler:
+    """Weighted sampler over a fixed value list (reproducible via ``rng``)."""
+
+    def __init__(self, values: Sequence[Hashable], weights: Sequence[float]):
+        if len(values) != len(weights):
+            raise DistributionError(
+                f"{len(values)} values vs {len(weights)} weights"
+            )
+        if not values:
+            raise DistributionError("need at least one value")
+        if any(weight < 0 for weight in weights):
+            raise DistributionError("weights must be non-negative")
+        if sum(weights) <= 0:
+            raise DistributionError("weights must not all be zero")
+        self.values = list(values)
+        self.weights = list(weights)
+
+    def sample(self, rng: random.Random) -> Hashable:
+        return rng.choices(self.values, weights=self.weights, k=1)[0]
+
+    def sample_many(self, count: int, rng: random.Random) -> list[Hashable]:
+        if count < 0:
+            raise DistributionError(f"count must be non-negative, got {count}")
+        return rng.choices(self.values, weights=self.weights, k=count)
+
+    @classmethod
+    def zipf(
+        cls,
+        values: Sequence[Hashable],
+        exponent: float = 1.0,
+        rng: random.Random | None = None,
+    ) -> "CategoricalSampler":
+        """Zipf sampler; with ``rng``, rank order is shuffled so popularity
+        is decoupled from the canonical value ordering."""
+        ordered = list(values)
+        if rng is not None:
+            rng.shuffle(ordered)
+        return cls(ordered, zipf_weights(len(ordered), exponent))
+
+    @classmethod
+    def uniform(cls, values: Sequence[Hashable]) -> "CategoricalSampler":
+        return cls(list(values), uniform_weights(len(values)))

@@ -1,0 +1,153 @@
+"""Synthetic Wal-Mart-style sales data (the paper's experimental substrate).
+
+The paper watermarked the proprietary Wal-Mart Sales Database hosted on an
+NCR Teradata machine — 4 TB, with the ``ItemScan`` relation at 840 million
+tuples — but ran experiments on random subsets of at most 141 000 tuples of
+the schema::
+
+    Visit_Nbr INTEGER PRIMARY KEY,
+    Item_Nbr  INTEGER NOT NULL
+
+``Item_Nbr`` is "a categorical attribute, uniquely identifying a finite set
+of products".  We reproduce that shape synthetically: integer visit numbers
+and a finite product catalogue whose popularity follows a Zipf law (retail
+sales are heavily skewed toward bestsellers — the only statistical property
+of the real data the algorithms are sensitive to).
+
+:func:`generate_item_scan` is the paper-faithful two-column relation used by
+the figure benches; :func:`generate_sales` is a richer multi-categorical
+schema for the multi-attribute and vertical-partition experiments.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational import (
+    Attribute,
+    AttributeType,
+    CategoricalDomain,
+    Schema,
+    Table,
+)
+from .distributions import CategoricalSampler
+
+
+def item_catalogue(item_count: int) -> list[int]:
+    """A finite product catalogue of ``Item_Nbr`` codes."""
+    if item_count <= 0:
+        raise ValueError(f"item count must be positive, got {item_count}")
+    # Spread codes over a sparse range like real SKU numbering.
+    return [10_000 + 7 * index for index in range(item_count)]
+
+
+def item_scan_schema(items: list[int]) -> Schema:
+    """The paper's ``ItemScan`` schema: ``(Visit_Nbr*, Item_Nbr)``."""
+    return Schema(
+        (
+            Attribute("Visit_Nbr", AttributeType.INTEGER),
+            Attribute(
+                "Item_Nbr",
+                AttributeType.CATEGORICAL,
+                CategoricalDomain(items),
+            ),
+        ),
+        primary_key="Visit_Nbr",
+    )
+
+
+def generate_item_scan(
+    tuple_count: int,
+    item_count: int = 500,
+    zipf_exponent: float = 1.05,
+    seed: int | str = 0,
+) -> Table:
+    """Generate a synthetic ``ItemScan`` relation.
+
+    ``zipf_exponent`` ≈ 1 reproduces retail skew; raise it for heavier
+    skew, lower toward 0 for the near-uniform pathological case.
+    """
+    if tuple_count < 0:
+        raise ValueError(f"tuple count must be non-negative, got {tuple_count}")
+    rng = random.Random(f"item-scan:{seed}")
+    items = item_catalogue(item_count)
+    sampler = CategoricalSampler.zipf(items, zipf_exponent, rng=rng)
+    schema = item_scan_schema(items)
+    visits = rng.sample(
+        range(1_000_000, 1_000_000 + 20 * max(tuple_count, 1)), tuple_count
+    )
+    rows = (
+        (visit, item)
+        for visit, item in zip(visits, sampler.sample_many(tuple_count, rng))
+    )
+    return Table(schema, rows, name="ItemScan")
+
+
+#: store/department layout for the richer schema
+_STORE_COUNT = 40
+_DEPARTMENTS = (
+    "GROCERY", "DAIRY", "PRODUCE", "MEAT", "BAKERY", "PHARMACY",
+    "ELECTRONICS", "APPAREL", "GARDEN", "AUTOMOTIVE", "TOYS", "SPORTING",
+)
+
+
+def sales_schema(items: list[int]) -> Schema:
+    """A multi-categorical sales schema for §3.3-style experiments."""
+    stores = [f"ST{number:03d}" for number in range(1, _STORE_COUNT + 1)]
+    return Schema(
+        (
+            Attribute("Scan_Id", AttributeType.INTEGER),
+            Attribute(
+                "Item_Nbr",
+                AttributeType.CATEGORICAL,
+                CategoricalDomain(items),
+            ),
+            Attribute(
+                "Store_Nbr",
+                AttributeType.CATEGORICAL,
+                CategoricalDomain(stores),
+            ),
+            Attribute(
+                "Dept",
+                AttributeType.CATEGORICAL,
+                CategoricalDomain(_DEPARTMENTS),
+            ),
+            Attribute("Quantity", AttributeType.INTEGER),
+        ),
+        primary_key="Scan_Id",
+    )
+
+
+def generate_sales(
+    tuple_count: int,
+    item_count: int = 300,
+    zipf_exponent: float = 1.05,
+    seed: int | str = 0,
+) -> Table:
+    """Generate the richer sales relation (items, stores, departments)."""
+    if tuple_count < 0:
+        raise ValueError(f"tuple count must be non-negative, got {tuple_count}")
+    rng = random.Random(f"sales:{seed}")
+    items = item_catalogue(item_count)
+    schema = sales_schema(items)
+    item_sampler = CategoricalSampler.zipf(items, zipf_exponent, rng=rng)
+    store_domain = schema.attribute("Store_Nbr").domain
+    dept_domain = schema.attribute("Dept").domain
+    assert store_domain is not None and dept_domain is not None
+    store_sampler = CategoricalSampler.zipf(
+        list(store_domain.values), 0.6, rng=rng
+    )
+    dept_sampler = CategoricalSampler.zipf(
+        list(dept_domain.values), 0.8, rng=rng
+    )
+    rows = (
+        (
+            scan_id,
+            item_sampler.sample(rng),
+            store_sampler.sample(rng),
+            dept_sampler.sample(rng),
+            1 + min(rng.randrange(1, 7), rng.randrange(1, 7)),
+        )
+        for scan_id in range(1, tuple_count + 1)
+    )
+    return Table(schema, rows, name="Sales")

@@ -1,0 +1,65 @@
+"""Error-correcting codes for the watermark channel (§3.2.1).
+
+The paper deploys majority voting; the alternatives here exist for the ECC
+ablation benchmark.  :func:`get_code` resolves a code by its ``name`` so
+embedding specs can be serialised.
+"""
+
+from .base import (
+    Bit,
+    DecodeResult,
+    ECCError,
+    ErrorCorrectingCode,
+    Slot,
+    majority,
+    validate_message,
+    validate_slots,
+)
+from .hamming import Hamming74Code
+from .identity import IdentityCode
+from .majority import MajorityVotingCode
+from .repetition import BlockRepetitionCode
+
+# Importing the ``.majority`` submodule above rebinds the package attribute
+# ``majority`` to the module object, shadowing the vote helper exported from
+# ``.base``; restore the function binding explicitly.
+from .base import majority  # noqa: E402  (intentional re-import)
+
+_REGISTRY: dict[str, type[ErrorCorrectingCode]] = {
+    MajorityVotingCode.name: MajorityVotingCode,
+    BlockRepetitionCode.name: BlockRepetitionCode,
+    Hamming74Code.name: Hamming74Code,
+    IdentityCode.name: IdentityCode,
+}
+
+
+def get_code(name: str) -> ErrorCorrectingCode:
+    """Instantiate a registered code by name (e.g. ``"majority"``)."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ECCError(f"unknown ECC {name!r} (known: {known})") from None
+
+
+def registered_codes() -> tuple[str, ...]:
+    """Names of all available codes."""
+    return tuple(sorted(_REGISTRY))
+
+
+__all__ = [
+    "Bit",
+    "BlockRepetitionCode",
+    "DecodeResult",
+    "ECCError",
+    "ErrorCorrectingCode",
+    "Hamming74Code",
+    "IdentityCode",
+    "MajorityVotingCode",
+    "Slot",
+    "get_code",
+    "majority",
+    "registered_codes",
+    "validate_message",
+    "validate_slots",
+]

@@ -1,0 +1,111 @@
+"""Error-correcting code interface used by the embedding pipeline.
+
+§3.2.1: because the available bandwidth ``N/e`` usually exceeds the
+watermark bit-size ``|wm|``, the scheme encodes ``wm`` redundantly into
+``wm_data = ECC.encode(wm, N/e)`` before embedding, and recovers
+``wm = ECC.decode(wm_data, |wm|)`` after extraction.
+
+The decode side must cope with two kinds of damage the channel produces:
+
+* **bit flips** — an attacker altered a carrier tuple and the recovered
+  slot holds the wrong bit;
+* **erasures** — no surviving tuple addressed a slot (data loss, or the
+  pseudo-random ``k2`` indexing simply never hit it), represented as
+  ``None``.
+
+Codes therefore decode from ``Sequence[int | None]``.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+Bit = int
+Slot = int | None  # None = erasure
+
+
+class ECCError(Exception):
+    """Raised for invalid code parameters or undecodable input."""
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Decoded message plus per-bit diagnostics.
+
+    ``confidence[i]`` is the fraction of non-erased evidence agreeing with
+    the decoded bit ``i`` (1.0 = unanimous, 0.5 = coin-flip, 0.0 = decoded
+    from no evidence at all).  Experiments use it to report *mark
+    alteration* at bit granularity.
+    """
+
+    bits: tuple[Bit, ...]
+    confidence: tuple[float, ...]
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+
+def validate_message(message: Sequence[Bit]) -> tuple[Bit, ...]:
+    """Check a message is a non-empty 0/1 sequence; return it as a tuple."""
+    bits = tuple(message)
+    if not bits:
+        raise ECCError("cannot encode an empty message")
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ECCError(f"message bits must be 0 or 1, got {bit!r}")
+    return bits
+
+
+def validate_slots(slots: Sequence[Slot]) -> tuple[Slot, ...]:
+    """Check extracted slots are 0/1/None; return them as a tuple."""
+    checked = tuple(slots)
+    for slot in checked:
+        if slot not in (0, 1, None):
+            raise ECCError(f"slots must be 0, 1 or None, got {slot!r}")
+    return checked
+
+
+def majority(votes: Sequence[Bit], tie: Bit = 0) -> tuple[Bit, float]:
+    """Majority vote with agreement fraction; empty vote lists count as
+    (``tie``, confidence 0.0)."""
+    if not votes:
+        return tie, 0.0
+    ones = sum(votes)
+    zeros = len(votes) - ones
+    if ones > zeros:
+        return 1, ones / len(votes)
+    if zeros > ones:
+        return 0, zeros / len(votes)
+    return tie, 0.5
+
+
+class ErrorCorrectingCode(abc.ABC):
+    """Redundant (message → channel) bit coding with erasure-aware decoding."""
+
+    #: short identifier used in benchmark output and serialised specs
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def encode(self, message: Sequence[Bit], length: int) -> tuple[Bit, ...]:
+        """Expand ``message`` into exactly ``length`` channel bits."""
+
+    @abc.abstractmethod
+    def decode(self, slots: Sequence[Slot], message_length: int) -> DecodeResult:
+        """Recover the most likely ``message_length``-bit message."""
+
+    def minimum_length(self, message_length: int) -> int:
+        """Smallest channel length this code can encode ``message_length`` into."""
+        return message_length
+
+    def check_length(self, message_length: int, length: int) -> None:
+        minimum = self.minimum_length(message_length)
+        if length < minimum:
+            raise ECCError(
+                f"{self.name}: channel length {length} below minimum "
+                f"{minimum} for a {message_length}-bit message"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,51 @@
+"""No-redundancy code — the "what if we skip ECC" ablation baseline.
+
+Each message bit occupies exactly one channel slot; remaining channel slots
+are unused padding (encoded as 0, ignored at decode).  Any damage to a
+carrier slot translates 1:1 into watermark damage, which is precisely the
+fragility the paper's majority-voting layer exists to absorb.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .base import (
+    Bit,
+    DecodeResult,
+    ECCError,
+    ErrorCorrectingCode,
+    Slot,
+    validate_message,
+    validate_slots,
+)
+
+
+class IdentityCode(ErrorCorrectingCode):
+    """1:1 message-to-channel mapping with zero padding."""
+
+    name = "identity"
+
+    def encode(self, message: Sequence[Bit], length: int) -> tuple[Bit, ...]:
+        bits = validate_message(message)
+        self.check_length(len(bits), length)
+        return bits + (0,) * (length - len(bits))
+
+    def decode(self, slots: Sequence[Slot], message_length: int) -> DecodeResult:
+        if message_length <= 0:
+            raise ECCError(f"message length must be positive, got {message_length}")
+        channel = validate_slots(slots)
+        if len(channel) < message_length:
+            raise ECCError(
+                f"{len(channel)} slots cannot carry a {message_length}-bit message"
+            )
+        decoded = []
+        confidences = []
+        for slot in channel[:message_length]:
+            if slot is None:
+                decoded.append(0)
+                confidences.append(0.0)
+            else:
+                decoded.append(slot)
+                confidences.append(1.0)
+        return DecodeResult(tuple(decoded), tuple(confidences))

@@ -1,0 +1,66 @@
+"""Interleaved majority-voting code — the paper's ECC of choice (§3.2.1).
+
+``encode(wm, L)`` lays the message out cyclically::
+
+    wm_data[i] = wm[i mod |wm|]
+
+so each message bit ``i`` is carried by every slot in its residue class
+``{j : j ≡ i (mod |wm|)}``.  The interleaving matters: data-loss attacks
+remove *random* slots, and a cyclic layout spreads each message bit's
+replicas uniformly across the relation instead of clustering them.
+
+``decode`` majority-votes each residue class, ignoring erasures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .base import (
+    Bit,
+    DecodeResult,
+    ECCError,
+    ErrorCorrectingCode,
+    Slot,
+    majority,
+    validate_message,
+    validate_slots,
+)
+
+
+class MajorityVotingCode(ErrorCorrectingCode):
+    """Cyclic repetition with per-bit majority decoding."""
+
+    name = "majority"
+
+    def encode(self, message: Sequence[Bit], length: int) -> tuple[Bit, ...]:
+        bits = validate_message(message)
+        self.check_length(len(bits), length)
+        return tuple(bits[i % len(bits)] for i in range(length))
+
+    def decode(self, slots: Sequence[Slot], message_length: int) -> DecodeResult:
+        if message_length <= 0:
+            raise ECCError(f"message length must be positive, got {message_length}")
+        channel = validate_slots(slots)
+        if len(channel) < message_length:
+            raise ECCError(
+                f"{len(channel)} slots cannot carry a {message_length}-bit message"
+            )
+        decoded: list[Bit] = []
+        confidences: list[float] = []
+        for residue in range(message_length):
+            votes = [
+                channel[j]
+                for j in range(residue, len(channel), message_length)
+                if channel[j] is not None
+            ]
+            bit, confidence = majority(votes)
+            decoded.append(bit)
+            confidences.append(confidence)
+        return DecodeResult(tuple(decoded), tuple(confidences))
+
+    def replication_factor(self, message_length: int, length: int) -> float:
+        """Average number of carrier slots per message bit."""
+        if message_length <= 0:
+            raise ECCError(f"message length must be positive, got {message_length}")
+        return length / message_length

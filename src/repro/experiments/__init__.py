@@ -1,0 +1,41 @@
+"""Experiment harness: multi-pass runner, figure series, ASCII reporting."""
+
+from .figures import (
+    DEFAULT_ITEMS,
+    DEFAULT_TUPLES,
+    FLIP_PROBABILITY,
+    FigureConfig,
+    WATERMARK_LENGTH,
+    figure4_series,
+    figure5_series,
+    figure6_surface,
+    figure7_series,
+)
+from .reporting import format_series, format_surface, format_table
+from .runner import (
+    ExperimentPoint,
+    PAPER_PASSES,
+    PassResult,
+    run_attack_experiment,
+    sweep,
+)
+
+__all__ = [
+    "DEFAULT_ITEMS",
+    "DEFAULT_TUPLES",
+    "ExperimentPoint",
+    "FLIP_PROBABILITY",
+    "FigureConfig",
+    "PAPER_PASSES",
+    "PassResult",
+    "WATERMARK_LENGTH",
+    "figure4_series",
+    "figure5_series",
+    "figure6_surface",
+    "figure7_series",
+    "format_series",
+    "format_surface",
+    "format_table",
+    "run_attack_experiment",
+    "sweep",
+]

@@ -1,0 +1,84 @@
+"""ASCII reporting for experiment output.
+
+Benches print the same rows/series the paper's figures plot; these helpers
+keep that output aligned and diff-friendly (EXPERIMENTS.md embeds it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .runner import ExperimentPoint
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width table with a header rule."""
+    columns = [
+        [str(header)] + [_fmt(row[index]) for row in rows]
+        for index, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                _fmt(cell).ljust(width) for cell, width in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(
+    title: str,
+    points: Sequence[ExperimentPoint],
+    x_label: str = "x",
+    percent_x: bool = False,
+) -> str:
+    """Render one figure series: x, mean mark alteration, detection rate."""
+    rows = []
+    for point in points:
+        x = f"{point.x:.0%}" if percent_x else f"{point.x:g}"
+        rows.append(
+            (
+                x,
+                f"{point.mean_alteration:.1%}",
+                f"±{point.alteration_stdev:.1%}",
+                f"{point.detection_rate:.0%}",
+            )
+        )
+    body = format_table(
+        (x_label, "mark alteration", "stdev", "detected"), rows
+    )
+    return f"{title}\n{body}"
+
+
+def format_surface(
+    title: str,
+    surface: Sequence[tuple[int, float, float]],
+) -> str:
+    """Render Figure-6-style (e, attack, alteration) triples as a grid."""
+    es = sorted({e for e, _, _ in surface})
+    attacks = sorted({attack for _, attack, _ in surface})
+    lookup = {(e, attack): value for e, attack, value in surface}
+    headers = ["e \\ attack"] + [f"{attack:.0%}" for attack in attacks]
+    rows = []
+    for e in es:
+        row: list[object] = [e]
+        for attack in attacks:
+            value = lookup.get((e, attack))
+            row.append("-" if value is None else f"{value:.1%}")
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"

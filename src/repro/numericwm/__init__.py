@@ -1,0 +1,21 @@
+"""Numeric-set watermarking substrate (the paper's reference [10]).
+
+Used by :mod:`repro.core.frequency` to mark the value-occurrence frequency
+histogram of a categorical attribute (§4.2).
+"""
+
+from .numeric_set import (
+    NumericDetection,
+    NumericEmbedding,
+    NumericSetError,
+    detect_numeric_set,
+    embed_numeric_set,
+)
+
+__all__ = [
+    "NumericDetection",
+    "NumericEmbedding",
+    "NumericSetError",
+    "detect_numeric_set",
+    "embed_numeric_set",
+]

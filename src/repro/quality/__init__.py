@@ -1,0 +1,63 @@
+"""On-the-fly data-quality assessment (§4.1, Figure 3).
+
+Constraints + rollback log + usability-metric plugins: the machinery that
+keeps watermark alterations within the owner's declared usability envelope.
+"""
+
+from .constraints import (
+    ChangeContext,
+    Constraint,
+    ForbiddenTransitions,
+    FrozenAttribute,
+    GuardReport,
+    MaxAlterationFraction,
+    MaxFrequencyDrift,
+    PredicateConstraint,
+    QualityGuard,
+    permissive_guard,
+)
+from .metrics import DistortionReport, measure_distortion
+from .plugins import (
+    CallableMetric,
+    CellPreservationMetric,
+    FrequencyPreservationMetric,
+    MetricResult,
+    PluginConstraint,
+    PluginHandler,
+    UsabilityMetricPlugin,
+)
+from .rollback import ChangeRecord, RollbackLog
+from .semantic import (
+    AssociationRule,
+    AssociationRuleMetric,
+    mine_rules,
+    rule_statistics,
+)
+
+__all__ = [
+    "AssociationRule",
+    "AssociationRuleMetric",
+    "CallableMetric",
+    "CellPreservationMetric",
+    "ChangeContext",
+    "ChangeRecord",
+    "Constraint",
+    "DistortionReport",
+    "ForbiddenTransitions",
+    "FrequencyPreservationMetric",
+    "FrozenAttribute",
+    "GuardReport",
+    "MaxAlterationFraction",
+    "MaxFrequencyDrift",
+    "MetricResult",
+    "PluginConstraint",
+    "PluginHandler",
+    "PredicateConstraint",
+    "QualityGuard",
+    "RollbackLog",
+    "UsabilityMetricPlugin",
+    "measure_distortion",
+    "mine_rules",
+    "permissive_guard",
+    "rule_statistics",
+]

@@ -1,0 +1,265 @@
+"""Semantic data-quality constraints and the on-the-fly quality guard (§4.1).
+
+The paper: "each property of the database that needs to be preserved is
+written as a constraint on the allowable change to the dataset.  The
+watermarking algorithm is then applied with these constraints as input and
+re-evaluates them continuously for each alteration", rolling back steps that
+violate them.
+
+The practical entry point recommended by the paper — "begin by specifying an
+upper bound on the percentage of allowable data alterations" — is
+:class:`MaxAlterationFraction`; richer semantic constraints stack on top.
+Constraints are evaluated *incrementally*: the guard maintains running
+statistics so a constraint check is O(1), not O(N), per alteration.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from ..relational import Table
+from .rollback import ChangeRecord, RollbackLog
+
+
+@dataclass
+class ChangeContext:
+    """Running view of the alterations performed so far.
+
+    Exposed to constraints on every proposed change.  ``count_deltas`` maps
+    attribute -> (value -> signed count delta vs the original relation), so
+    histogram-drift constraints don't rescan the table.
+    """
+
+    table: Table
+    original_size: int
+    change_count: int = 0
+    proposal: ChangeRecord | None = None
+    count_deltas: dict[str, Counter] = field(default_factory=dict)
+
+    @property
+    def altered_fraction(self) -> float:
+        """Fraction of tuples altered so far (including the proposal)."""
+        if self.original_size == 0:
+            return 0.0
+        return self.change_count / self.original_size
+
+    def frequency_drift(self, attribute: str) -> float:
+        """L1 drift of the normalised value-frequency histogram of
+        ``attribute`` relative to the original relation."""
+        if self.original_size == 0:
+            return 0.0
+        deltas = self.count_deltas.get(attribute)
+        if not deltas:
+            return 0.0
+        return sum(abs(d) for d in deltas.values()) / self.original_size
+
+
+class Constraint(abc.ABC):
+    """A data-quality property that must hold throughout embedding."""
+
+    #: human-readable identifier used in veto reports
+    name: str = "constraint"
+
+    @abc.abstractmethod
+    def violated(self, context: ChangeContext) -> str | None:
+        """Return a reason string when the context violates the constraint,
+        ``None`` when the proposed state is acceptable."""
+
+
+class MaxAlterationFraction(Constraint):
+    """Upper bound on the fraction of tuples the encoder may alter."""
+
+    def __init__(self, limit: float):
+        if not 0.0 <= limit <= 1.0:
+            raise ValueError(f"limit must be in [0, 1], got {limit}")
+        self.limit = limit
+        self.name = f"max-alteration<={limit:g}"
+
+    def violated(self, context: ChangeContext) -> str | None:
+        if context.altered_fraction > self.limit:
+            return (
+                f"altered fraction {context.altered_fraction:.4f} exceeds "
+                f"bound {self.limit:g}"
+            )
+        return None
+
+
+class MaxFrequencyDrift(Constraint):
+    """Bound on the L1 drift of one attribute's value-frequency histogram.
+
+    Protects distribution-dependent uses of the data (the "normal with a
+    certain mean" notion of value from §1) and keeps the frequency profile
+    stable enough for §4.5 remapping recovery to work.
+    """
+
+    def __init__(self, attribute: str, limit: float):
+        if limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        self.attribute = attribute
+        self.limit = limit
+        self.name = f"max-frequency-drift({attribute})<={limit:g}"
+
+    def violated(self, context: ChangeContext) -> str | None:
+        drift = context.frequency_drift(self.attribute)
+        if drift > self.limit:
+            return (
+                f"frequency drift {drift:.4f} of {self.attribute!r} exceeds "
+                f"bound {self.limit:g}"
+            )
+        return None
+
+
+class ForbiddenTransitions(Constraint):
+    """Semantic consistency: certain value substitutions are never allowed.
+
+    §2.3 (A3) notes "semantic consistency issues that become immediately
+    visible because of the discrete nature of the data" — e.g. a flight
+    leg's departure city may be changeable to another hub but not to a city
+    the airline doesn't serve.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        forbidden: set[tuple[Hashable, Hashable]] | None = None,
+        predicate: Callable[[Any, Any], bool] | None = None,
+    ):
+        if forbidden is None and predicate is None:
+            raise ValueError("provide a forbidden set and/or a predicate")
+        self.attribute = attribute
+        self.forbidden = forbidden or set()
+        self.predicate = predicate
+        self.name = f"forbidden-transitions({attribute})"
+
+    def violated(self, context: ChangeContext) -> str | None:
+        proposal = context.proposal
+        if proposal is None or proposal.attribute != self.attribute:
+            return None
+        pair = (proposal.old, proposal.new)
+        if pair in self.forbidden:
+            return f"transition {proposal.old!r} -> {proposal.new!r} is forbidden"
+        if self.predicate is not None and self.predicate(*pair):
+            return (
+                f"transition {proposal.old!r} -> {proposal.new!r} rejected "
+                f"by predicate"
+            )
+        return None
+
+
+class FrozenAttribute(Constraint):
+    """The attribute may not be altered at all (hard usability requirement)."""
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+        self.name = f"frozen({attribute})"
+
+    def violated(self, context: ChangeContext) -> str | None:
+        proposal = context.proposal
+        if proposal is not None and proposal.attribute == self.attribute:
+            return f"attribute {self.attribute!r} is frozen"
+        return None
+
+
+class PredicateConstraint(Constraint):
+    """Adapter for arbitrary user predicates over the change context."""
+
+    def __init__(self, name: str, check: Callable[[ChangeContext], str | None]):
+        self.name = name
+        self._check = check
+
+    def violated(self, context: ChangeContext) -> str | None:
+        return self._check(context)
+
+
+@dataclass
+class GuardReport:
+    """Outcome of an embedding pass under a quality guard."""
+
+    applied: int = 0
+    vetoed: int = 0
+    noop: int = 0
+    vetoes_by_constraint: Counter = field(default_factory=Counter)
+
+    @property
+    def proposed(self) -> int:
+        return self.applied + self.vetoed + self.noop
+
+
+class QualityGuard:
+    """Applies alterations under continuous constraint evaluation (Figure 3).
+
+    Usage: ``guard.bind(table)`` once before embedding, then every encoder
+    write goes through :meth:`apply`, which performs the change, re-evaluates
+    all constraints, and rolls the change back (returning ``False``) when any
+    constraint is violated.
+    """
+
+    def __init__(self, constraints: list[Constraint] | None = None):
+        self.constraints = list(constraints or [])
+        self.log = RollbackLog()
+        self.report = GuardReport()
+        self._context: ChangeContext | None = None
+
+    def bind(self, table: Table) -> None:
+        """Start guarding ``table`` (resets the log and statistics)."""
+        self.log = RollbackLog()
+        self.report = GuardReport()
+        self._context = ChangeContext(table=table, original_size=len(table))
+
+    @property
+    def context(self) -> ChangeContext:
+        if self._context is None:
+            raise RuntimeError("QualityGuard.bind(table) must be called first")
+        return self._context
+
+    def apply(self, key: Hashable, attribute: str, new_value: Any) -> bool:
+        """Attempt one cell alteration; returns ``True`` iff it was kept."""
+        context = self.context
+        table = context.table
+        old_value = table.set_value(key, attribute, new_value)
+        if old_value == new_value:
+            self.report.noop += 1
+            return True
+
+        proposal = ChangeRecord(key, attribute, old_value, new_value)
+        context.proposal = proposal
+        context.change_count += 1
+        deltas = context.count_deltas.setdefault(attribute, Counter())
+        deltas[old_value] -= 1
+        deltas[new_value] += 1
+
+        reason = self._first_violation(context)
+        if reason is None:
+            self.log.record(key, attribute, old_value, new_value)
+            self.report.applied += 1
+            context.proposal = None
+            return True
+
+        # Roll back: restore the cell and the incremental statistics.
+        table.set_value(key, attribute, old_value)
+        context.change_count -= 1
+        deltas[old_value] += 1
+        deltas[new_value] -= 1
+        context.proposal = None
+        self.report.vetoed += 1
+        return False
+
+    def _first_violation(self, context: ChangeContext) -> str | None:
+        for constraint in self.constraints:
+            reason = constraint.violated(context)
+            if reason is not None:
+                self.report.vetoes_by_constraint[constraint.name] += 1
+                return reason
+        return None
+
+    def undo_everything(self) -> int:
+        """Abort: revert every change applied so far."""
+        return self.log.undo_all(self.context.table)
+
+
+def permissive_guard() -> QualityGuard:
+    """A guard with no constraints (records changes, never vetoes)."""
+    return QualityGuard([])

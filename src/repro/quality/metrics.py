@@ -1,0 +1,106 @@
+"""Post-hoc data-goodness measurement.
+
+Where :mod:`repro.quality.constraints` enforces quality *during* embedding,
+this module measures it *after the fact*: given the original and the marked
+(or attacked) relation, report how much actually changed.  Benchmarks use
+these numbers to report the data-alteration cost alongside resilience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..relational import Table, frequency_histogram, l1_distance
+
+
+@dataclass(frozen=True)
+class DistortionReport:
+    """Summary of the differences between two versions of a relation."""
+
+    tuples_compared: int
+    tuples_changed: int
+    cells_compared: int
+    cells_changed: int
+    missing_tuples: int
+    added_tuples: int
+    frequency_drift: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def tuple_change_fraction(self) -> float:
+        if self.tuples_compared == 0:
+            return 0.0
+        return self.tuples_changed / self.tuples_compared
+
+    @property
+    def cell_change_fraction(self) -> float:
+        if self.cells_compared == 0:
+            return 0.0
+        return self.cells_changed / self.cells_compared
+
+    def summary(self) -> str:
+        lines = [
+            f"tuples changed : {self.tuples_changed}/{self.tuples_compared}"
+            f" ({self.tuple_change_fraction:.2%})",
+            f"cells changed  : {self.cells_changed}/{self.cells_compared}"
+            f" ({self.cell_change_fraction:.2%})",
+            f"tuples missing : {self.missing_tuples}",
+            f"tuples added   : {self.added_tuples}",
+        ]
+        for attribute, drift in sorted(self.frequency_drift.items()):
+            lines.append(f"freq L1 drift  : {attribute} = {drift:.4f}")
+        return "\n".join(lines)
+
+
+def measure_distortion(
+    original: Table,
+    current: Table,
+    frequency_attributes: tuple[str, ...] = (),
+) -> DistortionReport:
+    """Compare ``current`` against ``original`` tuple-by-tuple (PK-aligned).
+
+    Tuples present only in the original count as ``missing`` (data loss);
+    tuples present only in ``current`` count as ``added`` (A2-style
+    additions).  ``frequency_attributes`` selects categorical attributes
+    whose normalised-histogram L1 drift should be reported.
+    """
+    key_position = original.schema.position(original.primary_key)
+    tuples_compared = 0
+    tuples_changed = 0
+    cells_compared = 0
+    cells_changed = 0
+    missing = 0
+
+    for row in original:
+        key = row[key_position]
+        if key not in current:
+            missing += 1
+            continue
+        other = current.get(key)
+        tuples_compared += 1
+        row_changed = False
+        for a, b in zip(row, other):
+            cells_compared += 1
+            if a != b:
+                cells_changed += 1
+                row_changed = True
+        tuples_changed += row_changed
+
+    original_keys = set(original.keys())
+    added = sum(1 for key in current.keys() if key not in original_keys)
+
+    drift = {
+        attribute: l1_distance(
+            frequency_histogram(original, attribute),
+            frequency_histogram(current, attribute),
+        )
+        for attribute in frequency_attributes
+    }
+    return DistortionReport(
+        tuples_compared=tuples_compared,
+        tuples_changed=tuples_changed,
+        cells_compared=cells_compared,
+        cells_changed=cells_changed,
+        missing_tuples=missing,
+        added_tuples=added,
+        frequency_drift=drift,
+    )

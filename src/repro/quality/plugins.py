@@ -1,0 +1,166 @@
+"""Usability-metric plugin architecture (Figure 3).
+
+The paper's quality-assessment design has a *usability metrics plugin
+handler* dispatching to pluggable metric evaluators ("usability metric
+plugin A/B/C") that score the marked data against the original.  A plugin
+reduces a (original, current) table pair to a score in [0, 1] plus a
+pass/fail verdict; the handler aggregates plugin verdicts, and
+:class:`PluginConstraint` lets any plugin participate in the on-the-fly
+guard loop.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable
+
+from ..relational import Table, frequency_histogram, l1_distance
+from .constraints import ChangeContext, Constraint
+
+
+@dataclass(frozen=True)
+class MetricResult:
+    """Outcome of one usability metric evaluation."""
+
+    plugin: str
+    score: float  # 1.0 = indistinguishable from the original
+    passed: bool
+    detail: str = ""
+
+
+class UsabilityMetricPlugin(abc.ABC):
+    """A pluggable data-usability metric."""
+
+    name: str = "plugin"
+
+    @abc.abstractmethod
+    def evaluate(self, original: Table, current: Table) -> MetricResult:
+        """Score ``current`` against ``original``."""
+
+
+class CellPreservationMetric(UsabilityMetricPlugin):
+    """Fraction of cells unchanged between original and current relation."""
+
+    def __init__(self, minimum: float = 0.0):
+        self.name = "cell-preservation"
+        self.minimum = minimum
+
+    def evaluate(self, original: Table, current: Table) -> MetricResult:
+        total = 0
+        unchanged = 0
+        for row in original:
+            key = row[original.schema.position(original.primary_key)]
+            if key not in current:
+                continue
+            other = current.get(key)
+            for a, b in zip(row, other):
+                total += 1
+                unchanged += a == b
+        score = unchanged / total if total else 1.0
+        return MetricResult(
+            self.name,
+            score,
+            score >= self.minimum,
+            f"{unchanged}/{total} cells preserved",
+        )
+
+
+class FrequencyPreservationMetric(UsabilityMetricPlugin):
+    """1 − (L1 histogram drift)/2 for one categorical attribute.
+
+    Score 1.0 means the value-occurrence distribution — often the residual
+    value of a heavily partitioned data set (§4.2) — is untouched.
+    """
+
+    def __init__(self, attribute: str, minimum: float = 0.0):
+        self.name = f"frequency-preservation({attribute})"
+        self.attribute = attribute
+        self.minimum = minimum
+
+    def evaluate(self, original: Table, current: Table) -> MetricResult:
+        drift = l1_distance(
+            frequency_histogram(original, self.attribute),
+            frequency_histogram(current, self.attribute),
+        )
+        score = max(0.0, 1.0 - drift / 2.0)
+        return MetricResult(
+            self.name, score, score >= self.minimum, f"L1 drift {drift:.4f}"
+        )
+
+
+class CallableMetric(UsabilityMetricPlugin):
+    """Adapter turning a plain scoring function into a plugin."""
+
+    def __init__(
+        self,
+        name: str,
+        score_fn: Callable[[Table, Table], float],
+        minimum: float = 0.0,
+    ):
+        self.name = name
+        self._score_fn = score_fn
+        self.minimum = minimum
+
+    def evaluate(self, original: Table, current: Table) -> MetricResult:
+        score = self._score_fn(original, current)
+        return MetricResult(self.name, score, score >= self.minimum)
+
+
+class PluginHandler:
+    """Figure 3's "usability metrics plugin handler"."""
+
+    def __init__(self) -> None:
+        self._plugins: dict[str, UsabilityMetricPlugin] = {}
+
+    def register(self, plugin: UsabilityMetricPlugin) -> None:
+        if plugin.name in self._plugins:
+            raise ValueError(f"plugin {plugin.name!r} already registered")
+        self._plugins[plugin.name] = plugin
+
+    def unregister(self, name: str) -> None:
+        self._plugins.pop(name, None)
+
+    @property
+    def plugins(self) -> tuple[str, ...]:
+        return tuple(sorted(self._plugins))
+
+    def evaluate(self, original: Table, current: Table) -> list[MetricResult]:
+        """Run every registered metric; results sorted by plugin name."""
+        return [
+            self._plugins[name].evaluate(original, current)
+            for name in sorted(self._plugins)
+        ]
+
+    def all_pass(self, original: Table, current: Table) -> bool:
+        return all(result.passed for result in self.evaluate(original, current))
+
+
+class PluginConstraint(Constraint):
+    """Evaluate a usability plugin inside the per-alteration guard loop.
+
+    This is the expensive-but-general path: the plugin rescans the tables on
+    every proposed change, exactly the "re-evaluates them continuously for
+    each alteration" semantics of §4.1.  ``every`` thins evaluation to each
+    k-th change for large relations.
+    """
+
+    def __init__(
+        self, plugin: UsabilityMetricPlugin, original: Table, every: int = 1
+    ):
+        if every < 1:
+            raise ValueError(f"'every' must be >= 1, got {every}")
+        self.plugin = plugin
+        self.original = original
+        self.every = every
+        self.name = f"plugin:{plugin.name}"
+        self._proposals_seen = 0
+
+    def violated(self, context: ChangeContext) -> str | None:
+        self._proposals_seen += 1
+        if self._proposals_seen % self.every:
+            return None
+        result = self.plugin.evaluate(self.original, context.table)
+        if not result.passed:
+            return f"usability metric {result.plugin} failed: {result.detail}"
+        return None

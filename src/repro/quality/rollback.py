@@ -1,0 +1,74 @@
+"""Alteration rollback log (§4.1, Figure 3).
+
+Every cell alteration the encoder performs is recorded as a
+:class:`ChangeRecord`.  When a quality constraint is violated by the current
+watermarking step, the log's undo path restores the previous value —
+"a rollback log is kept to allow undo operations in case certain constraints
+are violated by the current watermarking step".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..relational import Table
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One logged cell alteration: ``T_key(attribute): old -> new``."""
+
+    key: Hashable
+    attribute: str
+    old: Any
+    new: Any
+
+    def inverted(self) -> "ChangeRecord":
+        return ChangeRecord(self.key, self.attribute, self.new, self.old)
+
+
+class RollbackLog:
+    """Ordered log of applied alterations with undo support."""
+
+    def __init__(self) -> None:
+        self._entries: list[ChangeRecord] = []
+
+    def record(self, key: Hashable, attribute: str, old: Any, new: Any) -> ChangeRecord:
+        entry = ChangeRecord(key, attribute, old, new)
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ChangeRecord]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> tuple[ChangeRecord, ...]:
+        return tuple(self._entries)
+
+    def undo_last(self, table: Table) -> ChangeRecord | None:
+        """Revert the most recent change on ``table``; return it (or None)."""
+        if not self._entries:
+            return None
+        entry = self._entries.pop()
+        table.set_value(entry.key, entry.attribute, entry.old)
+        return entry
+
+    def undo_all(self, table: Table) -> int:
+        """Revert every logged change (reverse order); return the count."""
+        reverted = 0
+        while self.undo_last(table) is not None:
+            reverted += 1
+        return reverted
+
+    def changed_cells(self) -> set[tuple[Hashable, str]]:
+        """(key, attribute) pairs currently altered.
+
+        This doubles as the "hash-map remembering modified tuples in each
+        marking pass" that §3.3 uses to avoid inter-pass interference.
+        """
+        return {(entry.key, entry.attribute) for entry in self._entries}

@@ -1,0 +1,153 @@
+"""Semantic-consistency awareness: association rules (§6 future work).
+
+The paper's conclusions propose "augment[ing] the encoding method with
+direct awareness of semantic consistency (e.g. classification and
+association rules)".  This module implements the association-rule half:
+
+* :func:`mine_rules` — a simple pairwise miner producing
+  ``(A=a) -> (B=b)`` rules with support/confidence over a relation;
+* :class:`AssociationRuleMetric` — a Figure-3 usability plugin scoring how
+  well the mined rules survive in the marked relation;
+* via :class:`~repro.quality.plugins.PluginConstraint`, the metric slots
+  straight into the on-the-fly guard loop, vetoing alterations that would
+  break the rules downstream consumers mine for.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..relational import Table
+from .plugins import MetricResult, UsabilityMetricPlugin
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """``(antecedent_attr = antecedent_value) -> (consequent_attr = value)``."""
+
+    antecedent_attribute: str
+    antecedent_value: Hashable
+    consequent_attribute: str
+    consequent_value: Hashable
+    support: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"({self.antecedent_attribute}={self.antecedent_value!r}) -> "
+            f"({self.consequent_attribute}={self.consequent_value!r}) "
+            f"[sup={self.support:.3f}, conf={self.confidence:.3f}]"
+        )
+
+
+def rule_statistics(
+    table: Table,
+    antecedent_attribute: str,
+    antecedent_value: Hashable,
+    consequent_attribute: str,
+    consequent_value: Hashable,
+) -> tuple[float, float]:
+    """(support, confidence) of one rule over ``table``."""
+    if len(table) == 0:
+        return 0.0, 0.0
+    a_position = table.schema.position(antecedent_attribute)
+    c_position = table.schema.position(consequent_attribute)
+    antecedent_count = 0
+    joint_count = 0
+    for row in table:
+        if row[a_position] == antecedent_value:
+            antecedent_count += 1
+            joint_count += row[c_position] == consequent_value
+    support = joint_count / len(table)
+    confidence = joint_count / antecedent_count if antecedent_count else 0.0
+    return support, confidence
+
+
+def mine_rules(
+    table: Table,
+    antecedent_attribute: str,
+    consequent_attribute: str,
+    min_support: float = 0.01,
+    min_confidence: float = 0.6,
+    max_rules: int = 50,
+) -> list[AssociationRule]:
+    """Mine pairwise value-association rules between two attributes.
+
+    A deliberately simple (single-antecedent) miner: it exists so quality
+    constraints have realistic semantic targets, not to compete with
+    Apriori.  Rules are returned strongest-confidence first.
+    """
+    if min_support < 0 or min_confidence < 0:
+        raise ValueError("support/confidence thresholds must be non-negative")
+    if len(table) == 0:
+        return []
+    a_position = table.schema.position(antecedent_attribute)
+    c_position = table.schema.position(consequent_attribute)
+
+    antecedent_counts: Counter = Counter()
+    joint_counts: Counter = Counter()
+    for row in table:
+        antecedent_counts[row[a_position]] += 1
+        joint_counts[(row[a_position], row[c_position])] += 1
+
+    rules = []
+    for (a_value, c_value), joint in joint_counts.items():
+        support = joint / len(table)
+        if support < min_support:
+            continue
+        confidence = joint / antecedent_counts[a_value]
+        if confidence < min_confidence:
+            continue
+        rules.append(
+            AssociationRule(
+                antecedent_attribute=antecedent_attribute,
+                antecedent_value=a_value,
+                consequent_attribute=consequent_attribute,
+                consequent_value=c_value,
+                support=support,
+                confidence=confidence,
+            )
+        )
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support, str(rule)))
+    return rules[:max_rules]
+
+
+class AssociationRuleMetric(UsabilityMetricPlugin):
+    """Score: worst-case retained confidence ratio across the given rules.
+
+    A rule mined at confidence ``c`` in the original that now holds with
+    confidence ``c'`` contributes ``min(1, c'/c)``; the metric is the
+    minimum over all rules (one broken rule should fail the whole check —
+    that is how a data-mining customer experiences it).
+    """
+
+    def __init__(self, rules: list[AssociationRule], minimum: float = 0.9):
+        if not rules:
+            raise ValueError("provide at least one rule to preserve")
+        self.rules = list(rules)
+        self.minimum = minimum
+        self.name = f"association-rules({len(rules)})"
+
+    def evaluate(self, original: Table, current: Table) -> MetricResult:
+        worst = 1.0
+        worst_rule = None
+        for rule in self.rules:
+            _, confidence_now = rule_statistics(
+                current,
+                rule.antecedent_attribute,
+                rule.antecedent_value,
+                rule.consequent_attribute,
+                rule.consequent_value,
+            )
+            if rule.confidence <= 0:
+                continue
+            ratio = min(1.0, confidence_now / rule.confidence)
+            if ratio < worst:
+                worst = ratio
+                worst_rule = rule
+        detail = (
+            f"worst rule: {worst_rule}" if worst_rule is not None else "all held"
+        )
+        return MetricResult(self.name, worst, worst >= self.minimum, detail)

@@ -1,0 +1,88 @@
+"""In-memory relational substrate.
+
+Provides the typed, PK-indexed relation model the watermarking algorithms
+operate on, together with the relational operations the adversary model
+(§2.3 of the paper) is expressed in.
+"""
+
+from .csvio import dumps_csv, loads_csv, read_csv, schema_for_csv, write_csv
+from .domain import CategoricalDomain
+from .errors import (
+    DomainError,
+    DuplicateKeyError,
+    MissingKeyError,
+    RelationalError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownAttributeError,
+)
+from .histogram import (
+    count_vector,
+    empirical_distribution,
+    frequency_histogram,
+    frequency_vector,
+    l1_distance,
+    sorted_frequency_profile,
+    value_counts,
+)
+from .operations import (
+    apply_to_column,
+    drop_fraction,
+    horizontal_sample,
+    project,
+    select,
+    shuffle,
+    sort_by,
+    union,
+)
+from .schema import Attribute, Schema, infer_domains
+from .serialization import (
+    schema_from_dict,
+    schema_from_json,
+    schema_to_dict,
+    schema_to_json,
+)
+from .table import Table, make_categorical_attribute, table_from_columns
+from .types import AttributeType
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "CategoricalDomain",
+    "DomainError",
+    "DuplicateKeyError",
+    "MissingKeyError",
+    "RelationalError",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "TypeMismatchError",
+    "UnknownAttributeError",
+    "apply_to_column",
+    "count_vector",
+    "drop_fraction",
+    "dumps_csv",
+    "empirical_distribution",
+    "frequency_histogram",
+    "frequency_vector",
+    "horizontal_sample",
+    "infer_domains",
+    "l1_distance",
+    "loads_csv",
+    "make_categorical_attribute",
+    "project",
+    "read_csv",
+    "schema_for_csv",
+    "schema_from_dict",
+    "schema_from_json",
+    "schema_to_dict",
+    "schema_to_json",
+    "select",
+    "shuffle",
+    "sort_by",
+    "sorted_frequency_profile",
+    "table_from_columns",
+    "union",
+    "value_counts",
+    "write_csv",
+]

@@ -1,0 +1,114 @@
+"""Value-occurrence frequency histograms.
+
+§2.1 defines ``f_A(a_j)`` — the occurrence frequency of value ``a_j`` in
+attribute ``A``, normalised to 1.0 — which the paper uses twice:
+
+* as the **frequency-domain embedding channel** (§4.2) that survives extreme
+  vertical partitioning, and
+* as the **distinguishing profile** that lets detection invert a bijective
+  attribute re-mapping (§4.5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from typing import Hashable
+
+from .domain import CategoricalDomain
+from .table import Table
+
+
+def value_counts(table: Table, attribute: str) -> dict[Hashable, int]:
+    """Occurrence count of every domain value of ``attribute``.
+
+    Values declared in the domain but absent from the data are reported with
+    count 0, so histograms over the same domain are always comparable
+    position-by-position.
+    """
+    counts: Counter[Hashable] = Counter(table.column(attribute))
+    declared = table.schema.attribute(attribute).domain
+    if declared is not None:
+        for value in declared:
+            counts.setdefault(value, 0)
+    return dict(counts)
+
+
+def frequency_histogram(table: Table, attribute: str) -> dict[Hashable, float]:
+    """``f_A``: normalised occurrence frequencies (sum to 1.0 when non-empty)."""
+    counts = value_counts(table, attribute)
+    total = sum(counts.values())
+    if total == 0:
+        return {value: 0.0 for value in counts}
+    return {value: count / total for value, count in counts.items()}
+
+
+def count_vector(table: Table, attribute: str) -> list[int]:
+    """Counts in the canonical domain order ``(a_1, ..., a_nA)``.
+
+    This fixed ordering is what makes the frequency channel decodable
+    blindly: encoder and decoder agree on which histogram bin is "bin i".
+    """
+    counts = value_counts(table, attribute)
+    domain = _domain_of(table, attribute)
+    return [counts.get(value, 0) for value in domain]
+
+
+def frequency_vector(table: Table, attribute: str) -> list[float]:
+    """Normalised frequencies in canonical domain order."""
+    counts = count_vector(table, attribute)
+    total = sum(counts)
+    if total == 0:
+        return [0.0] * len(counts)
+    return [count / total for count in counts]
+
+
+def _domain_of(table: Table, attribute: str) -> CategoricalDomain:
+    declared = table.schema.attribute(attribute).domain
+    if declared is not None:
+        return declared
+    return CategoricalDomain.from_column(table.column(attribute))
+
+
+def l1_distance(
+    first: dict[Hashable, float], second: dict[Hashable, float]
+) -> float:
+    """L1 distance between two frequency histograms (missing keys = 0).
+
+    Used by quality constraints to bound the distributional drift the
+    watermark is allowed to introduce.
+    """
+    keys = set(first) | set(second)
+    return sum(abs(first.get(k, 0.0) - second.get(k, 0.0)) for k in keys)
+
+
+def sorted_frequency_profile(
+    frequencies: dict[Hashable, float]
+) -> list[tuple[Hashable, float]]:
+    """Values sorted by descending frequency (ties by canonical value order).
+
+    This is the "distinguishing property" of §4.5: a bijective re-mapping
+    permutes value labels but cannot change the multiset of frequencies, so
+    the sorted profile aligns original and re-mapped domains.
+    """
+    return sorted(
+        frequencies.items(),
+        key=lambda item: (-item[1], type(item[0]).__name__, item[0]),
+    )
+
+
+def empirical_distribution(
+    values: Iterable[Hashable],
+) -> list[tuple[Hashable, float]]:
+    """(value, probability) pairs for sampling tuples "conforming to the
+    overall data distribution" (§4.6's stealthiness requirement)."""
+    counts = Counter(values)
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    return [
+        (value, count / total)
+        for value, count in sorted(
+            counts.items(), key=lambda item: (type(item[0]).__name__, item[0])
+        )
+    ]

@@ -1,0 +1,146 @@
+"""Relational operations over :class:`~repro.relational.table.Table`.
+
+These are the building blocks both of "normal use" of the data and of the
+adversary's toolkit (§2.3): horizontal/vertical partitioning, re-sorting and
+shuffling, unions, and selections.  Every operation returns a **new** table;
+inputs are never mutated, which keeps attacked and original relations
+cleanly separated in experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+from typing import Any, Hashable
+
+from .errors import SchemaError
+from .schema import Schema
+from .table import Table
+
+
+def select(
+    table: Table,
+    predicate: Callable[[tuple[Any, ...]], bool],
+    name: str | None = None,
+) -> Table:
+    """Tuples of ``table`` satisfying ``predicate`` (σ)."""
+    return Table(
+        table.schema,
+        (row for row in table if predicate(row)),
+        name=name or f"{table.name}_select",
+    )
+
+
+def project(
+    table: Table,
+    attributes: Iterable[str],
+    primary_key: str | None = None,
+    name: str | None = None,
+) -> Table:
+    """Vertical partition (π) keeping ``attributes``.
+
+    If the original primary key is projected away, duplicate tuples in the
+    projection are dropped and re-keyed on ``primary_key`` (defaults to the
+    first kept attribute) — matching §3.3's attack scenario where "one of
+    the remaining attributes can act as a primary key".  Tuples whose new
+    key value repeats are discarded (first occurrence wins): a relation
+    cannot hold two tuples with one key.
+    """
+    kept = tuple(attributes)
+    schema = table.schema.project(kept, primary_key=primary_key)
+    positions = [table.schema.position(a) for a in kept]
+    key_slot = schema.position(schema.primary_key)
+
+    seen: set[Hashable] = set()
+    rows: list[tuple[Any, ...]] = []
+    for row in table:
+        projected = tuple(row[p] for p in positions)
+        key = projected[key_slot]
+        if key in seen:
+            continue
+        seen.add(key)
+        rows.append(projected)
+    return Table(schema, rows, name=name or f"{table.name}_project")
+
+
+def horizontal_sample(
+    table: Table, fraction: float, rng: random.Random, name: str | None = None
+) -> Table:
+    """Uniform random subset keeping ``fraction`` of the tuples (attack A1).
+
+    ``fraction`` is clamped to produce at least one tuple when the input is
+    non-empty so downstream detection never sees an empty relation by
+    accident; pass ``fraction=0`` explicitly to get an empty result.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rows = list(table)
+    if fraction == 0.0 or not rows:
+        return Table(table.schema, (), name=name or f"{table.name}_sample")
+    count = max(1, round(fraction * len(rows)))
+    chosen = rng.sample(rows, min(count, len(rows)))
+    return Table(table.schema, chosen, name=name or f"{table.name}_sample")
+
+
+def drop_fraction(
+    table: Table, fraction: float, rng: random.Random, name: str | None = None
+) -> Table:
+    """Complement of :func:`horizontal_sample`: lose ``fraction`` of tuples."""
+    return horizontal_sample(table, 1.0 - fraction, rng, name=name)
+
+
+def shuffle(table: Table, rng: random.Random, name: str | None = None) -> Table:
+    """Random physical re-ordering (attack A4 — subset re-sorting)."""
+    rows = list(table)
+    rng.shuffle(rows)
+    return Table(table.schema, rows, name=name or f"{table.name}_shuffled")
+
+
+def sort_by(
+    table: Table, attribute: str, reverse: bool = False, name: str | None = None
+) -> Table:
+    """Deterministic re-sort on ``attribute`` (attack A4 variant)."""
+    position = table.schema.position(attribute)
+    rows = sorted(table, key=lambda row: _orderable(row[position]), reverse=reverse)
+    return Table(table.schema, rows, name=name or f"{table.name}_sorted")
+
+
+def _orderable(value: Any) -> tuple[str, Any]:
+    return (type(value).__name__, value)
+
+
+def union(first: Table, second: Table, name: str | None = None) -> Table:
+    """Union of two key-disjoint relations over the same schema (attack A2).
+
+    Key collisions raise: the adversary adding tuples (A2) must invent fresh
+    keys, and a collision in an experiment indicates a generator bug.
+    """
+    if first.schema != second.schema:
+        raise SchemaError("union requires identical schemas")
+    merged = Table(first.schema, first, name=name or f"{first.name}_union")
+    for row in second:
+        merged.insert(row)
+    return merged
+
+
+def apply_to_column(
+    table: Table,
+    attribute: str,
+    transform: Callable[[Any], Any],
+    name: str | None = None,
+) -> Table:
+    """Map ``transform`` over one column, returning a new table.
+
+    The schema must already admit the transformed values (for categorical
+    attributes, re-map the domain first — see
+    :meth:`CategoricalDomain.remapped`).
+    """
+    position = table.schema.position(attribute)
+    rows = (
+        tuple(
+            transform(cell) if slot == position else cell
+            for slot, cell in enumerate(row)
+        )
+        for row in table
+    )
+    return Table(table.schema, rows, name=name or f"{table.name}_mapped")

@@ -1,0 +1,72 @@
+"""JSON (de)serialisation of schemas.
+
+Blind detection workflows move relations around as CSV plus a schema
+description; this module gives :class:`Schema` a stable JSON form so the
+command-line tools (and any downstream user) can persist it alongside the
+data and the escrowed mark record.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .domain import CategoricalDomain
+from .errors import SchemaError
+from .schema import Attribute, Schema
+from .types import AttributeType
+
+
+def attribute_to_dict(attribute: Attribute) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "name": attribute.name,
+        "type": attribute.atype.value,
+    }
+    if attribute.domain is not None:
+        payload["domain"] = list(attribute.domain.values)
+    return payload
+
+
+def attribute_from_dict(payload: dict[str, Any]) -> Attribute:
+    try:
+        atype = AttributeType(payload["type"])
+        name = payload["name"]
+    except (KeyError, ValueError) as exc:
+        raise SchemaError(f"malformed attribute payload: {exc}") from exc
+    domain = None
+    if "domain" in payload:
+        domain = CategoricalDomain(payload["domain"])
+    return Attribute(name, atype, domain)
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """Schema as a plain JSON-compatible dict."""
+    return {
+        "primary_key": schema.primary_key,
+        "attributes": [
+            attribute_to_dict(attribute) for attribute in schema
+        ],
+    }
+
+
+def schema_from_dict(payload: dict[str, Any]) -> Schema:
+    """Inverse of :func:`schema_to_dict`."""
+    try:
+        attributes = [
+            attribute_from_dict(item) for item in payload["attributes"]
+        ]
+        return Schema(attributes, primary_key=payload["primary_key"])
+    except KeyError as exc:
+        raise SchemaError(f"malformed schema payload: missing {exc}") from exc
+
+
+def schema_to_json(schema: Schema) -> str:
+    return json.dumps(schema_to_dict(schema), sort_keys=True)
+
+
+def schema_from_json(text: str) -> Schema:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"schema is not valid JSON: {exc}") from exc
+    return schema_from_dict(payload)

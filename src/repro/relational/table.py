@@ -1,0 +1,228 @@
+"""PK-indexed in-memory relation.
+
+:class:`Table` is the storage substrate every other subsystem operates on.
+It is intentionally simple — a list of row-lists plus a hash index on the
+primary key — because the watermarking algorithms only ever need
+
+* sequential scans over all tuples (embedding / detection loops),
+* O(1) cell updates addressed by primary key (the embedding writes
+  ``T_j(A) <- a_t``), and
+* cheap cloning (attacks must never mutate the watermarked original).
+
+The table validates every inserted or updated cell against the schema, so a
+buggy attack or encoder fails loudly instead of producing an out-of-domain
+relation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any, Hashable
+
+from .errors import DuplicateKeyError, MissingKeyError, SchemaError
+from .schema import Attribute, Schema
+
+
+class Table:
+    """A mutable relation instance over a fixed :class:`Schema`."""
+
+    __slots__ = ("_schema", "_rows", "_pk_index", "_pk_position", "name")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[Iterable[Any]] = (),
+        name: str = "relation",
+    ):
+        self._schema = schema
+        self._pk_position = schema.position(schema.primary_key)
+        self._rows: list[list[Any]] = []
+        self._pk_index: dict[Hashable, int] = {}
+        self.name = name
+        for row in rows:
+            self.insert(row)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def primary_key(self) -> str:
+        return self._schema.primary_key
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate tuples in current physical order."""
+        return (tuple(row) for row in self._rows)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._pk_index
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {self._schema!r}, n={len(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        """Order-insensitive equality: same schema and same set of tuples.
+
+        Re-sorting (attack A4) must produce an "equal" relation; physical
+        order is storage detail, not data content.
+        """
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self._schema != other._schema or len(self) != len(other):
+            return False
+        return sorted(map(repr, self)) == sorted(map(repr, other))
+
+    # -- reads -------------------------------------------------------------------
+    def keys(self) -> Iterator[Hashable]:
+        """Primary-key values in current physical order."""
+        return (row[self._pk_position] for row in self._rows)
+
+    def get(self, key: Hashable) -> tuple[Any, ...]:
+        """Return the tuple whose primary key equals ``key``."""
+        try:
+            return tuple(self._rows[self._pk_index[key]])
+        except KeyError:
+            raise MissingKeyError(key) from None
+
+    def value(self, key: Hashable, attribute: str) -> Any:
+        """Return ``T_key(attribute)``."""
+        position = self._schema.position(attribute)
+        try:
+            return self._rows[self._pk_index[key]][position]
+        except KeyError:
+            raise MissingKeyError(key) from None
+
+    def column(self, attribute: str) -> list[Any]:
+        """All values of ``attribute`` in current physical order."""
+        position = self._schema.position(attribute)
+        return [row[position] for row in self._rows]
+
+    def rows_where(
+        self, predicate: Callable[[tuple[Any, ...]], bool]
+    ) -> Iterator[tuple[Any, ...]]:
+        """Yield tuples satisfying ``predicate``."""
+        for row in self._rows:
+            frozen = tuple(row)
+            if predicate(frozen):
+                yield frozen
+
+    # -- writes -------------------------------------------------------------------
+    def insert(self, row: Iterable[Any]) -> None:
+        """Append a tuple; rejects arity/type/domain violations and PK reuse."""
+        materialised = list(row)
+        self._schema.validate_row(materialised)
+        key = materialised[self._pk_position]
+        if key in self._pk_index:
+            raise DuplicateKeyError(key)
+        self._pk_index[key] = len(self._rows)
+        self._rows.append(materialised)
+
+    def set_value(self, key: Hashable, attribute: str, value: Any) -> Any:
+        """Update one cell, returning the previous value.
+
+        This is the single write primitive used by mark encoding
+        (``T_j(A) <- a_t``) and by the rollback log's undo path.
+        """
+        position = self._schema.position(attribute)
+        self._schema.attribute(attribute).validate(value)
+        if position == self._pk_position:
+            return self._set_key(key, value)
+        try:
+            row = self._rows[self._pk_index[key]]
+        except KeyError:
+            raise MissingKeyError(key) from None
+        previous = row[position]
+        row[position] = value
+        return previous
+
+    def _set_key(self, key: Hashable, new_key: Hashable) -> Hashable:
+        if new_key == key:
+            return key
+        if new_key in self._pk_index:
+            raise DuplicateKeyError(new_key)
+        try:
+            slot = self._pk_index.pop(key)
+        except KeyError:
+            raise MissingKeyError(key) from None
+        self._rows[slot][self._pk_position] = new_key
+        self._pk_index[new_key] = slot
+        return key
+
+    def delete(self, key: Hashable) -> tuple[Any, ...]:
+        """Remove and return the tuple with primary key ``key``.
+
+        Uses swap-with-last so deletion is O(1); physical order is not
+        guaranteed to be stable across deletions (watermark detection must
+        not — and does not — rely on physical order, per attack A4).
+        """
+        try:
+            slot = self._pk_index.pop(key)
+        except KeyError:
+            raise MissingKeyError(key) from None
+        removed = self._rows[slot]
+        last = self._rows.pop()
+        if slot < len(self._rows):
+            self._rows[slot] = last
+            self._pk_index[last[self._pk_position]] = slot
+        return tuple(removed)
+
+    def replace_rows(self, rows: Iterable[Iterable[Any]]) -> None:
+        """Atomically replace the table contents (used by sort/shuffle ops)."""
+        staged: list[list[Any]] = []
+        index: dict[Hashable, int] = {}
+        for row in rows:
+            materialised = list(row)
+            self._schema.validate_row(materialised)
+            key = materialised[self._pk_position]
+            if key in index:
+                raise DuplicateKeyError(key)
+            index[key] = len(staged)
+            staged.append(materialised)
+        self._rows = staged
+        self._pk_index = index
+
+    # -- copies ---------------------------------------------------------------------
+    def clone(self, name: str | None = None) -> "Table":
+        """Deep-enough copy: fresh row storage over the same (immutable) schema."""
+        duplicate = Table(self._schema, name=name or self.name)
+        duplicate._rows = [list(row) for row in self._rows]
+        duplicate._pk_index = dict(self._pk_index)
+        return duplicate
+
+    def with_schema(self, schema: Schema, name: str | None = None) -> "Table":
+        """Re-type this table's rows under a compatible replacement schema."""
+        if schema.names != self._schema.names:
+            raise SchemaError(
+                "replacement schema must have identical attribute names/order"
+            )
+        return Table(schema, (tuple(row) for row in self._rows),
+                     name=name or self.name)
+
+
+def table_from_columns(
+    schema: Schema, columns: dict[str, list[Any]], name: str = "relation"
+) -> Table:
+    """Build a :class:`Table` from parallel column lists keyed by name."""
+    lengths = {len(values) for values in columns.values()}
+    if len(lengths) > 1:
+        raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+    missing = [n for n in schema.names if n not in columns]
+    if missing:
+        raise SchemaError(f"missing columns: {missing}")
+    count = lengths.pop() if lengths else 0
+    rows = (
+        tuple(columns[n][i] for n in schema.names) for i in range(count)
+    )
+    return Table(schema, rows, name=name)
+
+
+def make_categorical_attribute(name: str, values: Iterable[Hashable]) -> Attribute:
+    """Shorthand for a categorical :class:`Attribute` over ``values``."""
+    from .domain import CategoricalDomain
+    from .types import AttributeType
+
+    return Attribute(name, AttributeType.CATEGORICAL, CategoricalDomain(values))

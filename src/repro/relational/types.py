@@ -1,0 +1,59 @@
+"""Attribute type system for the relational substrate.
+
+The paper's model (§2) is a schema ``(K, A, B)`` with a primary key ``K``
+(not necessarily discrete) and categorical attributes drawn from finite value
+sets.  We support the small set of scalar types needed to express that model
+plus the numeric attributes used by the Agrawal–Kiernan baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+
+class AttributeType(enum.Enum):
+    """Declared type of a relation attribute.
+
+    ``CATEGORICAL`` attributes additionally carry a
+    :class:`~repro.relational.domain.CategoricalDomain` describing their
+    finite value set.
+    """
+
+    INTEGER = "integer"
+    REAL = "real"
+    STRING = "string"
+    CATEGORICAL = "categorical"
+
+    def accepts(self, value: Any) -> bool:
+        """Return ``True`` when ``value`` is a legal instance of this type.
+
+        ``bool`` is rejected for numeric types: a ``True`` slipping into a
+        numeric column is almost always a bug, and Python's ``bool`` being an
+        ``int`` subclass would otherwise hide it.
+        """
+        if self is AttributeType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is AttributeType.REAL:
+            return (
+                isinstance(value, (int, float)) and not isinstance(value, bool)
+            )
+        if self is AttributeType.STRING:
+            return isinstance(value, str)
+        if self is AttributeType.CATEGORICAL:
+            # Domain membership is enforced separately by the schema; here we
+            # only require hashability so the value can live in a domain.
+            try:
+                hash(value)
+            except TypeError:
+                return False
+            return True
+        raise AssertionError(f"unhandled type {self!r}")
+
+    def parse(self, text: str) -> Any:
+        """Parse ``text`` (e.g. a CSV field) into a value of this type."""
+        if self is AttributeType.INTEGER:
+            return int(text)
+        if self is AttributeType.REAL:
+            return float(text)
+        return text

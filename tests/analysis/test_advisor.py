@@ -1,0 +1,109 @@
+"""Tests for repro.analysis.advisor — principled parameter selection."""
+
+import pytest
+
+from repro.analysis import AdvisorError, recommend_parameters
+from repro.analysis import (
+    attack_success_exact,
+    bit_undecidable_probability,
+    expected_alteration_fraction,
+)
+
+
+class TestRecommendation:
+    def test_paper_workload_recommendation_is_sane(self):
+        rec = recommend_parameters(6000, 500, 10)
+        assert 20 <= rec.e <= 200
+        assert rec.expected_alteration_fraction <= 0.05
+        assert rec.clean_bit_failure <= 1e-3
+        assert rec.attack_success <= 0.10
+        assert rec.carriers_per_bit >= 1.0
+
+    def test_budgets_actually_hold_at_recommendation(self):
+        rec = recommend_parameters(
+            6000, 500, 10, max_alteration=0.03, clean_fidelity=1e-4
+        )
+        assert expected_alteration_fraction(rec.e, 500) <= 0.03
+        carriers = round(6000 / rec.e)
+        assert bit_undecidable_probability(
+            carriers, rec.channel_length, 10
+        ) <= 1e-4
+
+    def test_tighter_alteration_budget_raises_e(self):
+        loose = recommend_parameters(20_000, 500, 10, max_alteration=0.05)
+        tight = recommend_parameters(20_000, 500, 10, max_alteration=0.005)
+        assert tight.e >= loose.e
+        assert tight.expected_alteration_fraction <= 0.005
+
+    def test_tighter_fidelity_lowers_e(self):
+        loose = recommend_parameters(6000, 500, 10, clean_fidelity=1e-2)
+        tight = recommend_parameters(6000, 500, 10, clean_fidelity=1e-6)
+        assert tight.e <= loose.e
+
+    def test_short_watermark_warns_about_perfect_match(self):
+        rec = recommend_parameters(6000, 500, 8)
+        assert any("PERFECT" in warning for warning in rec.warnings)
+
+    def test_long_watermark_no_perfect_match_warning(self):
+        rec = recommend_parameters(20_000, 500, 24)
+        assert not any("PERFECT" in warning for warning in rec.warnings)
+
+    def test_saturation_warning_at_e_max(self):
+        rec = recommend_parameters(
+            100_000, 500, 16, max_alteration=0.02, e_max=500
+        )
+        assert rec.e == 500
+        assert any("saturated" in warning for warning in rec.warnings)
+
+    def test_summary_mentions_e(self):
+        rec = recommend_parameters(6000, 500, 10)
+        assert f"e = {rec.e}" in rec.summary()
+
+
+class TestInfeasibility:
+    def test_tiny_relation_rejected(self):
+        # 50 tuples cannot carry a 10-bit mark with any fidelity
+        with pytest.raises(AdvisorError):
+            recommend_parameters(50, 500, 10)
+
+    def test_impossible_significance_rejected(self):
+        with pytest.raises(AdvisorError):
+            recommend_parameters(6000, 500, 4, significance=1e-6)
+
+    def test_contradictory_budgets_rejected(self):
+        # demand near-zero alteration AND huge per-bit redundancy
+        with pytest.raises(AdvisorError):
+            recommend_parameters(
+                2000, 500, 10, max_alteration=1e-5, clean_fidelity=1e-9
+            )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AdvisorError):
+            recommend_parameters(0, 500, 10)
+        with pytest.raises(AdvisorError):
+            recommend_parameters(6000, 1, 10)
+        with pytest.raises(AdvisorError):
+            recommend_parameters(6000, 500, 10, max_alteration=1.5)
+
+
+class TestAgainstSimulation:
+    def test_recommended_e_survives_the_assumed_attack(self):
+        """End-to-end sanity: embed at the recommended e, run the assumed
+        attack, and confirm the mark survives."""
+        import random
+
+        from repro import MarkKey, Watermark, Watermarker
+        from repro.attacks import SubsetAlterationAttack
+        from repro.datagen import generate_item_scan
+
+        rec = recommend_parameters(
+            6000, 300, 10, attack_fraction=0.10, flip_probability=0.7
+        )
+        table = generate_item_scan(6000, item_count=300, seed=71)
+        marker = Watermarker(MarkKey.from_seed("advisor"), e=rec.e)
+        watermark = Watermark.from_int(0x155, 10)
+        outcome = marker.embed(table, watermark, "Item_Nbr")
+        attack = SubsetAlterationAttack("Item_Nbr", 0.10, 0.7)
+        attacked = attack.apply(outcome.table, random.Random(4))
+        verdict = marker.verify(attacked, outcome.record)
+        assert verdict.association.mark_alteration <= 0.1

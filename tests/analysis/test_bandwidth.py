@@ -1,0 +1,74 @@
+"""Tests for repro.analysis.bandwidth — §2.4/§3.1 capacity accounting."""
+
+import pytest
+
+from repro.analysis import (
+    BandwidthError,
+    association_channel_bits,
+    direct_domain_bits,
+    expected_alteration_fraction,
+    minimum_tuples_for_watermark,
+    replication_factor,
+)
+
+
+class TestDirectDomain:
+    def test_paper_example_14_bits(self):
+        # §3.1: nA = 16000 -> ~14 bits
+        assert direct_domain_bits(16000) == pytest.approx(13.97, abs=0.01)
+
+    def test_single_value_zero_bits(self):
+        assert direct_domain_bits(1) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(BandwidthError):
+            direct_domain_bits(0)
+
+
+class TestAssociationChannel:
+    def test_n_over_e(self):
+        assert association_channel_bits(6000, 60) == 100
+
+    def test_rounding(self):
+        assert association_channel_bits(130, 60) == 2
+
+    def test_invalid(self):
+        with pytest.raises(BandwidthError):
+            association_channel_bits(100, 0)
+        with pytest.raises(BandwidthError):
+            association_channel_bits(-1, 10)
+
+
+class TestAlterationCost:
+    def test_fraction_shrinks_with_e(self):
+        assert expected_alteration_fraction(60, 500) < \
+            expected_alteration_fraction(30, 500)
+
+    def test_large_domain_near_one_in_e(self):
+        assert expected_alteration_fraction(60, 10_000) == pytest.approx(
+            1 / 60, rel=0.01
+        )
+
+    def test_matches_measured_embedding(self, item_scan, mark_key, watermark):
+        from repro.core import embed, make_spec
+
+        table = item_scan.clone()
+        spec = make_spec(table, watermark, "Item_Nbr", e=20)
+        result = embed(table, watermark, mark_key, spec)
+        predicted = expected_alteration_fraction(20, 200)
+        measured = result.applied / len(table)
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+
+class TestReplication:
+    def test_replication_factor(self):
+        assert replication_factor(6000, 60, 10) == pytest.approx(10.0)
+
+    def test_minimum_tuples(self):
+        assert minimum_tuples_for_watermark(10, 60) == 600
+
+    def test_invalid(self):
+        with pytest.raises(BandwidthError):
+            replication_factor(100, 10, 0)
+        with pytest.raises(BandwidthError):
+            minimum_tuples_for_watermark(0, 60)

@@ -1,0 +1,80 @@
+"""Tests for repro.analysis.erasure — keyed-variant slot erasure model."""
+
+import pytest
+
+from repro.analysis import (
+    ErasureError,
+    bit_undecidable_probability,
+    carriers_for_fidelity,
+    expected_clean_alteration,
+    expected_erased_slots,
+    slot_erasure_probability,
+)
+
+
+class TestClosedForms:
+    def test_slot_probability_limits(self):
+        assert slot_erasure_probability(0, 100) == 1.0
+        assert slot_erasure_probability(10_000, 100) < 1e-40
+
+    def test_equal_carriers_and_slots_near_1_over_e(self):
+        import math
+
+        value = slot_erasure_probability(100, 100)
+        assert value == pytest.approx(math.exp(-1), rel=0.01)
+
+    def test_expected_erased_slots(self):
+        assert expected_erased_slots(100, 100) == pytest.approx(
+            100 * slot_erasure_probability(100, 100)
+        )
+
+    def test_bit_failure_decreases_with_carriers(self):
+        values = [
+            bit_undecidable_probability(c, 100, 10)
+            for c in (50, 100, 200, 400)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_clean_alteration_is_half_bit_failure(self):
+        assert expected_clean_alteration(100, 100, 10) == pytest.approx(
+            0.5 * bit_undecidable_probability(100, 100, 10)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ErasureError):
+            slot_erasure_probability(10, 0)
+        with pytest.raises(ErasureError):
+            slot_erasure_probability(-1, 10)
+        with pytest.raises(ErasureError):
+            bit_undecidable_probability(10, 5, 10)
+
+
+class TestInverse:
+    def test_carriers_for_fidelity_inverts_model(self):
+        carriers = carriers_for_fidelity(100, 10, 1e-4)
+        assert bit_undecidable_probability(carriers, 100, 10) <= 1e-4
+        assert bit_undecidable_probability(carriers - 20, 100, 10) > 1e-4
+
+    def test_invalid_target(self):
+        with pytest.raises(ErasureError):
+            carriers_for_fidelity(100, 10, 0.0)
+
+
+class TestAgainstSimulation:
+    def test_model_matches_measured_erasures(self, mark_key):
+        """Embed on synthetic data and compare observed erased slots with
+        the closed form."""
+        from repro.core import Watermark, embed, extract_slots, make_spec
+        from repro.datagen import generate_item_scan
+
+        table = generate_item_scan(6000, item_count=300, seed=17)
+        watermark = Watermark.from_int(0x2AB, 10)
+        spec = make_spec(table, watermark, "Item_Nbr", e=60)
+        marked = table.clone()
+        result = embed(marked, watermark, mark_key, spec)
+        slots, _ = extract_slots(marked, mark_key, spec)
+        observed = sum(slot is None for slot in slots)
+        predicted = expected_erased_slots(
+            result.fit_count, spec.channel_length
+        )
+        assert observed == pytest.approx(predicted, abs=12)

@@ -1,0 +1,73 @@
+"""Tests for repro.analysis.false_positive — §4.4 court-time statistics."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    FalsePositiveError,
+    full_channel_match_probability,
+    monte_carlo_match_distribution,
+    partial_match_probability,
+    random_watermark_match_probability,
+    required_matches_for_significance,
+)
+
+
+class TestClosedForms:
+    def test_random_match_half_power(self):
+        assert random_watermark_match_probability(10) == pytest.approx(2 ** -10)
+
+    def test_paper_channel_number(self):
+        # Paper: N=6000, e=60 -> (1/2)^100 ~= 7.8e-31
+        value = full_channel_match_probability(6000, 60)
+        assert value == pytest.approx(7.888e-31, rel=0.01)
+
+    def test_partial_full_match_equals_random(self):
+        assert partial_match_probability(10, 10) == pytest.approx(
+            random_watermark_match_probability(10)
+        )
+
+    def test_partial_zero_match_is_one(self):
+        assert partial_match_probability(0, 10) == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(FalsePositiveError):
+            random_watermark_match_probability(0)
+        with pytest.raises(FalsePositiveError):
+            full_channel_match_probability(0, 10)
+        with pytest.raises(FalsePositiveError):
+            partial_match_probability(11, 10)
+
+
+class TestRequiredMatches:
+    def test_threshold_is_minimal(self):
+        matches = required_matches_for_significance(20, 0.01)
+        assert partial_match_probability(matches, 20) <= 0.01
+        assert partial_match_probability(matches - 1, 20) > 0.01
+
+    def test_too_short_watermark_flagged(self):
+        # a 4-bit mark can never reach 1e-6 significance
+        assert required_matches_for_significance(4, 1e-6) == 5
+
+    def test_invalid_significance(self):
+        with pytest.raises(FalsePositiveError):
+            required_matches_for_significance(10, 0.0)
+
+
+class TestMonteCarlo:
+    def test_distribution_matches_binomial(self):
+        rng = random.Random(5)
+        counts = monte_carlo_match_distribution(10, 20000, rng)
+        assert sum(counts) == 20000
+        # mean matches ~ 5; coarse binomial sanity
+        mean = sum(m * c for m, c in enumerate(counts)) / 20000
+        assert mean == pytest.approx(5.0, abs=0.1)
+        empirical_tail = sum(counts[9:]) / 20000
+        assert empirical_tail == pytest.approx(
+            partial_match_probability(9, 10), abs=0.005
+        )
+
+    def test_invalid_trials(self):
+        with pytest.raises(FalsePositiveError):
+            monte_carlo_match_distribution(10, 0, random.Random(1))

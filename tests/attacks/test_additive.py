@@ -1,0 +1,63 @@
+"""Tests for the additive (re-watermarking) attack — the §6 open problem."""
+
+import random
+
+import pytest
+
+from repro import Watermarker
+from repro.attacks import AdditiveWatermarkAttack
+from repro.core import verify
+
+
+@pytest.fixture
+def contested(item_scan, marker, watermark):
+    """Owner marks; Mallory re-marks the stolen copy."""
+    outcome = marker.embed(item_scan, watermark, "Item_Nbr")
+    # Mallory picks e to fit the stolen relation's size (4k tuples): e=30
+    # gives his keyed channel ~13 carriers per watermark bit.
+    attack = AdditiveWatermarkAttack("Item_Nbr", e=30)
+    stolen = attack.apply(outcome.table, random.Random(99))
+    return outcome, attack, stolen
+
+
+class TestAdditiveAttack:
+    def test_owner_mark_survives_overwrite(self, contested, marker):
+        outcome, attack, stolen = contested
+        verdict = marker.verify(stolen, outcome.record)
+        assert verdict.detected
+        # damage is bounded by the carrier-overlap argument (~1/e_m of
+        # owner carriers overwritten)
+        assert verdict.association.mark_alteration <= 0.2
+
+    def test_mallory_mark_also_detects(self, contested):
+        _, attack, stolen = contested
+        assert attack.mallory_key is not None
+        mallory = Watermarker(attack.mallory_key, e=attack.e)
+        verdict = mallory.verify(stolen, attack.mallory_record)
+        assert verdict.detected
+
+    def test_dispute_resolution_asymmetry(self, contested, marker, item_scan):
+        """The classic tie-breaker: the owner's mark is in Mallory's copy,
+        but Mallory's mark is NOT in the owner's original."""
+        outcome, attack, stolen = contested
+        mallory = Watermarker(attack.mallory_key, e=attack.e)
+        # Mallory cannot show his mark in the owner's pre-theft data:
+        against_original = mallory.verify(outcome.table, attack.mallory_record)
+        assert not against_original.detected
+        # while the owner can show hers in Mallory's published copy:
+        assert marker.verify(stolen, outcome.record).detected
+
+    def test_attack_preserves_relation_size(self, contested):
+        outcome, _, stolen = contested
+        assert len(stolen) == len(outcome.table)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdditiveWatermarkAttack("A", e=0)
+        with pytest.raises(ValueError):
+            AdditiveWatermarkAttack("A", watermark_length=0)
+
+    def test_mallory_material_exposed_for_experiments(self, contested):
+        _, attack, _ = contested
+        assert attack.mallory_record is not None
+        assert attack.mallory_record.spec.e == attack.e

@@ -1,0 +1,257 @@
+"""Tests for repro.attacks — the A1–A6 adversary toolkit."""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    BijectiveRemapAttack,
+    CompositeAttack,
+    DataLossAttack,
+    HorizontalPartitionAttack,
+    IdentityAttack,
+    KeyRangePartitionAttack,
+    PermutationRemapAttack,
+    ShuffleAttack,
+    SingleColumnAttack,
+    SortAttack,
+    SubsetAdditionAttack,
+    SubsetAlterationAttack,
+    TargetedValueAttack,
+    VerticalPartitionAttack,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestIdentity:
+    def test_copy_equals_input(self, tiny_table, rng):
+        copy = IdentityAttack().apply(tiny_table, rng)
+        assert copy == tiny_table
+        assert copy is not tiny_table
+
+
+class TestA1Horizontal:
+    def test_keep_fraction(self, item_scan, rng):
+        attacked = HorizontalPartitionAttack(0.4).apply(item_scan, rng)
+        assert len(attacked) == round(0.4 * len(item_scan))
+
+    def test_rows_are_subset(self, tiny_table, rng):
+        attacked = HorizontalPartitionAttack(0.5).apply(tiny_table, rng)
+        original = set(tiny_table)
+        assert all(row in original for row in attacked)
+
+    def test_data_loss_complements(self, item_scan, rng):
+        attacked = DataLossAttack(0.25).apply(item_scan, rng)
+        assert len(attacked) == round(0.75 * len(item_scan))
+
+    def test_zero_loss_keeps_all(self, item_scan, rng):
+        attacked = DataLossAttack(0.0).apply(item_scan, rng)
+        assert len(attacked) == len(item_scan)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            HorizontalPartitionAttack(0.0)
+        with pytest.raises(ValueError):
+            DataLossAttack(1.0)
+
+    def test_key_range_is_contiguous(self, item_scan, rng):
+        attacked = KeyRangePartitionAttack(0.3).apply(item_scan, rng)
+        kept = sorted(attacked.keys())
+        all_keys = sorted(item_scan.keys())
+        start = all_keys.index(kept[0])
+        assert all_keys[start:start + len(kept)] == kept
+
+    def test_input_never_mutated(self, item_scan, rng):
+        before = len(item_scan)
+        HorizontalPartitionAttack(0.5).apply(item_scan, rng)
+        assert len(item_scan) == before
+
+
+class TestA2Addition:
+    def test_adds_requested_fraction(self, item_scan, rng):
+        attacked = SubsetAdditionAttack(0.2).apply(item_scan, rng)
+        assert len(attacked) == len(item_scan) + round(0.2 * len(item_scan))
+
+    def test_original_tuples_preserved(self, tiny_table, rng):
+        attacked = SubsetAdditionAttack(0.5).apply(tiny_table, rng)
+        for row in tiny_table:
+            assert attacked.get(row[0]) == row
+
+    def test_added_values_follow_domain(self, item_scan, rng):
+        attacked = SubsetAdditionAttack(0.1).apply(item_scan, rng)
+        domain = item_scan.schema.attribute("Item_Nbr").domain
+        assert all(row[1] in domain for row in attacked)
+
+    def test_string_key_tables_supported(self, rng):
+        from repro.relational import (
+            Attribute,
+            AttributeType,
+            CategoricalDomain,
+            Schema,
+            Table,
+        )
+
+        schema = Schema(
+            (
+                Attribute("K", AttributeType.STRING),
+                Attribute(
+                    "A", AttributeType.CATEGORICAL, CategoricalDomain(["p", "q"])
+                ),
+            ),
+            primary_key="K",
+        )
+        table = Table(schema, [("a", "p"), ("b", "q")])
+        attacked = SubsetAdditionAttack(1.0).apply(table, rng)
+        assert len(attacked) == 4
+
+    def test_zero_addition(self, tiny_table, rng):
+        assert len(SubsetAdditionAttack(0.0).apply(tiny_table, rng)) == len(
+            tiny_table
+        )
+
+
+class TestA3Alteration:
+    def test_alters_about_the_requested_fraction(self, item_scan, rng):
+        attacked = SubsetAlterationAttack("Item_Nbr", 0.5, 1.0).apply(
+            item_scan, rng
+        )
+        changed = sum(
+            attacked.get(key)[1] != row[1]
+            for key, row in zip(item_scan.keys(), item_scan)
+        )
+        assert round(0.4 * len(item_scan)) < changed <= round(
+            0.5 * len(item_scan)
+        )
+
+    def test_flip_probability_scales_damage(self, item_scan, rng):
+        gentle = SubsetAlterationAttack("Item_Nbr", 0.5, 0.2).apply(
+            item_scan, random.Random(1)
+        )
+        harsh = SubsetAlterationAttack("Item_Nbr", 0.5, 1.0).apply(
+            item_scan, random.Random(1)
+        )
+        def damage(attacked):
+            return sum(
+                attacked.get(row[0])[1] != row[1] for row in item_scan
+            )
+        assert damage(gentle) < damage(harsh)
+
+    def test_replacement_always_differs(self, tiny_table, rng):
+        attacked = SubsetAlterationAttack("A", 1.0, 1.0).apply(tiny_table, rng)
+        for row in tiny_table:
+            assert attacked.get(row[0])[1] != row[1]
+
+    def test_keys_unchanged(self, item_scan, rng):
+        attacked = SubsetAlterationAttack("Item_Nbr", 0.3).apply(item_scan, rng)
+        assert sorted(attacked.keys()) == sorted(item_scan.keys())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SubsetAlterationAttack("A", 1.5)
+        with pytest.raises(ValueError):
+            SubsetAlterationAttack("A", 0.5, -0.1)
+
+    def test_targeted_merge(self, tiny_table, rng):
+        attacked = TargetedValueAttack("A", {"red": "blue"}).apply(
+            tiny_table, rng
+        )
+        assert "red" not in attacked.column("A")
+        assert attacked.column("A").count("blue") == 3
+
+    def test_targeted_merge_outside_domain_rejected(self, tiny_table, rng):
+        with pytest.raises(ValueError):
+            TargetedValueAttack("A", {"red": "plaid"}).apply(tiny_table, rng)
+
+
+class TestA4Sorting:
+    def test_shuffle_preserves_content(self, item_scan, rng):
+        attacked = ShuffleAttack().apply(item_scan, rng)
+        assert attacked == item_scan
+
+    def test_sort_preserves_content(self, item_scan, rng):
+        attacked = SortAttack("Item_Nbr").apply(item_scan, rng)
+        assert attacked == item_scan
+        column = attacked.column("Item_Nbr")
+        assert column == sorted(column)
+
+
+class TestA5Vertical:
+    def test_projection_drops_attributes(self, sales, rng):
+        attacked = VerticalPartitionAttack(["Item_Nbr", "Store_Nbr"]).apply(
+            sales, rng
+        )
+        assert attacked.schema.names == ("Item_Nbr", "Store_Nbr")
+
+    def test_single_column_keeps_multiset(self, sales, rng):
+        attacked = SingleColumnAttack("Dept").apply(sales, rng)
+        assert sorted(attacked.column("Dept")) == sorted(sales.column("Dept"))
+
+    def test_single_column_synthetic_key(self, sales, rng):
+        attacked = SingleColumnAttack("Dept").apply(sales, rng)
+        assert attacked.primary_key == "_row"
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(ValueError):
+            VerticalPartitionAttack([])
+
+
+class TestA6Remap:
+    def test_remap_is_bijective(self, bookings, rng):
+        attack = BijectiveRemapAttack("Airline")
+        attack.apply(bookings, rng)
+        assert len(set(attack.mapping.values())) == len(attack.mapping)
+
+    def test_remap_changes_every_value(self, bookings, rng):
+        attack = BijectiveRemapAttack("Airline")
+        attacked = attack.apply(bookings, rng)
+        original_values = set(bookings.column("Airline"))
+        attacked_values = set(attacked.column("Airline"))
+        assert original_values.isdisjoint(attacked_values)
+
+    def test_true_inverse_is_inverse(self, bookings, rng):
+        attack = BijectiveRemapAttack("Airline")
+        attack.apply(bookings, rng)
+        for original, label in attack.mapping.items():
+            assert attack.true_inverse[label] == original
+
+    def test_remap_preserves_tuple_count(self, bookings, rng):
+        attack = BijectiveRemapAttack("Airline")
+        assert len(attack.apply(bookings, rng)) == len(bookings)
+
+    def test_permutation_stays_in_domain(self, bookings, rng):
+        attack = PermutationRemapAttack("Airline")
+        attacked = attack.apply(bookings, rng)
+        domain = bookings.schema.attribute("Airline").domain
+        assert all(value in domain for value in attacked.column("Airline"))
+
+    def test_permutation_moves_something(self, bookings, rng):
+        attack = PermutationRemapAttack("Airline")
+        attacked = attack.apply(bookings, rng)
+        assert attacked.column("Airline") != bookings.column("Airline")
+
+    def test_non_categorical_rejected(self, bookings, rng):
+        with pytest.raises(ValueError):
+            BijectiveRemapAttack("Ticket_Id").apply(bookings, rng)
+
+
+class TestComposite:
+    def test_stages_apply_in_order(self, item_scan, rng):
+        composite = CompositeAttack(
+            [DataLossAttack(0.5), SubsetAdditionAttack(0.1)]
+        )
+        attacked = composite.apply(item_scan, rng)
+        survivors = round(0.5 * len(item_scan))
+        assert len(attacked) == survivors + round(0.1 * survivors)
+
+    def test_name_concatenates(self):
+        composite = CompositeAttack([ShuffleAttack(), DataLossAttack(0.1)])
+        assert "A4:shuffle" in composite.name
+        assert "A1:data-loss" in composite.name
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeAttack([])

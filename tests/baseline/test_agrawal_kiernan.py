@@ -1,0 +1,131 @@
+"""Tests for repro.baseline.agrawal_kiernan — the numeric LSB baseline."""
+
+import random
+
+import pytest
+
+from repro.baseline import (
+    AKParameters,
+    BaselineError,
+    ak_detect,
+    ak_embed,
+)
+from repro.relational import Attribute, AttributeType, Schema, Table
+
+KEY = b"ak-secret-key"
+
+
+def numeric_table(count: int = 4000, seed: int = 5) -> Table:
+    rng = random.Random(seed)
+    schema = Schema(
+        (
+            Attribute("Id", AttributeType.INTEGER),
+            Attribute("Price", AttributeType.INTEGER),
+            Attribute("Stock", AttributeType.INTEGER),
+        ),
+        primary_key="Id",
+    )
+    rows = (
+        (i, rng.randrange(100, 10_000), rng.randrange(0, 500))
+        for i in range(count)
+    )
+    return Table(schema, rows, name="inventory")
+
+
+@pytest.fixture
+def params():
+    return AKParameters(candidate_attributes=("Price", "Stock"), gamma=40, xi=2)
+
+
+class TestParameters:
+    def test_invalid_gamma(self):
+        with pytest.raises(BaselineError):
+            AKParameters(("Price",), gamma=0)
+
+    def test_invalid_xi(self):
+        with pytest.raises(BaselineError):
+            AKParameters(("Price",), xi=0)
+
+    def test_empty_candidates(self):
+        with pytest.raises(BaselineError):
+            AKParameters(())
+
+
+class TestEmbed:
+    def test_marks_about_one_in_gamma(self, params):
+        table = numeric_table()
+        result = ak_embed(table, KEY, params)
+        expected = len(table) / params.gamma
+        assert expected * 0.6 < result.marked_tuples < expected * 1.4
+
+    def test_changes_at_most_marked(self, params):
+        table = numeric_table()
+        result = ak_embed(table, KEY, params)
+        assert 0 < result.changed_tuples <= result.marked_tuples
+
+    def test_lsb_changes_only(self, params):
+        table = numeric_table()
+        original = table.clone()
+        ak_embed(table, KEY, params)
+        mask = ~((1 << params.xi) - 1)
+        for row, before in zip(table, original):
+            for position in (1, 2):
+                assert row[position] & mask == before[position] & mask
+
+    def test_unknown_candidate_rejected(self):
+        table = numeric_table()
+        with pytest.raises(Exception):
+            ak_embed(table, KEY, AKParameters(("nope",)))
+
+
+class TestDetect:
+    def test_marked_data_detected(self, params):
+        table = numeric_table()
+        ak_embed(table, KEY, params)
+        verdict = ak_detect(table, KEY, params)
+        assert verdict.detected
+        assert verdict.match_fraction == 1.0
+
+    def test_unmarked_data_not_detected(self, params):
+        verdict = ak_detect(numeric_table(seed=9), KEY, params)
+        assert verdict.match_fraction < 0.75
+        assert not verdict.detected
+
+    def test_wrong_key_not_detected(self, params):
+        table = numeric_table()
+        ak_embed(table, KEY, params)
+        verdict = ak_detect(table, b"other-key", params)
+        assert not verdict.detected
+
+    def test_survives_moderate_row_loss(self, params):
+        from repro.relational import drop_fraction
+
+        table = numeric_table()
+        ak_embed(table, KEY, params)
+        attacked = drop_fraction(table, 0.5, random.Random(2))
+        verdict = ak_detect(attacked, KEY, params)
+        assert verdict.detected  # surviving marked bits still all match
+
+    def test_lsb_randomisation_destroys_mark(self, params):
+        """The categorical channel's motivation: numeric-LSB marks die to
+        trivial value perturbation, which categorical data doesn't allow."""
+        table = numeric_table()
+        ak_embed(table, KEY, params)
+        rng = random.Random(3)
+        for key in list(table.keys()):
+            table.set_value(
+                key, "Price", table.value(key, "Price") ^ rng.randrange(4)
+            )
+            table.set_value(
+                key, "Stock", table.value(key, "Stock") ^ rng.randrange(4)
+            )
+        verdict = ak_detect(table, KEY, params)
+        assert not verdict.detected
+
+    def test_empty_evidence_false_hit_one(self, params):
+        from repro.relational import Table
+
+        empty = Table(numeric_table(10).schema)
+        verdict = ak_detect(empty, KEY, params)
+        assert verdict.false_hit_probability == 1.0
+        assert not verdict.detected

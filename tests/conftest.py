@@ -1,0 +1,94 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import MarkKey, Watermark, Watermarker
+from repro.datagen import generate_bookings, generate_item_scan, generate_sales
+from repro.relational import (
+    Attribute,
+    AttributeType,
+    CategoricalDomain,
+    Schema,
+    Table,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def mark_key() -> MarkKey:
+    return MarkKey.from_seed("test-key")
+
+
+@pytest.fixture
+def watermark() -> Watermark:
+    return Watermark.from_int(0b1011001110, 10)
+
+
+@pytest.fixture
+def tiny_schema() -> Schema:
+    """A minimal (K, A, B) schema matching the paper's model."""
+    return Schema(
+        (
+            Attribute("K", AttributeType.INTEGER),
+            Attribute(
+                "A",
+                AttributeType.CATEGORICAL,
+                CategoricalDomain(["red", "green", "blue", "cyan"]),
+            ),
+            Attribute(
+                "B",
+                AttributeType.CATEGORICAL,
+                CategoricalDomain(["x", "y", "z", "w"]),
+            ),
+        ),
+        primary_key="K",
+    )
+
+
+@pytest.fixture
+def tiny_table(tiny_schema: Schema) -> Table:
+    rows = [
+        (1, "red", "x"),
+        (2, "green", "y"),
+        (3, "blue", "z"),
+        (4, "red", "x"),
+        (5, "cyan", "w"),
+        (6, "green", "x"),
+    ]
+    return Table(tiny_schema, rows, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def item_scan():
+    """A paper-shaped ItemScan relation, shared read-only across tests."""
+    return generate_item_scan(4000, item_count=200, seed=99)
+
+
+@pytest.fixture(scope="session")
+def sales():
+    return generate_sales(3000, item_count=150, seed=77)
+
+
+@pytest.fixture(scope="session")
+def bookings():
+    return generate_bookings(8000, seed=55)
+
+
+@pytest.fixture
+def marker(mark_key: MarkKey) -> Watermarker:
+    return Watermarker(mark_key, e=40)
+
+
+@pytest.fixture
+def marked_item_scan(item_scan, marker: Watermarker, watermark: Watermark):
+    """(outcome, marker, watermark) for detection-oriented tests."""
+    outcome = marker.embed(item_scan, watermark, "Item_Nbr")
+    return outcome

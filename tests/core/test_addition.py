@@ -1,0 +1,124 @@
+"""Tests for repro.core.addition — §4.6 data-addition reinforcement."""
+
+import pytest
+
+from repro.core import (
+    SpecError,
+    add_watermarked_tuples,
+    detect,
+    embed,
+    integer_key_generator,
+    is_fit,
+    make_spec,
+)
+
+
+@pytest.fixture
+def marked(item_scan, mark_key, watermark):
+    table = item_scan.clone()
+    spec = make_spec(table, watermark, "Item_Nbr", e=40)
+    embed(table, watermark, mark_key, spec)
+    return table, spec
+
+
+class TestAddition:
+    def test_adds_requested_fraction(self, marked, mark_key, watermark):
+        table, spec = marked
+        before = len(table)
+        result = add_watermarked_tuples(
+            table, watermark, mark_key, spec, p_add=0.05
+        )
+        assert result.added == round(0.05 * before)
+        assert len(table) == before + result.added
+
+    def test_added_tuples_are_fit(self, marked, mark_key, watermark):
+        table, spec = marked
+        result = add_watermarked_tuples(
+            table, watermark, mark_key, spec, p_add=0.02
+        )
+        for key in result.added_keys:
+            assert is_fit(key, mark_key.k1, spec.e)
+
+    def test_acceptance_rate_near_one_in_e(self, marked, mark_key, watermark):
+        table, spec = marked
+        result = add_watermarked_tuples(
+            table, watermark, mark_key, spec, p_add=0.05
+        )
+        assert result.acceptance_rate == pytest.approx(1 / spec.e, rel=0.5)
+
+    def test_added_tuples_carry_correct_bits(self, marked, mark_key, watermark):
+        table, spec = marked
+        add_watermarked_tuples(table, watermark, mark_key, spec, p_add=0.05)
+        assert detect(table, mark_key, spec).watermark == watermark
+
+    def test_zero_p_add_is_noop(self, marked, mark_key, watermark):
+        table, spec = marked
+        before = len(table)
+        result = add_watermarked_tuples(
+            table, watermark, mark_key, spec, p_add=0.0
+        )
+        assert result.added == 0
+        assert len(table) == before
+
+    def test_invalid_p_add_rejected(self, marked, mark_key, watermark):
+        table, spec = marked
+        with pytest.raises(SpecError):
+            add_watermarked_tuples(
+                table, watermark, mark_key, spec, p_add=1.5
+            )
+
+    def test_map_variant_rejected(self, item_scan, mark_key, watermark):
+        table = item_scan.clone()
+        spec = make_spec(table, watermark, "Item_Nbr", e=40, variant="map")
+        embed(table, watermark, mark_key, spec)
+        with pytest.raises(SpecError):
+            add_watermarked_tuples(
+                table, watermark, mark_key, spec, p_add=0.01
+            )
+
+    def test_deterministic_given_key(self, item_scan, mark_key, watermark):
+        first = item_scan.clone()
+        second = item_scan.clone()
+        spec = make_spec(first, watermark, "Item_Nbr", e=40)
+        embed(first, watermark, mark_key, spec)
+        embed(second, watermark, mark_key, spec)
+        r1 = add_watermarked_tuples(first, watermark, mark_key, spec, 0.02)
+        r2 = add_watermarked_tuples(second, watermark, mark_key, spec, 0.02)
+        assert r1.added_keys == r2.added_keys
+
+    def test_added_values_within_domain(self, marked, mark_key, watermark):
+        table, spec = marked
+        result = add_watermarked_tuples(
+            table, watermark, mark_key, spec, p_add=0.02
+        )
+        domain = table.schema.attribute("Item_Nbr").domain
+        for key in result.added_keys:
+            assert table.value(key, "Item_Nbr") in domain
+
+
+class TestKeyGenerator:
+    def test_integer_generator_avoids_existing(self, item_scan, rng):
+        generate = integer_key_generator(item_scan)
+        existing = set(item_scan.keys())
+        for _ in range(50):
+            candidate = generate(rng)
+            assert candidate not in existing
+
+    def test_non_integer_keys_rejected(self, tiny_schema):
+        from repro.relational import (
+            Attribute,
+            AttributeType,
+            Schema,
+            Table,
+        )
+
+        schema = Schema(
+            (
+                Attribute("K", AttributeType.STRING),
+                Attribute("note", AttributeType.STRING),
+            ),
+            primary_key="K",
+        )
+        table = Table(schema, [("a", "x")])
+        with pytest.raises(SpecError):
+            integer_key_generator(table)

@@ -1,0 +1,182 @@
+"""Tests for repro.core.detection — blind decoding (§3.2.2) and verdicts."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    DetectionError,
+    Watermark,
+    detect,
+    embed,
+    extract_slots,
+    false_hit_probability,
+    make_spec,
+    verify,
+)
+from repro.crypto import MarkKey
+from repro.datagen import generate_item_scan
+from repro.relational import shuffle
+
+
+@pytest.fixture
+def marked(item_scan, mark_key, watermark):
+    table = item_scan.clone()
+    spec = make_spec(table, watermark, "Item_Nbr", e=40)
+    embed(table, watermark, mark_key, spec)
+    return table, spec
+
+
+class TestDetect:
+    def test_clean_detection_recovers_watermark(
+        self, marked, mark_key, watermark
+    ):
+        table, spec = marked
+        result = detect(table, mark_key, spec)
+        assert result.watermark == watermark
+
+    def test_detection_is_blind(self, marked, mark_key, watermark):
+        """Only the suspect table, keys and spec are needed — detection
+        never sees the original relation."""
+        table, spec = marked
+        standalone = table.clone()
+        assert detect(standalone, mark_key, spec).watermark == watermark
+
+    def test_detection_survives_reordering(self, marked, mark_key, watermark):
+        table, spec = marked
+        reordered = shuffle(table, random.Random(3))
+        assert detect(reordered, mark_key, spec).watermark == watermark
+
+    def test_wrong_key_fails(self, marked, watermark):
+        table, spec = marked
+        wrong = MarkKey.from_seed("totally-different")
+        detected = detect(table, wrong, spec).watermark
+        # random agreement only: not a full match
+        assert detected.matching_bits(watermark) < len(watermark)
+
+    def test_unmarked_data_gives_random_bits(self, mark_key, watermark):
+        table = generate_item_scan(3000, item_count=100, seed=5)
+        spec = make_spec(table, watermark, "Item_Nbr", e=30)
+        detected = detect(table, mark_key, spec).watermark
+        assert detected.matching_bits(watermark) < len(watermark)
+
+    def test_map_variant_requires_map(self, item_scan, mark_key, watermark):
+        table = item_scan.clone()
+        spec = make_spec(table, watermark, "Item_Nbr", e=40, variant="map")
+        result = embed(table, watermark, mark_key, spec)
+        with pytest.raises(DetectionError):
+            detect(table, mark_key, spec)
+        detected = detect(
+            table, mark_key, spec, embedding_map=result.embedding_map
+        )
+        assert detected.watermark == watermark
+
+    def test_out_of_domain_values_skipped(self, marked, mark_key, watermark):
+        table, spec = marked
+        from repro.relational import CategoricalDomain
+
+        # restrict the decode domain to half the catalogue: foreign values
+        # must be skipped, not crash detection
+        domain = table.schema.attribute("Item_Nbr").domain
+        half = CategoricalDomain(domain.values[: domain.size // 2])
+        result = detect(table, mark_key, spec, domain=half)
+        assert result.slots_recovered <= spec.channel_length
+
+    def test_slot_coverage_reported(self, marked, mark_key):
+        table, spec = marked
+        result = detect(table, mark_key, spec)
+        assert 0.0 < result.slot_coverage <= 1.0
+        assert result.fit_count > 0
+
+
+class TestExtractSlots:
+    def test_slots_have_channel_length(self, marked, mark_key):
+        table, spec = marked
+        slots, fit_count = extract_slots(table, mark_key, spec)
+        assert len(slots) == spec.channel_length
+        assert fit_count > 0
+
+    def test_value_mapping_applied(self, marked, mark_key, watermark):
+        table, spec = marked
+        # fake remap: shift every item code by +1, then map back
+        from repro.relational import Table
+
+        domain = table.schema.attribute("Item_Nbr").domain
+        forward = {value: ("x", value) for value in domain.values}
+        inverse = {("x", value): value for value in domain.values}
+        from repro.relational import (
+            Attribute,
+            AttributeType,
+            CategoricalDomain,
+        )
+
+        remapped_schema = table.schema.replace_attribute(
+            Attribute(
+                "Item_Nbr",
+                AttributeType.CATEGORICAL,
+                CategoricalDomain(forward.values()),
+            )
+        )
+        remapped = Table(
+            remapped_schema,
+            (
+                (row[0], forward[row[1]])
+                for row in table
+            ),
+        )
+        result = detect(
+            remapped, mark_key, spec, domain=domain, value_mapping=inverse
+        )
+        assert result.watermark == watermark
+
+
+class TestFalseHitProbability:
+    def test_full_match_is_half_power_length(self):
+        assert false_hit_probability(10, 10) == pytest.approx(0.5 ** 10)
+
+    def test_zero_matches_is_one(self):
+        assert false_hit_probability(0, 10) == pytest.approx(1.0)
+
+    def test_monotone_decreasing_in_matches(self):
+        values = [false_hit_probability(m, 20) for m in range(21)]
+        assert values == sorted(values, reverse=True)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DetectionError):
+            false_hit_probability(11, 10)
+
+
+class TestVerify:
+    def test_clean_verification_detects(self, marked, mark_key, watermark):
+        table, spec = marked
+        verdict = verify(table, mark_key, spec, watermark)
+        assert verdict.detected
+        assert verdict.mark_alteration == 0.0
+        assert verdict.matching_bits == len(watermark)
+
+    def test_wrong_claim_not_detected(self, marked, mark_key, watermark):
+        table, spec = marked
+        wrong_claim = Watermark(tuple(1 - bit for bit in watermark.bits))
+        verdict = verify(table, mark_key, spec, wrong_claim)
+        assert not verdict.detected
+        assert verdict.mark_alteration == 1.0
+
+    def test_expected_length_mismatch_rejected(self, marked, mark_key):
+        table, spec = marked
+        with pytest.raises(DetectionError):
+            verify(table, mark_key, spec, Watermark((1, 0)))
+
+    def test_summary_mentions_verdict(self, marked, mark_key, watermark):
+        table, spec = marked
+        verdict = verify(table, mark_key, spec, watermark)
+        assert "DETECTED" in verdict.summary()
+
+    def test_significance_controls_verdict(self, marked, mark_key, watermark):
+        table, spec = marked
+        strict = verify(
+            table, mark_key, spec, watermark, significance=1e-6
+        )
+        # 10-bit full match has p = 2^-10 ~ 1e-3: fails a 1e-6 bar
+        assert not strict.detected
+        lax = verify(table, mark_key, spec, watermark, significance=1e-2)
+        assert lax.detected

@@ -1,0 +1,154 @@
+"""Edge cases across the embedding/detection core.
+
+Unusual-but-legal inputs: string and composite keys, Unicode categorical
+values, minimum-size domains, extreme ``e`` values, empty and tiny
+relations.
+"""
+
+import pytest
+
+from repro import MarkKey, Watermark, Watermarker
+from repro.core import (
+    BandwidthError,
+    detect,
+    embed,
+    make_spec,
+)
+from repro.relational import (
+    Attribute,
+    AttributeType,
+    CategoricalDomain,
+    Schema,
+    Table,
+)
+
+
+def make_table(values, keys, key_type=AttributeType.STRING):
+    schema = Schema(
+        (
+            Attribute("K", key_type),
+            Attribute(
+                "A", AttributeType.CATEGORICAL, CategoricalDomain(values)
+            ),
+        ),
+        primary_key="K",
+    )
+    rows = [(key, values[i % len(values)]) for i, key in enumerate(keys)]
+    return Table(schema, rows)
+
+
+class TestKeyTypes:
+    def test_string_primary_keys(self, mark_key):
+        table = make_table(
+            [f"v{i}" for i in range(16)],
+            [f"order-{i:05d}" for i in range(2000)],
+        )
+        watermark = Watermark.from_int(0b101101, 6)
+        spec = make_spec(table, watermark, "A", e=20)
+        embed(table, watermark, mark_key, spec)
+        assert detect(table, mark_key, spec).watermark == watermark
+
+    def test_unicode_values_and_keys(self, mark_key):
+        cities = ["Zürich", "北京", "São Paulo", "Кыив", "Ōsaka", "Ålesund",
+                  "Łódź", "İstanbul"]
+        table = make_table(
+            cities, [f"билет-{i}" for i in range(1500)]
+        )
+        watermark = Watermark.from_int(0b1011, 4)
+        spec = make_spec(table, watermark, "A", e=15)
+        embed(table, watermark, mark_key, spec)
+        assert detect(table, mark_key, spec).watermark == watermark
+
+    def test_unicode_survives_csv_round_trip(self, mark_key, tmp_path):
+        from repro.relational import read_csv, write_csv
+
+        cities = ["Zürich", "北京", "São Paulo", "Ōsaka"]
+        table = make_table(cities, [f"k{i}" for i in range(800)])
+        watermark = Watermark.from_int(0b10, 2)
+        spec = make_spec(table, watermark, "A", e=10)
+        embed(table, watermark, mark_key, spec)
+        path = tmp_path / "unicode.csv"
+        write_csv(table, path)
+        restored = read_csv(path, table.schema)
+        assert detect(restored, mark_key, spec).watermark == watermark
+
+
+class TestDomainSizes:
+    def test_two_value_domain_carries_bits(self, mark_key):
+        table = make_table(["no", "yes"], [f"k{i}" for i in range(3000)])
+        watermark = Watermark.from_int(0b101, 3)
+        spec = make_spec(table, watermark, "A", e=10)
+        embed(table, watermark, mark_key, spec)
+        assert detect(table, mark_key, spec).watermark == watermark
+
+    def test_three_value_domain_uses_one_pair(self, mark_key):
+        # floor(3/2) = 1 pair: only values a_0/a_1 are ever written
+        table = make_table(["a", "b", "c"], [f"k{i}" for i in range(2000)])
+        watermark = Watermark.from_int(0b11, 2)
+        spec = make_spec(table, watermark, "A", e=10)
+        embed(table, watermark, mark_key, spec)
+        domain = table.schema.attribute("A").domain
+        from repro.core import fit_keys
+
+        for key in fit_keys(table, "K", mark_key.k1, 10):
+            value = table.value(key, "A")
+            assert domain.index_of(value) < 2
+        assert detect(table, mark_key, spec).watermark == watermark
+
+    def test_single_value_domain_rejected(self, mark_key):
+        table = make_table(["only"], [f"k{i}" for i in range(100)])
+        watermark = Watermark.from_int(0b1, 1)
+        with pytest.raises(BandwidthError):
+            make_spec(table, watermark, "A", e=5)
+
+
+class TestExtremeE:
+    def test_e_equals_one_marks_everything(self, mark_key):
+        table = make_table(
+            [f"v{i}" for i in range(8)], [f"k{i}" for i in range(500)]
+        )
+        watermark = Watermark.from_int(0b10, 2)
+        spec = make_spec(table, watermark, "A", e=1)
+        result = embed(table, watermark, mark_key, spec)
+        assert result.fit_count == len(table)
+        assert detect(table, mark_key, spec).watermark == watermark
+
+    def test_huge_e_tiny_channel(self, mark_key):
+        table = make_table(
+            [f"v{i}" for i in range(8)], [f"k{i}" for i in range(500)]
+        )
+        watermark = Watermark.from_int(0b1, 1)
+        spec = make_spec(table, watermark, "A", e=100)
+        result = embed(table, watermark, mark_key, spec)
+        # ~5 carriers; a 1-bit payload still detects
+        if result.fit_count > 0:
+            assert detect(table, mark_key, spec).watermark == watermark
+
+
+class TestDegenerateRelations:
+    def test_empty_table_detection_yields_nothing(self, mark_key):
+        table = make_table(["a", "b"], [])
+        watermark = Watermark.from_int(0b1, 1)
+        spec = make_spec(table, watermark, "A", e=5)
+        result = detect(table, mark_key, spec)
+        assert result.fit_count == 0
+        assert result.slots_recovered == 0
+        assert result.mean_confidence == 0.0
+
+    def test_facade_on_tiny_relation(self, mark_key):
+        table = make_table(["a", "b", "c", "d"],
+                           [f"k{i}" for i in range(120)])
+        marker = Watermarker(mark_key, e=4)
+        watermark = Watermark.from_int(0b101, 3)
+        outcome = marker.embed(table, watermark, "A")
+        verdict = marker.verify(outcome.table, outcome.record)
+        assert verdict.association.matching_bits == 3
+
+    def test_composite_tuple_values(self, mark_key):
+        # hashable tuple values are legal categorical members
+        values = [("US", "NY"), ("US", "CA"), ("DE", "BE"), ("FR", "75")]
+        table = make_table(values, [f"k{i}" for i in range(1000)])
+        watermark = Watermark.from_int(0b01, 2)
+        spec = make_spec(table, watermark, "A", e=8)
+        embed(table, watermark, mark_key, spec)
+        assert detect(table, mark_key, spec).watermark == watermark

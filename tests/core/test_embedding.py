@@ -1,0 +1,226 @@
+"""Tests for repro.core.embedding — the §3.2.1 encoder."""
+
+import pytest
+
+from repro.core import (
+    BandwidthError,
+    EmbeddingSpec,
+    SpecError,
+    Watermark,
+    embed,
+    embedded_value_index,
+    make_spec,
+    slot_index,
+    value_pair_count,
+)
+from repro.core.embedding import carrier_population
+from repro.crypto import MarkKey
+from repro.quality import MaxAlterationFraction, QualityGuard
+from repro.relational import CategoricalDomain
+
+
+class TestSpec:
+    def test_make_spec_defaults(self, item_scan, watermark):
+        spec = make_spec(item_scan, watermark, "Item_Nbr", e=40)
+        assert spec.key_attribute == "Visit_Nbr"
+        assert spec.channel_length == max(10, round(len(item_scan) / 40))
+        assert spec.ecc_name == "majority"
+
+    def test_spec_dict_round_trip(self, item_scan, watermark):
+        spec = make_spec(item_scan, watermark, "Item_Nbr", e=40)
+        assert EmbeddingSpec.from_dict(spec.to_dict()) == spec
+
+    def test_invalid_e(self):
+        with pytest.raises(SpecError):
+            EmbeddingSpec("K", "A", 0, 10, 100)
+
+    def test_channel_shorter_than_watermark_rejected(self):
+        with pytest.raises(SpecError):
+            EmbeddingSpec("K", "A", 10, 10, 5)
+
+    def test_same_key_and_mark_attribute_rejected(self):
+        with pytest.raises(SpecError):
+            EmbeddingSpec("A", "A", 10, 10, 100)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(SpecError):
+            EmbeddingSpec("K", "A", 10, 10, 100, variant="quantum")
+
+    def test_non_categorical_mark_attribute_rejected(
+        self, item_scan, watermark
+    ):
+        with pytest.raises(SpecError):
+            make_spec(item_scan, watermark, "Visit_Nbr", e=40,
+                      key_attribute="Item_Nbr")
+
+    def test_channel_sized_by_distinct_values_for_non_pk_key(
+        self, sales, watermark
+    ):
+        spec = make_spec(
+            sales, watermark, "Store_Nbr", e=2, key_attribute="Item_Nbr"
+        )
+        distinct_items = carrier_population(sales, "Item_Nbr")
+        assert spec.channel_length == max(10, round(distinct_items / 2))
+
+
+class TestPrimitives:
+    def test_slot_index_in_range(self, mark_key):
+        for value in range(200):
+            assert 0 <= slot_index(value, mark_key.k2, 37) < 37
+
+    def test_slot_index_deterministic(self, mark_key):
+        assert slot_index(5, mark_key.k2, 100) == slot_index(5, mark_key.k2, 100)
+
+    def test_slot_index_invalid_length(self, mark_key):
+        with pytest.raises(SpecError):
+            slot_index(5, mark_key.k2, 0)
+
+    def test_value_pair_count(self):
+        assert value_pair_count(CategoricalDomain(["a", "b", "c"])) == 1
+        assert value_pair_count(CategoricalDomain(["a", "b", "c", "d"])) == 2
+        assert value_pair_count(CategoricalDomain(["a"])) == 0
+
+    def test_embedded_value_index_parity_carries_bit(self, mark_key):
+        domain = CategoricalDomain(list("abcdefgh"))
+        for value in range(100):
+            for bit in (0, 1):
+                index = embedded_value_index(value, mark_key.k1, bit, domain)
+                assert index & 1 == bit
+                assert 0 <= index < domain.size
+
+    def test_embedded_value_index_single_value_domain_raises(self, mark_key):
+        with pytest.raises(BandwidthError):
+            embedded_value_index(1, mark_key.k1, 0, CategoricalDomain(["solo"]))
+
+    def test_embedded_value_index_key_dependence(self, mark_key):
+        domain = CategoricalDomain([f"v{i}" for i in range(64)])
+        indices = {
+            embedded_value_index(value, mark_key.k1, 0, domain)
+            for value in range(100)
+        }
+        assert len(indices) > 5  # values spread over many pairs
+
+
+class TestEmbed:
+    def test_embeds_roughly_one_in_e(self, item_scan, mark_key, watermark):
+        table = item_scan.clone()
+        spec = make_spec(table, watermark, "Item_Nbr", e=40)
+        result = embed(table, watermark, mark_key, spec)
+        expected = len(table) / 40
+        assert expected * 0.6 < result.fit_count < expected * 1.4
+
+    def test_only_mark_attribute_touched(self, item_scan, mark_key, watermark):
+        table = item_scan.clone()
+        spec = make_spec(table, watermark, "Item_Nbr", e=40)
+        embed(table, watermark, mark_key, spec)
+        assert sorted(table.keys()) == sorted(item_scan.keys())
+        assert len(table) == len(item_scan)
+
+    def test_marked_carriers_hold_expected_parity(
+        self, item_scan, mark_key, watermark
+    ):
+        table = item_scan.clone()
+        spec = make_spec(table, watermark, "Item_Nbr", e=40)
+        embed(table, watermark, mark_key, spec)
+        domain = table.schema.attribute("Item_Nbr").domain
+        wm_data = spec.ecc().encode(watermark.bits, spec.channel_length)
+        from repro.core import fit_keys
+
+        for key_value in fit_keys(table, "Visit_Nbr", mark_key.k1, 40):
+            value = table.value(key_value, "Item_Nbr")
+            slot = slot_index(key_value, mark_key.k2, spec.channel_length)
+            assert domain.index_of(value) & 1 == wm_data[slot]
+
+    def test_watermark_length_mismatch_rejected(
+        self, item_scan, mark_key, watermark
+    ):
+        table = item_scan.clone()
+        spec = make_spec(table, watermark, "Item_Nbr", e=40)
+        with pytest.raises(SpecError):
+            embed(table, Watermark((1, 0)), mark_key, spec)
+
+    def test_map_variant_returns_embedding_map(
+        self, item_scan, mark_key, watermark
+    ):
+        table = item_scan.clone()
+        spec = make_spec(table, watermark, "Item_Nbr", e=40, variant="map")
+        result = embed(table, watermark, mark_key, spec)
+        assert result.embedding_map is not None
+        assert len(result.embedding_map) == result.fit_count
+        assert all(
+            0 <= slot < spec.channel_length
+            for slot in result.embedding_map.values()
+        )
+
+    def test_map_variant_covers_slots_sequentially(
+        self, item_scan, mark_key, watermark
+    ):
+        table = item_scan.clone()
+        spec = make_spec(table, watermark, "Item_Nbr", e=40, variant="map")
+        result = embed(table, watermark, mark_key, spec)
+        slots = sorted(result.embedding_map.values())
+        # sequential assignment: first fit_count slots (mod L) are covered
+        expected = sorted(
+            index % spec.channel_length for index in range(result.fit_count)
+        )
+        assert slots == expected
+
+    def test_guard_veto_counts(self, item_scan, mark_key, watermark):
+        table = item_scan.clone()
+        spec = make_spec(table, watermark, "Item_Nbr", e=20)
+        guard = QualityGuard([MaxAlterationFraction(0.005)])
+        guard.bind(table)
+        result = embed(table, watermark, mark_key, spec, guard=guard)
+        assert result.vetoed > 0
+        assert result.applied <= round(0.005 * len(table)) + 1
+
+    def test_guard_bound_to_other_table_rejected(
+        self, item_scan, mark_key, watermark
+    ):
+        table = item_scan.clone()
+        other = item_scan.clone()
+        spec = make_spec(table, watermark, "Item_Nbr", e=40)
+        guard = QualityGuard([])
+        guard.bind(other)
+        with pytest.raises(SpecError):
+            embed(table, watermark, mark_key, spec, guard=guard)
+
+    def test_non_pk_key_rewrites_all_sharing_tuples(
+        self, sales, mark_key, watermark
+    ):
+        table = sales.clone()
+        spec = make_spec(
+            table, watermark, "Store_Nbr", e=5, key_attribute="Item_Nbr"
+        )
+        embed(table, watermark, mark_key, spec)
+        # every fit item value maps to exactly one store value
+        from repro.core import is_fit
+
+        item_position = table.schema.position("Item_Nbr")
+        store_position = table.schema.position("Store_Nbr")
+        association: dict = {}
+        for row in table:
+            if not is_fit(row[item_position], mark_key.k1, 5):
+                continue
+            item = row[item_position]
+            store = row[store_position]
+            association.setdefault(item, store)
+            assert association[item] == store
+
+    def test_deterministic_under_same_key(self, item_scan, mark_key, watermark):
+        first = item_scan.clone()
+        second = item_scan.clone()
+        spec = make_spec(first, watermark, "Item_Nbr", e=40)
+        embed(first, watermark, mark_key, spec)
+        embed(second, watermark, mark_key, spec)
+        assert first == second
+
+    def test_different_keys_mark_different_tuples(self, item_scan, watermark):
+        first = item_scan.clone()
+        second = item_scan.clone()
+        key_a = MarkKey.from_seed("a")
+        key_b = MarkKey.from_seed("b")
+        spec = make_spec(first, watermark, "Item_Nbr", e=40)
+        embed(first, watermark, key_a, spec)
+        embed(second, watermark, key_b, spec)
+        assert first != second

@@ -1,0 +1,83 @@
+"""Tests for repro.core.fitness — secret fit-tuple selection (§3.2.1)."""
+
+import pytest
+
+from repro.core import (
+    SpecError,
+    count_fit,
+    expected_bandwidth,
+    fit_keys,
+    fit_rows,
+    is_fit,
+)
+from repro.crypto import MarkKey, keyed_hash
+
+
+class TestIsFit:
+    def test_matches_hash_criterion(self, mark_key):
+        for value in range(50):
+            expected = keyed_hash(value, mark_key.k1) % 7 == 0
+            assert is_fit(value, mark_key.k1, 7) == expected
+
+    def test_e_one_selects_everything(self, mark_key):
+        assert all(is_fit(value, mark_key.k1, 1) for value in range(20))
+
+    def test_invalid_e(self, mark_key):
+        with pytest.raises(SpecError):
+            is_fit(1, mark_key.k1, 0)
+
+    def test_key_sensitivity(self):
+        first = MarkKey.from_seed(1)
+        second = MarkKey.from_seed(2)
+        values = range(2000)
+        fits_first = {v for v in values if is_fit(v, first.k1, 10)}
+        fits_second = {v for v in values if is_fit(v, second.k1, 10)}
+        assert fits_first != fits_second
+
+
+class TestFitIteration:
+    def test_fit_keys_subset_of_keys(self, tiny_table, mark_key):
+        keys = set(fit_keys(tiny_table, "K", mark_key.k1, 2))
+        assert keys <= set(tiny_table.keys())
+
+    def test_fit_rows_match_fit_keys(self, tiny_table, mark_key):
+        keys = list(fit_keys(tiny_table, "K", mark_key.k1, 2))
+        rows = list(fit_rows(tiny_table, "K", mark_key.k1, 2))
+        assert [row[0] for row in rows] == keys
+
+    def test_count_fit_close_to_n_over_e(self, item_scan, mark_key):
+        e = 20
+        count = count_fit(item_scan, "Visit_Nbr", mark_key.k1, e)
+        expected = len(item_scan) / e
+        assert expected * 0.6 < count < expected * 1.4
+
+    def test_non_key_attribute_yields_per_tuple(self, tiny_table, mark_key):
+        # 'A' has duplicated values; every backing tuple is yielded
+        keys = list(fit_keys(tiny_table, "A", mark_key.k1, 1))
+        assert len(keys) == len(tiny_table)
+
+    def test_fitness_independent_of_order(self, tiny_table, mark_key):
+        import random
+
+        from repro.relational import shuffle
+
+        shuffled = shuffle(tiny_table, random.Random(3))
+        original = sorted(
+            map(repr, fit_keys(tiny_table, "K", mark_key.k1, 2))
+        )
+        reordered = sorted(
+            map(repr, fit_keys(shuffled, "K", mark_key.k1, 2))
+        )
+        assert original == reordered
+
+
+class TestBandwidth:
+    def test_expected_bandwidth(self):
+        assert expected_bandwidth(6000, 60) == 100
+
+    def test_expected_bandwidth_minimum_one(self):
+        assert expected_bandwidth(5, 100) == 1
+
+    def test_invalid_e(self):
+        with pytest.raises(SpecError):
+            expected_bandwidth(100, 0)

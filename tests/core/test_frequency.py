@@ -1,0 +1,135 @@
+"""Tests for repro.core.frequency — the §4.2 histogram channel."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BandwidthError,
+    FrequencyMarkRecord,
+    SpecError,
+    Watermark,
+    default_quantum,
+    detect_frequency,
+    embed_frequency,
+    verify_frequency,
+)
+from repro.attacks import DataLossAttack, SingleColumnAttack
+from repro.datagen import generate_item_scan
+
+
+@pytest.fixture
+def short_mark():
+    return Watermark.from_int(0b1100101, 7)
+
+
+@pytest.fixture
+def freq_marked(short_mark, mark_key):
+    table = generate_item_scan(15000, item_count=120, seed=31)
+    marked = table.clone()
+    result = embed_frequency(marked, short_mark, mark_key, "Item_Nbr")
+    return table, marked, result
+
+
+class TestEmbed:
+    def test_relation_size_preserved(self, freq_marked):
+        original, marked, _ = freq_marked
+        assert len(marked) == len(original)
+
+    def test_target_counts_realised(self, freq_marked, mark_key):
+        _, marked, result = freq_marked
+        from repro.relational import count_vector
+
+        assert tuple(count_vector(marked, "Item_Nbr")) == result.target_counts
+
+    def test_relabel_count_matches_half_l1(self, freq_marked):
+        _, _, result = freq_marked
+        moved = sum(
+            max(0, target - original)
+            for target, original in zip(
+                result.target_counts, result.original_counts
+            )
+        )
+        assert result.relabelled == moved
+
+    def test_distortion_is_moderate(self, freq_marked):
+        _, _, result = freq_marked
+        assert result.relabelled_fraction < 0.25
+
+    def test_non_categorical_attribute_rejected(self, short_mark, mark_key):
+        table = generate_item_scan(500, item_count=30, seed=1)
+        with pytest.raises(SpecError):
+            embed_frequency(table.clone(), short_mark, mark_key, "Visit_Nbr")
+
+    def test_empty_relation_rejected(self, short_mark, mark_key, tiny_schema):
+        from repro.relational import Table
+
+        with pytest.raises(BandwidthError):
+            embed_frequency(Table(tiny_schema), short_mark, mark_key, "A")
+
+    def test_invalid_quantum_rejected(self, short_mark, mark_key):
+        table = generate_item_scan(500, item_count=30, seed=1)
+        with pytest.raises(SpecError):
+            embed_frequency(
+                table.clone(), short_mark, mark_key, "Item_Nbr", quantum=1.5
+            )
+
+    def test_default_quantum(self):
+        # ~1/(4*nA), with a half-integer reciprocal (see docstring)
+        assert default_quantum(100) == pytest.approx(2 / 801)
+        assert (1 / default_quantum(100)) % 1 == pytest.approx(0.5)
+        with pytest.raises(SpecError):
+            default_quantum(0)
+
+
+class TestDetect:
+    def test_clean_round_trip(self, freq_marked, mark_key, short_mark):
+        _, marked, result = freq_marked
+        assert detect_frequency(marked, mark_key, result.record) == short_mark
+
+    def test_survives_single_column_partition(
+        self, freq_marked, mark_key, short_mark
+    ):
+        _, marked, result = freq_marked
+        attacked = SingleColumnAttack("Item_Nbr").apply(marked, random.Random(2))
+        verdict = verify_frequency(attacked, mark_key, result.record, short_mark)
+        assert verdict.detected
+
+    def test_survives_majority_data_loss(self, freq_marked, mark_key, short_mark):
+        """Frequencies are scale-free: uniform row loss preserves them in
+        expectation, so the channel rides out even 60% loss."""
+        _, marked, result = freq_marked
+        attacked = DataLossAttack(0.6).apply(marked, random.Random(2))
+        verdict = verify_frequency(attacked, mark_key, result.record, short_mark)
+        assert verdict.matching_bits >= len(short_mark) - 1
+
+    def test_unmarked_data_random_match(self, mark_key, short_mark):
+        table = generate_item_scan(15000, item_count=120, seed=32)
+        record = FrequencyMarkRecord(
+            attribute="Item_Nbr",
+            watermark_length=len(short_mark),
+            quantum=default_quantum(120),
+            domain_values=table.schema.attribute("Item_Nbr").domain.values,
+        )
+        verdict = verify_frequency(table, mark_key, record, short_mark)
+        assert verdict.matching_bits < len(short_mark)
+
+    def test_missing_attribute_raises(self, freq_marked, mark_key, short_mark):
+        _, marked, result = freq_marked
+        from repro.relational import project
+
+        suspect = project(marked, ["Visit_Nbr"])
+        with pytest.raises(Exception):
+            detect_frequency(suspect, mark_key, result.record)
+
+    def test_record_round_trip(self, freq_marked):
+        _, _, result = freq_marked
+        restored = FrequencyMarkRecord.from_dict(result.record.to_dict())
+        assert restored == result.record
+
+    def test_wrong_expected_length_rejected(
+        self, freq_marked, mark_key
+    ):
+        _, marked, result = freq_marked
+        with pytest.raises(Exception):
+            verify_frequency(marked, mark_key, result.record, Watermark((1,)))

@@ -1,0 +1,219 @@
+"""Tests for repro.core.multiattribute — §3.3 pair embeddings."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    LedgerConstraint,
+    PairDirective,
+    SpecError,
+    build_pair_closure,
+    embed_pairs,
+    verify_pairs,
+)
+from repro.attacks import VerticalPartitionAttack
+from repro.quality import QualityGuard
+
+
+class TestPairClosure:
+    def test_pk_anchored_pairs_come_first(self, sales):
+        plan = build_pair_closure(sales)
+        pk_pairs = [d for d in plan if d.key_attribute == "Scan_Id"]
+        assert plan[: len(pk_pairs)] == pk_pairs
+
+    def test_primary_key_never_marked(self, sales):
+        plan = build_pair_closure(sales)
+        assert all(d.mark_attribute != "Scan_Id" for d in plan)
+
+    def test_only_categorical_attributes_marked(self, sales):
+        plan = build_pair_closure(sales)
+        for directive in plan:
+            assert sales.schema.attribute(directive.mark_attribute).is_categorical
+
+    def test_low_cardinality_keys_rejected(self, sales):
+        plan = build_pair_closure(sales, watermark_length=10)
+        # Quantity has ~6 distinct values and Dept has 12: neither may act
+        # as a key place-holder for a 10-bit watermark at 2 carriers/bit.
+        assert all(d.key_attribute not in ("Quantity", "Dept") for d in plan)
+
+    def test_labels_unique(self, sales):
+        plan = build_pair_closure(sales)
+        labels = [d.label for d in plan]
+        assert len(labels) == len(set(labels))
+
+    def test_unknown_attribute_rejected(self, sales):
+        with pytest.raises(Exception):
+            build_pair_closure(sales, attributes=["Nope"])
+
+    def test_no_markable_pairs_raises(self, item_scan):
+        # ItemScan restricted to the PK alone has nothing to mark
+        with pytest.raises(SpecError):
+            build_pair_closure(item_scan, attributes=["Visit_Nbr"])
+
+
+class TestLedger:
+    def test_ledger_vetoes_frozen_cells(self, tiny_table):
+        guard = QualityGuard([LedgerConstraint({(1, "A")})])
+        guard.bind(tiny_table)
+        assert not guard.apply(1, "A", "blue")
+        assert tiny_table.value(1, "A") == "red"  # rolled back
+
+    def test_ledger_allows_untouched_cells(self, tiny_table):
+        guard = QualityGuard([LedgerConstraint({(1, "A")})])
+        guard.bind(tiny_table)
+        assert guard.apply(2, "A", "blue")
+
+
+class TestEmbedPairs:
+    def test_every_pass_reported(self, sales, mark_key, watermark):
+        table = sales.clone()
+        result = embed_pairs(table, watermark, mark_key, e=40)
+        assert set(result.passes) == set(result.specs)
+        assert result.total_applied > 0
+
+    def test_interference_no_cell_marked_twice(self, sales, mark_key, watermark):
+        """§3.3: the ledger must prevent a later pass from overwriting an
+        earlier pass's cells.  We check by re-running pass-by-pass and
+        verifying earlier passes still decode perfectly afterwards."""
+        from repro.core import verify
+
+        table = sales.clone()
+        result = embed_pairs(table, watermark, mark_key, e=40)
+        for label, spec in result.specs.items():
+            verdict = verify(
+                table,
+                mark_key.derive(label),
+                spec,
+                watermark,
+                embedding_map=result.embedding_maps.get(label),
+            )
+            assert verdict.matching_bits >= len(watermark) - 1, label
+
+    def test_duplicate_directives_rejected(self, sales, mark_key, watermark):
+        table = sales.clone()
+        directive = PairDirective("Scan_Id", "Item_Nbr")
+        with pytest.raises(SpecError):
+            embed_pairs(
+                table, watermark, mark_key, e=40,
+                directives=[directive, directive],
+            )
+
+    def test_pair_e_scaled_down_for_sparse_keys(self, sales, mark_key, watermark):
+        table = sales.clone()
+        result = embed_pairs(
+            table,
+            watermark,
+            mark_key,
+            e=500,
+            directives=[PairDirective("Item_Nbr", "Store_Nbr")],
+        )
+        spec = result.specs["Item_Nbr->Store_Nbr"]
+        assert spec.e < 500  # auto-scaled to keep carriers per bit
+
+
+class TestVerifyPairs:
+    def test_full_relation_all_witnesses_detect(self, sales, mark_key, watermark):
+        table = sales.clone()
+        embedding = embed_pairs(table, watermark, mark_key, e=40)
+        verdict = verify_pairs(table, mark_key, embedding, watermark)
+        assert verdict.detected
+        assert len(verdict.detected_pairs) == len(embedding.specs)
+
+    def test_vertical_partition_survivors_testify(
+        self, sales, mark_key, watermark
+    ):
+        table = sales.clone()
+        embedding = embed_pairs(table, watermark, mark_key, e=40)
+        attacked = VerticalPartitionAttack(["Item_Nbr", "Store_Nbr"]).apply(
+            table, random.Random(5)
+        )
+        verdict = verify_pairs(attacked, mark_key, embedding, watermark)
+        assert verdict.detected
+        assert "Item_Nbr->Store_Nbr" in verdict.detected_pairs
+
+    def test_no_surviving_pair_raises(self, sales, mark_key, watermark):
+        table = sales.clone()
+        embedding = embed_pairs(table, watermark, mark_key, e=40)
+        attacked = VerticalPartitionAttack(["Quantity"]).apply(
+            table, random.Random(5)
+        )
+        with pytest.raises(SpecError):
+            verify_pairs(attacked, mark_key, embedding, watermark)
+
+    def test_best_witness_exposed(self, sales, mark_key, watermark):
+        table = sales.clone()
+        embedding = embed_pairs(table, watermark, mark_key, e=40)
+        verdict = verify_pairs(table, mark_key, embedding, watermark)
+        assert verdict.best.false_hit_probability == min(
+            r.false_hit_probability for r in verdict.per_pair.values()
+        )
+
+    def test_summary_lists_every_witness(self, sales, mark_key, watermark):
+        table = sales.clone()
+        embedding = embed_pairs(table, watermark, mark_key, e=40)
+        verdict = verify_pairs(table, mark_key, embedding, watermark)
+        text = verdict.summary()
+        for label in embedding.specs:
+            assert label in text
+
+    def test_combined_evidence_stronger_than_any_witness(
+        self, sales, mark_key, watermark
+    ):
+        table = sales.clone()
+        embedding = embed_pairs(table, watermark, mark_key, e=40)
+        verdict = verify_pairs(table, mark_key, embedding, watermark)
+        best_single = min(
+            r.false_hit_probability for r in verdict.per_pair.values()
+        )
+        assert verdict.combined_false_hit_probability <= best_single
+
+    def test_combined_evidence_on_unmarked_data_not_significant(
+        self, sales, mark_key, watermark
+    ):
+        table = sales.clone()
+        embedding = embed_pairs(table, watermark, mark_key, e=40)
+        from repro.datagen import generate_sales
+
+        unrelated = generate_sales(3000, item_count=150, seed=9999)
+        verdict = verify_pairs(unrelated, mark_key, embedding, watermark)
+        assert not verdict.detected
+        assert verdict.combined_false_hit_probability > 0.01
+
+    def test_jointly_significant_weak_witnesses_detect(
+        self, sales, mark_key, watermark
+    ):
+        """Three 9-of-10 witnesses (each p=0.0107 > 0.01) must combine to a
+        detection via Fisher's method."""
+        from repro.core.detection import (
+            DetectionResult,
+            VerificationResult,
+            false_hit_probability,
+        )
+        from repro.core.multiattribute import MultiVerificationResult
+        from repro.core import Watermark as WM
+        from repro.ecc import DecodeResult
+
+        def weak_witness() -> VerificationResult:
+            bits = (1,) * 10
+            detection = DetectionResult(
+                watermark=WM(bits),
+                decode=DecodeResult(bits, (1.0,) * 10),
+                fit_count=10,
+                slots_recovered=10,
+                channel_length=10,
+            )
+            return VerificationResult(
+                detection=detection,
+                expected=WM(bits),
+                matching_bits=9,
+                false_hit_probability=false_hit_probability(9, 10),
+                significance=0.01,
+            )
+
+        combined = MultiVerificationResult(
+            {f"w{i}": weak_witness() for i in range(3)}
+        )
+        assert all(not w.detected for w in combined.per_pair.values())
+        assert combined.combined_false_hit_probability < 0.01
+        assert combined.detected

@@ -1,0 +1,179 @@
+"""Tests for repro.core.pipeline — the Watermarker facade + MarkRecord."""
+
+import random
+
+import pytest
+
+from repro import MarkKey, Watermark, Watermarker
+from repro.core import DetectionError, MarkRecord, SpecError
+from repro.attacks import (
+    BijectiveRemapAttack,
+    DataLossAttack,
+    ShuffleAttack,
+    VerticalPartitionAttack,
+)
+from repro.quality import MaxAlterationFraction
+
+
+class TestEmbed:
+    def test_input_never_mutated(self, item_scan, marker, watermark):
+        snapshot = item_scan.clone()
+        marker.embed(item_scan, watermark, "Item_Nbr")
+        assert item_scan == snapshot
+
+    def test_outcome_carries_record_and_stats(self, marked_item_scan):
+        outcome = marked_item_scan
+        assert outcome.record.spec.mark_attribute == "Item_Nbr"
+        assert outcome.embedding.fit_count > 0
+        assert outcome.record.domain_values is not None
+
+    def test_constraints_forwarded(self, item_scan, marker, watermark):
+        outcome = marker.embed(
+            item_scan,
+            watermark,
+            "Item_Nbr",
+            constraints=[MaxAlterationFraction(0.001)],
+        )
+        assert outcome.embedding.applied <= round(0.001 * len(item_scan)) + 1
+
+    def test_p_add_grows_relation(self, item_scan, marker, watermark):
+        outcome = marker.embed(item_scan, watermark, "Item_Nbr", p_add=0.03)
+        assert outcome.addition is not None
+        assert len(outcome.table) == len(item_scan) + outcome.addition.added
+
+    def test_frequency_channel_optional(self, item_scan, marker, watermark):
+        plain = marker.embed(item_scan, watermark, "Item_Nbr")
+        assert plain.record.frequency_record is None
+        rich = marker.embed(
+            item_scan, watermark, "Item_Nbr", with_frequency_channel=True
+        )
+        assert rich.record.frequency_record is not None
+
+    def test_invalid_e_rejected(self, mark_key):
+        with pytest.raises(SpecError):
+            Watermarker(mark_key, e=0)
+
+
+class TestVerify:
+    def test_clean_verify_detects(self, marked_item_scan, marker):
+        verdict = marker.verify(marked_item_scan.table, marked_item_scan.record)
+        assert verdict.detected
+        assert verdict.association is not None
+        assert verdict.association.mark_alteration == 0.0
+
+    def test_verify_after_shuffle(self, marked_item_scan, marker):
+        attacked = ShuffleAttack().apply(
+            marked_item_scan.table, random.Random(4)
+        )
+        assert marker.verify(attacked, marked_item_scan.record).detected
+
+    def test_verify_after_moderate_loss(self, marked_item_scan, marker):
+        attacked = DataLossAttack(0.3).apply(
+            marked_item_scan.table, random.Random(4)
+        )
+        verdict = marker.verify(attacked, marked_item_scan.record)
+        assert verdict.association.mark_alteration <= 0.2
+
+    def test_unrelated_key_fails_detection(self, marked_item_scan):
+        impostor = Watermarker(MarkKey.from_seed("impostor"), e=40)
+        verdict = impostor.verify(
+            marked_item_scan.table, marked_item_scan.record
+        )
+        assert not verdict.detected
+
+    def test_no_surviving_channel_raises(self, marked_item_scan, marker):
+        attacked = VerticalPartitionAttack(["Visit_Nbr"]).apply(
+            marked_item_scan.table, random.Random(4)
+        )
+        with pytest.raises(DetectionError):
+            marker.verify(attacked, marked_item_scan.record)
+
+    def test_remap_recovery_requires_profile(self, marked_item_scan, marker):
+        record = marked_item_scan.record
+        stripped = MarkRecord(
+            watermark=record.watermark,
+            spec=record.spec,
+            domain_values=record.domain_values,
+        )
+        with pytest.raises(DetectionError):
+            marker.verify(
+                marked_item_scan.table, stripped, try_remap_recovery=True
+            )
+
+    def test_summary_text(self, marked_item_scan, marker):
+        verdict = marker.verify(marked_item_scan.table, marked_item_scan.record)
+        assert "DETECTED" in verdict.summary()
+
+
+class TestRemapScenario:
+    def test_remap_recovered_on_skewed_domain(self, mark_key):
+        from repro.datagen import generate_bookings
+
+        bookings = generate_bookings(20000, seed=11)
+        marker = Watermarker(mark_key, e=40)
+        watermark = Watermark.from_int(0x2AB, 10)
+        outcome = marker.embed(
+            bookings, watermark, "Depart_City", with_frequency_channel=True
+        )
+        attack = BijectiveRemapAttack("Depart_City")
+        attacked = attack.apply(outcome.table, random.Random(5))
+        verdict = marker.verify(attacked, outcome.record, try_remap_recovery=True)
+        assert verdict.detected
+        assert verdict.association.detected  # recovered association channel
+
+    def test_remap_without_recovery_fails_association(
+        self, bookings, mark_key
+    ):
+        marker = Watermarker(mark_key, e=40)
+        watermark = Watermark.from_int(0x2AB, 10)
+        outcome = marker.embed(bookings, watermark, "Depart_City")
+        attack = BijectiveRemapAttack("Depart_City")
+        attacked = attack.apply(outcome.table, random.Random(5))
+        verdict = marker.verify(attacked, outcome.record)
+        assert not verdict.detected
+
+
+class TestMarkRecord:
+    def test_json_round_trip_minimal(self, marked_item_scan):
+        record = marked_item_scan.record
+        restored = MarkRecord.from_json(record.to_json())
+        assert restored.watermark == record.watermark
+        assert restored.spec == record.spec
+        assert restored.domain_values == record.domain_values
+
+    def test_json_round_trip_with_frequency(
+        self, item_scan, marker, watermark
+    ):
+        outcome = marker.embed(
+            item_scan, watermark, "Item_Nbr", with_frequency_channel=True
+        )
+        restored = MarkRecord.from_json(outcome.record.to_json())
+        assert restored.frequency_record == outcome.record.frequency_record
+        assert restored.frequency_profile == outcome.record.frequency_profile
+
+    def test_json_round_trip_with_map_variant(
+        self, item_scan, mark_key, watermark
+    ):
+        marker = Watermarker(mark_key, e=40, variant="map")
+        outcome = marker.embed(item_scan, watermark, "Item_Nbr")
+        restored = MarkRecord.from_json(outcome.record.to_json())
+        assert restored.embedding_map == outcome.record.embedding_map
+
+    def test_record_contains_no_key_material(self, marked_item_scan, mark_key):
+        payload = marked_item_scan.record.to_json()
+        assert mark_key.k1.hex() not in payload
+        assert mark_key.k2.hex() not in payload
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(SpecError):
+            MarkRecord.from_json('{"watermark": "10"}')
+
+    def test_detached_verification_from_record_json(
+        self, marked_item_scan, mark_key
+    ):
+        """The escrow workflow: a fresh Watermarker + deserialised record
+        must verify without any state from embedding time."""
+        record = MarkRecord.from_json(marked_item_scan.record.to_json())
+        fresh = Watermarker(mark_key, e=record.spec.e)
+        verdict = fresh.verify(marked_item_scan.table, record)
+        assert verdict.detected

@@ -1,0 +1,135 @@
+"""Tests for repro.core.remapping — §4.5 bijective remap recovery."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    FrequencyProfile,
+    apply_mapping,
+    estimate_profile,
+    recover_mapping,
+    recovery_quality,
+)
+from repro.core.remapping import UNRECOVERED
+from repro.attacks import BijectiveRemapAttack, PermutationRemapAttack
+from repro.datagen import generate_bookings, generate_item_scan
+
+
+class TestProfile:
+    def test_capture_sorted_descending(self, bookings):
+        profile = FrequencyProfile.capture(bookings, "Depart_City")
+        frequencies = [freq for _, freq in profile.frequencies]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_frequencies_sum_to_one(self, bookings):
+        profile = FrequencyProfile.capture(bookings, "Depart_City")
+        assert sum(freq for _, freq in profile.frequencies) == pytest.approx(1.0)
+
+    def test_dict_round_trip(self, bookings):
+        profile = FrequencyProfile.capture(bookings, "Depart_City")
+        assert FrequencyProfile.from_dict(profile.to_dict()) == profile
+
+    def test_empty_relation_rejected(self, tiny_schema):
+        from repro.relational import Table
+
+        with pytest.raises(Exception):
+            FrequencyProfile.capture(Table(tiny_schema), "A")
+
+    def test_estimate_equals_capture(self, bookings):
+        assert estimate_profile(bookings, "Depart_City") == \
+            FrequencyProfile.capture(bookings, "Depart_City")
+
+
+class TestRecovery:
+    def test_recovers_skewed_mapping_fully(self):
+        """With many samples per value ("over large data sets", §4.5) the
+        frequency fingerprint pins down the whole mapping."""
+        table = generate_bookings(50000, seed=11)
+        profile = FrequencyProfile.capture(table, "Depart_City")
+        attack = BijectiveRemapAttack("Depart_City")
+        attacked = attack.apply(table, random.Random(3))
+        recovered = recover_mapping(attacked, profile)
+        assert recovery_quality(attack.true_inverse, recovered) == 1.0
+
+    def test_recovery_mostly_correct_at_moderate_size(self, bookings):
+        profile = FrequencyProfile.capture(bookings, "Depart_City")
+        attack = BijectiveRemapAttack("Depart_City")
+        attacked = attack.apply(bookings, random.Random(3))
+        recovered = recover_mapping(attacked, profile)
+        assert recovery_quality(attack.true_inverse, recovered) >= 0.85
+
+    def test_recovers_permutation(self, bookings):
+        profile = FrequencyProfile.capture(bookings, "Depart_City")
+        attack = PermutationRemapAttack("Depart_City")
+        attacked = attack.apply(bookings, random.Random(3))
+        recovered = recover_mapping(attacked, profile)
+        assert recovery_quality(attack.true_inverse, recovered) >= 0.9
+
+    def test_uniform_distribution_defeats_recovery(self):
+        """The paper's negative case: uniformly distributed values carry no
+        distinguishing frequency property.  A verbatim relabeled copy still
+        preserves exact count ranks, so the realistic suspect — remapped
+        *and* subsampled — is what defeats rank alignment."""
+        from repro.attacks import DataLossAttack
+
+        table = generate_item_scan(
+            20000, item_count=50, zipf_exponent=0.0, seed=8
+        )
+        profile = FrequencyProfile.capture(table, "Item_Nbr")
+        attack = BijectiveRemapAttack("Item_Nbr")
+        rng = random.Random(3)
+        attacked = DataLossAttack(0.4).apply(attack.apply(table, rng), rng)
+        recovered = recover_mapping(attacked, profile)
+        assert recovery_quality(attack.true_inverse, recovered) < 0.5
+
+    def test_drop_ambiguous_marks_uncertain_values(self):
+        table = generate_item_scan(
+            20000, item_count=50, zipf_exponent=0.0, seed=8
+        )
+        profile = FrequencyProfile.capture(table, "Item_Nbr")
+        attack = BijectiveRemapAttack("Item_Nbr")
+        attacked = attack.apply(table, random.Random(3))
+        strict = recover_mapping(attacked, profile, drop_ambiguous=True)
+        # near-uniform: most of the mapping must be flagged unrecoverable
+        dropped = sum(1 for value in strict.values() if value is UNRECOVERED)
+        assert dropped > len(strict) // 2
+
+    def test_strict_mode_keeps_confident_head(self, bookings):
+        profile = FrequencyProfile.capture(bookings, "Depart_City")
+        attack = BijectiveRemapAttack("Depart_City")
+        attacked = attack.apply(bookings, random.Random(3))
+        strict = recover_mapping(attacked, profile, drop_ambiguous=True)
+        kept = {
+            suspect: original
+            for suspect, original in strict.items()
+            if original is not UNRECOVERED
+        }
+        assert kept  # hub cities are unambiguous
+        for suspect, original in kept.items():
+            assert attack.true_inverse[suspect] == original
+
+    def test_missing_attribute_raises(self, bookings):
+        profile = FrequencyProfile.capture(bookings, "Depart_City")
+        from repro.relational import project
+
+        suspect = project(bookings, ["Ticket_Id", "Airline"])
+        with pytest.raises(Exception):
+            recover_mapping(suspect, profile)
+
+
+class TestApplyMapping:
+    def test_translates_values(self, bookings):
+        attack = PermutationRemapAttack("Airline")
+        attacked = attack.apply(bookings, random.Random(3))
+        restored = apply_mapping(attacked, "Airline", attack.true_inverse)
+        assert sorted(restored.column("Airline")) == sorted(
+            bookings.column("Airline")
+        )
+
+    def test_quality_of_empty_inverse(self):
+        assert recovery_quality({}, {}) == 1.0
+
+    def test_quality_counts_correct_entries(self):
+        truth = {"x": "a", "y": "b"}
+        assert recovery_quality(truth, {"x": "a", "y": "wrong"}) == 0.5

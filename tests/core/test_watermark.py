@@ -1,0 +1,89 @@
+"""Tests for repro.core.watermark — the payload bit string."""
+
+import random
+
+import pytest
+
+from repro.core import Watermark, WatermarkingError
+
+
+class TestConstruction:
+    def test_bits_stored(self):
+        assert Watermark((1, 0, 1)).bits == (1, 0, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WatermarkingError):
+            Watermark(())
+
+    def test_non_bits_rejected(self):
+        with pytest.raises(WatermarkingError):
+            Watermark((1, 2))
+
+    def test_from_text_round_trip(self):
+        mark = Watermark.from_text("(c) ACME 2004")
+        assert mark.to_text() == "(c) ACME 2004"
+        assert len(mark) == 8 * len("(c) ACME 2004")
+
+    def test_from_text_empty_rejected(self):
+        with pytest.raises(WatermarkingError):
+            Watermark.from_text("")
+
+    def test_from_int_round_trip(self):
+        mark = Watermark.from_int(0b1011001110, 10)
+        assert mark.to_int() == 0b1011001110
+        assert len(mark) == 10
+
+    def test_from_int_leading_zeroes_preserved(self):
+        mark = Watermark.from_int(1, 8)
+        assert mark.to_bitstring() == "00000001"
+
+    def test_from_int_overflow_rejected(self):
+        with pytest.raises(WatermarkingError):
+            Watermark.from_int(16, 4)
+
+    def test_from_hex(self):
+        mark = Watermark.from_hex("ff")
+        assert mark.to_bitstring() == "11111111"
+
+    def test_from_hex_with_length(self):
+        mark = Watermark.from_hex("3", 4)
+        assert mark.to_bitstring() == "0011"
+
+    def test_random_length_and_determinism(self):
+        first = Watermark.random(16, random.Random(5))
+        second = Watermark.random(16, random.Random(5))
+        assert len(first) == 16
+        assert first == second
+
+    def test_to_text_requires_whole_bytes(self):
+        with pytest.raises(WatermarkingError):
+            Watermark((1, 0, 1)).to_text()
+
+
+class TestComparison:
+    def test_matching_bits_identity(self):
+        mark = Watermark((1, 0, 1, 1))
+        assert mark.matching_bits(mark) == 4
+
+    def test_hamming_distance(self):
+        assert Watermark((1, 0, 1)).hamming_distance((1, 1, 1)) == 1
+
+    def test_alteration_fraction(self):
+        assert Watermark((1, 0, 1, 0)).alteration((1, 0, 0, 1)) == pytest.approx(0.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WatermarkingError):
+            Watermark((1, 0)).matching_bits((1, 0, 1))
+
+    def test_comparison_accepts_plain_sequences(self):
+        assert Watermark((1, 0)).matching_bits([1, 1]) == 1
+
+    def test_equality_and_hash(self):
+        assert Watermark((1, 0)) == Watermark((1, 0))
+        assert hash(Watermark((1, 0))) == hash(Watermark((1, 0)))
+        assert Watermark((1, 0)) != Watermark((0, 1))
+
+    def test_indexing_and_iteration(self):
+        mark = Watermark((1, 0, 1))
+        assert mark[0] == 1
+        assert list(mark) == [1, 0, 1]

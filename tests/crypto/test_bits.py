@@ -1,0 +1,111 @@
+"""Tests for repro.crypto.bits — the paper's §2.1 bit primitives."""
+
+import pytest
+
+from repro.crypto import (
+    bit_length,
+    bits_to_int,
+    get_bit,
+    int_to_bits,
+    msb,
+    set_bit,
+)
+
+
+class TestBitLength:
+    def test_zero_occupies_one_bit(self):
+        assert bit_length(0) == 1
+
+    def test_powers_of_two(self):
+        assert bit_length(1) == 1
+        assert bit_length(2) == 2
+        assert bit_length(255) == 8
+        assert bit_length(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_length(-1)
+
+
+class TestMsb:
+    def test_truncates_to_top_bits(self):
+        # 0b110101 -> top 3 bits 0b110
+        assert msb(0b110101, 3) == 0b110
+
+    def test_short_value_left_padded(self):
+        # b(X) < b: left-padding with zeroes returns X itself (§2.1)
+        assert msb(0b101, 8) == 0b101
+
+    def test_exact_width_identity(self):
+        assert msb(0b1011, 4) == 0b1011
+
+    def test_width_one(self):
+        assert msb(0b1011, 1) == 1
+        assert msb(0b0011, 1) == 1  # leading zeroes don't count
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            msb(5, 0)
+
+    def test_negative_value(self):
+        with pytest.raises(ValueError):
+            msb(-5, 3)
+
+
+class TestSetBit:
+    def test_set_lsb_to_one(self):
+        assert set_bit(0b100, 0, 1) == 0b101
+
+    def test_set_lsb_to_zero(self):
+        assert set_bit(0b101, 0, 0) == 0b100
+
+    def test_set_high_bit(self):
+        assert set_bit(0, 5, 1) == 32
+
+    def test_idempotent(self):
+        assert set_bit(set_bit(7, 0, 0), 0, 0) == 6
+
+    def test_invalid_bit_value(self):
+        with pytest.raises(ValueError):
+            set_bit(0, 0, 2)
+
+    def test_invalid_position(self):
+        with pytest.raises(ValueError):
+            set_bit(0, -1, 1)
+
+    def test_paper_identity_lsb_readback(self):
+        """The decoding rule ``bit = t & 1`` must read back what set_bit
+        forced (§3.2.2)."""
+        for value in range(32):
+            for bit in (0, 1):
+                assert set_bit(value, 0, bit) & 1 == bit
+
+
+class TestGetBit:
+    def test_reads_positions(self):
+        value = 0b1010
+        assert get_bit(value, 0) == 0
+        assert get_bit(value, 1) == 1
+        assert get_bit(value, 3) == 1
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            get_bit(1, -1)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        for value in (0, 1, 5, 170, 1023):
+            bits = int_to_bits(value, 10)
+            assert bits_to_int(bits) == value
+
+    def test_int_to_bits_width_enforced(self):
+        with pytest.raises(ValueError):
+            int_to_bits(1024, 10)
+
+    def test_big_endian_layout(self):
+        assert int_to_bits(0b100, 3) == (1, 0, 0)
+
+    def test_bits_to_int_validates(self):
+        with pytest.raises(ValueError):
+            bits_to_int((0, 2, 1))

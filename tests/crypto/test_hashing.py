@@ -1,0 +1,69 @@
+"""Tests for repro.crypto.hashing — H(V,k) = crypto_hash(k;V;k) (§2.2)."""
+
+import pytest
+
+from repro.crypto import canonical_bytes, crypto_hash, keyed_hash, keyed_hash_mod
+
+
+class TestCanonicalBytes:
+    def test_int_and_string_distinct(self):
+        assert canonical_bytes(1) != canonical_bytes("1")
+
+    def test_bool_and_int_distinct(self):
+        assert canonical_bytes(True) != canonical_bytes(1)
+
+    def test_float_round_trip_precision(self):
+        assert canonical_bytes(0.1) == canonical_bytes(0.1)
+        assert canonical_bytes(0.1) != canonical_bytes(0.2)
+
+    def test_tuple_encoding_structure(self):
+        assert canonical_bytes(("a", 1)) != canonical_bytes(("a1",))
+
+    def test_bytes_passthrough(self):
+        assert canonical_bytes(b"xy") == b"y:xy"
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+
+class TestKeyedHash:
+    def test_deterministic(self):
+        assert keyed_hash(42, b"key") == keyed_hash(42, b"key")
+
+    def test_key_sensitivity(self):
+        assert keyed_hash(42, b"key1") != keyed_hash(42, b"key2")
+
+    def test_value_sensitivity(self):
+        assert keyed_hash(41, b"key") != keyed_hash(42, b"key")
+
+    def test_256_bit_output(self):
+        value = keyed_hash("anything", b"key")
+        assert 0 <= value < 2 ** 256
+
+    def test_key_must_be_bytes(self):
+        with pytest.raises(TypeError):
+            keyed_hash(42, "string-key")
+
+    def test_stable_across_runs(self):
+        """Pinned value: detection across processes depends on this."""
+        assert keyed_hash(1, b"k") == crypto_hash(
+            b"k" + b"\x00;\x00" + b"i:1" + b"\x00;\x00" + b"k"
+        )
+
+
+class TestKeyedHashMod:
+    def test_matches_full_hash(self):
+        assert keyed_hash_mod(7, b"k", 13) == keyed_hash(7, b"k") % 13
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            keyed_hash_mod(7, b"k", 0)
+
+    def test_fitness_rate_approximately_one_in_e(self):
+        """H(V,k) mod e == 0 should select ~1/e of values (§3.2.1)."""
+        e = 10
+        hits = sum(
+            keyed_hash_mod(value, b"secret", e) == 0 for value in range(5000)
+        )
+        assert 350 < hits < 650  # 500 expected; generous 3+ sigma band

@@ -1,0 +1,65 @@
+"""Tests for repro.crypto.keys — the (k1, k2) secret pair."""
+
+import pytest
+
+from repro.crypto import KeyError_, MarkKey
+
+
+class TestConstruction:
+    def test_generate_produces_distinct_subkeys(self):
+        key = MarkKey.generate()
+        assert key.k1 != key.k2
+
+    def test_generate_is_random(self):
+        assert MarkKey.generate() != MarkKey.generate()
+
+    def test_equal_subkeys_rejected(self):
+        with pytest.raises(KeyError_):
+            MarkKey(b"same", b"same")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(KeyError_):
+            MarkKey(b"", b"other")
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(KeyError_):
+            MarkKey("string", b"other")
+
+
+class TestSeeding:
+    def test_from_seed_deterministic(self):
+        assert MarkKey.from_seed(7) == MarkKey.from_seed(7)
+
+    def test_from_seed_distinct_seeds(self):
+        assert MarkKey.from_seed(7) != MarkKey.from_seed(8)
+
+    def test_string_and_int_seeds_with_same_text(self):
+        assert MarkKey.from_seed(7) == MarkKey.from_seed("7")
+
+
+class TestDerivation:
+    def test_derive_deterministic(self):
+        key = MarkKey.from_seed(1)
+        assert key.derive("K->A") == key.derive("K->A")
+
+    def test_derive_label_sensitivity(self):
+        key = MarkKey.from_seed(1)
+        assert key.derive("K->A") != key.derive("K->B")
+
+    def test_derived_differs_from_master(self):
+        key = MarkKey.from_seed(1)
+        assert key.derive("K->A") != key
+
+
+class TestPersistence:
+    def test_dict_round_trip(self):
+        key = MarkKey.from_seed(3)
+        assert MarkKey.from_dict(key.to_dict()) == key
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(KeyError_):
+            MarkKey.from_dict({"k1": "zz-not-hex"})
+
+    def test_repr_does_not_leak_full_key(self):
+        key = MarkKey.from_seed(3)
+        assert key.k1.hex() not in repr(key)

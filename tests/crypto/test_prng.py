@@ -1,0 +1,37 @@
+"""Tests for repro.crypto.prng — keyed deterministic randomness."""
+
+from repro.crypto import keyed_rng, seeded_rng
+
+
+class TestKeyedRng:
+    def test_deterministic_for_same_inputs(self):
+        first = keyed_rng(b"key", "purpose")
+        second = keyed_rng(b"key", "purpose")
+        assert [first.random() for _ in range(5)] == [
+            second.random() for _ in range(5)
+        ]
+
+    def test_label_separates_streams(self):
+        first = keyed_rng(b"key", "alpha")
+        second = keyed_rng(b"key", "beta")
+        assert [first.random() for _ in range(5)] != [
+            second.random() for _ in range(5)
+        ]
+
+    def test_extra_separates_streams(self):
+        first = keyed_rng(b"key", "alpha", 0)
+        second = keyed_rng(b"key", "alpha", 1)
+        assert first.random() != second.random()
+
+    def test_key_separates_streams(self):
+        first = keyed_rng(b"key1", "alpha")
+        second = keyed_rng(b"key2", "alpha")
+        assert first.random() != second.random()
+
+
+class TestSeededRng:
+    def test_deterministic(self):
+        assert seeded_rng(5).random() == seeded_rng(5).random()
+
+    def test_string_seeds_supported(self):
+        assert seeded_rng("abc").random() == seeded_rng("abc").random()

@@ -1,0 +1,144 @@
+"""Tests for repro.datagen — synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.datagen import (
+    CategoricalSampler,
+    DistributionError,
+    airline_schema,
+    generate_bookings,
+    generate_item_scan,
+    generate_sales,
+    item_catalogue,
+    uniform_weights,
+    zipf_weights,
+)
+
+
+class TestWeights:
+    def test_zipf_normalised(self):
+        weights = zipf_weights(100, 1.0)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_zipf_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_zipf_exponent_zero_is_uniform(self):
+        assert zipf_weights(10, 0.0) == pytest.approx(uniform_weights(10))
+
+    def test_uniform_weights(self):
+        weights = uniform_weights(4)
+        assert weights == [0.25] * 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DistributionError):
+            zipf_weights(0)
+        with pytest.raises(DistributionError):
+            zipf_weights(5, -1.0)
+        with pytest.raises(DistributionError):
+            uniform_weights(0)
+
+
+class TestSampler:
+    def test_sample_many_count(self):
+        sampler = CategoricalSampler.uniform(["a", "b", "c"])
+        samples = sampler.sample_many(100, random.Random(1))
+        assert len(samples) == 100
+        assert set(samples) <= {"a", "b", "c"}
+
+    def test_zipf_sampler_skew(self):
+        sampler = CategoricalSampler.zipf(list(range(50)), 1.2)
+        samples = sampler.sample_many(20_000, random.Random(1))
+        from collections import Counter
+
+        counts = Counter(samples)
+        most_common = counts.most_common(1)[0][1]
+        assert most_common > 20_000 / 50 * 3  # clearly skewed
+
+    def test_ragged_inputs_rejected(self):
+        with pytest.raises(DistributionError):
+            CategoricalSampler(["a", "b"], [0.5])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(DistributionError):
+            CategoricalSampler(["a", "b"], [0.5, -0.5])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(DistributionError):
+            CategoricalSampler(["a"], [0.0])
+
+
+class TestItemScan:
+    def test_paper_schema(self, item_scan):
+        assert item_scan.schema.names == ("Visit_Nbr", "Item_Nbr")
+        assert item_scan.primary_key == "Visit_Nbr"
+        assert item_scan.schema.attribute("Item_Nbr").is_categorical
+
+    def test_requested_size(self):
+        assert len(generate_item_scan(1234, seed=1)) == 1234
+
+    def test_deterministic_by_seed(self):
+        assert generate_item_scan(500, seed=3) == generate_item_scan(500, seed=3)
+        assert generate_item_scan(500, seed=3) != generate_item_scan(500, seed=4)
+
+    def test_catalogue_size_respected(self):
+        table = generate_item_scan(2000, item_count=50, seed=1)
+        assert table.schema.attribute("Item_Nbr").domain.size == 50
+        assert set(table.column("Item_Nbr")) <= set(item_catalogue(50))
+
+    def test_zipf_exponent_zero_near_uniform(self):
+        from collections import Counter
+
+        table = generate_item_scan(
+            20000, item_count=20, zipf_exponent=0.0, seed=1
+        )
+        counts = Counter(table.column("Item_Nbr"))
+        assert max(counts.values()) < 2.0 * min(counts.values())
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            generate_item_scan(-1)
+        with pytest.raises(ValueError):
+            generate_item_scan(10, item_count=0)
+
+
+class TestSales:
+    def test_schema_attributes(self, sales):
+        assert sales.schema.names == (
+            "Scan_Id", "Item_Nbr", "Store_Nbr", "Dept", "Quantity",
+        )
+        assert sales.schema.categorical_names() == (
+            "Item_Nbr", "Store_Nbr", "Dept",
+        )
+
+    def test_quantities_positive(self, sales):
+        assert all(quantity >= 1 for quantity in sales.column("Quantity"))
+
+    def test_deterministic(self):
+        assert generate_sales(200, seed=2) == generate_sales(200, seed=2)
+
+
+class TestBookings:
+    def test_schema(self, bookings):
+        assert bookings.schema.primary_key == "Ticket_Id"
+        assert "Depart_City" in bookings.schema
+
+    def test_no_self_loops(self, bookings):
+        depart_position = bookings.schema.position("Depart_City")
+        arrive_position = bookings.schema.position("Arrive_City")
+        assert all(
+            row[depart_position] != row[arrive_position] for row in bookings
+        )
+
+    def test_hub_skew_present(self, bookings):
+        from collections import Counter
+
+        counts = Counter(bookings.column("Depart_City"))
+        ordered = [count for _, count in counts.most_common()]
+        assert ordered[0] > 3 * ordered[-1]
+
+    def test_schema_factory_matches_generator(self, bookings):
+        assert airline_schema().names == bookings.schema.names

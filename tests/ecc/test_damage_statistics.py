@@ -1,0 +1,101 @@
+"""Statistical behaviour of the ECC layer under random damage.
+
+Cross-checks the measured bit-error rate of each code against the §4.4
+analytical model: with ``k`` replicas per bit and per-replica flip
+probability ``q``, a majority-voted bit fails with probability
+``P[Binom(k, q) > k/2]`` — the quantity the paper's resilience argument is
+built on.
+"""
+
+import random
+
+import pytest
+from scipy import stats
+
+from repro.ecc import MajorityVotingCode, get_code, registered_codes
+
+
+def damage_channel(channel, flip_probability, rng):
+    return [
+        bit ^ 1 if rng.random() < flip_probability else bit
+        for bit in channel
+    ]
+
+
+class TestMajorityModel:
+    @pytest.mark.parametrize("replicas", [5, 11, 21])
+    @pytest.mark.parametrize("flip_probability", [0.1, 0.3])
+    def test_bit_error_rate_matches_binomial_tail(
+        self, replicas, flip_probability
+    ):
+        code = MajorityVotingCode()
+        message_length = 16
+        length = message_length * replicas
+        rng = random.Random(replicas * 1000 + int(flip_probability * 100))
+        trials = 300
+        errors = 0
+        for trial in range(trials):
+            message = tuple(rng.randrange(2) for _ in range(message_length))
+            channel = damage_channel(
+                code.encode(message, length), flip_probability, rng
+            )
+            decoded = code.decode(channel, message_length).bits
+            errors += sum(a != b for a, b in zip(message, decoded))
+        measured = errors / (trials * message_length)
+        # analytical: majority of k replicas flips when > k/2 replicas flip
+        # (ties impossible for odd k)
+        predicted = float(
+            stats.binom.sf(replicas // 2, replicas, flip_probability)
+        )
+        assert measured == pytest.approx(predicted, abs=0.02), (
+            f"k={replicas} q={flip_probability}: "
+            f"measured {measured:.4f} vs predicted {predicted:.4f}"
+        )
+
+    def test_error_rate_decreases_with_replication(self):
+        code = MajorityVotingCode()
+        rng = random.Random(9)
+        rates = []
+        for replicas in (3, 9, 27):
+            errors = 0
+            for _ in range(200):
+                message = tuple(rng.randrange(2) for _ in range(8))
+                channel = damage_channel(
+                    code.encode(message, 8 * replicas), 0.3, rng
+                )
+                errors += sum(
+                    a != b
+                    for a, b in zip(message, code.decode(channel, 8).bits)
+                )
+            rates.append(errors / (200 * 8))
+        assert rates[0] > rates[1] > rates[2]
+        # theory at k=27, q=0.3: P[Binom(27,.3) > 13] ~ 1.4%
+        assert rates[2] < 0.03
+
+
+class TestAllCodesUnderDamage:
+    @pytest.mark.parametrize("name", registered_codes())
+    def test_low_damage_mostly_corrected(self, name):
+        """At 5% random channel damage and ~9x redundancy, every proper
+        code keeps the bit-error rate low; the identity code shows ~5%
+        (1:1 propagation) — quantifying why ECC is not optional."""
+        code = get_code(name)
+        rng = random.Random(42)
+        message_length = 10
+        length = max(90, code.minimum_length(message_length) * 3)
+        errors = 0
+        trials = 300
+        for _ in range(trials):
+            message = tuple(rng.randrange(2) for _ in range(message_length))
+            channel = damage_channel(code.encode(message, length), 0.05, rng)
+            errors += sum(
+                a != b
+                for a, b in zip(
+                    message, code.decode(channel, message_length).bits
+                )
+            )
+        rate = errors / (trials * message_length)
+        if name == "identity":
+            assert rate == pytest.approx(0.05, abs=0.02)
+        else:
+            assert rate < 0.01, name

@@ -1,0 +1,64 @@
+"""Tests for the Hamming(7,4)+replication code."""
+
+import random
+
+import pytest
+
+from repro.ecc import ECCError, Hamming74Code
+from repro.ecc.hamming import _decode_block, _encode_block
+
+
+@pytest.fixture
+def code():
+    return Hamming74Code()
+
+
+class TestBlockPrimitives:
+    def test_all_16_blocks_round_trip(self):
+        for value in range(16):
+            data = tuple((value >> shift) & 1 for shift in range(4))
+            assert _decode_block(_encode_block(data)) == data
+
+    def test_single_error_corrected_everywhere(self):
+        for value in range(16):
+            data = tuple((value >> shift) & 1 for shift in range(4))
+            codeword = list(_encode_block(data))
+            for position in range(7):
+                damaged = codeword[:]
+                damaged[position] ^= 1
+                assert _decode_block(damaged) == data, (
+                    f"data={data} flip@{position}"
+                )
+
+
+class TestCode:
+    def test_minimum_length(self, code):
+        assert code.minimum_length(4) == 7
+        assert code.minimum_length(5) == 14
+        assert code.minimum_length(10) == 21
+
+    def test_clean_round_trip(self, code):
+        message = (1, 0, 1, 1, 0, 0, 1, 0, 1, 1)
+        encoded = code.encode(message, 100)
+        assert code.decode(encoded, len(message)).bits == message
+
+    def test_padding_truncated_on_decode(self, code):
+        message = (1, 0, 1)  # pads to 4 bits internally
+        encoded = code.encode(message, 30)
+        assert code.decode(encoded, 3).bits == message
+
+    def test_scattered_errors_corrected(self, code):
+        rng = random.Random(3)
+        message = tuple(rng.randrange(2) for _ in range(8))
+        channel = list(code.encode(message, 140))  # 10 replicas of 14 bits
+        for position in rng.sample(range(140), 20):
+            channel[position] ^= 1
+        assert code.decode(channel, 8).bits == message
+
+    def test_channel_too_small_rejected(self, code):
+        with pytest.raises(ECCError):
+            code.encode((1, 0, 1, 1, 1), 13)  # needs >= 14
+
+    def test_decode_channel_too_small_rejected(self, code):
+        with pytest.raises(ECCError):
+            code.decode((1,) * 10, 10)

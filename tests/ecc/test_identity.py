@@ -1,0 +1,36 @@
+"""Tests for the identity (no-ECC) ablation code."""
+
+import pytest
+
+from repro.ecc import ECCError, IdentityCode
+
+
+@pytest.fixture
+def code():
+    return IdentityCode()
+
+
+class TestIdentity:
+    def test_message_prefix_padding_zero(self, code):
+        assert code.encode((1, 0, 1), 6) == (1, 0, 1, 0, 0, 0)
+
+    def test_round_trip(self, code):
+        message = (1, 1, 0, 1)
+        assert code.decode(code.encode(message, 10), 4).bits == message
+
+    def test_single_flip_is_fatal(self, code):
+        """No redundancy: every carrier flip is a watermark bit flip."""
+        message = (1, 0)
+        channel = list(code.encode(message, 5))
+        channel[0] ^= 1
+        assert code.decode(channel, 2).bits != message
+
+    def test_erasure_decodes_to_zero(self, code):
+        channel = [None, 1]
+        result = code.decode(channel, 2)
+        assert result.bits == (0, 1)
+        assert result.confidence == (0.0, 1.0)
+
+    def test_channel_too_small(self, code):
+        with pytest.raises(ECCError):
+            code.encode((1, 0, 1), 2)

@@ -1,0 +1,104 @@
+"""Tests for the interleaved majority-voting code (§3.2.1's ECC)."""
+
+import pytest
+
+from repro.ecc import ECCError, MajorityVotingCode
+
+
+@pytest.fixture
+def code():
+    return MajorityVotingCode()
+
+
+class TestEncode:
+    def test_cyclic_layout(self, code):
+        encoded = code.encode((1, 0, 1), 7)
+        assert encoded == (1, 0, 1, 1, 0, 1, 1)
+
+    def test_exact_length(self, code):
+        assert len(code.encode((1, 0), 9)) == 9
+
+    def test_channel_too_small_rejected(self, code):
+        with pytest.raises(ECCError):
+            code.encode((1, 0, 1), 2)
+
+    def test_empty_message_rejected(self, code):
+        with pytest.raises(ECCError):
+            code.encode((), 5)
+
+    def test_non_bit_rejected(self, code):
+        with pytest.raises(ECCError):
+            code.encode((1, 2), 5)
+
+
+class TestDecode:
+    def test_clean_round_trip(self, code):
+        message = (1, 0, 1, 1, 0)
+        encoded = code.encode(message, 50)
+        result = code.decode(encoded, len(message))
+        assert result.bits == message
+        assert all(conf == 1.0 for conf in result.confidence)
+
+    def test_minority_flips_corrected(self, code):
+        message = (1, 0)
+        channel = list(code.encode(message, 10))
+        channel[0] ^= 1  # one replica of bit 0 flipped
+        result = code.decode(channel, 2)
+        assert result.bits == message
+        assert result.confidence[0] < 1.0
+
+    def test_majority_flips_change_bit(self, code):
+        message = (1, 0)
+        channel = list(code.encode(message, 10))
+        for position in (0, 2, 4):  # 3 of 5 replicas of bit 0
+            channel[position] ^= 1
+        result = code.decode(channel, 2)
+        assert result.bits[0] == 0
+
+    def test_erasures_ignored_in_vote(self, code):
+        message = (1, 0)
+        channel = list(code.encode(message, 10))
+        channel[0] = None
+        channel[2] = None
+        result = code.decode(channel, 2)
+        assert result.bits == message
+
+    def test_all_erased_bit_decodes_to_zero_with_zero_confidence(self, code):
+        channel = [None] * 10
+        result = code.decode(channel, 2)
+        assert result.bits == (0, 0)
+        assert result.confidence == (0.0, 0.0)
+
+    def test_tie_breaks_to_zero(self, code):
+        # bit 0 replicas: positions 0, 2 -> one vote each way
+        channel = [1, 1, 0, 1]
+        result = code.decode(channel, 2)
+        assert result.bits[0] == 0
+        assert result.confidence[0] == 0.5
+
+    def test_channel_shorter_than_message_rejected(self, code):
+        with pytest.raises(ECCError):
+            code.decode((1, 0), 3)
+
+    def test_invalid_message_length(self, code):
+        with pytest.raises(ECCError):
+            code.decode((1, 0, 1), 0)
+
+    def test_invalid_slot_symbol(self, code):
+        with pytest.raises(ECCError):
+            code.decode((1, 0, 2), 2)
+
+
+class TestReplication:
+    def test_replication_factor(self, code):
+        assert code.replication_factor(10, 100) == pytest.approx(10.0)
+
+    def test_tolerates_damage_below_half_per_bit(self, code):
+        """With r replicas per bit, any < r/2 flips per bit are absorbed —
+        the error-correction property Figure 4 banks on."""
+        message = (1, 1, 0, 0, 1)
+        channel = list(code.encode(message, 55))  # 11 replicas per bit
+        for bit_index in range(5):
+            for replica in range(5):  # flip 5 of 11 replicas
+                channel[bit_index + replica * 5] ^= 1
+        assert code.decode(channel, 5).bits == message

@@ -1,0 +1,64 @@
+"""Tests for the ECC registry and shared base helpers."""
+
+import pytest
+
+from repro.ecc import (
+    ECCError,
+    ErrorCorrectingCode,
+    get_code,
+    majority,
+    registered_codes,
+    validate_message,
+    validate_slots,
+)
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in registered_codes():
+            code = get_code(name)
+            assert isinstance(code, ErrorCorrectingCode)
+            assert code.name == name
+
+    def test_expected_codes_present(self):
+        names = registered_codes()
+        for expected in ("majority", "block-repetition", "hamming74", "identity"):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ECCError):
+            get_code("fountain")
+
+    def test_every_registered_code_round_trips(self):
+        message = (1, 0, 1, 1, 0, 1, 0, 0)
+        for name in registered_codes():
+            code = get_code(name)
+            length = max(64, code.minimum_length(len(message)))
+            encoded = code.encode(message, length)
+            assert code.decode(encoded, len(message)).bits == message, name
+
+
+class TestBaseHelpers:
+    def test_majority_function(self):
+        assert majority((1, 1, 0)) == (1, 2 / 3)
+        assert majority((0, 0, 1)) == (0, 2 / 3)
+
+    def test_majority_empty_uses_tie(self):
+        assert majority((), tie=1) == (1, 0.0)
+
+    def test_majority_tie(self):
+        bit, confidence = majority((1, 0))
+        assert bit == 0
+        assert confidence == 0.5
+
+    def test_validate_message(self):
+        assert validate_message([1, 0]) == (1, 0)
+        with pytest.raises(ECCError):
+            validate_message([])
+        with pytest.raises(ECCError):
+            validate_message([1, "x"])
+
+    def test_validate_slots(self):
+        assert validate_slots([1, None, 0]) == (1, None, 0)
+        with pytest.raises(ECCError):
+            validate_slots([0.5])

@@ -1,0 +1,67 @@
+"""Tests for the block-repetition code (ECC-ablation alternative)."""
+
+import pytest
+
+from repro.ecc import BlockRepetitionCode, ECCError
+
+
+@pytest.fixture
+def code():
+    return BlockRepetitionCode()
+
+
+class TestEncode:
+    def test_contiguous_layout(self, code):
+        encoded = code.encode((1, 0), 6)
+        assert encoded == (1, 1, 1, 0, 0, 0)
+
+    def test_remainder_slots_cycle(self, code):
+        encoded = code.encode((1, 0), 7)
+        assert encoded == (1, 1, 1, 0, 0, 0, 1)
+
+    def test_channel_too_small_rejected(self, code):
+        with pytest.raises(ECCError):
+            code.encode((1, 0, 1), 2)
+
+
+class TestDecode:
+    def test_clean_round_trip(self, code):
+        message = (0, 1, 1, 0)
+        encoded = code.encode(message, 41)
+        assert code.decode(encoded, 4).bits == message
+
+    def test_minority_flip_corrected(self, code):
+        message = (1, 0)
+        channel = list(code.encode(message, 10))
+        channel[1] ^= 1
+        assert code.decode(channel, 2).bits == message
+
+    def test_erasure_handling(self, code):
+        message = (1, 0)
+        channel = list(code.encode(message, 10))
+        channel[0] = None
+        assert code.decode(channel, 2).bits == message
+
+    def test_contiguous_loss_kills_a_block(self, code):
+        """The failure mode motivating the paper's interleaving: losing a
+        contiguous run erases ALL replicas of one bit."""
+        message = (1, 0)
+        channel = list(code.encode(message, 10))
+        for position in range(5):  # all replicas of bit 0
+            channel[position] = None
+        result = code.decode(channel, 2)
+        assert result.confidence[0] == 0.0  # bit 0 decoded from nothing
+
+    def test_interleaved_counterpart_survives_same_loss(self):
+        """Contrast case: the majority code keeps evidence for every bit
+        under the identical contiguous erasure."""
+        from repro.ecc import MajorityVotingCode
+
+        message = (1, 0)
+        majority = MajorityVotingCode()
+        channel = list(majority.encode(message, 10))
+        for position in range(5):
+            channel[position] = None
+        result = majority.decode(channel, 2)
+        assert all(conf > 0.0 for conf in result.confidence)
+        assert result.bits == message

@@ -1,0 +1,135 @@
+"""Tests for repro.experiments — runner, figure generators, reporting."""
+
+import pytest
+
+from repro.attacks import DataLossAttack, SubsetAlterationAttack
+from repro.experiments import (
+    ExperimentPoint,
+    FigureConfig,
+    PassResult,
+    figure4_series,
+    figure5_series,
+    figure6_surface,
+    figure7_series,
+    format_series,
+    format_surface,
+    format_table,
+    run_attack_experiment,
+    sweep,
+)
+
+QUICK = FigureConfig(tuple_count=1500, item_count=100, passes=2)
+
+
+class TestRunner:
+    def test_pass_results_have_expected_shape(self, item_scan):
+        results = run_attack_experiment(
+            item_scan, "Item_Nbr", 40, DataLossAttack(0.2), passes=2
+        )
+        assert len(results) == 2
+        for result in results:
+            assert 0.0 <= result.mark_alteration <= 1.0
+            assert result.fit_count > 0
+
+    def test_distinct_seeds_per_pass(self, item_scan):
+        results = run_attack_experiment(
+            item_scan, "Item_Nbr", 40, DataLossAttack(0.2), passes=3
+        )
+        assert len({result.seed for result in results}) == 3
+
+    def test_no_attack_means_no_alteration(self, item_scan):
+        from repro.attacks import IdentityAttack
+
+        results = run_attack_experiment(
+            item_scan, "Item_Nbr", 40, IdentityAttack(), passes=2
+        )
+        assert all(result.mark_alteration == 0.0 for result in results)
+        assert all(result.detected for result in results)
+
+    def test_sweep_points_follow_xs(self, item_scan):
+        points = sweep(
+            item_scan,
+            "Item_Nbr",
+            40,
+            lambda loss: DataLossAttack(loss),
+            [0.1, 0.5],
+            passes=2,
+        )
+        assert [point.x for point in points] == [0.1, 0.5]
+
+    def test_experiment_point_statistics(self):
+        point = ExperimentPoint(
+            x=1.0,
+            passes=[
+                PassResult(0, 0.2, True, 0.001, 10, 10),
+                PassResult(1, 0.4, False, 0.2, 10, 10),
+            ],
+        )
+        assert point.mean_alteration == pytest.approx(0.3)
+        assert point.detection_rate == pytest.approx(0.5)
+        assert point.alteration_stdev == pytest.approx(0.1)
+
+    def test_empty_point_statistics(self):
+        point = ExperimentPoint(x=0.0)
+        assert point.mean_alteration == 0.0
+        assert point.detection_rate == 0.0
+
+
+class TestFigures:
+    def test_figure4_shape(self):
+        series = figure4_series(
+            QUICK, e_values=(30, 60), attack_sizes=(0.2, 0.6)
+        )
+        assert set(series) == {30, 60}
+        for points in series.values():
+            assert [point.x for point in points] == [0.2, 0.6]
+            # graceful degradation: more attack, at least as much damage
+            # (allow small sampling wobble at 2 passes)
+            assert points[1].mean_alteration >= points[0].mean_alteration - 0.15
+
+    def test_figure5_more_bandwidth_more_resilience(self):
+        series = figure5_series(
+            QUICK, e_values=(10, 120), attack_sizes=(0.5,)
+        )
+        points = series[0.5]
+        assert points[0].x == 10.0
+        # e=10 (more carriers) must beat e=120 under the same attack
+        assert points[0].mean_alteration <= points[1].mean_alteration + 0.05
+
+    def test_figure6_surface_grid(self):
+        surface = figure6_surface(
+            QUICK, e_values=(30, 90), attack_sizes=(0.2, 0.6)
+        )
+        assert len(surface) == 4
+        es = {e for e, _, _ in surface}
+        assert es == {30, 90}
+
+    def test_figure7_loss_series(self):
+        points = figure7_series(QUICK, e=40, loss_fractions=(0.2, 0.8))
+        assert len(points) == 2
+        assert all(0.0 <= point.mean_alteration <= 1.0 for point in points)
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(("a", "bb"), [(1, 2.5), (10, 3.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "2.500" in text
+
+    def test_format_series_contains_points(self):
+        point = ExperimentPoint(
+            x=0.5, passes=[PassResult(0, 0.25, True, 0.001, 10, 10)]
+        )
+        text = format_series("Figure X", [point], "loss", percent_x=True)
+        assert "Figure X" in text
+        assert "50%" in text
+        assert "25.0%" in text
+
+    def test_format_surface_grid(self):
+        text = format_surface(
+            "Surface", [(30, 0.2, 0.1), (30, 0.6, 0.2), (90, 0.2, 0.3)]
+        )
+        assert "e \\ attack" in text
+        assert "-" in text  # missing (90, 0.6) cell

@@ -1,0 +1,104 @@
+"""Integration: resilience claims of the paper checked per attack class.
+
+These tests assert the *shape* results of §5 at reduced scale: graceful
+degradation, the e-resilience trade-off, and the headline data-loss claim.
+"""
+
+import random
+
+import pytest
+
+from repro import MarkKey, Watermark, Watermarker
+from repro.attacks import (
+    DataLossAttack,
+    ShuffleAttack,
+    SortAttack,
+    SubsetAdditionAttack,
+    SubsetAlterationAttack,
+)
+from repro.datagen import generate_item_scan
+from repro.experiments import run_attack_experiment
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_item_scan(6000, item_count=300, seed=42)
+
+
+def mean_alteration(table, e, attack, passes=4):
+    results = run_attack_experiment(
+        table, "Item_Nbr", e, attack, passes=passes
+    )
+    return sum(result.mark_alteration for result in results) / len(results)
+
+
+class TestA1DataLoss:
+    def test_headline_claim_80_percent_loss(self, table):
+        """Paper headline: up to 80% data loss -> only ~25% mark alteration."""
+        alteration = mean_alteration(table, 65, DataLossAttack(0.8), passes=6)
+        assert alteration <= 0.25
+
+    def test_degradation_roughly_monotone(self, table):
+        low = mean_alteration(table, 65, DataLossAttack(0.2), passes=4)
+        high = mean_alteration(table, 65, DataLossAttack(0.8), passes=4)
+        assert low <= high + 0.05
+
+    def test_moderate_loss_nearly_harmless(self, table):
+        assert mean_alteration(table, 65, DataLossAttack(0.3), passes=4) <= 0.05
+
+
+class TestA2Addition:
+    def test_dilution_is_nearly_harmless(self, table):
+        """Added tuples vote randomly at rate 1/e: majority absorbs them."""
+        alteration = mean_alteration(
+            table, 65, SubsetAdditionAttack(0.5), passes=4
+        )
+        assert alteration <= 0.05
+
+    def test_extreme_dilution_still_detected(self, table):
+        results = run_attack_experiment(
+            table, "Item_Nbr", 65, SubsetAdditionAttack(1.0), passes=4
+        )
+        assert all(result.mark_alteration <= 0.2 for result in results)
+
+
+class TestA3Alteration:
+    def test_graceful_degradation(self, table):
+        small = mean_alteration(
+            table, 65, SubsetAlterationAttack("Item_Nbr", 0.2, 0.7), passes=4
+        )
+        large = mean_alteration(
+            table, 65, SubsetAlterationAttack("Item_Nbr", 0.8, 0.7), passes=4
+        )
+        assert small <= large + 0.05
+        assert small <= 0.25
+
+    def test_more_bandwidth_more_resilience(self, table):
+        """Figure 5's claim: decreasing e raises resilience."""
+        attack = SubsetAlterationAttack("Item_Nbr", 0.55, 0.7)
+        strong = mean_alteration(table, 15, attack, passes=4)
+        weak = mean_alteration(table, 150, attack, passes=4)
+        assert strong <= weak + 0.05
+
+
+class TestA4Resorting:
+    def test_shuffle_changes_nothing(self, table):
+        assert mean_alteration(table, 65, ShuffleAttack(), passes=3) == 0.0
+
+    def test_sort_changes_nothing(self, table):
+        assert mean_alteration(
+            table, 65, SortAttack("Item_Nbr"), passes=3
+        ) == 0.0
+
+    def test_detection_bit_identical_under_reorder(self, table):
+        key = MarkKey.from_seed("order-test")
+        watermark = Watermark.from_int(0x155, 10)
+        marker = Watermarker(key, e=50)
+        outcome = marker.embed(table, watermark, "Item_Nbr")
+        shuffled = ShuffleAttack().apply(outcome.table, random.Random(1))
+        original = marker.verify(outcome.table, outcome.record)
+        reordered = marker.verify(shuffled, outcome.record)
+        assert (
+            original.association.detection.watermark
+            == reordered.association.detection.watermark
+        )

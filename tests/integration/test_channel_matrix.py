@@ -1,0 +1,155 @@
+"""Systematic attack × channel survival matrix.
+
+One table, every attack class from §2.3, three protection configurations
+(single pair, multi-attribute closure, association+frequency), each cell
+asserting the survival expectation the paper's design implies.  This is
+the "does the whole system hang together" test.
+"""
+
+import random
+
+import pytest
+
+from repro import MarkKey, Watermark, Watermarker
+from repro.attacks import (
+    BijectiveRemapAttack,
+    CompositeAttack,
+    DataLossAttack,
+    ShuffleAttack,
+    SingleColumnAttack,
+    SortAttack,
+    SubsetAdditionAttack,
+    SubsetAlterationAttack,
+    VerticalPartitionAttack,
+)
+from repro.core import embed_pairs, verify_frequency, verify_pairs
+from repro.datagen import generate_sales
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_sales(12_000, item_count=200, seed=314)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return MarkKey.from_seed("matrix")
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return Watermark.from_int(0x2AB, 10)
+
+
+@pytest.fixture(scope="module")
+def single_channel(base, key, payload):
+    marker = Watermarker(key, e=50)
+    outcome = marker.embed(
+        base, payload, "Item_Nbr", with_frequency_channel=True
+    )
+    return marker, outcome
+
+
+@pytest.fixture(scope="module")
+def multi_channel(base, key, payload):
+    table = base.clone()
+    embedding = embed_pairs(table, payload, key, e=50)
+    return table, embedding
+
+
+RNG_SEED = 2718
+
+
+class TestSingleChannelMatrix:
+    @pytest.mark.parametrize(
+        "attack",
+        [
+            DataLossAttack(0.5),
+            SubsetAdditionAttack(0.5),
+            SubsetAlterationAttack("Item_Nbr", 0.25, 0.7),
+            ShuffleAttack(),
+            SortAttack("Item_Nbr"),
+            CompositeAttack(
+                [
+                    DataLossAttack(0.3),
+                    SubsetAdditionAttack(0.2),
+                    SubsetAlterationAttack("Item_Nbr", 0.05),
+                    ShuffleAttack(),
+                ]
+            ),
+        ],
+        ids=lambda attack: attack.name,
+    )
+    def test_association_channel_survives(self, single_channel, attack):
+        marker, outcome = single_channel
+        attacked = attack.apply(outcome.table, random.Random(RNG_SEED))
+        verdict = marker.verify(attacked, outcome.record)
+        assert verdict.detected, attack.name
+
+    def test_remap_needs_recovery(self, single_channel):
+        marker, outcome = single_channel
+        attack = BijectiveRemapAttack("Item_Nbr")
+        attacked = attack.apply(outcome.table, random.Random(RNG_SEED))
+        naive = marker.verify(attacked, outcome.record)
+        recovered = marker.verify(
+            attacked, outcome.record, try_remap_recovery=True
+        )
+        # the frequency channel inside the record carries recovery
+        assert recovered.detected
+        assert not naive.association.detected
+
+    def test_single_column_only_frequency_survives(
+        self, single_channel, key, payload
+    ):
+        marker, outcome = single_channel
+        attacked = SingleColumnAttack("Item_Nbr").apply(
+            outcome.table, random.Random(RNG_SEED)
+        )
+        freq = verify_frequency(
+            attacked, key, outcome.record.frequency_record, payload
+        )
+        assert freq.detected
+
+
+class TestMultiChannelMatrix:
+    @pytest.mark.parametrize(
+        "kept",
+        [
+            ["Scan_Id", "Item_Nbr"],
+            ["Scan_Id", "Store_Nbr", "Dept"],
+            ["Item_Nbr", "Store_Nbr"],
+            ["Item_Nbr", "Dept", "Quantity"],
+        ],
+        ids=lambda kept: "+".join(kept),
+    )
+    def test_partitions_keep_a_witness(
+        self, multi_channel, key, payload, kept
+    ):
+        table, embedding = multi_channel
+        attacked = VerticalPartitionAttack(kept).apply(
+            table, random.Random(RNG_SEED)
+        )
+        verdict = verify_pairs(attacked, key, embedding, payload)
+        assert verdict.detected, kept
+
+    def test_partition_plus_loss(self, multi_channel, key, payload):
+        table, embedding = multi_channel
+        attack = CompositeAttack(
+            [
+                VerticalPartitionAttack(["Scan_Id", "Item_Nbr", "Store_Nbr"]),
+                DataLossAttack(0.4),
+                ShuffleAttack(),
+            ]
+        )
+        attacked = attack.apply(table, random.Random(RNG_SEED))
+        verdict = verify_pairs(attacked, key, embedding, payload)
+        assert verdict.detected
+
+    def test_wrong_key_never_detects_anywhere(
+        self, multi_channel, payload
+    ):
+        table, embedding = multi_channel
+        impostor = MarkKey.from_seed("impostor-matrix")
+        verdict = verify_pairs(table, impostor, embedding, payload)
+        assert not verdict.detected
+        assert verdict.combined_false_hit_probability > 0.001

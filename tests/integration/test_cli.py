@@ -1,0 +1,203 @@
+"""Integration tests for the repro-wm command-line interface."""
+
+import json
+import random
+
+import pytest
+
+from repro.cli import EXIT_NOT_DETECTED, main
+from repro.datagen import generate_item_scan
+from repro.relational import (
+    drop_fraction,
+    read_csv,
+    schema_from_json,
+    schema_to_json,
+    write_csv,
+)
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """data.csv + schema.json + key.json ready for CLI use."""
+    table = generate_item_scan(5000, item_count=200, seed=8)
+    data = tmp_path / "data.csv"
+    schema = tmp_path / "schema.json"
+    key = tmp_path / "key.json"
+    write_csv(table, data)
+    schema.write_text(schema_to_json(table.schema), encoding="utf-8")
+    assert main(["genkey", "--out", str(key), "--seed", "cli-test"]) == 0
+    return tmp_path
+
+
+def embed_args(ws, **overrides):
+    args = {
+        "--data": str(ws / "data.csv"),
+        "--schema": str(ws / "schema.json"),
+        "--key": str(ws / "key.json"),
+        "--attribute": "Item_Nbr",
+        "--watermark": "(c)T",
+        "--e": "50",
+        "--out": str(ws / "marked.csv"),
+        "--record": str(ws / "record.json"),
+    }
+    args.update(overrides)
+    return ["embed"] + [part for pair in args.items() for part in pair]
+
+
+class TestGenkey:
+    def test_writes_key_json(self, tmp_path):
+        out = tmp_path / "key.json"
+        assert main(["genkey", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert set(payload) == {"k1", "k2"}
+
+    def test_seeded_keys_reproducible(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        main(["genkey", "--out", str(first), "--seed", "s"])
+        main(["genkey", "--out", str(second), "--seed", "s"])
+        assert first.read_text() == second.read_text()
+
+
+class TestEmbedDetect:
+    def test_embed_then_detect_clean(self, workspace, capsys):
+        assert main(embed_args(workspace)) == 0
+        code = main(
+            [
+                "detect",
+                "--data", str(workspace / "marked.csv"),
+                "--schema", str(workspace / "schema.json"),
+                "--key", str(workspace / "key.json"),
+                "--record", str(workspace / "record.json"),
+            ]
+        )
+        assert code == 0
+        assert "DETECTED" in capsys.readouterr().out
+
+    def test_detect_survives_row_loss(self, workspace):
+        main(embed_args(workspace))
+        schema = schema_from_json(
+            (workspace / "schema.json").read_text()
+        )
+        marked = read_csv(workspace / "marked.csv", schema)
+        suspect = drop_fraction(marked, 0.5, random.Random(4))
+        write_csv(suspect, workspace / "suspect.csv")
+        code = main(
+            [
+                "detect",
+                "--data", str(workspace / "suspect.csv"),
+                "--schema", str(workspace / "schema.json"),
+                "--key", str(workspace / "key.json"),
+                "--record", str(workspace / "record.json"),
+            ]
+        )
+        assert code == 0
+
+    def test_unmarked_data_exits_not_detected(self, workspace):
+        main(embed_args(workspace))
+        code = main(
+            [
+                "detect",
+                "--data", str(workspace / "data.csv"),  # the original!
+                "--schema", str(workspace / "schema.json"),
+                "--key", str(workspace / "key.json"),
+                "--record", str(workspace / "record.json"),
+            ]
+        )
+        assert code == EXIT_NOT_DETECTED
+
+    def test_embed_with_quality_budget(self, workspace, capsys):
+        assert main(
+            embed_args(workspace, **{"--max-alteration": "0.001"})
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vetoed" in out
+
+    def test_bits_watermark_format(self, workspace):
+        assert main(
+            embed_args(workspace, **{"--watermark": "bits:1011001110"})
+        ) == 0
+        record = json.loads((workspace / "record.json").read_text())
+        assert record["watermark"] == "1011001110"
+
+    def test_hex_watermark_format(self, workspace):
+        assert main(embed_args(workspace, **{"--watermark": "hex:AC"})) == 0
+        record = json.loads((workspace / "record.json").read_text())
+        assert record["watermark"] == "10101100"
+
+
+class TestInspect:
+    def test_inspect_prints_profile(self, workspace, capsys):
+        code = main(
+            [
+                "inspect",
+                "--data", str(workspace / "data.csv"),
+                "--schema", str(workspace / "schema.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Item_Nbr" in out
+        assert "5000" in out
+
+    def test_inspect_single_attribute(self, workspace, capsys):
+        code = main(
+            [
+                "inspect",
+                "--data", str(workspace / "data.csv"),
+                "--schema", str(workspace / "schema.json"),
+                "--attribute", "Item_Nbr",
+            ]
+        )
+        assert code == 0
+        assert "distinct values" in capsys.readouterr().out
+
+
+class TestSchemaTemplate:
+    def test_template_is_valid_json(self, workspace, capsys):
+        code = main(
+            ["schema-template", "--data", str(workspace / "data.csv")]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["primary_key"] == "Visit_Nbr"
+        assert [a["name"] for a in payload["attributes"]] == [
+            "Visit_Nbr", "Item_Nbr",
+        ]
+
+
+class TestRemapRecoveryFlag:
+    @pytest.fixture
+    def dense_workspace(self, tmp_path):
+        """Remap recovery needs many rows per value (§4.5's "over large
+        data sets"): 8000 rows over 25 items."""
+        table = generate_item_scan(8000, item_count=25, seed=9)
+        write_csv(table, tmp_path / "data.csv")
+        (tmp_path / "schema.json").write_text(
+            schema_to_json(table.schema), encoding="utf-8"
+        )
+        assert main(
+            ["genkey", "--out", str(tmp_path / "key.json"), "--seed", "d"]
+        ) == 0
+        return tmp_path
+
+    def test_detect_with_recovery_after_remap(self, dense_workspace):
+        workspace = dense_workspace
+        main(embed_args(workspace))
+        schema = schema_from_json((workspace / "schema.json").read_text())
+        marked = read_csv(workspace / "marked.csv", schema)
+        from repro.attacks import PermutationRemapAttack
+
+        attacked = PermutationRemapAttack("Item_Nbr").apply(
+            marked, random.Random(6)
+        )
+        write_csv(attacked, workspace / "remapped.csv")
+        base = [
+            "detect",
+            "--data", str(workspace / "remapped.csv"),
+            "--schema", str(workspace / "schema.json"),
+            "--key", str(workspace / "key.json"),
+            "--record", str(workspace / "record.json"),
+        ]
+        assert main(base) == EXIT_NOT_DETECTED
+        assert main(base + ["--remap-recovery"]) == 0

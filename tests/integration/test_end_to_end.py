@@ -1,0 +1,115 @@
+"""End-to-end integration: the full owner workflow over every channel."""
+
+import random
+
+import pytest
+
+from repro import MarkKey, Watermark, Watermarker
+from repro.attacks import (
+    CompositeAttack,
+    DataLossAttack,
+    ShuffleAttack,
+    SubsetAdditionAttack,
+    SubsetAlterationAttack,
+)
+from repro.core import MarkRecord
+from repro.datagen import generate_item_scan
+from repro.quality import (
+    MaxAlterationFraction,
+    MaxFrequencyDrift,
+    measure_distortion,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_item_scan(10_000, item_count=400, seed=2024)
+
+
+@pytest.fixture(scope="module")
+def owner():
+    return Watermarker(MarkKey.from_seed("acme-owner"), e=50)
+
+
+@pytest.fixture(scope="module")
+def published(workload, owner):
+    watermark = Watermark.from_text("AB")  # 16 bits
+    return owner.embed(
+        workload,
+        watermark,
+        "Item_Nbr",
+        constraints=[
+            MaxAlterationFraction(0.08),
+            MaxFrequencyDrift("Item_Nbr", 0.25),
+        ],
+        p_add=0.02,
+        with_frequency_channel=True,
+    )
+
+
+class TestOwnerWorkflow:
+    def test_distortion_within_constraints(self, workload, published):
+        report = measure_distortion(
+            workload, published.table, frequency_attributes=("Item_Nbr",)
+        )
+        assert report.tuple_change_fraction <= 0.09
+        assert report.frequency_drift["Item_Nbr"] <= 0.26
+
+    def test_clean_copy_verifies_on_both_channels(self, owner, published):
+        verdict = owner.verify(published.table, published.record)
+        assert verdict.association.detected
+        assert verdict.frequency.detected
+
+    def test_record_survives_escrow_round_trip(self, owner, published):
+        escrowed = published.record.to_json()
+        restored = MarkRecord.from_json(escrowed)
+        verdict = owner.verify(published.table, restored)
+        assert verdict.detected
+
+    def test_kitchen_sink_attack(self, owner, published):
+        """A realistic pirate: keep 60%, dilute 20%, tweak 5%, shuffle."""
+        attack = CompositeAttack(
+            [
+                DataLossAttack(0.4),
+                SubsetAdditionAttack(0.2),
+                SubsetAlterationAttack("Item_Nbr", 0.05),
+                ShuffleAttack(),
+            ]
+        )
+        attacked = attack.apply(published.table, random.Random(17))
+        verdict = owner.verify(attacked, published.record)
+        assert verdict.detected
+        assert verdict.association.mark_alteration <= 0.2
+
+    def test_innocent_bystander_not_accused(self, owner, published):
+        """A different owner's unmarked data of the same shape must not
+        trigger detection under our keys/record (false-positive control)."""
+        bystander = generate_item_scan(10_000, item_count=400, seed=999)
+        verdict = owner.verify(bystander, published.record)
+        assert not verdict.detected
+
+
+class TestCsvPublicationCycle:
+    def test_blind_detection_from_csv(self, owner, published, tmp_path):
+        """Publish as CSV, reload with only schema knowledge, verify."""
+        from repro.relational import read_csv, write_csv
+
+        path = tmp_path / "published.csv"
+        write_csv(published.table, path)
+        suspect = read_csv(path, published.table.schema)
+        verdict = owner.verify(suspect, published.record)
+        assert verdict.detected
+
+    def test_blind_detection_from_csv_after_loss(
+        self, owner, published, tmp_path
+    ):
+        from repro.relational import read_csv, write_csv
+
+        attacked = DataLossAttack(0.5).apply(
+            published.table, random.Random(3)
+        )
+        path = tmp_path / "leaked.csv"
+        write_csv(attacked, path)
+        suspect = read_csv(path, published.table.schema)
+        verdict = owner.verify(suspect, published.record)
+        assert verdict.detected

@@ -1,0 +1,61 @@
+"""Property-based tests for the §2.1 bit primitives."""
+
+from hypothesis import given, strategies as st
+
+from repro.crypto import (
+    bit_length,
+    bits_to_int,
+    get_bit,
+    int_to_bits,
+    msb,
+    set_bit,
+)
+
+values = st.integers(min_value=0, max_value=2 ** 128)
+positions = st.integers(min_value=0, max_value=130)
+bits = st.integers(min_value=0, max_value=1)
+widths = st.integers(min_value=1, max_value=130)
+
+
+class TestSetBit:
+    @given(values, positions, bits)
+    def test_readback(self, value, position, bit):
+        assert get_bit(set_bit(value, position, bit), position) == bit
+
+    @given(values, positions, bits)
+    def test_other_bits_untouched(self, value, position, bit):
+        updated = set_bit(value, position, bit)
+        for other in range(0, 131, 7):
+            if other != position:
+                assert get_bit(updated, other) == get_bit(value, other)
+
+    @given(values, positions, bits)
+    def test_idempotent(self, value, position, bit):
+        once = set_bit(value, position, bit)
+        assert set_bit(once, position, bit) == once
+
+
+class TestMsb:
+    @given(values, widths)
+    def test_result_fits_width(self, value, width):
+        assert msb(value, width).bit_length() <= width
+
+    @given(values)
+    def test_full_width_is_identity(self, value):
+        assert msb(value, max(1, value.bit_length())) == value
+
+    @given(values, widths)
+    def test_msb_is_right_shift(self, value, width):
+        expected = value >> max(0, value.bit_length() - width)
+        assert msb(value, width) == expected
+
+
+class TestConversions:
+    @given(values)
+    def test_round_trip(self, value):
+        width = max(1, value.bit_length())
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+    @given(values)
+    def test_bit_length_matches_python(self, value):
+        assert bit_length(value) == max(1, value.bit_length())

@@ -1,0 +1,85 @@
+"""Property-based tests for the error-correcting codes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import get_code, registered_codes
+
+messages = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=1, max_size=24
+).map(tuple)
+code_names = st.sampled_from(registered_codes())
+
+
+def channel_length_for(code, message, slack):
+    return max(code.minimum_length(len(message)) + slack, len(message))
+
+
+class TestAllCodes:
+    @given(code_names, messages, st.integers(min_value=0, max_value=64))
+    @settings(max_examples=120, deadline=None)
+    def test_clean_round_trip(self, name, message, slack):
+        code = get_code(name)
+        length = channel_length_for(code, message, slack)
+        encoded = code.encode(message, length)
+        assert len(encoded) == length
+        assert code.decode(encoded, len(message)).bits == message
+
+    @given(code_names, messages, st.integers(min_value=0, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_encoding_is_bits(self, name, message, slack):
+        code = get_code(name)
+        length = channel_length_for(code, message, slack)
+        assert all(bit in (0, 1) for bit in code.encode(message, length))
+
+    @given(code_names, messages)
+    @settings(max_examples=60, deadline=None)
+    def test_decode_confidence_range(self, name, message):
+        code = get_code(name)
+        length = channel_length_for(code, message, 32)
+        encoded = code.encode(message, length)
+        result = code.decode(encoded, len(message))
+        assert all(0.0 <= conf <= 1.0 for conf in result.confidence)
+
+
+class TestMajorityRobustness:
+    @given(
+        messages,
+        st.integers(min_value=3, max_value=15),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sub_majority_damage_always_corrected(
+        self, message, replicas_factor, rng
+    ):
+        """For odd replica counts, flipping < half of each bit's replicas
+        can never change the decoded message."""
+        code = get_code("majority")
+        replicas = replicas_factor | 1  # force odd
+        length = len(message) * replicas
+        channel = list(code.encode(message, length))
+        for bit_index in range(len(message)):
+            slots = list(range(bit_index, length, len(message)))
+            damage = rng.sample(slots, (replicas - 1) // 2)
+            for slot in damage:
+                channel[slot] ^= 1
+        assert code.decode(channel, len(message)).bits == message
+
+    @given(
+        messages,
+        st.integers(min_value=3, max_value=15),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_erasures_below_full_loss_preserve_message(
+        self, message, replicas_factor, rng
+    ):
+        code = get_code("majority")
+        replicas = replicas_factor | 1
+        length = len(message) * replicas
+        channel = list(code.encode(message, length))
+        for bit_index in range(len(message)):
+            slots = list(range(bit_index, length, len(message)))
+            erased = rng.sample(slots, replicas - 1)  # keep one replica
+            for slot in erased:
+                channel[slot] = None
+        assert code.decode(channel, len(message)).bits == message

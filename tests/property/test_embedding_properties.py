@@ -1,0 +1,142 @@
+"""Property-based tests for the embedding/detection core invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Watermark,
+    detect,
+    embed,
+    embedded_value_index,
+    make_spec,
+    slot_index,
+)
+from repro.crypto import MarkKey
+from repro.relational import (
+    Attribute,
+    AttributeType,
+    CategoricalDomain,
+    Schema,
+    Table,
+)
+
+
+def build_table(n_rows: int, n_values: int, seed: int) -> Table:
+    values = [f"v{index:03d}" for index in range(n_values)]
+    schema = Schema(
+        (
+            Attribute("K", AttributeType.INTEGER),
+            Attribute(
+                "A", AttributeType.CATEGORICAL, CategoricalDomain(values)
+            ),
+        ),
+        primary_key="K",
+    )
+    rng = random.Random(seed)
+    rows = ((key, rng.choice(values)) for key in range(n_rows))
+    return Table(schema, rows)
+
+
+watermark_bits = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=2, max_size=16
+).map(tuple)
+
+
+class TestPrimitiveProperties:
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_slot_index_in_range(self, value, length, seed):
+        key = MarkKey.from_seed(seed)
+        assert 0 <= slot_index(value, key.k2, length) < length
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=2, max_value=500),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_value_index_parity_and_range(self, value, bit, size, seed):
+        key = MarkKey.from_seed(seed)
+        domain = CategoricalDomain([f"v{i:03d}" for i in range(size)])
+        index = embedded_value_index(value, key.k1, bit, domain)
+        assert 0 <= index < size
+        assert index & 1 == bit
+
+
+class TestEmbedDetectProperties:
+    @given(
+        watermark_bits,
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_for_any_watermark_keyed(self, bits, e, seed):
+        """Keyed variant: the hash-addressed slot selection can leave a
+        residue class of ``wm_data`` empty (the paper's "arguably rare
+        cases" note in §3.2.1), so clean detection is within 1 bit — and
+        usually exact."""
+        table = build_table(
+            n_rows=max(60 * len(bits), 40 * e * 2), n_values=32, seed=seed
+        )
+        watermark = Watermark(bits)
+        key = MarkKey.from_seed(seed)
+        spec = make_spec(table, watermark, "A", e=e)
+        embed(table, watermark, key, spec)
+        detected = detect(table, key, spec).watermark
+        assert watermark.hamming_distance(detected) <= 1
+
+    @given(
+        watermark_bits,
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_exact_with_map_variant(self, bits, e, seed):
+        """Map variant (Figure 1(b)): sequential slot assignment guarantees
+        channel coverage, so clean detection is exact."""
+        table = build_table(
+            n_rows=max(60 * len(bits), 40 * e * 2), n_values=32, seed=seed
+        )
+        watermark = Watermark(bits)
+        key = MarkKey.from_seed(seed)
+        spec = make_spec(table, watermark, "A", e=e, variant="map")
+        result = embed(table, watermark, key, spec)
+        detected = detect(
+            table, key, spec, embedding_map=result.embedding_map
+        ).watermark
+        assert detected == watermark
+
+    @given(watermark_bits, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=15, deadline=None)
+    def test_detection_order_invariance(self, bits, seed):
+        from repro.relational import shuffle
+
+        table = build_table(n_rows=1500, n_values=32, seed=seed)
+        watermark = Watermark(bits)
+        key = MarkKey.from_seed(seed)
+        spec = make_spec(table, watermark, "A", e=10)
+        embed(table, watermark, key, spec)
+        reordered = shuffle(table, random.Random(seed + 1))
+        assert detect(reordered, key, spec).watermark == watermark
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_double_embedding_is_idempotent(self, seed):
+        """Re-running the encoder with the same key/spec changes nothing:
+        every carrier already holds its target value."""
+        table = build_table(n_rows=1200, n_values=32, seed=seed)
+        watermark = Watermark((1, 0, 1, 1, 0, 1))
+        key = MarkKey.from_seed(seed)
+        spec = make_spec(table, watermark, "A", e=10)
+        embed(table, watermark, key, spec)
+        snapshot = table.clone()
+        second = embed(table, watermark, key, spec)
+        assert table == snapshot
+        assert second.applied == 0
+        assert second.unchanged == second.fit_count

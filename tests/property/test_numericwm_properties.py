@@ -1,0 +1,51 @@
+"""Property-based tests for the numeric-set watermark substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.numericwm import detect_numeric_set, embed_numeric_set
+
+KEY = b"property-key"
+
+bit_strings = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=1, max_size=8
+).map(tuple)
+value_sets = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=40,
+    max_size=120,
+)
+quanta = st.floats(min_value=1e-4, max_value=0.05, allow_nan=False)
+
+
+class TestNumericSetProperties:
+    @given(value_sets, bit_strings, quanta)
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip(self, values, bits, quantum):
+        embedding = embed_numeric_set(values, bits, KEY, quantum)
+        detection = detect_numeric_set(
+            embedding.values, len(bits), KEY, quantum
+        )
+        assert detection.bits == bits
+
+    @given(value_sets, bit_strings, quanta)
+    @settings(max_examples=80, deadline=None)
+    def test_distortion_bound(self, values, bits, quantum):
+        embedding = embed_numeric_set(values, bits, KEY, quantum)
+        assert embedding.max_change <= 1.5 * quantum + 1e-9
+
+    @given(value_sets, bit_strings, quanta)
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative_outputs(self, values, bits, quantum):
+        embedding = embed_numeric_set(values, bits, KEY, quantum)
+        assert all(value >= 0.0 for value in embedding.values)
+
+    @given(value_sets, bit_strings, quanta, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_sub_half_quantum_noise_harmless(self, values, bits, quantum, rng):
+        embedding = embed_numeric_set(values, bits, KEY, quantum)
+        noisy = [
+            value + rng.uniform(-0.45 * quantum, 0.45 * quantum)
+            for value in embedding.values
+        ]
+        detection = detect_numeric_set(noisy, len(bits), KEY, quantum)
+        assert detection.bits == bits

@@ -1,0 +1,166 @@
+"""Property-based tests for the quality guard's transactional invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.quality import (
+    MaxAlterationFraction,
+    MaxFrequencyDrift,
+    QualityGuard,
+    permissive_guard,
+)
+from repro.relational import (
+    Attribute,
+    AttributeType,
+    CategoricalDomain,
+    Schema,
+    Table,
+    frequency_histogram,
+    l1_distance,
+)
+
+VALUES = ("a", "b", "c", "d", "e")
+
+
+def build_table(rows):
+    schema = Schema(
+        (
+            Attribute("K", AttributeType.INTEGER),
+            Attribute(
+                "A", AttributeType.CATEGORICAL, CategoricalDomain(VALUES)
+            ),
+        ),
+        primary_key="K",
+    )
+    return Table(schema, rows)
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=500),
+        st.sampled_from(VALUES),
+    ),
+    min_size=4,
+    max_size=40,
+    unique_by=lambda row: row[0],
+)
+
+changes_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=39), st.sampled_from(VALUES)),
+    max_size=60,
+)
+
+
+class TestGuardInvariants:
+    @given(rows_strategy, changes_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_undo_everything_restores_exactly(self, rows, changes):
+        """After any accepted/vetoed change sequence, undo_everything must
+        restore the table to its exact original state."""
+        table = build_table(rows)
+        snapshot = table.clone()
+        guard = permissive_guard()
+        guard.bind(table)
+        keys = list(table.keys())
+        for index, value in changes:
+            guard.apply(keys[index % len(keys)], "A", value)
+        guard.undo_everything()
+        assert table == snapshot
+        for key in keys:
+            assert table.get(key) == snapshot.get(key)
+
+    @given(rows_strategy, changes_strategy, st.floats(0.0, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_alteration_budget_never_exceeded(self, rows, changes, limit):
+        table = build_table(rows)
+        snapshot = table.clone()
+        guard = QualityGuard([MaxAlterationFraction(limit)])
+        guard.bind(table)
+        keys = list(table.keys())
+        for index, value in changes:
+            guard.apply(keys[index % len(keys)], "A", value)
+        changed = sum(
+            table.get(key) != snapshot.get(key) for key in keys
+        )
+        assert changed <= limit * len(rows) + 1e-9 or changed == 0
+
+    @given(rows_strategy, changes_strategy, st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_frequency_drift_budget_respected(self, rows, changes, limit):
+        table = build_table(rows)
+        snapshot = table.clone()
+        guard = QualityGuard([MaxFrequencyDrift("A", limit)])
+        guard.bind(table)
+        keys = list(table.keys())
+        for index, value in changes:
+            guard.apply(keys[index % len(keys)], "A", value)
+        drift = l1_distance(
+            frequency_histogram(snapshot, "A"),
+            frequency_histogram(table, "A"),
+        )
+        # the guard's incremental drift uses counts/len; allow fp slack
+        assert drift <= limit + 1e-9
+
+    @given(rows_strategy, changes_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_report_accounting_is_consistent(self, rows, changes):
+        table = build_table(rows)
+        guard = QualityGuard([MaxAlterationFraction(0.5)])
+        guard.bind(table)
+        keys = list(table.keys())
+        for index, value in changes:
+            guard.apply(keys[index % len(keys)], "A", value)
+        report = guard.report
+        assert report.proposed == len(changes)
+        assert report.applied == len(guard.log)
+        assert report.applied + report.vetoed + report.noop == len(changes)
+
+
+class TestFrequencyChannelProperty:
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.lists(
+            st.integers(min_value=0, max_value=1), min_size=1, max_size=6
+        ).map(tuple),
+        st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_frequency_round_trip(self, domain_size, bits, seed):
+        """Whatever the payload and domain size (with |wm| <= nA):
+        embed+detect on the frequency channel round-trips on unmodified
+        data."""
+        from hypothesis import assume
+
+        from repro.core import Watermark, detect_frequency, embed_frequency
+        from repro.crypto import MarkKey
+        from repro.datagen import generate_item_scan
+
+        assume(domain_size >= len(bits))
+        table = generate_item_scan(
+            4000, item_count=domain_size, seed=seed
+        )
+        key = MarkKey.from_seed(seed)
+        watermark = Watermark(bits)
+        result = embed_frequency(table, watermark, key, "Item_Nbr")
+        assert result.shortfall == 0
+        detected = detect_frequency(table, key, result.record)
+        assert detected == watermark
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1), min_size=3, max_size=8
+        ).map(tuple),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_frequency_undersized_domain_rejected(self, bits):
+        from repro.core import BandwidthError, Watermark, embed_frequency
+        from repro.crypto import MarkKey
+        from repro.datagen import generate_item_scan
+        import pytest
+
+        table = generate_item_scan(2000, item_count=len(bits) - 1, seed=1)
+        with pytest.raises(BandwidthError):
+            embed_frequency(
+                table, Watermark(bits), MarkKey.from_seed(1), "Item_Nbr"
+            )

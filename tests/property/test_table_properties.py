@@ -1,0 +1,96 @@
+"""Property-based tests for the relational substrate's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import (
+    Attribute,
+    AttributeType,
+    CategoricalDomain,
+    Schema,
+    Table,
+)
+
+VALUES = ("alpha", "beta", "gamma", "delta")
+
+
+def schema() -> Schema:
+    return Schema(
+        (
+            Attribute("K", AttributeType.INTEGER),
+            Attribute(
+                "A", AttributeType.CATEGORICAL, CategoricalDomain(VALUES)
+            ),
+        ),
+        primary_key="K",
+    )
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from(VALUES),
+    ),
+    max_size=60,
+    unique_by=lambda row: row[0],
+)
+
+
+class TestTableInvariants:
+    @given(rows_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_pk_index_consistent_after_bulk_insert(self, rows):
+        table = Table(schema(), rows)
+        assert len(table) == len(rows)
+        for row in rows:
+            assert table.get(row[0]) == row
+
+    @given(rows_strategy, st.randoms(use_true_random=False))
+    @settings(max_examples=80, deadline=None)
+    def test_pk_index_consistent_after_deletions(self, rows, rng):
+        table = Table(schema(), rows)
+        keys = [row[0] for row in rows]
+        rng.shuffle(keys)
+        for key in keys[: len(keys) // 2]:
+            table.delete(key)
+        survivors = set(keys[len(keys) // 2:])
+        assert set(table.keys()) == survivors
+        for key in survivors:
+            assert table.get(key)[0] == key
+
+    @given(rows_strategy, st.randoms(use_true_random=False))
+    @settings(max_examples=80, deadline=None)
+    def test_updates_preserve_size_and_index(self, rows, rng):
+        table = Table(schema(), rows)
+        for row in rows:
+            table.set_value(row[0], "A", rng.choice(VALUES))
+        assert len(table) == len(rows)
+        assert set(table.keys()) == {row[0] for row in rows}
+
+    @given(rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_clone_equality_and_independence(self, rows):
+        table = Table(schema(), rows)
+        duplicate = table.clone()
+        assert duplicate == table
+        if rows:
+            duplicate.delete(rows[0][0])
+            assert len(table) == len(rows)
+
+    @given(rows_strategy, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_shuffle_is_content_neutral(self, rows, rng):
+        import random
+
+        from repro.relational import shuffle
+
+        table = Table(schema(), rows)
+        reordered = shuffle(table, random.Random(rng.randrange(10**6)))
+        assert reordered == table
+
+    @given(rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_csv_round_trip(self, rows):
+        from repro.relational import dumps_csv, loads_csv
+
+        table = Table(schema(), rows)
+        assert loads_csv(dumps_csv(table), schema()) == table

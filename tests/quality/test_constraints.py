@@ -1,0 +1,156 @@
+"""Tests for repro.quality.constraints — the on-the-fly guard (§4.1)."""
+
+import pytest
+
+from repro.quality import (
+    ForbiddenTransitions,
+    FrozenAttribute,
+    MaxAlterationFraction,
+    MaxFrequencyDrift,
+    PredicateConstraint,
+    QualityGuard,
+    permissive_guard,
+)
+
+
+class TestGuardBasics:
+    def test_apply_changes_and_logs(self, tiny_table):
+        guard = permissive_guard()
+        guard.bind(tiny_table)
+        assert guard.apply(1, "A", "blue")
+        assert tiny_table.value(1, "A") == "blue"
+        assert len(guard.log) == 1
+        assert guard.report.applied == 1
+
+    def test_noop_change_not_logged(self, tiny_table):
+        guard = permissive_guard()
+        guard.bind(tiny_table)
+        assert guard.apply(1, "A", "red")  # already red
+        assert len(guard.log) == 0
+        assert guard.report.noop == 1
+
+    def test_unbound_guard_raises(self):
+        with pytest.raises(RuntimeError):
+            QualityGuard([]).context
+
+    def test_undo_everything(self, tiny_table):
+        guard = permissive_guard()
+        guard.bind(tiny_table)
+        guard.apply(1, "A", "blue")
+        guard.apply(2, "A", "cyan")
+        assert guard.undo_everything() == 2
+        assert tiny_table.value(1, "A") == "red"
+        assert tiny_table.value(2, "A") == "green"
+
+    def test_rebind_resets_state(self, tiny_table):
+        guard = permissive_guard()
+        guard.bind(tiny_table)
+        guard.apply(1, "A", "blue")
+        guard.bind(tiny_table)
+        assert len(guard.log) == 0
+        assert guard.report.applied == 0
+
+
+class TestMaxAlterationFraction:
+    def test_vetoes_beyond_budget(self, tiny_table):
+        guard = QualityGuard([MaxAlterationFraction(1 / 6)])  # one change
+        guard.bind(tiny_table)
+        assert guard.apply(1, "A", "blue")
+        assert not guard.apply(2, "A", "cyan")
+        assert tiny_table.value(2, "A") == "green"  # rolled back
+        assert guard.report.vetoed == 1
+
+    def test_zero_budget_blocks_everything(self, tiny_table):
+        guard = QualityGuard([MaxAlterationFraction(0.0)])
+        guard.bind(tiny_table)
+        assert not guard.apply(1, "A", "blue")
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            MaxAlterationFraction(1.5)
+
+    def test_veto_attribution(self, tiny_table):
+        constraint = MaxAlterationFraction(0.0)
+        guard = QualityGuard([constraint])
+        guard.bind(tiny_table)
+        guard.apply(1, "A", "blue")
+        assert guard.report.vetoes_by_constraint[constraint.name] == 1
+
+
+class TestMaxFrequencyDrift:
+    def test_drift_accumulates_incrementally(self, tiny_table):
+        # each change moves 2 counts out of 6 -> L1 freq drift 2/6
+        guard = QualityGuard([MaxFrequencyDrift("A", 0.4)])
+        guard.bind(tiny_table)
+        assert guard.apply(1, "A", "blue")   # drift 2/6 = 0.33 ok
+        assert not guard.apply(2, "A", "blue")  # would be 4/6 = 0.67
+
+    def test_compensating_changes_reduce_drift(self, tiny_table):
+        guard = QualityGuard([MaxFrequencyDrift("A", 0.4)])
+        guard.bind(tiny_table)
+        assert guard.apply(1, "A", "blue")    # red -> blue
+        assert guard.apply(3, "A", "red")     # blue -> red: net zero drift
+        assert guard.apply(2, "A", "cyan")    # fresh drift fits again
+
+    def test_other_attributes_not_counted(self, tiny_table):
+        guard = QualityGuard([MaxFrequencyDrift("A", 0.0)])
+        guard.bind(tiny_table)
+        assert guard.apply(1, "B", "y")  # drift constraint on A untouched
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            MaxFrequencyDrift("A", -0.1)
+
+
+class TestForbiddenTransitions:
+    def test_explicit_pair_blocked(self, tiny_table):
+        guard = QualityGuard(
+            [ForbiddenTransitions("A", forbidden={("red", "blue")})]
+        )
+        guard.bind(tiny_table)
+        assert not guard.apply(1, "A", "blue")
+        assert guard.apply(1, "A", "cyan")
+
+    def test_predicate_blocked(self, tiny_table):
+        guard = QualityGuard(
+            [
+                ForbiddenTransitions(
+                    "A", predicate=lambda old, new: new == "cyan"
+                )
+            ]
+        )
+        guard.bind(tiny_table)
+        assert not guard.apply(1, "A", "cyan")
+        assert guard.apply(1, "A", "blue")
+
+    def test_other_attribute_ignored(self, tiny_table):
+        guard = QualityGuard(
+            [ForbiddenTransitions("A", forbidden={("x", "y")})]
+        )
+        guard.bind(tiny_table)
+        assert guard.apply(1, "B", "y")
+
+    def test_requires_some_rule(self):
+        with pytest.raises(ValueError):
+            ForbiddenTransitions("A")
+
+
+class TestFrozenAttribute:
+    def test_frozen_attribute_untouchable(self, tiny_table):
+        guard = QualityGuard([FrozenAttribute("A")])
+        guard.bind(tiny_table)
+        assert not guard.apply(1, "A", "blue")
+        assert guard.apply(1, "B", "y")
+
+
+class TestPredicateConstraint:
+    def test_custom_context_rule(self, tiny_table):
+        def at_most_one(context):
+            if context.change_count > 1:
+                return "only one change allowed"
+            return None
+
+        guard = QualityGuard([PredicateConstraint("one-change", at_most_one)])
+        guard.bind(tiny_table)
+        assert guard.apply(1, "A", "blue")
+        assert not guard.apply(2, "A", "cyan")

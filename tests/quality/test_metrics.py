@@ -1,0 +1,55 @@
+"""Tests for repro.quality.metrics — post-hoc distortion measurement."""
+
+import pytest
+
+from repro.quality import measure_distortion
+
+
+class TestMeasureDistortion:
+    def test_identity_reports_zero(self, tiny_table):
+        report = measure_distortion(tiny_table, tiny_table.clone())
+        assert report.cells_changed == 0
+        assert report.tuples_changed == 0
+        assert report.missing_tuples == 0
+        assert report.added_tuples == 0
+        assert report.cell_change_fraction == 0.0
+
+    def test_cell_change_counted(self, tiny_table):
+        changed = tiny_table.clone()
+        changed.set_value(1, "A", "blue")
+        report = measure_distortion(tiny_table, changed)
+        assert report.cells_changed == 1
+        assert report.tuples_changed == 1
+        assert report.tuple_change_fraction == pytest.approx(1 / 6)
+
+    def test_missing_and_added(self, tiny_table):
+        changed = tiny_table.clone()
+        changed.delete(1)
+        changed.insert((100, "red", "x"))
+        report = measure_distortion(tiny_table, changed)
+        assert report.missing_tuples == 1
+        assert report.added_tuples == 1
+
+    def test_frequency_drift_reported(self, tiny_table):
+        changed = tiny_table.clone()
+        changed.set_value(1, "A", "blue")
+        report = measure_distortion(
+            tiny_table, changed, frequency_attributes=("A",)
+        )
+        assert report.frequency_drift["A"] == pytest.approx(2 / 6)
+
+    def test_summary_mentions_counts(self, tiny_table):
+        changed = tiny_table.clone()
+        changed.set_value(1, "A", "blue")
+        text = measure_distortion(
+            tiny_table, changed, frequency_attributes=("A",)
+        ).summary()
+        assert "tuples changed" in text
+        assert "A" in text
+
+    def test_empty_tables(self, tiny_schema):
+        from repro.relational import Table
+
+        report = measure_distortion(Table(tiny_schema), Table(tiny_schema))
+        assert report.cell_change_fraction == 0.0
+        assert report.tuple_change_fraction == 0.0

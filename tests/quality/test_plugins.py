@@ -1,0 +1,106 @@
+"""Tests for repro.quality.plugins — the Figure-3 usability plugin handler."""
+
+import pytest
+
+from repro.quality import (
+    CallableMetric,
+    CellPreservationMetric,
+    FrequencyPreservationMetric,
+    PluginConstraint,
+    PluginHandler,
+    QualityGuard,
+)
+
+
+class TestCellPreservation:
+    def test_identical_tables_score_one(self, tiny_table):
+        metric = CellPreservationMetric(minimum=0.9)
+        result = metric.evaluate(tiny_table, tiny_table.clone())
+        assert result.score == 1.0
+        assert result.passed
+
+    def test_changes_lower_score(self, tiny_table):
+        changed = tiny_table.clone()
+        changed.set_value(1, "A", "blue")
+        metric = CellPreservationMetric(minimum=0.99)
+        result = metric.evaluate(tiny_table, changed)
+        assert result.score == pytest.approx(17 / 18)
+        assert not result.passed
+
+    def test_missing_tuples_skipped(self, tiny_table):
+        partial = tiny_table.clone()
+        partial.delete(1)
+        result = CellPreservationMetric().evaluate(tiny_table, partial)
+        assert result.score == 1.0  # surviving tuples untouched
+
+
+class TestFrequencyPreservation:
+    def test_identity_scores_one(self, tiny_table):
+        metric = FrequencyPreservationMetric("A")
+        assert metric.evaluate(tiny_table, tiny_table.clone()).score == 1.0
+
+    def test_drift_lowers_score(self, tiny_table):
+        changed = tiny_table.clone()
+        changed.set_value(1, "A", "blue")
+        metric = FrequencyPreservationMetric("A", minimum=0.99)
+        result = metric.evaluate(tiny_table, changed)
+        assert result.score < 1.0
+        assert not result.passed
+
+
+class TestHandler:
+    def test_register_and_evaluate(self, tiny_table):
+        handler = PluginHandler()
+        handler.register(CellPreservationMetric())
+        handler.register(FrequencyPreservationMetric("A"))
+        results = handler.evaluate(tiny_table, tiny_table.clone())
+        assert len(results) == 2
+        assert handler.all_pass(tiny_table, tiny_table.clone())
+
+    def test_duplicate_registration_rejected(self):
+        handler = PluginHandler()
+        handler.register(CellPreservationMetric())
+        with pytest.raises(ValueError):
+            handler.register(CellPreservationMetric())
+
+    def test_unregister(self):
+        handler = PluginHandler()
+        handler.register(CellPreservationMetric())
+        handler.unregister("cell-preservation")
+        assert handler.plugins == ()
+
+    def test_callable_metric_adapter(self, tiny_table):
+        handler = PluginHandler()
+        handler.register(
+            CallableMetric("always-half", lambda a, b: 0.5, minimum=0.6)
+        )
+        results = handler.evaluate(tiny_table, tiny_table)
+        assert results[0].score == 0.5
+        assert not results[0].passed
+
+
+class TestPluginConstraint:
+    def test_failing_plugin_vetoes_change(self, tiny_table):
+        original = tiny_table.clone()
+        constraint = PluginConstraint(
+            CellPreservationMetric(minimum=1.0), original
+        )
+        guard = QualityGuard([constraint])
+        guard.bind(tiny_table)
+        assert not guard.apply(1, "A", "blue")
+        assert tiny_table.value(1, "A") == "red"
+
+    def test_every_thins_evaluation(self, tiny_table):
+        original = tiny_table.clone()
+        constraint = PluginConstraint(
+            CellPreservationMetric(minimum=1.0), original, every=2
+        )
+        guard = QualityGuard([constraint])
+        guard.bind(tiny_table)
+        # first proposal skipped by thinning, second evaluated and vetoed
+        assert guard.apply(1, "A", "blue")
+        assert not guard.apply(2, "A", "cyan")
+
+    def test_invalid_every(self, tiny_table):
+        with pytest.raises(ValueError):
+            PluginConstraint(CellPreservationMetric(), tiny_table, every=0)

@@ -1,0 +1,48 @@
+"""Tests for repro.quality.rollback — the §4.1 alteration undo log."""
+
+from repro.quality import ChangeRecord, RollbackLog
+
+
+class TestLog:
+    def test_record_appends(self, tiny_table):
+        log = RollbackLog()
+        log.record(1, "A", "red", "blue")
+        assert len(log) == 1
+        assert log.entries[0] == ChangeRecord(1, "A", "red", "blue")
+
+    def test_undo_last_restores_cell(self, tiny_table):
+        log = RollbackLog()
+        old = tiny_table.set_value(1, "A", "blue")
+        log.record(1, "A", old, "blue")
+        log.undo_last(tiny_table)
+        assert tiny_table.value(1, "A") == "red"
+        assert len(log) == 0
+
+    def test_undo_last_empty_log_is_noop(self, tiny_table):
+        assert RollbackLog().undo_last(tiny_table) is None
+
+    def test_undo_all_reverts_in_reverse_order(self, tiny_table):
+        log = RollbackLog()
+        for target in ("blue", "cyan", "green"):
+            old = tiny_table.set_value(1, "A", target)
+            log.record(1, "A", old, target)
+        reverted = log.undo_all(tiny_table)
+        assert reverted == 3
+        assert tiny_table.value(1, "A") == "red"
+
+    def test_changed_cells_deduplicates(self):
+        log = RollbackLog()
+        log.record(1, "A", "red", "blue")
+        log.record(1, "A", "blue", "cyan")
+        log.record(2, "B", "x", "y")
+        assert log.changed_cells() == {(1, "A"), (2, "B")}
+
+    def test_inverted_record(self):
+        record = ChangeRecord(1, "A", "red", "blue")
+        assert record.inverted() == ChangeRecord(1, "A", "blue", "red")
+
+    def test_iteration_order(self):
+        log = RollbackLog()
+        log.record(1, "A", "r", "b")
+        log.record(2, "A", "g", "c")
+        assert [entry.key for entry in log] == [1, 2]

@@ -1,0 +1,157 @@
+"""Tests for repro.quality.semantic — association-rule preservation."""
+
+import pytest
+
+from repro.quality import (
+    AssociationRuleMetric,
+    PluginConstraint,
+    QualityGuard,
+    mine_rules,
+    rule_statistics,
+)
+from repro.relational import (
+    Attribute,
+    AttributeType,
+    CategoricalDomain,
+    Schema,
+    Table,
+)
+
+
+@pytest.fixture
+def correlated_table():
+    """Dept strongly implies Aisle: a textbook association rule."""
+    schema = Schema(
+        (
+            Attribute("Id", AttributeType.INTEGER),
+            Attribute(
+                "Dept",
+                AttributeType.CATEGORICAL,
+                CategoricalDomain(["DAIRY", "BAKERY"]),
+            ),
+            Attribute(
+                "Aisle",
+                AttributeType.CATEGORICAL,
+                CategoricalDomain(["A1", "A2", "A3"]),
+            ),
+        ),
+        primary_key="Id",
+    )
+    rows = []
+    for index in range(100):
+        if index % 2:  # 50 DAIRY rows: 40x A1, 10x A3
+            rows.append((index, "DAIRY", "A1" if index % 5 else "A3"))
+        else:  # 50 BAKERY rows: 40x A2, 10x A3
+            rows.append((index, "BAKERY", "A2" if index % 5 else "A3"))
+    return Table(schema, rows)
+
+
+class TestRuleStatistics:
+    def test_support_and_confidence(self, correlated_table):
+        support, confidence = rule_statistics(
+            correlated_table, "Dept", "DAIRY", "Aisle", "A1"
+        )
+        assert support == pytest.approx(0.40)
+        assert confidence == pytest.approx(0.8)
+
+    def test_empty_table(self, correlated_table):
+        empty = Table(correlated_table.schema)
+        assert rule_statistics(empty, "Dept", "DAIRY", "Aisle", "A1") == (
+            0.0, 0.0,
+        )
+
+
+class TestMiner:
+    def test_mines_the_strong_rules(self, correlated_table):
+        rules = mine_rules(
+            correlated_table, "Dept", "Aisle",
+            min_support=0.1, min_confidence=0.8,
+        )
+        found = {
+            (rule.antecedent_value, rule.consequent_value) for rule in rules
+        }
+        assert ("DAIRY", "A1") in found
+        assert ("BAKERY", "A2") in found
+
+    def test_thresholds_filter(self, correlated_table):
+        rules = mine_rules(
+            correlated_table, "Dept", "Aisle",
+            min_support=0.1, min_confidence=0.95,
+        )
+        assert rules == []
+
+    def test_sorted_by_confidence(self, correlated_table):
+        rules = mine_rules(
+            correlated_table, "Dept", "Aisle",
+            min_support=0.01, min_confidence=0.05,
+        )
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_max_rules_cap(self, correlated_table):
+        rules = mine_rules(
+            correlated_table, "Dept", "Aisle",
+            min_support=0.0, min_confidence=0.0, max_rules=2,
+        )
+        assert len(rules) == 2
+
+    def test_empty_table_no_rules(self, correlated_table):
+        assert mine_rules(
+            Table(correlated_table.schema), "Dept", "Aisle"
+        ) == []
+
+    def test_invalid_thresholds(self, correlated_table):
+        with pytest.raises(ValueError):
+            mine_rules(correlated_table, "Dept", "Aisle", min_support=-1)
+
+
+class TestMetric:
+    def test_untouched_data_scores_one(self, correlated_table):
+        rules = mine_rules(correlated_table, "Dept", "Aisle",
+                           min_support=0.1, min_confidence=0.8)
+        metric = AssociationRuleMetric(rules, minimum=0.95)
+        result = metric.evaluate(correlated_table, correlated_table.clone())
+        assert result.score == 1.0
+        assert result.passed
+
+    def test_breaking_a_rule_fails(self, correlated_table):
+        rules = mine_rules(correlated_table, "Dept", "Aisle",
+                           min_support=0.1, min_confidence=0.8)
+        damaged = correlated_table.clone()
+        # send half of DAIRY to A2 — the DAIRY->A1 rule collapses
+        moved = 0
+        for row in list(damaged):
+            if row[1] == "DAIRY" and row[2] == "A1" and moved < 25:
+                damaged.set_value(row[0], "Aisle", "A2")
+                moved += 1
+        metric = AssociationRuleMetric(rules, minimum=0.9)
+        result = metric.evaluate(correlated_table, damaged)
+        assert not result.passed
+        assert "DAIRY" in result.detail
+
+    def test_requires_rules(self):
+        with pytest.raises(ValueError):
+            AssociationRuleMetric([])
+
+    def test_as_guard_constraint(self, correlated_table):
+        """The §6 vision: embedding alterations vetoed when they would
+        break mined rules."""
+        rules = mine_rules(correlated_table, "Dept", "Aisle",
+                           min_support=0.1, min_confidence=0.8)
+        original = correlated_table.clone()
+        guard = QualityGuard(
+            [
+                PluginConstraint(
+                    AssociationRuleMetric(rules, minimum=0.97), original
+                )
+            ]
+        )
+        guard.bind(correlated_table)
+        # small drifts pass...
+        assert guard.apply(1, "Aisle", "A3")
+        # ...but a bulk rewrite attempt is stopped partway by the metric
+        vetoed = 0
+        for row in list(correlated_table):
+            if row[1] == "DAIRY" and row[2] == "A1":
+                vetoed += not guard.apply(row[0], "Aisle", "A2")
+        assert vetoed > 0

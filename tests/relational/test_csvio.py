@@ -1,0 +1,87 @@
+"""Tests for repro.relational.csvio — CSV round-trips for blind detection."""
+
+import pytest
+
+from repro.relational import (
+    AttributeType,
+    dumps_csv,
+    loads_csv,
+    read_csv,
+    schema_for_csv,
+    write_csv,
+)
+
+
+class TestRoundTrip:
+    def test_dumps_loads_round_trip(self, tiny_table, tiny_schema):
+        text = dumps_csv(tiny_table)
+        restored = loads_csv(text, tiny_schema)
+        assert restored == tiny_table
+
+    def test_file_round_trip(self, tiny_table, tiny_schema, tmp_path):
+        path = tmp_path / "relation.csv"
+        write_csv(tiny_table, path)
+        restored = read_csv(path, tiny_schema)
+        assert restored == tiny_table
+
+    def test_header_written(self, tiny_table):
+        text = dumps_csv(tiny_table)
+        assert text.splitlines()[0] == "K,A,B"
+
+    def test_types_parsed_back(self, tiny_table, tiny_schema):
+        restored = loads_csv(dumps_csv(tiny_table), tiny_schema)
+        key = next(iter(restored.keys()))
+        assert isinstance(key, int)
+
+    def test_header_mismatch_raises(self, tiny_schema):
+        with pytest.raises(ValueError):
+            loads_csv("X,Y,Z\n1,red,x\n", tiny_schema)
+
+    def test_empty_csv_gives_empty_table(self, tiny_schema):
+        table = loads_csv("", tiny_schema)
+        assert len(table) == 0
+
+
+class TestDomainInference:
+    def test_observed_values_widen_domain(self, tiny_schema):
+        text = "K,A,B\n1,red,x\n"
+        # start from a schema whose A domain lacks nothing; loads fine
+        table = loads_csv(text, tiny_schema)
+        assert "red" in table.schema.attribute("A").domain
+
+    def test_inference_disabled_enforces_declared_domain(self, tiny_schema):
+        from repro.relational import schema_for_csv
+
+        schema = schema_for_csv(
+            ["K", "A", "B"],
+            [
+                AttributeType.INTEGER,
+                AttributeType.CATEGORICAL,
+                AttributeType.CATEGORICAL,
+            ],
+            primary_key="K",
+            categorical_values={"A": ["red"], "B": ["x"]},
+        )
+        with pytest.raises(Exception):
+            loads_csv(
+                "K,A,B\n1,blue,x\n", schema, infer_categorical_domains=False
+            )
+
+
+class TestSchemaForCsv:
+    def test_placeholder_domains_for_unlisted_categoricals(self):
+        schema = schema_for_csv(
+            ["K", "A"],
+            [AttributeType.INTEGER, AttributeType.CATEGORICAL],
+            primary_key="K",
+        )
+        assert schema.attribute("A").domain is not None
+
+    def test_explicit_domains_respected(self):
+        schema = schema_for_csv(
+            ["K", "A"],
+            [AttributeType.INTEGER, AttributeType.CATEGORICAL],
+            primary_key="K",
+            categorical_values={"A": ["p", "q"]},
+        )
+        assert set(schema.attribute("A").domain.values) == {"p", "q"}

@@ -1,0 +1,93 @@
+"""Tests for repro.relational.domain — canonical categorical domains."""
+
+import pytest
+
+from repro.relational import CategoricalDomain, DomainError, SchemaError
+
+
+class TestConstruction:
+    def test_values_are_sorted_canonically(self):
+        domain = CategoricalDomain(["zebra", "apple", "mango"])
+        assert domain.values == ("apple", "mango", "zebra")
+
+    def test_duplicates_collapse(self):
+        domain = CategoricalDomain(["a", "b", "a", "b", "a"])
+        assert domain.size == 2
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalDomain([])
+
+    def test_integer_values_sorted_numerically(self):
+        domain = CategoricalDomain([30, 4, 100])
+        assert domain.values == (4, 30, 100)
+
+    def test_mixed_types_have_total_order(self):
+        domain = CategoricalDomain(["b", 2, "a", 1])
+        # ints group before strs (by type name), each group sorted natively
+        assert domain.values == (1, 2, "a", "b")
+
+    def test_construction_order_is_irrelevant(self):
+        first = CategoricalDomain(["c", "a", "b"])
+        second = CategoricalDomain(["b", "c", "a"])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_from_column_builds_observed_domain(self):
+        domain = CategoricalDomain.from_column(["x", "y", "x", "x"])
+        assert domain.values == ("x", "y")
+
+
+class TestIndexing:
+    def test_index_round_trip(self):
+        domain = CategoricalDomain(["a", "b", "c"])
+        for index, value in enumerate(domain.values):
+            assert domain.index_of(value) == index
+            assert domain.value_at(index) == value
+
+    def test_index_of_unknown_value_raises(self):
+        domain = CategoricalDomain(["a"])
+        with pytest.raises(DomainError):
+            domain.index_of("zzz")
+
+    def test_value_at_out_of_range_raises(self):
+        domain = CategoricalDomain(["a", "b"])
+        with pytest.raises(DomainError):
+            domain.value_at(2)
+        with pytest.raises(DomainError):
+            domain.value_at(-1)
+
+    def test_contains(self):
+        domain = CategoricalDomain(["a", "b"])
+        assert "a" in domain
+        assert "q" not in domain
+
+    def test_len_and_iter(self):
+        domain = CategoricalDomain(["a", "b", "c"])
+        assert len(domain) == 3
+        assert list(domain) == ["a", "b", "c"]
+
+
+class TestRemapping:
+    def test_remapped_builds_bijective_image(self):
+        domain = CategoricalDomain(["a", "b"])
+        image = domain.remapped({"a": "X", "b": "Y"})
+        assert set(image.values) == {"X", "Y"}
+
+    def test_remapped_requires_total_mapping(self):
+        domain = CategoricalDomain(["a", "b"])
+        with pytest.raises(DomainError):
+            domain.remapped({"a": "X"})
+
+    def test_remapped_requires_injective_mapping(self):
+        domain = CategoricalDomain(["a", "b"])
+        with pytest.raises(SchemaError):
+            domain.remapped({"a": "X", "b": "X"})
+
+    def test_detection_relevant_invariant_same_set_same_order(self):
+        """The blind detector reconstructing the domain from the same value
+        set must get identical value/index associations (§3.2.2)."""
+        published = CategoricalDomain(["NYC", "LAX", "ORD", "ATL"])
+        reconstructed = CategoricalDomain(["ATL", "ORD", "LAX", "NYC"])
+        for value in published:
+            assert published.index_of(value) == reconstructed.index_of(value)

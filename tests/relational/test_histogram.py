@@ -1,0 +1,100 @@
+"""Tests for repro.relational.histogram — frequency profiles (§2.1, §4.2)."""
+
+import pytest
+
+from repro.relational import (
+    count_vector,
+    empirical_distribution,
+    frequency_histogram,
+    frequency_vector,
+    l1_distance,
+    sorted_frequency_profile,
+    value_counts,
+)
+
+
+class TestCounts:
+    def test_value_counts(self, tiny_table):
+        counts = value_counts(tiny_table, "A")
+        assert counts["red"] == 2
+        assert counts["green"] == 2
+        assert counts["blue"] == 1
+        assert counts["cyan"] == 1
+
+    def test_declared_but_absent_values_counted_as_zero(self, tiny_table):
+        tiny_table.delete(5)  # removes the only cyan
+        counts = value_counts(tiny_table, "A")
+        assert counts["cyan"] == 0
+
+    def test_count_vector_follows_domain_order(self, tiny_table):
+        domain = tiny_table.schema.attribute("A").domain
+        vector = count_vector(tiny_table, "A")
+        assert len(vector) == domain.size
+        assert vector[domain.index_of("red")] == 2
+
+
+class TestFrequencies:
+    def test_frequencies_sum_to_one(self, tiny_table):
+        histogram = frequency_histogram(tiny_table, "A")
+        assert sum(histogram.values()) == pytest.approx(1.0)
+
+    def test_frequency_values(self, tiny_table):
+        histogram = frequency_histogram(tiny_table, "A")
+        assert histogram["red"] == pytest.approx(2 / 6)
+
+    def test_frequency_vector_matches_histogram(self, tiny_table):
+        domain = tiny_table.schema.attribute("A").domain
+        vector = frequency_vector(tiny_table, "A")
+        histogram = frequency_histogram(tiny_table, "A")
+        for value in domain:
+            assert vector[domain.index_of(value)] == pytest.approx(
+                histogram[value]
+            )
+
+    def test_empty_table_gives_zero_frequencies(self, tiny_schema):
+        from repro.relational import Table
+
+        table = Table(tiny_schema)
+        histogram = frequency_histogram(table, "A")
+        assert all(value == 0.0 for value in histogram.values())
+
+
+class TestDistances:
+    def test_l1_identity_is_zero(self, tiny_table):
+        histogram = frequency_histogram(tiny_table, "A")
+        assert l1_distance(histogram, histogram) == 0.0
+
+    def test_l1_disjoint_is_two(self):
+        assert l1_distance({"a": 1.0}, {"b": 1.0}) == pytest.approx(2.0)
+
+    def test_l1_missing_keys_are_zero(self):
+        assert l1_distance({"a": 0.5, "b": 0.5}, {"a": 0.5}) == pytest.approx(0.5)
+
+    def test_l1_symmetry(self):
+        first = {"a": 0.7, "b": 0.3}
+        second = {"a": 0.4, "b": 0.6}
+        assert l1_distance(first, second) == pytest.approx(
+            l1_distance(second, first)
+        )
+
+
+class TestProfiles:
+    def test_sorted_profile_descending(self, tiny_table):
+        histogram = frequency_histogram(tiny_table, "A")
+        profile = sorted_frequency_profile(histogram)
+        frequencies = [freq for _, freq in profile]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_sorted_profile_tie_break_deterministic(self):
+        histogram = {"b": 0.5, "a": 0.5}
+        profile = sorted_frequency_profile(histogram)
+        assert [value for value, _ in profile] == ["a", "b"]
+
+    def test_empirical_distribution_weights(self):
+        distribution = empirical_distribution(["x", "x", "y"])
+        as_dict = dict(distribution)
+        assert as_dict["x"] == pytest.approx(2 / 3)
+        assert as_dict["y"] == pytest.approx(1 / 3)
+
+    def test_empirical_distribution_empty(self):
+        assert empirical_distribution([]) == []

@@ -1,0 +1,131 @@
+"""Tests for repro.relational.operations — relational ops / attack primitives."""
+
+import random
+
+import pytest
+
+from repro.relational import (
+    SchemaError,
+    Table,
+    apply_to_column,
+    drop_fraction,
+    horizontal_sample,
+    project,
+    select,
+    shuffle,
+    sort_by,
+    union,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+class TestSelect:
+    def test_select_filters(self, tiny_table):
+        reds = select(tiny_table, lambda row: row[1] == "red")
+        assert len(reds) == 2
+        assert all(row[1] == "red" for row in reds)
+
+    def test_select_does_not_mutate_input(self, tiny_table):
+        before = len(tiny_table)
+        select(tiny_table, lambda row: False)
+        assert len(tiny_table) == before
+
+
+class TestProject:
+    def test_project_keeps_columns(self, tiny_table):
+        partition = project(tiny_table, ["K", "A"])
+        assert partition.schema.names == ("K", "A")
+        assert len(partition) == len(tiny_table)
+
+    def test_project_without_pk_dedupes_on_new_key(self, tiny_table):
+        # A has duplicate values; keyed on A, duplicates must collapse.
+        partition = project(tiny_table, ["A", "B"])
+        assert partition.primary_key == "A"
+        values = partition.column("A")
+        assert len(values) == len(set(values))
+
+    def test_project_first_occurrence_wins(self, tiny_table):
+        partition = project(tiny_table, ["A", "B"])
+        # key 1 was (red, x): the first red row defines the association
+        assert partition.value("red", "B") == "x"
+
+
+class TestSampling:
+    def test_horizontal_sample_size(self, tiny_table, rng):
+        sample = horizontal_sample(tiny_table, 0.5, rng)
+        assert len(sample) == 3
+
+    def test_horizontal_sample_zero_gives_empty(self, tiny_table, rng):
+        assert len(horizontal_sample(tiny_table, 0.0, rng)) == 0
+
+    def test_horizontal_sample_full_keeps_all(self, tiny_table, rng):
+        assert len(horizontal_sample(tiny_table, 1.0, rng)) == len(tiny_table)
+
+    def test_horizontal_sample_rows_come_from_input(self, tiny_table, rng):
+        sample = horizontal_sample(tiny_table, 0.5, rng)
+        original = set(tiny_table)
+        assert all(row in original for row in sample)
+
+    def test_fraction_out_of_range_rejected(self, tiny_table, rng):
+        with pytest.raises(ValueError):
+            horizontal_sample(tiny_table, 1.5, rng)
+
+    def test_drop_fraction_complements(self, tiny_table, rng):
+        kept = drop_fraction(tiny_table, 0.5, rng)
+        assert len(kept) == 3
+
+    def test_small_nonzero_fraction_keeps_at_least_one(self, tiny_table, rng):
+        sample = horizontal_sample(tiny_table, 0.01, rng)
+        assert len(sample) == 1
+
+
+class TestOrdering:
+    def test_shuffle_preserves_multiset(self, tiny_table, rng):
+        shuffled = shuffle(tiny_table, rng)
+        assert shuffled == tiny_table  # order-insensitive equality
+
+    def test_sort_by_orders_rows(self, tiny_table):
+        ordered = sort_by(tiny_table, "A")
+        column = ordered.column("A")
+        assert column == sorted(column)
+
+    def test_sort_by_reverse(self, tiny_table):
+        ordered = sort_by(tiny_table, "A", reverse=True)
+        column = ordered.column("A")
+        assert column == sorted(column, reverse=True)
+
+    def test_sort_does_not_lose_rows(self, tiny_table):
+        assert sort_by(tiny_table, "B") == tiny_table
+
+
+class TestUnion:
+    def test_union_concatenates(self, tiny_table):
+        extra = Table(tiny_table.schema, [(100, "red", "x")])
+        merged = union(tiny_table, extra)
+        assert len(merged) == len(tiny_table) + 1
+
+    def test_union_key_collision_raises(self, tiny_table):
+        extra = Table(tiny_table.schema, [(1, "red", "x")])
+        with pytest.raises(Exception):
+            union(tiny_table, extra)
+
+    def test_union_schema_mismatch_raises(self, tiny_table):
+        other = project(tiny_table, ["K", "A"])
+        with pytest.raises(SchemaError):
+            union(tiny_table, other)
+
+
+class TestApplyToColumn:
+    def test_transform_outside_domain_raises(self, tiny_table):
+        # B's domain is lowercase; an uppercasing transform violates it and
+        # the strict substrate must refuse to build the result.
+        with pytest.raises(Exception):
+            apply_to_column(tiny_table, "B", str.upper)
+
+    def test_identity_transform_preserves(self, tiny_table):
+        same = apply_to_column(tiny_table, "A", lambda value: value)
+        assert same == tiny_table

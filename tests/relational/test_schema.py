@@ -1,0 +1,192 @@
+"""Tests for repro.relational.schema — attributes and schemas."""
+
+import pytest
+
+from repro.relational import (
+    Attribute,
+    AttributeType,
+    CategoricalDomain,
+    DomainError,
+    Schema,
+    SchemaError,
+    TypeMismatchError,
+    UnknownAttributeError,
+    infer_domains,
+)
+
+
+def make_schema() -> Schema:
+    return Schema(
+        (
+            Attribute("K", AttributeType.INTEGER),
+            Attribute(
+                "A", AttributeType.CATEGORICAL, CategoricalDomain(["a", "b"])
+            ),
+            Attribute("note", AttributeType.STRING),
+        ),
+        primary_key="K",
+    )
+
+
+class TestAttribute:
+    def test_categorical_requires_domain(self):
+        with pytest.raises(SchemaError):
+            Attribute("A", AttributeType.CATEGORICAL)
+
+    def test_non_categorical_rejects_domain(self):
+        with pytest.raises(SchemaError):
+            Attribute("K", AttributeType.INTEGER, CategoricalDomain(["x"]))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", AttributeType.INTEGER)
+
+    def test_validate_type_mismatch(self):
+        attribute = Attribute("K", AttributeType.INTEGER)
+        with pytest.raises(TypeMismatchError):
+            attribute.validate("not-an-int")
+
+    def test_validate_domain_violation(self):
+        attribute = Attribute(
+            "A", AttributeType.CATEGORICAL, CategoricalDomain(["a"])
+        )
+        with pytest.raises(DomainError):
+            attribute.validate("zzz")
+
+    def test_bool_rejected_for_integer(self):
+        attribute = Attribute("K", AttributeType.INTEGER)
+        with pytest.raises(TypeMismatchError):
+            attribute.validate(True)
+
+    def test_with_domain_swaps_domain(self):
+        attribute = Attribute(
+            "A", AttributeType.CATEGORICAL, CategoricalDomain(["a"])
+        )
+        widened = attribute.with_domain(CategoricalDomain(["a", "b"]))
+        assert widened.domain.size == 2
+
+    def test_with_domain_on_non_categorical_raises(self):
+        attribute = Attribute("K", AttributeType.INTEGER)
+        with pytest.raises(SchemaError):
+            attribute.with_domain(CategoricalDomain(["a"]))
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                (
+                    Attribute("K", AttributeType.INTEGER),
+                    Attribute("K", AttributeType.STRING),
+                ),
+                primary_key="K",
+            )
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema((Attribute("K", AttributeType.INTEGER),), primary_key="X")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((), primary_key="K")
+
+    def test_positions_follow_declaration_order(self):
+        schema = make_schema()
+        assert schema.position("K") == 0
+        assert schema.position("A") == 1
+        assert schema.position("note") == 2
+
+    def test_unknown_attribute_raises_with_candidates(self):
+        schema = make_schema()
+        with pytest.raises(UnknownAttributeError) as excinfo:
+            schema.position("missing")
+        assert "missing" in str(excinfo.value)
+        assert "K" in str(excinfo.value)
+
+    def test_categorical_names(self):
+        assert make_schema().categorical_names() == ("A",)
+
+    def test_validate_row_arity(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, "a"))
+
+    def test_validate_row_accepts_legal_row(self):
+        make_schema().validate_row((1, "a", "hello"))
+
+    def test_contains_and_iteration(self):
+        schema = make_schema()
+        assert "A" in schema
+        assert "Q" not in schema
+        assert [a.name for a in schema] == ["K", "A", "note"]
+
+    def test_equality(self):
+        assert make_schema() == make_schema()
+        other = make_schema().with_primary_key("note")
+        assert make_schema() != other
+
+
+class TestProjection:
+    def test_project_keeps_primary_key_when_retained(self):
+        schema = make_schema().project(["K", "A"])
+        assert schema.primary_key == "K"
+        assert schema.names == ("K", "A")
+
+    def test_project_promotes_first_attribute_when_pk_dropped(self):
+        schema = make_schema().project(["A", "note"])
+        assert schema.primary_key == "A"
+
+    def test_project_explicit_primary_key(self):
+        schema = make_schema().project(["A", "note"], primary_key="note")
+        assert schema.primary_key == "note"
+
+    def test_project_unknown_attribute_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            make_schema().project(["nope"])
+
+    def test_project_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema().project([])
+
+    def test_project_pk_outside_kept_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema().project(["A"], primary_key="K")
+
+
+class TestDerivedSchemas:
+    def test_replace_attribute(self):
+        schema = make_schema()
+        replaced = schema.replace_attribute(
+            Attribute(
+                "A", AttributeType.CATEGORICAL, CategoricalDomain(["a", "b", "c"])
+            )
+        )
+        assert replaced.attribute("A").domain.size == 3
+        # original untouched
+        assert schema.attribute("A").domain.size == 2
+
+    def test_replace_unknown_attribute_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            make_schema().replace_attribute(
+                Attribute("Q", AttributeType.INTEGER)
+            )
+
+    def test_with_primary_key_rekeys(self):
+        rekeyed = make_schema().with_primary_key("A")
+        assert rekeyed.primary_key == "A"
+        assert rekeyed.names == make_schema().names
+
+    def test_infer_domains_widens_categorical(self):
+        schema = make_schema()
+        rows = [(1, "a", "s"), (2, "b", "s")]
+        # shrink domain first, then infer back
+        narrow = schema.replace_attribute(
+            Attribute("A", AttributeType.CATEGORICAL, CategoricalDomain(["a"]))
+        )
+        widened = infer_domains(narrow, rows)
+        assert "b" in widened.attribute("A").domain
+
+    def test_infer_domains_keeps_declared_values(self):
+        schema = make_schema()
+        widened = infer_domains(schema, [(1, "a", "s")])
+        assert "b" in widened.attribute("A").domain  # declared, unobserved

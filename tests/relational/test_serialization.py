@@ -1,0 +1,64 @@
+"""Tests for repro.relational.serialization — schema JSON round-trips."""
+
+import pytest
+
+from repro.relational import (
+    SchemaError,
+    schema_from_dict,
+    schema_from_json,
+    schema_to_dict,
+    schema_to_json,
+)
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, tiny_schema):
+        assert schema_from_json(schema_to_json(tiny_schema)) == tiny_schema
+
+    def test_dict_round_trip(self, tiny_schema):
+        assert schema_from_dict(schema_to_dict(tiny_schema)) == tiny_schema
+
+    def test_domains_preserved(self, tiny_schema):
+        restored = schema_from_json(schema_to_json(tiny_schema))
+        assert restored.attribute("A").domain == \
+            tiny_schema.attribute("A").domain
+
+    def test_primary_key_preserved(self, tiny_schema):
+        payload = schema_to_dict(tiny_schema)
+        assert payload["primary_key"] == "K"
+
+    def test_generated_schemas_round_trip(self, item_scan, sales, bookings):
+        for table in (item_scan, sales, bookings):
+            assert schema_from_json(schema_to_json(table.schema)) == \
+                table.schema
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(SchemaError):
+            schema_from_json("not json {")
+
+    def test_missing_fields(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"attributes": []})
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict(
+                {
+                    "primary_key": "K",
+                    "attributes": [{"name": "K", "type": "quantum"}],
+                }
+            )
+
+    def test_categorical_without_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict(
+                {
+                    "primary_key": "K",
+                    "attributes": [
+                        {"name": "K", "type": "integer"},
+                        {"name": "A", "type": "categorical"},
+                    ],
+                }
+            )

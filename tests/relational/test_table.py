@@ -1,0 +1,171 @@
+"""Tests for repro.relational.table — the PK-indexed relation."""
+
+import pytest
+
+from repro.relational import (
+    Attribute,
+    AttributeType,
+    CategoricalDomain,
+    DomainError,
+    DuplicateKeyError,
+    MissingKeyError,
+    Schema,
+    SchemaError,
+    Table,
+    make_categorical_attribute,
+    table_from_columns,
+)
+
+
+class TestInsert:
+    def test_insert_and_len(self, tiny_table):
+        assert len(tiny_table) == 6
+
+    def test_duplicate_key_rejected(self, tiny_table):
+        with pytest.raises(DuplicateKeyError):
+            tiny_table.insert((1, "red", "x"))
+
+    def test_type_violation_rejected(self, tiny_schema):
+        table = Table(tiny_schema)
+        with pytest.raises(Exception):
+            table.insert(("one", "red", "x"))
+
+    def test_domain_violation_rejected(self, tiny_table):
+        with pytest.raises(DomainError):
+            tiny_table.insert((7, "magenta", "x"))
+
+    def test_arity_violation_rejected(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.insert((7, "red"))
+
+
+class TestReads:
+    def test_get_returns_tuple(self, tiny_table):
+        assert tiny_table.get(3) == (3, "blue", "z")
+
+    def test_get_missing_key_raises(self, tiny_table):
+        with pytest.raises(MissingKeyError):
+            tiny_table.get(999)
+
+    def test_value_cell_access(self, tiny_table):
+        assert tiny_table.value(2, "A") == "green"
+
+    def test_column_order_matches_iteration(self, tiny_table):
+        column = tiny_table.column("A")
+        assert column == [row[1] for row in tiny_table]
+
+    def test_contains_key(self, tiny_table):
+        assert 1 in tiny_table
+        assert 999 not in tiny_table
+
+    def test_keys_iteration(self, tiny_table):
+        assert sorted(tiny_table.keys()) == [1, 2, 3, 4, 5, 6]
+
+    def test_rows_where_filters(self, tiny_table):
+        reds = list(tiny_table.rows_where(lambda row: row[1] == "red"))
+        assert len(reds) == 2
+
+
+class TestWrites:
+    def test_set_value_returns_previous(self, tiny_table):
+        previous = tiny_table.set_value(1, "A", "blue")
+        assert previous == "red"
+        assert tiny_table.value(1, "A") == "blue"
+
+    def test_set_value_validates_domain(self, tiny_table):
+        with pytest.raises(DomainError):
+            tiny_table.set_value(1, "A", "magenta")
+
+    def test_set_value_missing_key(self, tiny_table):
+        with pytest.raises(MissingKeyError):
+            tiny_table.set_value(42, "A", "red")
+
+    def test_set_primary_key_reindexes(self, tiny_table):
+        tiny_table.set_value(1, "K", 100)
+        assert 100 in tiny_table
+        assert 1 not in tiny_table
+        assert tiny_table.get(100) == (100, "red", "x")
+
+    def test_set_primary_key_to_existing_raises(self, tiny_table):
+        with pytest.raises(DuplicateKeyError):
+            tiny_table.set_value(1, "K", 2)
+
+    def test_set_primary_key_same_value_noop(self, tiny_table):
+        assert tiny_table.set_value(1, "K", 1) == 1
+
+    def test_delete_removes_tuple(self, tiny_table):
+        removed = tiny_table.delete(3)
+        assert removed == (3, "blue", "z")
+        assert 3 not in tiny_table
+        assert len(tiny_table) == 5
+
+    def test_delete_missing_raises(self, tiny_table):
+        with pytest.raises(MissingKeyError):
+            tiny_table.delete(999)
+
+    def test_delete_keeps_index_consistent(self, tiny_table):
+        tiny_table.delete(1)  # triggers swap-with-last
+        for key in (2, 3, 4, 5, 6):
+            assert tiny_table.get(key)[0] == key
+
+    def test_replace_rows_swaps_contents(self, tiny_table):
+        tiny_table.replace_rows([(9, "red", "x")])
+        assert len(tiny_table) == 1
+        assert 9 in tiny_table
+
+    def test_replace_rows_rejects_duplicates(self, tiny_table):
+        with pytest.raises(DuplicateKeyError):
+            tiny_table.replace_rows([(9, "red", "x"), (9, "blue", "y")])
+
+
+class TestCloneAndEquality:
+    def test_clone_is_independent(self, tiny_table):
+        duplicate = tiny_table.clone()
+        duplicate.set_value(1, "A", "blue")
+        assert tiny_table.value(1, "A") == "red"
+
+    def test_equality_is_order_insensitive(self, tiny_table):
+        rows = list(tiny_table)
+        shuffled = Table(tiny_table.schema, reversed(rows))
+        assert tiny_table == shuffled
+
+    def test_inequality_on_different_contents(self, tiny_table):
+        other = tiny_table.clone()
+        other.set_value(1, "A", "blue")
+        assert tiny_table != other
+
+    def test_with_schema_requires_same_layout(self, tiny_table, tiny_schema):
+        other_schema = Schema(
+            (Attribute("Z", AttributeType.INTEGER),), primary_key="Z"
+        )
+        with pytest.raises(SchemaError):
+            tiny_table.with_schema(other_schema)
+
+
+class TestHelpers:
+    def test_table_from_columns(self, tiny_schema):
+        table = table_from_columns(
+            tiny_schema,
+            {
+                "K": [1, 2],
+                "A": ["red", "blue"],
+                "B": ["x", "y"],
+            },
+        )
+        assert len(table) == 2
+        assert table.get(2) == (2, "blue", "y")
+
+    def test_table_from_columns_ragged_rejected(self, tiny_schema):
+        with pytest.raises(SchemaError):
+            table_from_columns(
+                tiny_schema, {"K": [1], "A": ["red", "blue"], "B": ["x"]}
+            )
+
+    def test_table_from_columns_missing_column(self, tiny_schema):
+        with pytest.raises(SchemaError):
+            table_from_columns(tiny_schema, {"K": [1], "A": ["red"]})
+
+    def test_make_categorical_attribute(self):
+        attribute = make_categorical_attribute("A", ["a", "b"])
+        assert attribute.is_categorical
+        assert attribute.domain.size == 2

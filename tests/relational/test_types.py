@@ -1,0 +1,55 @@
+"""Tests for repro.relational.types — the attribute type system."""
+
+import pytest
+
+from repro.relational import AttributeType
+
+
+class TestAccepts:
+    def test_integer_accepts_int(self):
+        assert AttributeType.INTEGER.accepts(42)
+
+    def test_integer_rejects_bool(self):
+        assert not AttributeType.INTEGER.accepts(True)
+
+    def test_integer_rejects_float(self):
+        assert not AttributeType.INTEGER.accepts(4.2)
+
+    def test_real_accepts_float_and_int(self):
+        assert AttributeType.REAL.accepts(4.2)
+        assert AttributeType.REAL.accepts(4)
+
+    def test_real_rejects_bool(self):
+        assert not AttributeType.REAL.accepts(False)
+
+    def test_string_accepts_str(self):
+        assert AttributeType.STRING.accepts("hello")
+
+    def test_string_rejects_bytes(self):
+        assert not AttributeType.STRING.accepts(b"hello")
+
+    def test_categorical_accepts_hashables(self):
+        assert AttributeType.CATEGORICAL.accepts("x")
+        assert AttributeType.CATEGORICAL.accepts(7)
+        assert AttributeType.CATEGORICAL.accepts(("a", 1))
+
+    def test_categorical_rejects_unhashable(self):
+        assert not AttributeType.CATEGORICAL.accepts(["list"])
+
+
+class TestParse:
+    def test_parse_integer(self):
+        assert AttributeType.INTEGER.parse("42") == 42
+
+    def test_parse_real(self):
+        assert AttributeType.REAL.parse("4.5") == pytest.approx(4.5)
+
+    def test_parse_string_passthrough(self):
+        assert AttributeType.STRING.parse("abc") == "abc"
+
+    def test_parse_categorical_passthrough(self):
+        assert AttributeType.CATEGORICAL.parse("abc") == "abc"
+
+    def test_parse_integer_garbage_raises(self):
+        with pytest.raises(ValueError):
+            AttributeType.INTEGER.parse("xyz")
