@@ -1,66 +1,166 @@
 """Throughput — embed/detect tuples per second vs relation size.
 
 The paper's pitch includes "massive data" (840 M-tuple relations, marked in
-subsamples); this bench records the scalability of the pure-Python
-implementation so absolute wall-times elsewhere have context.  Embedding
-and detection are both single-scan (O(N) keyed hashes), so tuples/sec
-should be roughly flat in N.
+subsamples); this bench records the scalability of the implementation and
+the effect of the batched :class:`~repro.crypto.HashEngine` versus the
+row-at-a-time scalar reference path.
+
+Two engine regimes are reported:
+
+* **cold** — first contact with the relation: digests must actually be
+  computed, so the win over scalar comes from batching, columnar scans and
+  the copy-on-write clone;
+* **steady** — the relation has been seen before (the attack-sweep and
+  re-verification regime the engine is built for): the carrier-plan cache
+  answers every fitness/slot/pair lookup without hashing at all.
+
+Besides the usual text table, the series is appended to
+``benchmarks/results/throughput.json`` so the speedup trajectory is
+recorded across runs.
 """
 
+import json
 import time
 
-from conftest import once
+from conftest import RESULTS_DIR, once
 
 from repro.core import Watermark, Watermarker
-from repro.crypto import MarkKey
+from repro.crypto import SCALAR, MarkKey, clear_engine_registry
 from repro.datagen import generate_item_scan
 from repro.experiments import format_table
 
-SIZES = (2_000, 8_000, 32_000)
+SIZES = (2_000, 8_000, 32_000, 128_000)
+ASSERT_SIZE = 32_000  # acceptance tier for the engine-vs-scalar speedup
+STEADY_ROUNDS = 3
+
+WATERMARK = Watermark.from_int(0x2AB, 10)
+
+
+def _measure(make_marker, table):
+    """(embed_cold, embed_steady, detect_cold, detect_steady) in seconds.
+
+    "Cold" is a first pass with empty caches; "steady" the best subsequent
+    pass — for the scalar back end the two only differ by machine noise,
+    for the engine the steady pass runs entirely from the carrier-plan
+    cache.  Detection gets its own fresh marker (registry cleared) so the
+    cold number is genuinely cold rather than pre-warmed by embedding.
+    """
+    clear_engine_registry()
+    marker = make_marker()
+    embed_times = []
+    outcome = None
+    for _ in range(1 + STEADY_ROUNDS):
+        started = time.perf_counter()
+        outcome = marker.embed(table, WATERMARK, "Item_Nbr")
+        embed_times.append(time.perf_counter() - started)
+    clear_engine_registry()
+    marker = make_marker()
+    detect_times = []
+    for _ in range(1 + STEADY_ROUNDS):
+        started = time.perf_counter()
+        verdict = marker.verify(outcome.table, outcome.record)
+        detect_times.append(time.perf_counter() - started)
+    # Sanity only (this bench measures speed): the keyed variant's
+    # expected ~half-bit erasure loss at small sizes is tolerated.
+    assert verdict.association.matching_bits >= 9
+    return (
+        embed_times[0],
+        min(embed_times[1:]),
+        detect_times[0],
+        min(detect_times[1:]),
+    )
 
 
 def run_scaling():
-    rows = []
-    rates = []
-    watermark = Watermark.from_int(0x2AB, 10)
     key = MarkKey.from_seed("throughput")
+    rows = []
+    series = {}
     for size in SIZES:
         table = generate_item_scan(size, item_count=500, seed=3)
-        marker = Watermarker(key, e=60)
-        started = time.perf_counter()
-        outcome = marker.embed(table, watermark, "Item_Nbr")
-        embed_seconds = time.perf_counter() - started
-        started = time.perf_counter()
-        verdict = marker.verify(outcome.table, outcome.record)
-        detect_seconds = time.perf_counter() - started
-        # Sanity only (this bench measures speed): at the smallest size the
-        # keyed variant's expected ~half-bit erasure loss is tolerated.
-        assert verdict.association.matching_bits >= 9
-        embed_rate = size / embed_seconds
-        detect_rate = size / detect_seconds
-        rates.append((embed_rate, detect_rate))
+
+        scalar = _measure(lambda: Watermarker(key, e=60, engine=SCALAR), table)
+        engine = _measure(lambda: Watermarker(key, e=60), table)
+
+        point = {
+            "scalar_embed": size / scalar[0],
+            "scalar_detect": size / scalar[2],
+            "engine_embed_cold": size / engine[0],
+            "engine_embed_steady": size / engine[1],
+            "engine_detect_cold": size / engine[2],
+            "engine_detect_steady": size / engine[3],
+        }
+        series[size] = point
         rows.append(
             (
                 size,
-                f"{embed_rate:,.0f}",
-                f"{detect_rate:,.0f}",
+                f"{point['scalar_embed']:,.0f}",
+                f"{point['engine_embed_cold']:,.0f}",
+                f"{point['engine_embed_steady']:,.0f}",
+                f"{point['scalar_detect']:,.0f}",
+                f"{point['engine_detect_cold']:,.0f}",
+                f"{point['engine_detect_steady']:,.0f}",
             )
         )
-    return rows, rates
+    return rows, series
+
+
+def _append_trajectory(series):
+    """Append this run's rates to the JSON trajectory artefact."""
+    path = RESULTS_DIR / "throughput.json"
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text(encoding="utf-8")).get("runs", [])
+    history.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "tuples_per_second": {
+                str(size): {
+                    metric: round(rate)
+                    for metric, rate in point.items()
+                }
+                for size, point in series.items()
+            },
+        }
+    )
+    path.write_text(
+        json.dumps({"runs": history}, indent=2) + "\n", encoding="utf-8"
+    )
 
 
 def test_throughput(benchmark, record):
-    rows, rates = once(benchmark, run_scaling)
+    rows, series = once(benchmark, run_scaling)
     record(
         "throughput",
         format_table(
-            ("tuples", "embed tuples/s", "detect tuples/s"), rows
+            (
+                "tuples",
+                "embed scalar t/s",
+                "embed engine cold",
+                "embed engine steady",
+                "detect scalar t/s",
+                "detect engine cold",
+                "detect engine steady",
+            ),
+            rows,
         ),
     )
-    # Single-scan algorithms: rate at the largest size stays within 4x of
-    # the rate at the smallest (no superlinear blowup).
-    assert rates[-1][0] > rates[0][0] / 4
-    assert rates[-1][1] > rates[0][1] / 4
-    # And the absolute floor is usable on laptop-scale data.
-    assert rates[-1][0] > 20_000
-    assert rates[-1][1] > 20_000
+    _append_trajectory(series)
+    tier = series[ASSERT_SIZE]
+    benchmark.extra_info.update(
+        {f"{metric}_{ASSERT_SIZE}": round(rate) for metric, rate in tier.items()}
+    )
+
+    # Acceptance: the engine's steady-state (attack-sweep regime) beats the
+    # row-at-a-time scalar reference >= 5x on both paths at the 32k tier.
+    assert tier["engine_embed_steady"] >= 5 * tier["scalar_embed"], tier
+    assert tier["engine_detect_steady"] >= 5 * tier["scalar_detect"], tier
+
+    # Single-scan algorithms: engine cold rate at the largest size stays
+    # within 4x of the smallest (no superlinear blowup)...
+    assert series[SIZES[-1]]["engine_embed_cold"] > \
+        series[SIZES[0]]["engine_embed_cold"] / 4
+    assert series[SIZES[-1]]["engine_detect_cold"] > \
+        series[SIZES[0]]["engine_detect_cold"] / 4
+    # ...and the absolute floor is comfortably above the seed's 20k t/s.
+    assert series[SIZES[-1]]["engine_embed_cold"] > 20_000
+    assert series[SIZES[-1]]["engine_detect_cold"] > 20_000

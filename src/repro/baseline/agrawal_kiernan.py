@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from scipy import stats
 
-from ..crypto import keyed_hash
+from ..crypto import KeyedDigestCache, get_digest_cache, keyed_hash
 from ..relational import AttributeType, Table
 
 
@@ -108,6 +108,33 @@ def _selections(
     return True, attribute_index, bit_index, bit_value
 
 
+def _marked_selections(
+    pk_values: list, cache: KeyedDigestCache, params: AKParameters
+):
+    """Yield ``(row_position, pk, attribute_index, bit_index, bit_value)``
+    for every marked tuple, batch-hashing the whole key column at once.
+
+    Digests are memoized per secret key, so the detect pass after an embed
+    — and every re-detection an attack bench runs — reuses the same
+    SHA-256 work instead of re-deriving ~4 hashes per marked tuple.
+    """
+    gamma = params.gamma
+    candidates = len(params.candidate_attributes)
+    digest = cache.digest
+    for position, (pk_value, base) in enumerate(
+        zip(pk_values, cache.digest_many(pk_values))
+    ):
+        if base % gamma != 0:
+            continue
+        yield (
+            position,
+            pk_value,
+            digest((pk_value, "attr")) % candidates,
+            digest((pk_value, "bit")) % params.xi,
+            digest((pk_value, "value")) % 2,
+        )
+
+
 def _check_numeric(table: Table, params: AKParameters) -> None:
     for name in params.candidate_attributes:
         meta = table.schema.attribute(name)
@@ -121,16 +148,13 @@ def _check_numeric(table: Table, params: AKParameters) -> None:
 def ak_embed(table: Table, key: bytes, params: AKParameters) -> AKEmbedResult:
     """Mark ``table`` in place; returns marking statistics."""
     _check_numeric(table, params)
-    pk_position = table.schema.position(table.primary_key)
+    cache = get_digest_cache(key)
+    pk_values = table.column(table.primary_key)
     marked = 0
     changed = 0
-    for row in list(table):
-        pk_value = row[pk_position]
-        selected, attribute_index, bit_index, bit_value = _selections(
-            pk_value, key, params
-        )
-        if not selected:
-            continue
+    for _, pk_value, attribute_index, bit_index, bit_value in (
+        _marked_selections(pk_values, cache, params)
+    ):
         marked += 1
         attribute = params.candidate_attributes[attribute_index]
         current = table.value(pk_value, attribute)
@@ -150,18 +174,18 @@ def ak_detect(
 ) -> AKDetectResult:
     """Blindly test ``table`` for the AHK mark under ``key``."""
     _check_numeric(table, params)
-    pk_position = table.schema.position(table.primary_key)
+    cache = get_digest_cache(key)
+    pk_values = table.column_view(table.primary_key)
+    columns = {
+        name: table.column_view(name) for name in params.candidate_attributes
+    }
     total = 0
     matches = 0
-    for row in table:
-        pk_value = row[pk_position]
-        selected, attribute_index, bit_index, bit_value = _selections(
-            pk_value, key, params
-        )
-        if not selected:
-            continue
+    for position, _, attribute_index, bit_index, bit_value in (
+        _marked_selections(pk_values, cache, params)
+    ):
         attribute = params.candidate_attributes[attribute_index]
-        value = row[table.schema.position(attribute)]
+        value = columns[attribute][position]
         total += 1
         matches += ((value >> bit_index) & 1) == bit_value
     return AKDetectResult(

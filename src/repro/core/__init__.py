@@ -24,8 +24,10 @@ from .embedding import (
     default_channel_length,
     embed,
     embedded_value_index,
+    embedded_value_index_from_digest,
     make_spec,
     slot_index,
+    slot_index_from_digest,
     value_pair_count,
 )
 from .errors import BandwidthError, DetectionError, SpecError, WatermarkingError
@@ -104,6 +106,7 @@ __all__ = [
     "embed_frequency",
     "embed_pairs",
     "embedded_value_index",
+    "embedded_value_index_from_digest",
     "estimate_profile",
     "expected_bandwidth",
     "extract_slots",
@@ -117,6 +120,7 @@ __all__ = [
     "recover_mapping",
     "recovery_quality",
     "slot_index",
+    "slot_index_from_digest",
     "value_pair_count",
     "verify",
     "verify_frequency",

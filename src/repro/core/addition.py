@@ -27,7 +27,11 @@ from typing import Any, Hashable
 
 from ..crypto import MarkKey, keyed_hash, keyed_rng
 from ..relational import Table, empirical_distribution
-from .embedding import EmbeddingSpec, embedded_value_index, slot_index
+from .embedding import (
+    EmbeddingSpec,
+    embedded_value_index_from_digest,
+    slot_index,
+)
 from .errors import BandwidthError, SpecError
 from .watermark import Watermark
 
@@ -149,11 +153,15 @@ def add_watermarked_tuples(
         tested += 1
         if candidate in table:
             continue
-        if keyed_hash(candidate, key.k1) % spec.e != 0:
+        # Candidates are fresh random keys, so memoization cannot help —
+        # but the k1 digest serves both the fitness test and the value
+        # choice, so thread it through rather than hashing twice.
+        digest = keyed_hash(candidate, key.k1)
+        if digest % spec.e != 0:
             continue
         slot = slot_index(candidate, key.k2, spec.channel_length)
         bit = wm_data[slot]
-        value_index = embedded_value_index(candidate, key.k1, bit, domain)
+        value_index = embedded_value_index_from_digest(digest, bit, domain)
         row = []
         for attribute in table.schema.names:
             if attribute == table.primary_key:

@@ -27,10 +27,20 @@ preserving both the keyed pseudo-randomness of the value choice and the
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
-from ..crypto import MarkKey, bit_length, keyed_hash, msb
+from ..crypto import (
+    SCALAR,
+    CarrierPlan,
+    HashEngine,
+    MarkKey,
+    bit_length,
+    keyed_hash,
+    msb,
+    resolve_engine,
+)
 from ..ecc import ErrorCorrectingCode, get_code
 from ..quality import GuardReport, QualityGuard, permissive_guard
 from ..relational import CategoricalDomain, Table
@@ -137,8 +147,14 @@ def slot_index(key_value: Hashable, k2: bytes, channel_length: int) -> int:
         raise SpecError(
             f"channel length must be positive, got {channel_length}"
         )
-    raw = msb(keyed_hash(key_value, k2), bit_length(channel_length))
-    return raw % channel_length
+    return slot_index_from_digest(
+        keyed_hash(key_value, k2), channel_length
+    )
+
+
+def slot_index_from_digest(digest: int, channel_length: int) -> int:
+    """:func:`slot_index` with the ``H(T(K), k2)`` digest precomputed."""
+    return msb(digest, bit_length(channel_length)) % channel_length
 
 
 def value_pair_count(domain: CategoricalDomain) -> int:
@@ -150,12 +166,26 @@ def embedded_value_index(
     key_value: Hashable, k1: bytes, bit: int, domain: CategoricalDomain
 ) -> int:
     """The value index ``t`` carrying ``bit`` for this tuple (pair coding)."""
+    return embedded_value_index_from_digest(
+        keyed_hash(key_value, k1), bit, domain
+    )
+
+
+def embedded_value_index_from_digest(
+    digest: int, bit: int, domain: CategoricalDomain
+) -> int:
+    """:func:`embedded_value_index` with ``H(T(K), k1)`` precomputed.
+
+    Fitness checking and value selection both consume the *same* ``k1``
+    digest; threading it through halves the hash bill of the scalar
+    embedding path.
+    """
     pairs = value_pair_count(domain)
     if pairs == 0:
         raise BandwidthError(
             f"domain of size {domain.size} cannot carry a bit (need >= 2 values)"
         )
-    secret = msb(keyed_hash(key_value, k1), bit_length(domain.size))
+    secret = msb(digest, bit_length(domain.size))
     return 2 * (secret % pairs) + bit
 
 
@@ -230,6 +260,7 @@ def embed(
     key: MarkKey,
     spec: EmbeddingSpec,
     guard: QualityGuard | None = None,
+    engine: HashEngine | str | None = None,
 ) -> EmbeddingResult:
     """Embed ``watermark`` into ``table`` **in place** under ``spec``.
 
@@ -237,6 +268,12 @@ def embed(
     the embedding map needed at detection time.  Pass a bound
     :class:`QualityGuard` to enforce usability constraints with rollback;
     without one a permissive guard is used (all changes logged, none vetoed).
+
+    ``engine`` selects the hashing back end: ``None`` uses the process-wide
+    shared :class:`HashEngine` for ``key`` (batched, memoized — the fast
+    path), an explicit engine instance uses that, and
+    :data:`~repro.crypto.SCALAR` forces the row-at-a-time reference
+    implementation.  All back ends are bit-identical.
     """
     _validate_against_table(spec, table)
     if len(watermark) != spec.watermark_length:
@@ -266,44 +303,46 @@ def embed(
         guard_report=guard.report,
     )
 
-    # Map each distinct key value to the primary keys of its carrier
-    # tuples.  For the declared primary key this is 1:1; for a non-key
-    # "primary key place-holder" (§3.3) every tuple sharing the value is
-    # rewritten so the (key value -> mark value) association is consistent
-    # at detection.  One pass; embedding then never rescans the table.
-    key_position = table.schema.position(spec.key_attribute)
-    pk_position = table.schema.position(table.primary_key)
-    mark_position = table.schema.position(spec.mark_attribute)
-    carrier_pks: dict[Hashable, list[Hashable]] = {}
-    carrier_value: dict[Hashable, Any] = {}
-    carriers: list[Hashable] = []
-    unfit: set[Hashable] = set()
-    for row in table:
-        key_value = row[key_position]
-        if key_value in carrier_pks:
-            carrier_pks[key_value].append(row[pk_position])
-            continue
-        if key_value in unfit:
-            continue
-        if keyed_hash(key_value, key.k1) % spec.e == 0:
-            carrier_pks[key_value] = [row[pk_position]]
-            carrier_value[key_value] = row[mark_position]
-            carriers.append(key_value)
+    if engine == SCALAR:
+        carriers, carrier_pks, carrier_value, digests = _gather_scalar(
+            table, key, spec
+        )
+        slot_of = None
+        pair_of = None
+    else:
+        engine = resolve_engine(engine, key)
+        plan = engine.plan(spec.e, spec.channel_length, domain.size)
+        carriers, carrier_pks, carrier_value = _gather_batched(
+            table, plan, spec
+        )
+        digests = None
+        if spec.variant == VARIANT_KEYED:
+            slot_of = plan.slots(carriers)
         else:
-            unfit.add(key_value)
+            slot_of = None
+        pair_of = plan.pairs(carriers)
 
     sequential_index = 0
     for key_value in carriers:
         result.fit_count += 1
         if spec.variant == VARIANT_KEYED:
-            slot = slot_index(key_value, key.k2, spec.channel_length)
+            if slot_of is not None:
+                slot = slot_of[key_value]
+            else:
+                slot = slot_index(key_value, key.k2, spec.channel_length)
         else:
             slot = sequential_index % spec.channel_length
             assert result.embedding_map is not None
             result.embedding_map[key_value] = slot
             sequential_index += 1
         bit = wm_data[slot]
-        target_index = embedded_value_index(key_value, key.k1, bit, domain)
+        if pair_of is not None:
+            target_index = 2 * pair_of[key_value] + bit
+        else:
+            assert digests is not None
+            target_index = embedded_value_index_from_digest(
+                digests[key_value], bit, domain
+            )
         new_value = domain.value_at(target_index)
 
         if carrier_value[key_value] == new_value:
@@ -319,3 +358,91 @@ def embed(
         else:
             result.vetoed += 1
     return result
+
+
+def _gather_scalar(
+    table: Table, key: MarkKey, spec: EmbeddingSpec
+) -> tuple[
+    list[Hashable],
+    dict[Hashable, list[Hashable]],
+    dict[Hashable, Any],
+    dict[Hashable, int],
+]:
+    """Reference carrier scan: row-at-a-time, one ``keyed_hash`` per
+    distinct key value (the digest is kept and threaded to the value
+    choice, so fitness and pair coding share a single hash).
+
+    Maps each distinct key value to the primary keys of its carrier
+    tuples.  For the declared primary key this is 1:1; for a non-key
+    "primary key place-holder" (§3.3) every tuple sharing the value is
+    rewritten so the (key value -> mark value) association is consistent
+    at detection.  One pass; embedding then never rescans the table.
+    """
+    key_position = table.schema.position(spec.key_attribute)
+    pk_position = table.schema.position(table.primary_key)
+    mark_position = table.schema.position(spec.mark_attribute)
+    carrier_pks: dict[Hashable, list[Hashable]] = {}
+    carrier_value: dict[Hashable, Any] = {}
+    digests: dict[Hashable, int] = {}
+    carriers: list[Hashable] = []
+    unfit: set[Hashable] = set()
+    for row in table:
+        key_value = row[key_position]
+        if key_value in carrier_pks:
+            carrier_pks[key_value].append(row[pk_position])
+            continue
+        if key_value in unfit:
+            continue
+        digest = keyed_hash(key_value, key.k1)
+        if digest % spec.e == 0:
+            carrier_pks[key_value] = [row[pk_position]]
+            carrier_value[key_value] = row[mark_position]
+            digests[key_value] = digest
+            carriers.append(key_value)
+        else:
+            unfit.add(key_value)
+    return carriers, carrier_pks, carrier_value, digests
+
+
+def _gather_batched(
+    table: Table, plan: "CarrierPlan", spec: EmbeddingSpec
+) -> tuple[
+    list[Hashable],
+    dict[Hashable, "Sequence[Hashable]"],
+    dict[Hashable, Any],
+]:
+    """Columnar carrier scan: batch-hash the distinct key values, then
+    group carriers without materializing row tuples.
+
+    Same carrier order (first physical encounter) and same outputs as
+    :func:`_gather_scalar`.
+    """
+    key_column = table.column_view(spec.key_attribute)
+    if spec.key_attribute == table.primary_key:
+        # Primary keys are unique: no dedup pass, every row is its own
+        # carrier group, and the few carrier mark values are fetched
+        # point-wise instead of materializing the whole mark column.
+        fit = plan.fitness(key_column)
+        carriers = [value for value in key_column if fit[value]]
+        carrier_pks = {value: (value,) for value in carriers}
+        carrier_value = dict(
+            zip(carriers, table.values_for(carriers, spec.mark_attribute))
+        )
+        return carriers, carrier_pks, carrier_value
+    fit = plan.fitness(dict.fromkeys(key_column))
+    mark_column = table.column_view(spec.mark_attribute)
+    pk_column = table.column_view(table.primary_key)
+    carrier_pks: dict[Hashable, list[Hashable]] = {}
+    carrier_value: dict[Hashable, Any] = {}
+    carriers: list[Hashable] = []
+    for key_value, pk, mark in zip(key_column, pk_column, mark_column):
+        if not fit[key_value]:
+            continue
+        group = carrier_pks.get(key_value)
+        if group is not None:
+            group.append(pk)
+            continue
+        carrier_pks[key_value] = [pk]
+        carrier_value[key_value] = mark
+        carriers.append(key_value)
+    return carriers, carrier_pks, carrier_value

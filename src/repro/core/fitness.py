@@ -38,12 +38,14 @@ def fit_keys(
     place-holders".  Duplicate values of a non-key ``key_attribute`` are all
     yielded (each backing tuple is a carrier).
     """
-    position = table.schema.position(key_attribute)
     if e <= 0:
         raise SpecError(f"encoding parameter e must be positive, got {e}")
-    for row in table:
-        value = row[position]
-        if keyed_hash(value, k1) % e == 0:
+    verdicts: dict[Hashable, bool] = {}
+    for value in table.iter_cells(key_attribute):
+        fit = verdicts.get(value)
+        if fit is None:
+            fit = verdicts[value] = keyed_hash(value, k1) % e == 0
+        if fit:
             yield value
 
 
@@ -54,8 +56,13 @@ def fit_rows(
     position = table.schema.position(key_attribute)
     if e <= 0:
         raise SpecError(f"encoding parameter e must be positive, got {e}")
+    verdicts: dict[Hashable, bool] = {}
     for row in table:
-        if keyed_hash(row[position], k1) % e == 0:
+        value = row[position]
+        fit = verdicts.get(value)
+        if fit is None:
+            fit = verdicts[value] = keyed_hash(value, k1) % e == 0
+        if fit:
             yield row
 
 

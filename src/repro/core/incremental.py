@@ -20,14 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
-from ..crypto import MarkKey, keyed_hash
+from ..crypto import HashEngine, MarkKey, resolve_engine
 from ..relational import Table
-from .embedding import (
-    EmbeddingSpec,
-    VARIANT_KEYED,
-    embedded_value_index,
-    slot_index,
-)
+from .embedding import EmbeddingSpec, VARIANT_KEYED
 from .errors import SpecError
 from .pipeline import MarkRecord
 from .watermark import Watermark
@@ -49,7 +44,13 @@ class IncrementalStats:
 class IncrementalWatermarker:
     """Keeps a marked relation's watermark consistent under updates."""
 
-    def __init__(self, table: Table, key: MarkKey, record: MarkRecord):
+    def __init__(
+        self,
+        table: Table,
+        key: MarkKey,
+        record: MarkRecord,
+        engine: HashEngine | None = None,
+    ):
         spec = record.spec
         if spec.variant != VARIANT_KEYED:
             raise SpecError(
@@ -73,15 +74,19 @@ class IncrementalWatermarker:
         self._wm_data = spec.ecc().encode(
             record.watermark.bits, spec.channel_length
         )
+        # The engine's memoized digests make the audit/repair full scans —
+        # and the steady drip of per-update fitness checks — hash each key
+        # value at most once over the wrapper's whole lifetime.
+        self._engine = resolve_engine(engine, key)
 
     # -- the fitness/encoding kernel ------------------------------------------
     def _is_fit(self, key_value: Hashable) -> bool:
-        return keyed_hash(key_value, self.key.k1) % self.spec.e == 0
+        return self._engine.is_fit(key_value, self.spec.e)
 
     def _carrier_value(self, key_value: Hashable) -> Any:
-        slot = slot_index(key_value, self.key.k2, self.spec.channel_length)
+        slot = self._engine.slot_index(key_value, self.spec.channel_length)
         bit = self._wm_data[slot]
-        index = embedded_value_index(key_value, self.key.k1, bit, self._domain)
+        index = 2 * self._engine.pair_index(key_value, self._domain.size) + bit
         return self._domain.value_at(index)
 
     def expected_value(self, key_value: Hashable) -> Any | None:
@@ -148,6 +153,18 @@ class IncrementalWatermarker:
         return self.table.delete(key_value)
 
     # -- consistency audit ----------------------------------------------------------
+    def _prefetch_scan(self) -> None:
+        """Batch-resolve fitness/slot/pair for every current key before a
+        full-table sweep, so the per-row kernel only performs dict hits."""
+        plan = self._engine.plan(
+            self.spec.e, self.spec.channel_length, self._domain.size
+        )
+        distinct = dict.fromkeys(self.table.column_view(self.table.primary_key))
+        fit = plan.fitness(distinct)
+        fit_values = [value for value in distinct if fit[value]]
+        plan.slots(fit_values)
+        plan.pairs(fit_values)
+
     def audit(self) -> int:
         """Count carrier tuples whose value disagrees with the channel.
 
@@ -155,28 +172,32 @@ class IncrementalWatermarker:
         non-zero count localises drift introduced by writes that bypassed
         this wrapper.
         """
-        pk_position = self.table.schema.position(self.table.primary_key)
-        mark_position = self.table.schema.position(self.spec.mark_attribute)
+        self._prefetch_scan()
         disagreements = 0
-        for row in self.table:
-            expected = self.expected_value(row[pk_position])
-            if expected is not None and row[mark_position] != expected:
+        for key_value, current in self.table.iter_cells(
+            self.table.primary_key, self.spec.mark_attribute
+        ):
+            expected = self.expected_value(key_value)
+            if expected is not None and current != expected:
                 disagreements += 1
         return disagreements
 
     def repair(self) -> int:
         """Re-mark every drifted carrier; returns the number repaired."""
-        pk_position = self.table.schema.position(self.table.primary_key)
-        mark_position = self.table.schema.position(self.spec.mark_attribute)
-        repaired = 0
-        for row in list(self.table):
-            expected = self.expected_value(row[pk_position])
-            if expected is not None and row[mark_position] != expected:
-                self.table.set_value(
-                    row[pk_position], self.spec.mark_attribute, expected
-                )
-                repaired += 1
-        return repaired
+        self._prefetch_scan()
+        drifted = [
+            (key_value, expected)
+            for key_value, current in self.table.iter_cells(
+                self.table.primary_key, self.spec.mark_attribute
+            )
+            for expected in (self.expected_value(key_value),)
+            if expected is not None and current != expected
+        ]
+        for key_value, expected in drifted:
+            self.table.set_value(
+                key_value, self.spec.mark_attribute, expected
+            )
+        return len(drifted)
 
 
 def incremental_for(

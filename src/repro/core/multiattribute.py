@@ -29,7 +29,7 @@ from typing import Hashable
 
 import networkx as nx
 
-from ..crypto import MarkKey
+from ..crypto import MarkKey, get_engine
 from ..quality import Constraint, ChangeContext, QualityGuard
 from ..relational import Table
 from .detection import VerificationResult, verify
@@ -261,7 +261,13 @@ def embed_pairs(
             [LedgerConstraint(frozen_cells)] + list(extra_constraints or [])
         )
         guard.bind(table)
-        outcome = embed(table, watermark, pass_key, spec, guard=guard)
+        # Each pass hashes under its own derived key; the shared registry
+        # engine keeps those digests warm for verify_pairs and for every
+        # re-detection an attack experiment runs afterwards.
+        outcome = embed(
+            table, watermark, pass_key, spec, guard=guard,
+            engine=get_engine(pass_key),
+        )
         frozen_cells |= guard.log.changed_cells()
         result.passes[label] = outcome
         result.specs[label] = spec
@@ -354,13 +360,15 @@ def verify_pairs(
             or spec.mark_attribute not in table.schema
         ):
             continue
+        pass_key = master_key.derive(label)
         per_pair[label] = verify(
             table,
-            master_key.derive(label),
+            pass_key,
             spec,
             expected,
             embedding_map=embedding.embedding_maps.get(label),
             significance=significance,
+            engine=get_engine(pass_key),
         )
     if not per_pair:
         raise SpecError(

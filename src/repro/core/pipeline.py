@@ -17,7 +17,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
-from ..crypto import MarkKey
+from ..crypto import SCALAR, HashEngine, MarkKey, resolve_engine
 from ..quality import Constraint, QualityGuard
 from ..relational import Table
 from .addition import AdditionResult, add_watermarked_tuples
@@ -153,7 +153,13 @@ class Watermarker:
         ecc_name: str = "majority",
         variant: str = "keyed",
         significance: float = 0.01,
+        engine: HashEngine | str | None = None,
     ):
+        """``engine`` selects the hashing back end for every embed/verify
+        this instance runs: ``None`` (default) shares the process-wide
+        :class:`HashEngine` for ``key`` — so embedding warms the digest
+        caches detection then reads for free — while
+        :data:`~repro.crypto.SCALAR` forces the reference path."""
         if e <= 0:
             raise SpecError(f"e must be positive, got {e}")
         self.key = key
@@ -161,6 +167,9 @@ class Watermarker:
         self.ecc_name = ecc_name
         self.variant = variant
         self.significance = significance
+        self.engine = (
+            engine if engine == SCALAR else resolve_engine(engine, key)
+        )
 
     # -- embedding ---------------------------------------------------------
     def embed(
@@ -189,7 +198,9 @@ class Watermarker:
         )
         guard = QualityGuard(list(constraints or []))
         guard.bind(marked)
-        embedding = embed(marked, watermark, self.key, spec, guard=guard)
+        embedding = embed(
+            marked, watermark, self.key, spec, guard=guard, engine=self.engine
+        )
 
         addition = None
         if p_add > 0.0:
@@ -284,6 +295,7 @@ class Watermarker:
                 domain=domain,
                 value_mapping=strict_mapping,
                 significance=self.significance,
+                engine=self.engine,
             )
 
         frequency = None

@@ -39,7 +39,7 @@ class FrequencyProfile:
 
     @classmethod
     def capture(cls, table: Table, attribute: str) -> "FrequencyProfile":
-        counts = Counter(table.column(attribute))
+        counts = Counter(table.column_view(attribute))
         total = sum(counts.values())
         if total == 0:
             raise DetectionError(

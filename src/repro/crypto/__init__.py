@@ -12,23 +12,41 @@ from .bits import (
     msb,
     set_bit,
 )
+from .engine import (
+    SCALAR,
+    CarrierPlan,
+    HashEngine,
+    KeyedDigestCache,
+    clear_engine_registry,
+    get_digest_cache,
+    get_engine,
+    resolve_engine,
+)
 from .hashing import canonical_bytes, crypto_hash, keyed_hash, keyed_hash_mod
 from .keys import KeyError_, MarkKey
 from .prng import keyed_rng, seeded_rng
 
 __all__ = [
+    "SCALAR",
+    "CarrierPlan",
+    "HashEngine",
     "KeyError_",
+    "KeyedDigestCache",
     "MarkKey",
     "bit_length",
     "bits_to_int",
     "canonical_bytes",
+    "clear_engine_registry",
     "crypto_hash",
     "get_bit",
+    "get_digest_cache",
+    "get_engine",
     "int_to_bits",
     "keyed_hash",
     "keyed_hash_mod",
     "keyed_rng",
     "msb",
+    "resolve_engine",
     "seeded_rng",
     "set_bit",
 ]

@@ -1,0 +1,529 @@
+"""Batched keyed-hash engine — the columnar fast path for embed/detect.
+
+The scheme spends almost all of its CPU time in ``H(V, k)`` evaluations
+(§2.2): fitness selection hashes every distinct key value under ``k1``,
+slot addressing hashes every carrier under ``k2``, and the value choice
+re-derives the ``k1`` digest.  The row-at-a-time reference implementation
+pays the full SHA-256 + Python-call cost for each of those, several times
+per carrier, and again on every re-detection of the same relation — which
+attack sweeps and benchmarks do hundreds of times.
+
+:class:`HashEngine` removes that redundancy without changing a single
+output bit:
+
+* **one digest per (key, value)** — digests are memoized per secret key,
+  keyed by the *canonical byte encoding* of the value, so the cache is
+  exactly as discriminating as :func:`~repro.crypto.hashing.keyed_hash`
+  itself (``1``, ``True``, ``1.0`` and ``"1"`` all stay distinct);
+* **batched evaluation** — whole columns of distinct values are hashed in
+  one tight loop (:meth:`KeyedDigestCache.digest_many`), with optional
+  process-pool sharding for very large relations;
+* **derived-primitive caches** — the quantities hot loops actually need
+  (``fitness``, ``slot index``, ``pair index``) are memoized per parameter
+  (``e``, ``|wm_data|``, ``nA``) on top of the digest cache, so a repeated
+  detection of the same relation performs **zero** hash computations.
+
+Cache-safety invariants (why memoization cannot go stale):
+
+* every cached quantity is a pure function of ``(value, secret key)`` plus
+  an integer parameter — never of table state, row order, or position;
+* :class:`~repro.crypto.keys.MarkKey` and
+  :class:`~repro.core.embedding.EmbeddingSpec` are frozen dataclasses, and
+  attacks always operate on :meth:`~repro.relational.table.Table.clone`
+  copies, so no mutation can invalidate an entry;
+* the derived caches (:meth:`HashEngine.fitness_map` and friends) are
+  keyed by the Python *value* for per-row lookup speed, mirroring the
+  per-scan caches of the reference implementation — so, like any Python
+  ``dict``, they treat ``1``/``True``/``1.0`` as one key.  Relations mixing
+  equal-comparing values of different types in one key column are outside
+  the paper's data model; the underlying digest cache remains exact.
+
+Engines are shared process-wide through :func:`get_engine`, a bounded
+registry keyed by :class:`MarkKey`, which is what lets an attack sweep's
+hundredth re-detection skip re-hashing entirely.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from collections import OrderedDict
+from collections.abc import Iterable
+from hashlib import sha256
+from typing import Any, Hashable
+
+from .bits import bit_length, msb
+from .hashing import _SEPARATOR, canonical_bytes
+from .keys import MarkKey
+
+#: sentinel accepted by engine-aware entry points to force the
+#: row-at-a-time reference path (used by equivalence tests and benches)
+SCALAR = "scalar"
+
+#: below this many cache misses a single batch stays on one core;
+#: above it, the work is sharded across a process pool (when available)
+DEFAULT_POOL_THRESHOLD = 150_000
+
+#: batches at least this large pause the cyclic GC while they hash: the
+#: batch allocates several retained objects per value, and every threshold
+#: crossing would otherwise rescan the whole heap (including the relation
+#: being scanned) for garbage that cannot exist yet — a measured ~8x
+#: slowdown on 128k-row cold scans
+GC_PAUSE_THRESHOLD = 10_000
+
+#: safety valve for long-lived processes: when a digest cache or derived
+#: map exceeds this many entries it is dropped wholesale before the next
+#: batch (workloads that keep injecting fresh keys — e.g. A2 dilution
+#: sweeps — would otherwise grow the caches without bound).  Losing the
+#: warm state once in a few million lookups costs one re-hash pass; the
+#: bound keeps worst-case memory at cache ~hundreds of MB, not unbounded.
+DEFAULT_MAX_ENTRIES = 2_000_000
+
+_DIGEST_BYTES = 32
+
+
+def _digest_chunk(key: bytes, bodies: list[bytes]) -> bytes:
+    """Pool worker: SHA-256 of ``k;V;k`` for a shard of canonical bodies.
+
+    Returns the concatenated raw digests; the parent slices them back into
+    per-value integers.  Top-level function so it pickles under spawn too.
+    """
+    prefix = key + _SEPARATOR
+    suffix = _SEPARATOR + key
+    return b"".join(
+        sha256(prefix + body + suffix).digest() for body in bodies
+    )
+
+
+class KeyedDigestCache:
+    """Memoized, batchable ``H(V, k)`` evaluation for one secret key.
+
+    The cache key is :func:`canonical_bytes` of the value — the exact
+    pre-image fed to SHA-256 — so memoization can never conflate values the
+    hash itself distinguishes.
+    """
+
+    __slots__ = (
+        "key", "computed", "_cache", "_prefix", "_suffix",
+        "_pool_threshold", "_max_workers", "_max_entries",
+    )
+
+    def __init__(
+        self,
+        key: bytes,
+        pool_threshold: int = DEFAULT_POOL_THRESHOLD,
+        max_workers: int | None = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ):
+        if not isinstance(key, bytes) or not key:
+            raise TypeError("key must be non-empty bytes")
+        self.key = key
+        self._prefix = key + _SEPARATOR
+        self._suffix = _SEPARATOR + key
+        self._cache: dict[bytes, int] = {}
+        self._pool_threshold = pool_threshold
+        self._max_workers = max_workers
+        self._max_entries = max_entries
+        #: digests actually computed (cache misses) — perf-smoke telemetry
+        self.computed = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def digest(self, value: Any) -> int:
+        """``H(value, key)`` as a 256-bit integer (memoized)."""
+        body = canonical_bytes(value)
+        cached = self._cache.get(body)
+        if cached is not None:
+            return cached
+        result = int.from_bytes(
+            sha256(self._prefix + body + self._suffix).digest(), "big"
+        )
+        if len(self._cache) > self._max_entries:
+            self._cache.clear()
+        self._cache[body] = result
+        self.computed += 1
+        return result
+
+    def digest_many(self, values: Iterable[Any]) -> list[int]:
+        """``H(V, key)`` for a whole batch, canonical-encoding each value
+        once and hashing only the cache misses (sharded across a process
+        pool when the miss count is large enough to amortize fork cost).
+
+        Duplicate values within one batch cost one redundant SHA-256 each
+        (callers pass distinct values on the hot paths); the cache stays
+        consistent either way because equal bodies hash equally.
+        """
+        large = (
+            hasattr(values, "__len__")
+            and len(values) >= GC_PAUSE_THRESHOLD  # type: ignore[arg-type]
+            and gc.isenabled()
+        )
+        if not large:
+            return self._digest_many(values)
+        gc.disable()
+        try:
+            return self._digest_many(values)
+        finally:
+            gc.enable()
+
+    def _digest_many(self, values: Iterable[Any]) -> list[int]:
+        cache = self._cache
+        if len(cache) > self._max_entries:
+            cache.clear()
+        canon = canonical_bytes
+        if not cache:
+            # Fully-cold batch (first contact with this key): every value
+            # is a miss, so skip the per-value lookup bookkeeping entirely.
+            bodies = [
+                b"i:%d" % value if type(value) is int
+                else b"s:" + value.encode("utf-8") if type(value) is str
+                else canon(value)
+                for value in values
+            ]
+            digests = self._compute(bodies)
+            cache.update(zip(bodies, digests))
+            self.computed += len(bodies)
+            return digests
+        out: list[int] = []
+        append = out.append
+        bodies: list[bytes] = []          # cache-miss pre-images, in order
+        positions: list[int] = []         # their slots in `out`
+        miss_body = bodies.append
+        miss_position = positions.append
+        cache_get = cache.get
+        index = 0
+        for value in values:
+            # Inline the two dominant canonical encodings; exact type
+            # checks keep bool/int and everything else on the exact
+            # canonical_bytes path.
+            kind = type(value)
+            if kind is int:
+                body = b"i:%d" % value
+            elif kind is str:
+                body = b"s:" + value.encode("utf-8")
+            else:
+                body = canon(value)
+            cached = cache_get(body)
+            if cached is None:
+                miss_body(body)
+                miss_position(index)
+                append(0)
+            else:
+                append(cached)
+            index += 1
+        if not bodies:
+            return out
+        digests = self._compute(bodies)
+        for body, position, result in zip(bodies, positions, digests):
+            cache[body] = result
+            out[position] = result
+        self.computed += len(bodies)
+        return out
+
+    # -- batch back-ends ---------------------------------------------------
+    def _compute(self, bodies: list[bytes]) -> list[int]:
+        workers = self._max_workers or os.cpu_count() or 1
+        if len(bodies) >= self._pool_threshold and workers >= 2:
+            try:
+                return self._compute_pooled(bodies, workers)
+            except Exception:  # pragma: no cover - any pool failure
+                # BrokenProcessPool (RuntimeError), fork/pipe OSErrors,
+                # "daemonic processes..." from nested workers: the serial
+                # loop below always works, so never let the pool kill a
+                # scan.  KeyboardInterrupt et al. are BaseException and
+                # still propagate.
+                pass
+        prefix = self._prefix
+        suffix = self._suffix
+        from_bytes = int.from_bytes
+        return [
+            from_bytes(sha256(prefix + body + suffix).digest(), "big")
+            for body in bodies
+        ]
+
+    def _compute_pooled(self, bodies: list[bytes], workers: int) -> list[int]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        shard_size = max(1, -(-len(bodies) // workers))
+        shards = [
+            bodies[start:start + shard_size]
+            for start in range(0, len(bodies), shard_size)
+        ]
+        from_bytes = int.from_bytes
+        results: list[int] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for blob in pool.map(
+                _digest_chunk, [self.key] * len(shards), shards
+            ):
+                results.extend(
+                    from_bytes(blob[i:i + _DIGEST_BYTES], "big")
+                    for i in range(0, len(blob), _DIGEST_BYTES)
+                )
+        return results
+
+
+class CarrierPlan:
+    """Per-``(key, spec)`` view over an engine's derived caches.
+
+    Bundles exactly the three lookups one embedding/detection pass needs —
+    fitness under ``e``, slot index under ``|wm_data|``, pair index under
+    ``nA`` — as *shared, persistent* dicts.  A second pass over the same
+    relation (or any attacked clone of it) finds every entry already
+    resolved and performs no hashing and no modular arithmetic at all.
+    """
+
+    __slots__ = ("engine", "e", "channel_length", "domain_size")
+
+    def __init__(
+        self,
+        engine: "HashEngine",
+        e: int,
+        channel_length: int,
+        domain_size: int | None,
+    ):
+        self.engine = engine
+        self.e = e
+        self.channel_length = channel_length
+        self.domain_size = domain_size
+
+    def fitness(self, values: Iterable[Hashable]) -> dict[Hashable, bool]:
+        """Shared ``value -> H(V, k1) mod e == 0`` map covering ``values``."""
+        return self.engine.fitness_map(values, self.e)
+
+    def slots(self, values: Iterable[Hashable]) -> dict[Hashable, int]:
+        """Shared ``value -> slot index`` map covering ``values``."""
+        return self.engine.slot_map(values, self.channel_length)
+
+    def pairs(self, values: Iterable[Hashable]) -> dict[Hashable, int]:
+        """Shared ``value -> pair index`` map covering ``values``."""
+        if self.domain_size is None:
+            raise ValueError("plan was built without a mark-value domain")
+        return self.engine.pair_map(values, self.domain_size)
+
+
+class HashEngine:
+    """Columnar ``H(V, k1)``/``H(V, k2)`` evaluation for one key pair.
+
+    The derived maps returned by :meth:`fitness_map`, :meth:`slot_map` and
+    :meth:`pair_map` are *live, shared* dicts — callers must treat them as
+    read-only.  They grow monotonically and are safe forever because every
+    entry is a pure function of the (immutable) secret keys and the value.
+    """
+
+    __slots__ = (
+        "key", "k1", "k2", "_fit", "_slots", "_pairs", "_max_entries",
+    )
+
+    def __init__(
+        self,
+        key: MarkKey,
+        pool_threshold: int = DEFAULT_POOL_THRESHOLD,
+        max_workers: int | None = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ):
+        self.key = key
+        self.k1 = KeyedDigestCache(
+            key.k1, pool_threshold, max_workers, max_entries
+        )
+        self.k2 = KeyedDigestCache(
+            key.k2, pool_threshold, max_workers, max_entries
+        )
+        self._fit: dict[int, dict[Hashable, bool]] = {}
+        self._slots: dict[int, dict[Hashable, int]] = {}
+        self._pairs: dict[int, dict[Hashable, int]] = {}
+        self._max_entries = max_entries
+
+    def _derived(
+        self, store: dict[int, dict], parameter: int
+    ) -> dict:
+        """The derived map for ``parameter``, bounded by the entry cap."""
+        derived = store.get(parameter)
+        if derived is None:
+            derived = store[parameter] = {}
+        elif len(derived) > self._max_entries:
+            derived.clear()
+        return derived
+
+    # -- telemetry --------------------------------------------------------
+    @property
+    def computed_digests(self) -> int:
+        """Total SHA-256 evaluations this engine has actually performed."""
+        return self.k1.computed + self.k2.computed
+
+    # -- derived primitive maps (shared, persistent) -----------------------
+    def fitness_map(
+        self, values: Iterable[Hashable], e: int
+    ) -> dict[Hashable, bool]:
+        """``value -> (H(V, k1) mod e == 0)`` covering ``values``."""
+        if e <= 0:
+            raise ValueError(f"e must be positive, got {e}")
+        derived = self._derived(self._fit, e)
+        missing = [v for v in values if v not in derived]
+        if missing:
+            # setdefault: if a batch contains equal-comparing values of
+            # different types (1/True), the first occurrence wins — the
+            # same semantics as the reference implementation's scan caches.
+            for value, digest in zip(missing, self.k1.digest_many(missing)):
+                derived.setdefault(value, digest % e == 0)
+        return derived
+
+    def slot_map(
+        self, values: Iterable[Hashable], channel_length: int
+    ) -> dict[Hashable, int]:
+        """``value -> msb(H(V, k2), b(L)) mod L`` covering ``values``."""
+        if channel_length <= 0:
+            raise ValueError(
+                f"channel length must be positive, got {channel_length}"
+            )
+        derived = self._derived(self._slots, channel_length)
+        missing = [v for v in values if v not in derived]
+        if missing:
+            width = bit_length(channel_length)
+            for value, digest in zip(missing, self.k2.digest_many(missing)):
+                derived.setdefault(value, msb(digest, width) % channel_length)
+        return derived
+
+    def pair_map(
+        self, values: Iterable[Hashable], domain_size: int
+    ) -> dict[Hashable, int]:
+        """``value -> msb(H(V, k1), b(nA)) mod (nA // 2)`` covering
+        ``values`` — the pair-coding secret of
+        :func:`~repro.core.embedding.embedded_value_index`."""
+        pairs = domain_size // 2
+        if pairs <= 0:
+            raise ValueError(
+                f"domain of size {domain_size} has no usable value pairs"
+            )
+        derived = self._derived(self._pairs, domain_size)
+        missing = [v for v in values if v not in derived]
+        if missing:
+            width = bit_length(domain_size)
+            for value, digest in zip(missing, self.k1.digest_many(missing)):
+                derived.setdefault(value, msb(digest, width) % pairs)
+        return derived
+
+    # -- list-shaped conveniences -----------------------------------------
+    def fitness_mask(self, values: Iterable[Hashable], e: int) -> list[bool]:
+        """Per-value fitness verdicts, aligned with ``values``."""
+        values = list(values)
+        table = self.fitness_map(values, e)
+        return [table[v] for v in values]
+
+    def slot_indices(
+        self, values: Iterable[Hashable], channel_length: int
+    ) -> list[int]:
+        """Per-value ``wm_data`` slot indices, aligned with ``values``."""
+        values = list(values)
+        table = self.slot_map(values, channel_length)
+        return [table[v] for v in values]
+
+    def pair_indices(self, values: Iterable[Hashable], domain) -> list[int]:
+        """Per-value pair indices, aligned with ``values``.
+
+        ``domain`` may be a :class:`~repro.relational.CategoricalDomain`
+        or a plain domain size.
+        """
+        size = domain if isinstance(domain, int) else domain.size
+        values = list(values)
+        table = self.pair_map(values, size)
+        return [table[v] for v in values]
+
+    # -- scalar conveniences ----------------------------------------------
+    def is_fit(self, value: Hashable, e: int) -> bool:
+        derived = self._fit.get(e)
+        if derived is not None:
+            cached = derived.get(value)
+            if cached is not None:
+                return cached
+        return self.fitness_map((value,), e)[value]
+
+    def slot_index(self, value: Hashable, channel_length: int) -> int:
+        derived = self._slots.get(channel_length)
+        if derived is not None:
+            cached = derived.get(value)
+            if cached is not None:
+                return cached
+        return self.slot_map((value,), channel_length)[value]
+
+    def pair_index(self, value: Hashable, domain_size: int) -> int:
+        derived = self._pairs.get(domain_size)
+        if derived is not None:
+            cached = derived.get(value)
+            if cached is not None:
+                return cached
+        return self.pair_map((value,), domain_size)[value]
+
+    # -- plans -------------------------------------------------------------
+    def plan(
+        self, e: int, channel_length: int, domain_size: int | None = None
+    ) -> CarrierPlan:
+        """A :class:`CarrierPlan` view for one embedding spec."""
+        return CarrierPlan(self, e, channel_length, domain_size)
+
+
+# -- process-wide engine registry ------------------------------------------
+
+_MAX_ENGINES = 32
+_engines: "OrderedDict[MarkKey, HashEngine]" = OrderedDict()
+
+_MAX_RAW_CACHES = 16
+_raw_caches: "OrderedDict[bytes, KeyedDigestCache]" = OrderedDict()
+
+
+def get_engine(key: MarkKey) -> HashEngine:
+    """The shared :class:`HashEngine` for ``key`` (LRU-bounded registry).
+
+    Sharing is what turns the engine's memoization into cross-call wins:
+    ``Watermarker.embed`` warms the digests that ``Watermarker.verify`` and
+    every subsequent attack-sweep re-detection then read for free.
+    """
+    engine = _engines.get(key)
+    if engine is None:
+        engine = _engines[key] = HashEngine(key)
+        while len(_engines) > _MAX_ENGINES:
+            _engines.popitem(last=False)
+    else:
+        _engines.move_to_end(key)
+    return engine
+
+
+def resolve_engine(
+    engine: HashEngine | None, key: MarkKey
+) -> HashEngine:
+    """The engine to use for ``key``: the shared registry engine when
+    ``engine`` is ``None``, otherwise ``engine`` itself — after checking
+    it was built for the *same* key pair.  An unchecked mismatch would
+    silently hash under the engine's keys while the result is attributed
+    to ``key``.
+    """
+    if engine is None:
+        return get_engine(key)
+    if engine.key != key:
+        raise ValueError(
+            "engine was built for a different MarkKey than the one passed "
+            "alongside it"
+        )
+    return engine
+
+
+def get_digest_cache(key: bytes) -> KeyedDigestCache:
+    """Shared :class:`KeyedDigestCache` for a raw byte key (LRU-bounded).
+
+    Used by schemes outside the (k1, k2) pair model — e.g. the
+    Agrawal–Kiernan baseline, which hashes under a single secret key.
+    """
+    cache = _raw_caches.get(key)
+    if cache is None:
+        cache = _raw_caches[key] = KeyedDigestCache(key)
+        while len(_raw_caches) > _MAX_RAW_CACHES:
+            _raw_caches.popitem(last=False)
+    else:
+        _raw_caches.move_to_end(key)
+    return cache
+
+
+def clear_engine_registry() -> None:
+    """Drop every shared engine/cache (test isolation, memory pressure)."""
+    _engines.clear()
+    _raw_caches.clear()

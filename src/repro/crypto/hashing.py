@@ -18,6 +18,8 @@ from __future__ import annotations
 import hashlib
 from typing import Any
 
+# Also the memoization key-space separator of :mod:`repro.crypto.engine`,
+# which must reproduce the exact ``k ; V ; k`` pre-image built here.
 _SEPARATOR = b"\x00;\x00"
 
 

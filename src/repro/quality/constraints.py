@@ -227,7 +227,9 @@ class QualityGuard:
         proposal = ChangeRecord(key, attribute, old_value, new_value)
         context.proposal = proposal
         context.change_count += 1
-        deltas = context.count_deltas.setdefault(attribute, Counter())
+        deltas = context.count_deltas.get(attribute)
+        if deltas is None:
+            deltas = context.count_deltas[attribute] = Counter()
         deltas[old_value] -= 1
         deltas[new_value] += 1
 

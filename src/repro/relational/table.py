@@ -26,7 +26,10 @@ from .schema import Attribute, Schema
 class Table:
     """A mutable relation instance over a fixed :class:`Schema`."""
 
-    __slots__ = ("_schema", "_rows", "_pk_index", "_pk_position", "name")
+    __slots__ = (
+        "_schema", "_rows", "_pk_index", "_pk_position", "name",
+        "_version", "_column_cache", "_owned",
+    )
 
     def __init__(
         self,
@@ -39,6 +42,12 @@ class Table:
         self._rows: list[list[Any]] = []
         self._pk_index: dict[Hashable, int] = {}
         self.name = name
+        self._version = 0
+        self._column_cache: dict[str, tuple[int, list[Any]]] = {}
+        # Copy-on-write state: ``None`` means every row list is exclusively
+        # ours; a set holds the ids of rows re-acquired since the last
+        # clone() made the storage shared (see _writable_row).
+        self._owned: set[int] | None = None
         for row in rows:
             self.insert(row)
 
@@ -76,6 +85,15 @@ class Table:
             return False
         return sorted(map(repr, self)) == sorted(map(repr, other))
 
+    @property
+    def version(self) -> int:
+        """Monotonic write counter; bumps on any mutation.
+
+        Lets read-side caches (column views, scan plans) validate cheaply
+        instead of subscribing to change notifications.
+        """
+        return self._version
+
     # -- reads -------------------------------------------------------------------
     def keys(self) -> Iterator[Hashable]:
         """Primary-key values in current physical order."""
@@ -97,9 +115,61 @@ class Table:
             raise MissingKeyError(key) from None
 
     def column(self, attribute: str) -> list[Any]:
-        """All values of ``attribute`` in current physical order."""
+        """All values of ``attribute`` in current physical order.
+
+        Returns a fresh list the caller may mutate; hot loops that only
+        read should prefer :meth:`column_view`.
+        """
         position = self._schema.position(attribute)
         return [row[position] for row in self._rows]
+
+    def column_view(self, attribute: str) -> list[Any]:
+        """Cached read-only column of ``attribute`` (physical order).
+
+        The view is shared between callers and invalidated lazily via
+        :attr:`version`, so repeated scans of an unmodified relation —
+        the embed/detect hot path — materialize each column once.
+        **Callers must not mutate the returned list.**
+        """
+        cached = self._column_cache.get(attribute)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        position = self._schema.position(attribute)
+        values = [row[position] for row in self._rows]
+        self._column_cache[attribute] = (self._version, values)
+        return values
+
+    def values_for(self, keys: Iterable[Hashable], attribute: str) -> list[Any]:
+        """``T_key(attribute)`` for a batch of primary keys.
+
+        The columnar counterpart of :meth:`value` — one schema lookup for
+        the whole batch instead of one per cell.
+        """
+        position = self._schema.position(attribute)
+        rows = self._rows
+        index = self._pk_index
+        try:
+            return [rows[index[key]][position] for key in keys]
+        except KeyError as exc:
+            raise MissingKeyError(exc.args[0]) from None
+
+    def iter_cells(self, *attributes: str) -> Iterator[Any]:
+        """Iterate just the named cells, skipping full-row materialization.
+
+        Yields bare values for a single attribute and tuples of cells for
+        several — the columnar alternative to ``for row in table`` for
+        loops that touch two columns of a wide relation.
+        """
+        positions = tuple(self._schema.position(a) for a in attributes)
+        if len(positions) == 1:
+            position = positions[0]
+            return (row[position] for row in self._rows)
+        if len(positions) == 2:
+            first, second = positions
+            return ((row[first], row[second]) for row in self._rows)
+        return (
+            tuple(row[p] for p in positions) for row in self._rows
+        )
 
     def rows_where(
         self, predicate: Callable[[tuple[Any, ...]], bool]
@@ -120,6 +190,9 @@ class Table:
             raise DuplicateKeyError(key)
         self._pk_index[key] = len(self._rows)
         self._rows.append(materialised)
+        if self._owned is not None:
+            self._owned.add(id(materialised))
+        self._version += 1
 
     def set_value(self, key: Hashable, attribute: str, value: Any) -> Any:
         """Update one cell, returning the previous value.
@@ -132,12 +205,33 @@ class Table:
         if position == self._pk_position:
             return self._set_key(key, value)
         try:
-            row = self._rows[self._pk_index[key]]
+            slot = self._pk_index[key]
         except KeyError:
             raise MissingKeyError(key) from None
+        row = self._writable_row(slot)
         previous = row[position]
         row[position] = value
+        self._version += 1
         return previous
+
+    def _writable_row(self, slot: int) -> list[Any]:
+        """The row at ``slot``, privatized for in-place mutation.
+
+        After a :meth:`clone` the row lists are shared with the twin table;
+        the first write to a shared row replaces it with a private copy.
+        Rows this table created itself (inserts, earlier copies) are
+        mutated directly.  Id-based ownership is sound because shared rows
+        only ever enter ``_rows`` through ``clone()``, which resets the
+        owned set on both sides.
+        """
+        row = self._rows[slot]
+        owned = self._owned
+        if owned is None or id(row) in owned:
+            return row
+        private = row.copy()
+        self._rows[slot] = private
+        owned.add(id(private))
+        return private
 
     def _set_key(self, key: Hashable, new_key: Hashable) -> Hashable:
         if new_key == key:
@@ -148,8 +242,9 @@ class Table:
             slot = self._pk_index.pop(key)
         except KeyError:
             raise MissingKeyError(key) from None
-        self._rows[slot][self._pk_position] = new_key
+        self._writable_row(slot)[self._pk_position] = new_key
         self._pk_index[new_key] = slot
+        self._version += 1
         return key
 
     def delete(self, key: Hashable) -> tuple[Any, ...]:
@@ -168,6 +263,7 @@ class Table:
         if slot < len(self._rows):
             self._rows[slot] = last
             self._pk_index[last[self._pk_position]] = slot
+        self._version += 1
         return tuple(removed)
 
     def replace_rows(self, rows: Iterable[Iterable[Any]]) -> None:
@@ -184,13 +280,25 @@ class Table:
             staged.append(materialised)
         self._rows = staged
         self._pk_index = index
+        self._owned = None  # every staged row is freshly materialised
+        self._version += 1
 
     # -- copies ---------------------------------------------------------------------
     def clone(self, name: str | None = None) -> "Table":
-        """Deep-enough copy: fresh row storage over the same (immutable) schema."""
+        """Copy-on-write copy: safe to mutate on either side.
+
+        Clone is on the embed and attack hot paths (every marking pass and
+        every attack trial copies the relation), while typical passes then
+        rewrite only ~``N/e`` rows — so the row lists are *shared* and
+        privatized lazily by :meth:`_writable_row` on first write, making
+        clone O(N) pointer copies instead of O(N·arity) cell copies.
+        """
         duplicate = Table(self._schema, name=name or self.name)
-        duplicate._rows = [list(row) for row in self._rows]
-        duplicate._pk_index = dict(self._pk_index)
+        duplicate._rows = self._rows.copy()
+        duplicate._pk_index = self._pk_index.copy()
+        # Both sides now share every row: reset ownership on both.
+        self._owned = set()
+        duplicate._owned = set()
         return duplicate
 
     def with_schema(self, schema: Schema, name: str | None = None) -> "Table":

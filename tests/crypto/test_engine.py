@@ -1,0 +1,283 @@
+"""Equivalence and behaviour tests for the batched hash engine.
+
+The engine is only allowed to be *fast*: every derived quantity must be
+bit-for-bit identical to the scalar reference primitives
+(``keyed_hash`` / ``slot_index`` / ``embedded_value_index``), for every
+value type the canonical encoding supports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.embedding import (
+    embedded_value_index,
+    slot_index,
+)
+from repro.crypto import (
+    HashEngine,
+    KeyedDigestCache,
+    MarkKey,
+    canonical_bytes,
+    clear_engine_registry,
+    get_digest_cache,
+    get_engine,
+    keyed_hash,
+)
+from repro.relational import CategoricalDomain
+
+#: a deliberately nasty mix: negative/huge ints, non-ASCII text, bytes,
+#: floats, bools, and nested tuple keys (composite §3.3 place-holders)
+VALUES = [
+    0,
+    1,
+    -17,
+    2**70 + 3,
+    "item-42",
+    "naïve café ☃\U0001F600",
+    "",
+    b"\x00\xffraw",
+    3.14159,
+    -0.0,
+    True,
+    False,
+    ("composite", 9),
+    (1, (2, "três")),
+    (),
+]
+
+#: VALUES minus cross-type ``==`` collisions (True==1, False==0, -0.0==0):
+#: the engine's *derived* maps are plain dicts — like the reference scan
+#: caches — so equal-comparing lookalikes share one entry by design.  The
+#: digest cache itself stays exact (see
+#: TestDigestEquivalence.test_cache_distinguishes_equal_comparing_values).
+DISTINCT_VALUES = [
+    v for v in VALUES if not isinstance(v, (bool, float)) or v == 3.14159
+]
+
+
+@pytest.fixture
+def key() -> MarkKey:
+    return MarkKey.from_seed("engine-equivalence")
+
+
+@pytest.fixture
+def engine(key: MarkKey) -> HashEngine:
+    return HashEngine(key)
+
+
+class TestDigestEquivalence:
+    def test_digest_matches_keyed_hash(self, key, engine):
+        for value in VALUES:
+            assert engine.k1.digest(value) == keyed_hash(value, key.k1)
+            assert engine.k2.digest(value) == keyed_hash(value, key.k2)
+
+    def test_digest_many_matches_scalar_digest(self, key, engine):
+        batched = engine.k1.digest_many(VALUES)
+        assert batched == [keyed_hash(value, key.k1) for value in VALUES]
+
+    def test_digest_many_handles_duplicates(self, key, engine):
+        doubled = VALUES + VALUES
+        assert engine.k1.digest_many(doubled) == [
+            keyed_hash(value, key.k1) for value in doubled
+        ]
+
+    def test_cache_distinguishes_equal_comparing_values(self, key, engine):
+        # 1 == True == 1.0 as dict keys, but their canonical encodings --
+        # and hence digests -- differ; the payload-keyed cache keeps them
+        # apart even when queried interleaved.
+        lookalikes = [1, True, 1.0, "1", b"1"]
+        digests = engine.k1.digest_many(lookalikes)
+        again = [engine.k1.digest(value) for value in lookalikes]
+        assert digests == again
+        assert len(set(digests)) == len(lookalikes)
+        assert digests == [keyed_hash(value, key.k1) for value in lookalikes]
+
+    def test_memoization_counts_each_value_once(self, engine):
+        engine.k1.digest_many(VALUES)
+        computed = engine.k1.computed
+        engine.k1.digest_many(VALUES)
+        for value in VALUES:
+            engine.k1.digest(value)
+        assert engine.k1.computed == computed
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(TypeError):
+            KeyedDigestCache(b"")
+        with pytest.raises(TypeError):
+            KeyedDigestCache("not-bytes")  # type: ignore[arg-type]
+
+
+class TestDerivedPrimitives:
+    @pytest.mark.parametrize("e", [1, 2, 7, 60])
+    def test_fitness_mask(self, key, engine, e):
+        mask = engine.fitness_mask(DISTINCT_VALUES, e)
+        assert mask == [
+            keyed_hash(value, key.k1) % e == 0 for value in DISTINCT_VALUES
+        ]
+
+    @pytest.mark.parametrize("channel_length", [1, 10, 100, 1023])
+    def test_slot_indices(self, key, engine, channel_length):
+        slots = engine.slot_indices(DISTINCT_VALUES, channel_length)
+        assert slots == [
+            slot_index(value, key.k2, channel_length) for value in DISTINCT_VALUES
+        ]
+
+    @pytest.mark.parametrize("size", [2, 3, 5, 500])
+    def test_pair_indices(self, key, engine, size):
+        domain = CategoricalDomain([f"v{i}" for i in range(size)])
+        for bit in (0, 1):
+            expected = [
+                embedded_value_index(value, key.k1, bit, domain)
+                for value in DISTINCT_VALUES
+            ]
+            derived = [
+                2 * pair + bit
+                for pair in engine.pair_indices(DISTINCT_VALUES, domain)
+            ]
+            assert derived == expected
+
+    def test_pair_indices_accepts_plain_size(self, engine):
+        domain = CategoricalDomain(["a", "b", "c", "d"])
+        assert engine.pair_indices(DISTINCT_VALUES, 4) == engine.pair_indices(
+            DISTINCT_VALUES, domain
+        )
+
+    def test_scalar_conveniences_match_batched(self, engine):
+        for value in DISTINCT_VALUES:
+            assert engine.is_fit(value, 7) == engine.fitness_mask([value], 7)[0]
+            assert engine.slot_index(value, 64) == \
+                engine.slot_indices([value], 64)[0]
+            assert engine.pair_index(value, 10) == \
+                engine.pair_indices([value], 10)[0]
+
+    def test_parameter_validation(self, engine):
+        with pytest.raises(ValueError):
+            engine.fitness_map(DISTINCT_VALUES, 0)
+        with pytest.raises(ValueError):
+            engine.slot_map(DISTINCT_VALUES, 0)
+        with pytest.raises(ValueError):
+            engine.pair_map(DISTINCT_VALUES, 1)  # single-value domain: no pairs
+
+    def test_carrier_plan_views_share_engine_caches(self, engine):
+        plan = engine.plan(e=7, channel_length=50, domain_size=10)
+        fit = plan.fitness(DISTINCT_VALUES)
+        assert fit is engine.fitness_map([], 7)
+        carriers = [value for value in DISTINCT_VALUES if fit[value]]
+        assert plan.slots(carriers) is engine.slot_map([], 50)
+        assert plan.pairs(carriers) is engine.pair_map([], 10)
+
+    def test_plan_without_domain_rejects_pairs(self, engine):
+        plan = engine.plan(e=7, channel_length=50)
+        with pytest.raises(ValueError):
+            plan.pairs(DISTINCT_VALUES)
+
+
+class TestProcessPool:
+    def test_pooled_digests_match_serial(self, key):
+        serial = HashEngine(key)
+        pooled = HashEngine(key, pool_threshold=10, max_workers=2)
+        values = [f"value-{i}" for i in range(64)] + VALUES
+        assert pooled.k1.digest_many(values) == serial.k1.digest_many(values)
+        assert pooled.fitness_mask(values, 13) == serial.fitness_mask(
+            values, 13
+        )
+
+    def test_below_threshold_stays_serial(self, key):
+        engine = HashEngine(key, pool_threshold=10**9, max_workers=2)
+        assert engine.k1.digest_many(VALUES) == [
+            keyed_hash(value, key.k1) for value in VALUES
+        ]
+
+
+class TestRegistry:
+    def test_get_engine_is_shared_per_key(self):
+        clear_engine_registry()
+        key = MarkKey.from_seed("registry")
+        assert get_engine(key) is get_engine(key)
+        assert get_engine(key) is get_engine(MarkKey.from_seed("registry"))
+        assert get_engine(key) is not get_engine(MarkKey.from_seed("other"))
+
+    def test_registry_is_bounded(self):
+        clear_engine_registry()
+        first = MarkKey.from_seed("evict-0")
+        get_engine(first)
+        for index in range(1, 40):
+            get_engine(MarkKey.from_seed(f"evict-{index}"))
+        from repro.crypto.engine import _engines
+
+        assert len(_engines) <= 32
+        assert first not in _engines  # oldest got evicted
+
+    def test_raw_key_cache_registry(self):
+        clear_engine_registry()
+        key = b"ak-secret"
+        assert get_digest_cache(key) is get_digest_cache(key)
+        assert get_digest_cache(key).digest("pk") == keyed_hash("pk", key)
+
+
+class TestCanonicalInlineFastPath:
+    def test_inline_encodings_match_canonical_bytes(self, key):
+        # digest_many inlines the int/str encodings; cross-check against
+        # the canonical function through the digest values themselves.
+        cache = KeyedDigestCache(key.k1)
+        tricky = [0, -1, 10**40, "", "a", "ünïcode", "1", 1, True, 1.0]
+        assert cache.digest_many(tricky) == [
+            keyed_hash(value, key.k1) for value in tricky
+        ]
+        for value in tricky:
+            assert canonical_bytes(value)  # still encodable
+
+
+class TestCacheBounds:
+    def test_digest_cache_clears_at_cap(self):
+        cache = KeyedDigestCache(b"cap-key", max_entries=8)
+        cache.digest_many(list(range(9)))       # over the cap in one batch
+        assert len(cache) == 9                  # cap is checked pre-batch
+        cache.digest_many([100])                # next batch trips the valve
+        assert len(cache) <= 2
+        # correctness survives the reset
+        assert cache.digest(3) == keyed_hash(3, b"cap-key")
+
+    def test_derived_maps_clear_at_cap(self):
+        engine = HashEngine(MarkKey.from_seed("cap"), max_entries=8)
+        derived = engine.fitness_map(list(range(12)), 7)
+        assert len(derived) == 12
+        engine.fitness_map([99], 7)             # trips the valve, re-adds one
+        assert len(derived) == 1                # same shared dict, now reset
+        assert engine.is_fit(5, 7) == (keyed_hash(5, engine.key.k1) % 7 == 0)
+
+
+class TestResolveEngine:
+    def test_mismatched_engine_is_rejected(self):
+        from repro.crypto import resolve_engine
+
+        key_a = MarkKey.from_seed("resolve-a")
+        key_b = MarkKey.from_seed("resolve-b")
+        engine_b = HashEngine(key_b)
+        with pytest.raises(ValueError):
+            resolve_engine(engine_b, key_a)
+        assert resolve_engine(engine_b, key_b) is engine_b
+        assert resolve_engine(None, key_a).key == key_a
+
+    def test_mismatch_caught_at_detection_surface(self):
+        from repro.core import Watermark, Watermarker
+
+        from repro.datagen import generate_item_scan
+
+        table = generate_item_scan(300, item_count=20, seed=1)
+        key_a = MarkKey.from_seed("surface-a")
+        key_b = MarkKey.from_seed("surface-b")
+        with pytest.raises(ValueError):
+            Watermarker(key_a, e=10, engine=HashEngine(key_b))
+        marker = Watermarker(key_a, e=10)
+        outcome = marker.embed(
+            table, Watermark.from_int(0b1011001110, 10), "Item_Nbr"
+        )
+        from repro.core.detection import extract_slots
+
+        with pytest.raises(ValueError):
+            extract_slots(
+                outcome.table, key_a, outcome.record.spec,
+                engine=HashEngine(key_b),
+            )

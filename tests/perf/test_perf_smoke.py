@@ -1,0 +1,60 @@
+"""Tier-1 perf smoke: fail fast when the engine's caching regresses.
+
+Full throughput numbers live in ``benchmarks/bench_throughput.py``; this
+tiny (<2 s) check runs with the regular suite and asserts the *mechanism*
+rather than fragile wall-clock ratios:
+
+* a steady-state re-detection performs **zero** SHA-256 computations
+  (the carrier-plan cache makes attack sweeps hash-free);
+* embedding hashes each distinct key value at most once per secret key
+  (no per-row or per-use re-hashing);
+* the whole embed + verify + re-verify cycle stays under a generous
+  absolute wall-clock budget, so a catastrophic slowdown still fails
+  even if the cache accounting somehow lies.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import Watermark, Watermarker
+from repro.crypto import HashEngine, MarkKey
+from repro.datagen import generate_item_scan
+
+ROWS = 4_000
+
+
+@pytest.mark.perf_smoke
+def test_engine_steady_state_is_hash_free():
+    started = time.perf_counter()
+    table = generate_item_scan(ROWS, item_count=120, seed=21)
+    key = MarkKey.from_seed("perf-smoke")
+    engine = HashEngine(key)
+    marker = Watermarker(key, e=40, engine=engine)
+    watermark = Watermark.from_int(0x2AB, 10)
+
+    outcome = marker.embed(table, watermark, "Item_Nbr")
+    # Embedding needs one k1 digest per distinct key value and one k2
+    # digest per carrier -- never more (the satellite fix for the double
+    # ``keyed_hash`` per carrier is what this bound enforces).
+    assert engine.k1.computed <= ROWS
+    assert engine.k2.computed <= outcome.embedding.fit_count
+
+    verdict = marker.verify(outcome.table, outcome.record)
+    assert verdict.association.detected
+    after_first_verify = engine.computed_digests
+
+    # Steady state: re-verification (the attack-sweep regime) re-hashes
+    # nothing at all.
+    for _ in range(3):
+        assert marker.verify(outcome.table, outcome.record).association.detected
+    assert engine.computed_digests == after_first_verify
+
+    # Re-embedding the same relation is equally hash-free.
+    marker.embed(table, watermark, "Item_Nbr")
+    assert engine.computed_digests == after_first_verify
+
+    elapsed = time.perf_counter() - started
+    assert elapsed < 2.0, f"perf smoke took {elapsed:.2f}s (budget 2s)"

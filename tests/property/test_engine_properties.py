@@ -1,0 +1,79 @@
+"""Property-based equivalence: batched engine vs scalar primitives.
+
+Randomized values — including tuple-typed composite keys and non-ASCII
+text — must produce bit-identical fitness/slot/pair results through the
+engine and through the scalar ``keyed_hash``-based reference functions,
+in any query order and batch shape.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.embedding import embedded_value_index, slot_index
+from repro.crypto import HashEngine, MarkKey, keyed_hash
+from repro.relational import CategoricalDomain
+
+# Scalar leaves for key values.  Floats/bools are exercised separately in
+# tests/crypto/test_engine.py; here we avoid cross-type ``==`` collisions
+# (1 == True == 1.0) because the per-value derived maps — like the
+# reference implementation's per-scan caches — use plain dict equality.
+_leaves = st.one_of(
+    st.integers(min_value=-(2**80), max_value=2**80),
+    st.text(max_size=24),
+    st.binary(max_size=24),
+)
+
+key_values = st.one_of(
+    _leaves,
+    st.tuples(_leaves, _leaves),
+    st.tuples(_leaves, st.tuples(_leaves, _leaves)),
+)
+
+keys = st.integers(min_value=0, max_value=2**32).map(
+    lambda seed: MarkKey.from_seed(f"prop-{seed}")
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    key=keys,
+    values=st.lists(key_values, min_size=1, max_size=40),
+    e=st.integers(min_value=1, max_value=97),
+    channel_length=st.integers(min_value=1, max_value=300),
+    domain_size=st.integers(min_value=2, max_value=64),
+    bit=st.integers(min_value=0, max_value=1),
+)
+def test_engine_matches_scalar_reference(
+    key, values, e, channel_length, domain_size, bit
+):
+    engine = HashEngine(key)
+    domain = CategoricalDomain(range(domain_size))
+
+    assert engine.fitness_mask(values, e) == [
+        keyed_hash(value, key.k1) % e == 0 for value in values
+    ]
+    assert engine.slot_indices(values, channel_length) == [
+        slot_index(value, key.k2, channel_length) for value in values
+    ]
+    assert [
+        2 * pair + bit for pair in engine.pair_indices(values, domain)
+    ] == [
+        embedded_value_index(value, key.k1, bit, domain) for value in values
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    key=keys,
+    values=st.lists(key_values, min_size=1, max_size=30),
+    e=st.integers(min_value=1, max_value=50),
+)
+def test_batch_then_scalar_then_rebatch_is_stable(key, values, e):
+    """Memoization must be invisible: any interleaving of batched and
+    scalar queries returns the same verdicts as a fresh engine."""
+    warm = HashEngine(key)
+    first = warm.fitness_mask(values, e)
+    scalar = [warm.is_fit(value, e) for value in values]
+    second = warm.fitness_mask(list(reversed(values)), e)
+    fresh = HashEngine(key).fitness_mask(values, e)
+    assert first == scalar == fresh
+    assert second == list(reversed(first))
