@@ -61,13 +61,21 @@ def run_dispute():
     return counters, mean_damage
 
 
-def test_additive_attack(benchmark, record):
+def test_additive_attack(benchmark, record, record_json):
     counters, mean_damage = once(benchmark, run_dispute)
     rows = [(label, f"{hits}/{BENCH_PASSES}") for label, hits in counters.items()]
     rows.append(("owner mark damage (mean)", f"{mean_damage:.1%}"))
     record(
         "additive_attack",
         format_table(("claim", "outcome"), rows),
+    )
+    record_json(
+        "additive_attack",
+        {
+            "passes": BENCH_PASSES,
+            "detections": dict(counters),
+            "mean_owner_damage": round(mean_damage, 6),
+        },
     )
 
     # The deadlock: both marks detect in Mallory's published copy.

@@ -98,11 +98,21 @@ def run_matrix():
     return rows, counters
 
 
-def test_baseline_comparison(benchmark, record):
+def test_baseline_comparison(benchmark, record, record_json):
     rows, counters = once(benchmark, run_matrix)
     record(
         "baseline_comparison",
         format_table(("scheme", "attack", "detected"), rows),
+    )
+    record_json(
+        "baseline_comparison",
+        {
+            "passes": BENCH_PASSES,
+            "detections": {
+                f"{scheme}|{attack}": hits
+                for (scheme, attack), hits in sorted(counters.items())
+            },
+        },
     )
 
     # Both channels ride out row loss.

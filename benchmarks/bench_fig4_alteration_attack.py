@@ -5,7 +5,7 @@ watermark degrades gracefully; the e = 35 series (more carriers) sits at or
 below the e = 65 series.
 """
 
-from conftest import PAPER_CONFIG, once
+from conftest import PAPER_CONFIG, once, series_payload
 
 from repro.experiments import figure4_series, format_series
 
@@ -13,12 +13,19 @@ E_VALUES = (65, 35)
 ATTACK_SIZES = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
 
 
-def test_figure4(benchmark, record):
+def test_figure4(benchmark, record, record_json):
     series = once(
         benchmark,
         lambda: figure4_series(
             PAPER_CONFIG, e_values=E_VALUES, attack_sizes=ATTACK_SIZES
         ),
+    )
+    record_json(
+        "fig4_alteration_attack",
+        {
+            "passes": PAPER_CONFIG.passes,
+            "series": {str(e): series_payload(series[e]) for e in E_VALUES},
+        },
     )
     blocks = []
     for e in E_VALUES:

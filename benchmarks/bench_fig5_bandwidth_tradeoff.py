@@ -5,7 +5,7 @@ attack resilience" — the alteration curve rises with e, and the 55% attack
 dominates the 20% attack.
 """
 
-from conftest import PAPER_CONFIG, once
+from conftest import PAPER_CONFIG, once, series_payload
 
 from repro.experiments import figure5_series, format_series
 
@@ -13,12 +13,22 @@ E_VALUES = (10, 25, 50, 75, 100, 125, 150, 175, 200)
 ATTACK_SIZES = (0.55, 0.20)
 
 
-def test_figure5(benchmark, record):
+def test_figure5(benchmark, record, record_json):
     series = once(
         benchmark,
         lambda: figure5_series(
             PAPER_CONFIG, e_values=E_VALUES, attack_sizes=ATTACK_SIZES
         ),
+    )
+    record_json(
+        "fig5_bandwidth_tradeoff",
+        {
+            "passes": PAPER_CONFIG.passes,
+            "series": {
+                f"{size:.2f}": series_payload(series[size])
+                for size in ATTACK_SIZES
+            },
+        },
     )
     blocks = []
     for attack_size in ATTACK_SIZES:

@@ -19,12 +19,22 @@ E_VALUES = (20, 65, 110, 155, 200)
 ATTACK_SIZES = (0.0, 0.2, 0.4, 0.6, 0.8)
 
 
-def test_figure6(benchmark, record):
+def test_figure6(benchmark, record, record_json):
     surface = once(
         benchmark,
         lambda: figure6_surface(
             SURFACE_CONFIG, e_values=E_VALUES, attack_sizes=ATTACK_SIZES
         ),
+    )
+    record_json(
+        "fig6_surface",
+        {
+            "passes": SURFACE_CONFIG.passes,
+            "surface": [
+                {"e": e, "attack": attack, "mean_alteration": round(loss, 6)}
+                for e, attack, loss in surface
+            ],
+        },
     )
     record(
         "fig6_surface",

@@ -5,7 +5,7 @@ and the headline claim — "tolerating up to 80% data loss with a watermark
 alteration of only 25%".
 """
 
-from conftest import PAPER_CONFIG, once
+from conftest import PAPER_CONFIG, once, series_payload
 
 from repro.experiments import figure7_series, format_series
 
@@ -13,12 +13,16 @@ LOSS_FRACTIONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
 E = 65
 
 
-def test_figure7(benchmark, record):
+def test_figure7(benchmark, record, record_json):
     points = once(
         benchmark,
         lambda: figure7_series(
             PAPER_CONFIG, e=E, loss_fractions=LOSS_FRACTIONS
         ),
+    )
+    record_json(
+        "fig7_data_loss",
+        {"passes": PAPER_CONFIG.passes, "series": series_payload(points)},
     )
     record(
         "fig7_data_loss",

@@ -67,9 +67,19 @@ def run_remap_recovery():
     return qualities
 
 
-def test_frequency_channel(benchmark, record):
+def test_frequency_channel(benchmark, record, record_json):
     counters, qualities = once(
         benchmark, lambda: (run_single_column(), run_remap_recovery())
+    )
+    record_json(
+        "frequency_channel",
+        {
+            "passes": BENCH_PASSES,
+            "detections": dict(counters),
+            "remap_recovery_quality": {
+                str(size): round(quality, 6) for size, quality in qualities
+            },
+        },
     )
     rows = [
         (label, f"{hits}/{BENCH_PASSES}") for label, hits in counters.items()

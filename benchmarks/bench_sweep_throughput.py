@@ -1,0 +1,128 @@
+"""Sweep-engine throughput — serial runner vs embed-hoisted/pooled engine.
+
+A figure-4-shaped workload (8 attack-size points x 15 keyed passes over an
+8k-tuple relation) timed under the sweep engine's execution modes:
+
+* ``serial`` — the pre-engine runner's cost model: re-embed once per pass
+  *per sweep point* (120 embeds), run every cell in-process;
+* ``engine`` — the sweep engine's auto mode: 15 embeds total (one per
+  seed, shared copy-on-write across all points), cells fanned across the
+  persistent worker pool when the box has >= 2 cores, the warm hoisted
+  path otherwise.
+
+Both modes are pinned bit-identical here (and in
+``tests/experiments/test_sweepengine.py``), so the speedup is pure
+execution-engine effect.  The acceptance tier scales with the hardware:
+the >= 3x bound engages where pooling has >= 4 cores to work with; 2-3
+core boxes must clear 1.8x; a single-core box exercises only the
+embed-hoist share, which must still clear 1.1x.  The measured series is
+appended to ``benchmarks/results/sweep_throughput.json`` either way.
+"""
+
+import os
+import time
+
+from conftest import once
+
+from repro.attacks import SubsetAlterationAttack
+from repro.crypto import clear_engine_registry
+from repro.datagen import generate_item_scan
+from repro.experiments import (
+    MODE_AUTO,
+    MODE_SERIAL,
+    SweepEngine,
+    format_table,
+    reset_sweep_engine,
+)
+
+TUPLES = 8_000
+ITEMS = 500
+E = 65
+PASSES = 15
+ATTACK_SIZES = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+FLIP_PROBABILITY = 0.7
+
+
+def _attack_factory(size):
+    return SubsetAlterationAttack("Item_Nbr", size, FLIP_PROBABILITY)
+
+
+def _timed_sweep(table, mode, max_workers=None):
+    """(wall seconds, points) for one full figure-4-shaped sweep.
+
+    Every run starts from cold hash caches and a fresh engine, so the
+    serial baseline and the engine pay the same first-contact costs; what
+    differs is purely how the sweep re-uses work after that.
+    """
+    clear_engine_registry()
+    reset_sweep_engine()
+    engine = SweepEngine(mode=mode, max_workers=max_workers)
+    started = time.perf_counter()
+    points = engine.sweep(
+        table, "Item_Nbr", E, _attack_factory, list(ATTACK_SIZES),
+        passes=PASSES,
+    )
+    return time.perf_counter() - started, points
+
+
+def run_comparison():
+    table = generate_item_scan(TUPLES, item_count=ITEMS, seed=9)
+    serial_time, serial_points = _timed_sweep(table, MODE_SERIAL)
+    engine_time, engine_points = _timed_sweep(table, MODE_AUTO)
+    reset_sweep_engine()
+    return serial_time, serial_points, engine_time, engine_points
+
+
+def test_sweep_throughput(benchmark, record, record_json):
+    serial_time, serial_points, engine_time, engine_points = once(
+        benchmark, run_comparison
+    )
+    cores = os.cpu_count() or 1
+    speedup = serial_time / engine_time
+    cells = len(ATTACK_SIZES) * PASSES
+
+    rows = [
+        ("cores", cores),
+        ("cells (points x passes)", cells),
+        ("serial sweep s", f"{serial_time:.2f}"),
+        ("engine sweep s", f"{engine_time:.2f}"),
+        ("speedup", f"{speedup:.2f}x"),
+        ("serial cells/s", f"{cells / serial_time:,.1f}"),
+        ("engine cells/s", f"{cells / engine_time:,.1f}"),
+    ]
+    record(
+        "sweep_throughput", format_table(("metric", "value"), rows)
+    )
+    record_json(
+        "sweep_throughput",
+        {
+            "cores": cores,
+            "tuples": TUPLES,
+            "points": len(ATTACK_SIZES),
+            "passes": PASSES,
+            "serial_seconds": round(serial_time, 3),
+            "engine_seconds": round(engine_time, 3),
+            "speedup": round(speedup, 3),
+        },
+    )
+    benchmark.extra_info.update({"speedup": round(speedup, 3)})
+
+    # Equivalence first: the engine must reproduce the serial runner's
+    # results bit-for-bit — a speedup that changes the science is a bug.
+    assert [(p.x, p.passes) for p in engine_points] == [
+        (p.x, p.passes) for p in serial_points
+    ]
+
+    # Acceptance tiers (see module docstring): the pooled >= 3x bound
+    # needs cores for the cell fan-out; below that, embed hoisting alone
+    # carries a smaller but still mandatory margin.
+    if cores >= 4:
+        floor = 3.0
+    elif cores >= 2:
+        floor = 1.8
+    else:
+        floor = 1.1
+    assert speedup >= floor, (
+        f"sweep engine speedup {speedup:.2f}x below the {floor:g}x floor "
+        f"for a {cores}-core box"
+    )

@@ -15,14 +15,14 @@ Two engine regimes are reported:
   answers every fitness/slot/pair lookup without hashing at all.
 
 Besides the usual text table, the series is appended to
-``benchmarks/results/throughput.json`` so the speedup trajectory is
-recorded across runs.
+``benchmarks/results/throughput.json`` (via the shared ``record_json``
+fixture / ``--bench-json`` flag) so the speedup trajectory is recorded
+across runs.
 """
 
-import json
 import time
 
-from conftest import RESULTS_DIR, once
+from conftest import once
 
 from repro.core import Watermark, Watermarker
 from repro.crypto import SCALAR, MarkKey, clear_engine_registry
@@ -104,30 +104,7 @@ def run_scaling():
     return rows, series
 
 
-def _append_trajectory(series):
-    """Append this run's rates to the JSON trajectory artefact."""
-    path = RESULTS_DIR / "throughput.json"
-    history = []
-    if path.exists():
-        history = json.loads(path.read_text(encoding="utf-8")).get("runs", [])
-    history.append(
-        {
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "tuples_per_second": {
-                str(size): {
-                    metric: round(rate)
-                    for metric, rate in point.items()
-                }
-                for size, point in series.items()
-            },
-        }
-    )
-    path.write_text(
-        json.dumps({"runs": history}, indent=2) + "\n", encoding="utf-8"
-    )
-
-
-def test_throughput(benchmark, record):
+def test_throughput(benchmark, record, record_json):
     rows, series = once(benchmark, run_scaling)
     record(
         "throughput",
@@ -144,7 +121,17 @@ def test_throughput(benchmark, record):
             rows,
         ),
     )
-    _append_trajectory(series)
+    record_json(
+        "throughput",
+        {
+            "tuples_per_second": {
+                str(size): {
+                    metric: round(rate) for metric, rate in point.items()
+                }
+                for size, point in series.items()
+            },
+        },
+    )
     tier = series[ASSERT_SIZE]
     benchmark.extra_info.update(
         {f"{metric}_{ASSERT_SIZE}": round(rate) for metric, rate in tier.items()}

@@ -8,11 +8,23 @@ tolerate such small changes"); this module makes it quantitative, so owners
 can size ``e`` (and hence ``C/L``) for a target clean-detection fidelity —
 and so the test suite can assert the observed erasure behaviour matches the
 model.
+
+Besides the closed forms, :func:`empirical_erasure` runs the §5-style
+multi-pass Monte-Carlo cross-check on a real relation.  It is built on the
+sweep engine's :class:`~repro.experiments.sweepengine.EmbeddedPass`
+machinery: each keyed pass is embedded once (and shared with any sweep of
+the same relation in the process), so measuring erasures across 15 keys
+costs 15 embeds and zero re-hashing.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..relational import Table
 
 
 class ErasureError(Exception):
@@ -33,6 +45,63 @@ def slot_erasure_probability(carriers: int, channel_length: int) -> float:
 def expected_erased_slots(carriers: int, channel_length: int) -> float:
     """Expected number of never-written ``wm_data`` slots."""
     return channel_length * slot_erasure_probability(carriers, channel_length)
+
+
+def _slot_alias_weights(channel_length: int) -> dict[int, int]:
+    """How many ``[2^(w-1), 2^w)`` field values alias onto each slot.
+
+    The §2.1 ``msb`` construction extracts the top bits of the digest's
+    *own* representation, so the extracted field always has its leading
+    bit set: slot indices are ``v mod L`` for ``v in [2^(w-1), 2^w)``
+    with ``w = b(L)``.  Slots absent from the returned map are
+    structurally unreachable and erased in *every* pass.
+    """
+    if channel_length <= 0:
+        raise ErasureError(
+            f"channel length must be positive, got {channel_length}"
+        )
+    from collections import Counter
+
+    from ..crypto import bit_length
+
+    width = bit_length(channel_length)
+    low, high = 1 << (width - 1), 1 << width
+    return Counter(value % channel_length for value in range(low, high))
+
+
+def reachable_slots(channel_length: int) -> int:
+    """Number of ``wm_data`` slots the keyed addressing can actually hit.
+
+    Depending on where ``L`` sits between powers of two this reaches
+    between ~L/2 and L slots (L = 100 reaches 64); the remainder are
+    structurally erased in every pass.  The uniform model above ignores
+    this and is therefore optimistic; see
+    :func:`expected_erased_slots_refined`.
+    """
+    return len(_slot_alias_weights(channel_length))
+
+
+def expected_erased_slots_refined(
+    carriers: int, channel_length: int
+) -> float:
+    """Expected never-written slots under the *implemented* addressing.
+
+    Splits the channel into structurally unreachable slots (always
+    erased) and reachable ones, weighting each reachable slot by how many
+    field values alias onto it.  This is the quantity
+    :func:`empirical_erasure` measurements converge to; the plain
+    :func:`expected_erased_slots` is the paper's idealized uniform model.
+    """
+    if carriers < 0:
+        raise ErasureError(f"carriers must be non-negative, got {carriers}")
+    weights = _slot_alias_weights(channel_length)
+    span = sum(weights.values())
+    reachable_erased = sum(
+        (1.0 - multiplicity / span) ** carriers
+        for multiplicity in weights.values()
+    )
+    unreachable = channel_length - len(weights)
+    return unreachable + reachable_erased
 
 
 def bit_undecidable_probability(
@@ -98,3 +167,96 @@ def carriers_for_fidelity(
     per_slot_target = max_bit_failure ** (1.0 / slots_per_bit)
     carriers = math.log(per_slot_target) / math.log(1.0 - 1.0 / channel_length)
     return max(0, math.ceil(carriers))
+
+
+@dataclass(frozen=True)
+class EmpiricalErasure:
+    """Multi-pass measurement of clean-detection slot erasures.
+
+    ``mean_predicted_erased`` is the paper's uniform model
+    (:func:`expected_erased_slots`); ``mean_predicted_refined`` accounts
+    for the implemented addressing's reachable-slot structure
+    (:func:`expected_erased_slots_refined`) and is what the measurement
+    converges to.
+    """
+
+    passes: int
+    channel_length: int
+    mean_carriers: float
+    mean_observed_erased: float
+    mean_predicted_erased: float
+    mean_predicted_refined: float
+
+    @property
+    def model_gap(self) -> float:
+        """Observed minus refined-model erased slots (hovers near 0)."""
+        return self.mean_observed_erased - self.mean_predicted_refined
+
+
+def empirical_erasure(
+    base_table: "Table",
+    mark_attribute: str,
+    e: int,
+    passes: int = 15,
+    watermark_length: int = 10,
+    seed_offset: int = 0,
+    ecc_name: str = "majority",
+) -> EmpiricalErasure:
+    """Monte-Carlo cross-check of the erasure model on a real relation.
+
+    Embeds ``passes`` keyed passes (the paper's §5 smoothing protocol),
+    extracts the clean ``wm_data`` slots of each, and compares the observed
+    never-written slot count against :func:`expected_erased_slots` at the
+    pass's carrier count.  Runs on the shared sweep engine, so the
+    embedded passes are cached: a figure sweep over the same relation and
+    parameters re-uses them for free, and vice versa.
+    """
+    if passes <= 0:
+        raise ErasureError(f"passes must be positive, got {passes}")
+    from ..core.detection import extract_slots
+    from ..experiments.sweepengine import (
+        SweepProtocol,
+        _table_token,
+        get_sweep_engine,
+    )
+
+    protocol = SweepProtocol(
+        mark_attribute=mark_attribute,
+        e=e,
+        watermark_length=watermark_length,
+        ecc_name=ecc_name,
+    )
+    engine = get_sweep_engine()
+    token = _table_token(base_table)
+    observed_total = 0
+    predicted_total = 0.0
+    refined_total = 0.0
+    carriers_total = 0
+    channel_length = 0
+    for seed in range(seed_offset, seed_offset + passes):
+        embedded = engine.embedded_pass(
+            base_table, protocol, seed, token=token
+        )
+        spec = embedded.record.spec
+        channel_length = spec.channel_length
+        slots, fit_count = extract_slots(
+            embedded.table,
+            embedded.marker.key,
+            spec,
+            embedding_map=embedded.record.embedding_map,
+            engine=embedded.marker.engine,
+        )
+        observed_total += sum(slot is None for slot in slots)
+        predicted_total += expected_erased_slots(fit_count, channel_length)
+        refined_total += expected_erased_slots_refined(
+            fit_count, channel_length
+        )
+        carriers_total += fit_count
+    return EmpiricalErasure(
+        passes=passes,
+        channel_length=channel_length,
+        mean_carriers=carriers_total / passes,
+        mean_observed_erased=observed_total / passes,
+        mean_predicted_erased=predicted_total / passes,
+        mean_predicted_refined=refined_total / passes,
+    )

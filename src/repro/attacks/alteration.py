@@ -62,19 +62,31 @@ class SubsetAlterationAttack(Attack):
         if domain.size < 2:
             return attacked  # nothing to alter to
 
-        pk_position = attacked.schema.position(attacked.primary_key)
-        value_position = attacked.schema.position(self.attribute)
-        rows = list(attacked)
-        target_count = round(self.alter_fraction * len(rows))
-        victims = rng.sample(rows, min(target_count, len(rows)))
-        for row in victims:
+        # Sample row *indices* and read the two needed cells from column
+        # snapshots instead of materializing every row tuple.  The columns
+        # are captured before any write, so (like the old full-row
+        # snapshot) each victim sees its pre-attack value; and because
+        # ``rng.sample`` draws from the population length only, sampling
+        # ``range(n)`` selects exactly the rows — in exactly the order —
+        # that sampling the tuple list did, keeping outputs bit-identical.
+        size = len(attacked)
+        pk_column = attacked.column_view(attacked.primary_key)
+        value_column = attacked.column_view(self.attribute)
+        target_count = round(self.alter_fraction * size)
+        victims = rng.sample(range(size), min(target_count, size))
+        updates = []
+        for slot in victims:
             if rng.random() >= self.flip_probability:
                 continue
-            current = row[value_position]
+            current = value_column[slot]
             replacement = domain.value_at(rng.randrange(domain.size - 1))
             if replacement == current:
                 replacement = domain.value_at(domain.size - 1)
-            attacked.set_value(row[pk_position], self.attribute, replacement)
+            updates.append((pk_column[slot], replacement))
+        # All rng draws precede all writes; since every victim row is
+        # distinct and the draws never read the table, batching the writes
+        # leaves the output bit-identical to the per-cell loop.
+        attacked.set_values(self.attribute, updates)
         return attacked
 
 
@@ -103,12 +115,16 @@ class TargetedValueAttack(Attack):
                         f"merge target {target!r} outside the domain of "
                         f"{self.attribute!r}"
                     )
-        pk_position = attacked.schema.position(attacked.primary_key)
-        value_position = attacked.schema.position(self.attribute)
-        for row in list(attacked):
-            value = row[value_position]
-            if value in self.merges:
-                attacked.set_value(
-                    row[pk_position], self.attribute, self.merges[value]
-                )
+        # Column snapshots (taken before any write) replace the full-row
+        # materialization; only the two consulted cells are ever read.
+        pk_column = attacked.column_view(attacked.primary_key)
+        value_column = attacked.column_view(self.attribute)
+        attacked.set_values(
+            self.attribute,
+            (
+                (pk, self.merges[value])
+                for pk, value in zip(pk_column, value_column)
+                if value in self.merges
+            ),
+        )
         return attacked

@@ -122,7 +122,14 @@ def extract_slots(
             f"no categorical domain available for {spec.mark_attribute!r}"
         )
 
-    votes: list[list[int]] = [[] for _ in range(spec.channel_length)]
+    # Count-based voting: per-slot (total, ones, first-vote) tallies
+    # replace the list-of-vote-lists — same majority and same first-vote
+    # tie-break, without materializing a Python list per slot.  This loop
+    # runs once per attack-sweep cell, so its constant factor is the
+    # detection share of a sweep's wall time.
+    votes_total = [0] * spec.channel_length
+    votes_ones = [0] * spec.channel_length
+    votes_first: list[int | None] = [None] * spec.channel_length
     fit_count = 0
     if engine == SCALAR:
         fit, slot_of = _scan_scalar(table, key, spec)
@@ -143,17 +150,20 @@ def extract_slots(
             slot_of = None
 
     keyed_variant = spec.variant == VARIANT_KEYED
-    for key_value, value in table.iter_cells(
-        spec.key_attribute, spec.mark_attribute
+    in_domain = resolved_domain.__contains__
+    index_of = resolved_domain.index_of
+    for key_value, value in zip(
+        table.column_view(spec.key_attribute),
+        table.column_view(spec.mark_attribute),
     ):
         if not fit[key_value]:
             continue
         fit_count += 1
         if value_mapping is not None:
             value = value_mapping.get(value, value)
-        if value not in resolved_domain:
+        if not in_domain(value):
             continue
-        bit = resolved_domain.index_of(value) & 1
+        bit = index_of(value) & 1
         if keyed_variant:
             assert slot_of is not None
             slot = slot_of[key_value]
@@ -167,17 +177,19 @@ def extract_slots(
                     f"embedding map entry {slot} outside channel "
                     f"[0, {spec.channel_length})"
                 )
-        votes[slot].append(bit)
+        votes_total[slot] += 1
+        votes_ones[slot] += bit
+        if votes_first[slot] is None:
+            votes_first[slot] = bit
 
     slots: list[int | None] = []
     recovered = 0
-    for slot_votes in votes:
-        if not slot_votes:
+    for total, ones, first in zip(votes_total, votes_ones, votes_first):
+        if not total:
             slots.append(None)
             continue
-        ones = sum(slot_votes)
-        slots.append(1 if ones * 2 > len(slot_votes) else
-                     0 if ones * 2 < len(slot_votes) else slot_votes[0])
+        slots.append(1 if ones * 2 > total else
+                     0 if ones * 2 < total else first)
         recovered += 1
     return slots, fit_count
 

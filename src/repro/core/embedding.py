@@ -349,9 +349,9 @@ def embed(
             result.unchanged += 1
             result.slots_written.add(slot)
             continue
-        applied_any = False
-        for pk in carrier_pks[key_value]:
-            applied_any |= guard.apply(pk, spec.mark_attribute, new_value)
+        applied_any = guard.apply_group(
+            carrier_pks[key_value], spec.mark_attribute, new_value
+        )
         if applied_any:
             result.applied += 1
             result.slots_written.add(slot)

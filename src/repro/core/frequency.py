@@ -22,6 +22,7 @@ and loss of every other attribute.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Hashable
 
@@ -221,18 +222,19 @@ def detect_frequency(
             f"attribute {record.attribute!r} missing from the suspect relation"
         )
     domain = CategoricalDomain(record.domain_values)
-    column = table.column(record.attribute)
+    column: Any = table.column_view(record.attribute)
     if value_mapping is not None:
-        column = [value_mapping.get(value, value) for value in column]
-    known = [value for value in column if value in domain]
-    if not known:
+        column = (value_mapping.get(value, value) for value in column)
+    # Columnar histogram: one C-speed Counter pass over the (possibly
+    # translated) column; values outside every bin — which a remapping
+    # attack produces — simply never index a count.
+    observed = Counter(column)
+    counts = [observed.get(value, 0) for value in domain.values]
+    total = sum(counts)
+    if total == 0:
         raise DetectionError(
             f"no recognisable {record.attribute!r} values in the suspect data"
         )
-    total = len(known)
-    counts = [0] * domain.size
-    for value in known:
-        counts[domain.index_of(value)] += 1
     frequencies = [count / total for count in counts]
     detection = detect_numeric_set(
         frequencies, record.watermark_length, key.k2, record.quantum,
@@ -271,9 +273,16 @@ def verify_frequency(
 def _counts_in_domain_order(
     table: Table, attribute: str, domain: CategoricalDomain
 ) -> list[int]:
-    counts = [0] * domain.size
-    for value in table.column(attribute):
-        counts[domain.index_of(value)] += 1
+    """Columnar histogram build: one Counter pass over the cached column.
+
+    Out-of-domain values still fail loudly (as the old per-cell
+    ``index_of`` did) — an embedding target histogram must cover every
+    tuple.
+    """
+    observed = Counter(table.column_view(attribute))
+    counts = [observed.pop(value, 0) for value in domain.values]
+    if observed:
+        domain.index_of(next(iter(observed)))  # raises DomainError
     return counts
 
 
@@ -383,15 +392,16 @@ def _apply_count_deltas(
     deltas = [target - count for target, count in zip(targets, counts)]
     rng = keyed_rng(key.k1, _LABEL, len(table))
 
-    pk_position = table.schema.position(table.primary_key)
-    value_position = table.schema.position(attribute)
     donor_bins = {index for index, delta in enumerate(deltas) if delta < 0}
     pools: dict[int, list[Hashable]] = {index: [] for index in donor_bins}
     if donor_bins:
-        for row in table:
-            bin_index = domain.index_of(row[value_position])
+        # Columnar donor scan: only the (pk, value) cells are read, no
+        # full-row tuples.
+        index_of = domain.index_of
+        for pk, value in table.iter_cells(table.primary_key, attribute):
+            bin_index = index_of(value)
             if bin_index in donor_bins:
-                pools[bin_index].append(row[pk_position])
+                pools[bin_index].append(pk)
 
     # Full donor queue (every tuple of every surplus bin) in keyed-random
     # order; per-bin surplus budgets stop a bin from over-draining.

@@ -8,6 +8,13 @@ the shapes are: graceful degradation with attack size (Fig 4), resilience
 improving as ``e`` decreases (Fig 5), the tilted surface (Fig 6), and
 near-linear degradation under data loss with ≈25% alteration at 80% loss
 (Fig 7).
+
+All series run on the shared :class:`~repro.experiments.sweepengine
+.SweepEngine`: each keyed pass is embedded once and reused across every
+sweep point (and across the figures of one bench run, which share the
+same base relation).  ``mode`` forwards the engine's execution mode —
+``"serial"`` for the re-embed-per-cell reference, ``"hoisted"`` /
+``"pooled"`` to force a path, ``None`` for auto.
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ def figure4_series(
     config: FigureConfig = FigureConfig(),
     e_values: tuple[int, ...] = (65, 35),
     attack_sizes: tuple[float, ...] = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
+    mode: str | None = None,
 ) -> dict[int, list[ExperimentPoint]]:
     """Figure 4: mark alteration vs attack size, one series per ``e``."""
     table = config.base_table()
@@ -61,6 +69,7 @@ def figure4_series(
             list(attack_sizes),
             watermark_length=config.watermark_length,
             passes=config.passes,
+            mode=mode,
         )
     return series
 
@@ -69,6 +78,7 @@ def figure5_series(
     config: FigureConfig = FigureConfig(),
     e_values: tuple[int, ...] = (10, 25, 50, 75, 100, 125, 150, 175, 200),
     attack_sizes: tuple[float, ...] = (0.55, 0.20),
+    mode: str | None = None,
 ) -> dict[float, list[ExperimentPoint]]:
     """Figure 5: mark alteration vs ``e``, one series per attack size.
 
@@ -79,7 +89,7 @@ def figure5_series(
     series: dict[float, list[ExperimentPoint]] = {}
     for attack_size in attack_sizes:
         points: list[ExperimentPoint] = []
-        for index, e in enumerate(e_values):
+        for e in e_values:
             results = sweep(
                 table,
                 "Item_Nbr",
@@ -90,6 +100,7 @@ def figure5_series(
                 [attack_size],
                 watermark_length=config.watermark_length,
                 passes=config.passes,
+                mode=mode,
             )[0]
             points.append(ExperimentPoint(x=float(e), passes=results.passes))
         series[attack_size] = points
@@ -100,6 +111,7 @@ def figure6_surface(
     config: FigureConfig = FigureConfig(),
     e_values: tuple[int, ...] = (20, 65, 110, 155, 200),
     attack_sizes: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8),
+    mode: str | None = None,
 ) -> list[tuple[int, float, float]]:
     """Figure 6: the (attack size × e) → mark-loss surface.
 
@@ -119,6 +131,7 @@ def figure6_surface(
             list(attack_sizes),
             watermark_length=config.watermark_length,
             passes=config.passes,
+            mode=mode,
         )
         for point in points:
             surface.append((e, point.x, point.mean_alteration))
@@ -131,6 +144,7 @@ def figure7_series(
     loss_fractions: tuple[float, ...] = (
         0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
     ),
+    mode: str | None = None,
 ) -> list[ExperimentPoint]:
     """Figure 7: mark alteration vs data loss (attack A1).
 
@@ -146,4 +160,5 @@ def figure7_series(
         list(loss_fractions),
         watermark_length=config.watermark_length,
         passes=config.passes,
+        mode=mode,
     )

@@ -1,63 +1,37 @@
-"""Multi-pass experiment runner.
+"""Multi-pass experiment runner (public API over the sweep engine).
 
 The paper's §5 protocol: every reported number "is the result of an
 averaging process with 15 passes (each seeded with a different key), aimed
 at smoothing out data-dependent biases and singularities".  The runner
 reproduces that protocol: one pass = fresh key pair + fresh random
 watermark + fresh attack randomness over the same base relation.
+
+Since the sweep-engine rewrite this module is a thin protocol layer:
+execution — embed hoisting, the persistent worker pool, the deterministic
+serial reference — lives in :mod:`repro.experiments.sweepengine`, and a
+sweep embeds each keyed pass *once*, sharing it copy-on-write across every
+sweep point, instead of re-embedding per point.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from statistics import mean, pstdev
-
 from ..attacks import Attack
-from ..core import Watermark, Watermarker
-from ..crypto import MarkKey
 from ..relational import Table
+from .sweepengine import (
+    ExperimentPoint,
+    PAPER_PASSES,
+    PassResult,
+    SweepProtocol,
+    get_sweep_engine,
+)
 
-#: the paper's pass count
-PAPER_PASSES = 15
-
-
-@dataclass(frozen=True)
-class PassResult:
-    """One keyed embed→attack→verify round trip."""
-
-    seed: int
-    mark_alteration: float
-    detected: bool
-    false_hit_probability: float
-    fit_count: int
-    slots_recovered: int
-
-
-@dataclass
-class ExperimentPoint:
-    """Averaged outcome of all passes at one parameter point."""
-
-    x: float
-    passes: list[PassResult] = field(default_factory=list)
-
-    @property
-    def mean_alteration(self) -> float:
-        if not self.passes:
-            return 0.0
-        return mean(result.mark_alteration for result in self.passes)
-
-    @property
-    def alteration_stdev(self) -> float:
-        if len(self.passes) < 2:
-            return 0.0
-        return pstdev(result.mark_alteration for result in self.passes)
-
-    @property
-    def detection_rate(self) -> float:
-        if not self.passes:
-            return 0.0
-        return mean(1.0 if result.detected else 0.0 for result in self.passes)
+__all__ = [
+    "ExperimentPoint",
+    "PAPER_PASSES",
+    "PassResult",
+    "run_attack_experiment",
+    "sweep",
+]
 
 
 def run_attack_experiment(
@@ -70,41 +44,34 @@ def run_attack_experiment(
     seed_offset: int = 0,
     ecc_name: str = "majority",
     variant: str = "keyed",
+    mode: str | None = None,
 ) -> list[PassResult]:
     """Embed, attack and verify ``passes`` times with per-pass keys.
 
     The base relation is shared (embedding clones it); keys, watermark bits
     and attack randomness differ per pass, exactly the paper's smoothing
-    protocol.
+    protocol.  Runs on the shared :class:`~repro.experiments.sweepengine
+    .SweepEngine`, so each pass's embedding — and the warm
+    :class:`~repro.crypto.HashEngine` behind it, via
+    :func:`~repro.crypto.get_engine` — is reused by later experiments in
+    the same process.  Outputs are bit-identical to the historical serial
+    runner (the attack generator keeps its ``f"attack:{seed}"`` label).
     """
-    results: list[PassResult] = []
-    for pass_index in range(passes):
-        seed = seed_offset + pass_index
-        key = MarkKey.from_seed(seed)
-        watermark = Watermark.random(
-            watermark_length, random.Random(f"wm:{seed}")
-        )
-        marker = Watermarker(key, e=e, ecc_name=ecc_name, variant=variant)
-        outcome = marker.embed(base_table, watermark, mark_attribute)
-        attacked = attack.apply(outcome.table, random.Random(f"attack:{seed}"))
-        verdict = marker.verify(attacked, outcome.record)
-        association = verdict.association
-        if association is None:
-            raise RuntimeError(
-                "attack removed the marked pair; use the multi-attribute or "
-                "frequency experiment instead"
-            )
-        results.append(
-            PassResult(
-                seed=seed,
-                mark_alteration=association.mark_alteration,
-                detected=association.detected,
-                false_hit_probability=association.false_hit_probability,
-                fit_count=association.detection.fit_count,
-                slots_recovered=association.detection.slots_recovered,
-            )
-        )
-    return results
+    protocol = SweepProtocol(
+        mark_attribute=mark_attribute,
+        e=e,
+        watermark_length=watermark_length,
+        ecc_name=ecc_name,
+        variant=variant,
+    )
+    point = get_sweep_engine().run(
+        base_table,
+        protocol,
+        [(None, attack)],
+        range(seed_offset, seed_offset + passes),
+        mode=mode,
+    )[0]
+    return point.passes
 
 
 def sweep(
@@ -117,24 +84,27 @@ def sweep(
     passes: int = PAPER_PASSES,
     ecc_name: str = "majority",
     variant: str = "keyed",
+    seed_offset: int = 0,
+    mode: str | None = None,
 ) -> list[ExperimentPoint]:
-    """Run :func:`run_attack_experiment` for every x in ``xs``.
+    """Run the paper's pass protocol for every x in ``xs``.
 
-    ``attack_factory(x)`` builds the attack at parameter ``x`` (attack size,
-    data-loss fraction, ...).  Seeds are decorrelated across points.
+    ``attack_factory(x)`` builds the attack at parameter ``x`` (attack
+    size, data-loss fraction, ...).  The same ``passes`` keyed embeddings
+    are shared across all points — the paper's 15 keyed passes swept over
+    the attack axis — and attack randomness is decorrelated per cell by
+    the engine's ``random.Random(f"attack:{seed}:{x}")`` contract.
     """
-    points: list[ExperimentPoint] = []
-    for index, x in enumerate(xs):
-        results = run_attack_experiment(
-            base_table,
-            mark_attribute,
-            e,
-            attack_factory(x),
-            watermark_length=watermark_length,
-            passes=passes,
-            seed_offset=1000 * index,
-            ecc_name=ecc_name,
-            variant=variant,
-        )
-        points.append(ExperimentPoint(x=x, passes=results))
-    return points
+    return get_sweep_engine().sweep(
+        base_table,
+        mark_attribute,
+        e,
+        attack_factory,
+        xs,
+        watermark_length=watermark_length,
+        passes=passes,
+        seed_offset=seed_offset,
+        ecc_name=ecc_name,
+        variant=variant,
+        mode=mode,
+    )

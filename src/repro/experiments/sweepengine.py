@@ -1,0 +1,557 @@
+"""Sweep-level execution engine: embed once per keyed pass, attack many.
+
+The §5 protocol averages every reported figure over 15 keyed passes, and
+every figure (4-7) sweeps that protocol over an attack-strength axis.  The
+naive runner re-embeds the watermark once per pass *per sweep point* —
+``passes x len(xs)`` embeds where ``passes`` suffice, because the embedded
+relation for a given seed is the same at every sweep point; only the attack
+differs.  This module restructures the sweep around that observation:
+
+* **embed hoisting** — one :class:`EmbeddedPass` (marked table + mark
+  record + warm :class:`~repro.crypto.HashEngine`) is built per seed and
+  shared, read-only, across every sweep point.  Attacks operate on
+  copy-on-write :meth:`~repro.relational.table.Table.clone` copies, so the
+  shared table is never mutated.  A figure pays ``passes`` embeds instead
+  of ``passes x len(xs)``.
+* **persistent worker pool** — ``(seed, x)`` attack+verify cells fan out
+  across a :class:`~concurrent.futures.ProcessPoolExecutor` whose workers
+  are initialized *once* with the base relation and then reused across
+  sweep points and across successive sweeps in one bench run.  Work is
+  partitioned by seed, so each worker embeds a seed at most once and keeps
+  the pass cached for later sweeps.
+* **deterministic serial path** — :data:`MODE_SERIAL` re-embeds per cell,
+  exactly the naive runner's cost model, and is pinned bit-identical to
+  the hoisted and pooled paths by the equivalence tests.
+
+Determinism contract
+--------------------
+
+Every execution mode produces bit-identical :class:`PassResult` lists
+because every source of randomness in a cell ``(seed, x)`` is derived from
+literal labels, never from shared mutable state or execution order:
+
+* key pair: ``MarkKey.from_seed(seed)``;
+* watermark bits: ``Watermark.random(length, random.Random(f"wm:{seed}"))``;
+* attack randomness: ``random.Random(f"attack:{seed}:{x}")`` — one private
+  generator per cell, so cells can run in any order on any worker.  The
+  single-point protocol (:func:`~repro.experiments.runner
+  .run_attack_experiment`) passes ``x = None`` and gets the historical
+  ``random.Random(f"attack:{seed}")`` label, keeping its outputs identical
+  to the pre-engine runner.
+
+Embedding itself is a pure function of ``(base table, key, watermark,
+spec)`` — the quality guard draws no randomness — so re-embedding per cell
+(serial), embedding once per seed (hoisted) and embedding inside a worker
+process (pooled) all yield the same marked relation, and therefore the
+same verdicts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import random
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from statistics import mean, pstdev
+from typing import Any, Hashable
+
+from ..attacks import Attack
+from ..core import Watermark, Watermarker
+from ..crypto import MarkKey, get_engine
+from ..relational import Table
+
+#: the paper's pass count
+PAPER_PASSES = 15
+
+#: execution modes
+MODE_AUTO = "auto"        # pooled when >= 2 cores, hoisted otherwise
+MODE_SERIAL = "serial"    # re-embed per (seed, x) cell — the reference
+MODE_HOISTED = "hoisted"  # embed once per seed, run cells in-process
+MODE_POOLED = "pooled"    # embed once per seed *per worker*, cells fan out
+
+_MODES = (MODE_AUTO, MODE_SERIAL, MODE_HOISTED, MODE_POOLED)
+
+#: embedded passes kept warm per engine (and per pool worker)
+_PASS_CACHE_SIZE = 64
+
+#: below this many cell-rows (cells x relation size) MODE_AUTO stays on
+#: the in-process hoisted path: worker startup + shipping the relation
+#: would cost more than the fan-out saves on a small grid
+AUTO_POOL_THRESHOLD = 250_000
+
+
+@dataclass(frozen=True)
+class PassResult:
+    """One keyed embed -> attack -> verify round trip."""
+
+    seed: int
+    mark_alteration: float
+    detected: bool
+    false_hit_probability: float
+    fit_count: int
+    slots_recovered: int
+
+
+@dataclass
+class ExperimentPoint:
+    """Averaged outcome of all passes at one parameter point."""
+
+    x: float
+    passes: list[PassResult] = field(default_factory=list)
+
+    @property
+    def mean_alteration(self) -> float:
+        if not self.passes:
+            return 0.0
+        return mean(result.mark_alteration for result in self.passes)
+
+    @property
+    def alteration_stdev(self) -> float:
+        if len(self.passes) < 2:
+            return 0.0
+        return pstdev(result.mark_alteration for result in self.passes)
+
+    @property
+    def detection_rate(self) -> float:
+        if not self.passes:
+            return 0.0
+        return mean(1.0 if result.detected else 0.0 for result in self.passes)
+
+
+@dataclass(frozen=True)
+class SweepProtocol:
+    """The per-pass embedding recipe a sweep holds fixed.
+
+    Hashable (it keys the embedded-pass caches) and picklable (it travels
+    to pool workers).  Everything else a cell needs — the seed and the
+    attack — varies per cell.
+    """
+
+    mark_attribute: str
+    e: int
+    watermark_length: int = 10
+    ecc_name: str = "majority"
+    variant: str = "keyed"
+
+
+@dataclass
+class EmbeddedPass:
+    """One seed's embedding, reused across every sweep point.
+
+    ``table`` is shared read-only: attacks clone it copy-on-write, so all
+    cells of a seed read the same physical rows.  ``marker`` carries the
+    warm shared :class:`~repro.crypto.HashEngine` for the seed's key, so
+    every re-detection of an attacked clone is hash-free.
+    """
+
+    seed: int
+    marker: Watermarker
+    table: Table
+    record: Any  # MarkRecord
+
+    @classmethod
+    def build(
+        cls, base_table: Table, protocol: SweepProtocol, seed: int
+    ) -> "EmbeddedPass":
+        key = MarkKey.from_seed(seed)
+        watermark = Watermark.random(
+            protocol.watermark_length, random.Random(f"wm:{seed}")
+        )
+        marker = Watermarker(
+            key,
+            e=protocol.e,
+            ecc_name=protocol.ecc_name,
+            variant=protocol.variant,
+            engine=get_engine(key),
+        )
+        outcome = marker.embed(base_table, watermark, protocol.mark_attribute)
+        return cls(
+            seed=seed, marker=marker, table=outcome.table,
+            record=outcome.record,
+        )
+
+
+def cell_rng(seed: int, x: float | None) -> random.Random:
+    """The private attack generator of cell ``(seed, x)``.
+
+    ``x = None`` keeps the historical single-point label so
+    ``run_attack_experiment`` outputs are unchanged from the serial runner.
+    """
+    if x is None:
+        return random.Random(f"attack:{seed}")
+    return random.Random(f"attack:{seed}:{x}")
+
+
+def run_cell(
+    embedded: EmbeddedPass, attack: Attack, x: float | None
+) -> PassResult:
+    """Attack + verify one ``(seed, x)`` cell of an embedded pass."""
+    attacked = attack.apply(embedded.table, cell_rng(embedded.seed, x))
+    verdict = embedded.marker.verify(attacked, embedded.record)
+    association = verdict.association
+    if association is None:
+        raise RuntimeError(
+            "attack removed the marked pair; use the multi-attribute or "
+            "frequency experiment instead"
+        )
+    return PassResult(
+        seed=embedded.seed,
+        mark_alteration=association.mark_alteration,
+        detected=association.detected,
+        false_hit_probability=association.false_hit_probability,
+        fit_count=association.detection.fit_count,
+        slots_recovered=association.detection.slots_recovered,
+    )
+
+
+def _table_token(table: Table) -> bytes:
+    """Content fingerprint of a relation (schema + rows, physical order).
+
+    Keys the embedded-pass caches and the persistent pool: equal-content
+    base relations (e.g. the same ``generate_item_scan`` call in two
+    benches) share warm state; any difference — including row order —
+    forces a re-embed, which is always safe.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(table.schema).encode("utf-8"))
+    for row in table:
+        digest.update(repr(row).encode("utf-8"))
+    return digest.digest()
+
+
+# -- persistent worker pool ---------------------------------------------------
+#
+# One module-level executor, keyed by the base-table token.  Workers are
+# initialized once with the base relation; each task covers one seed's
+# cells for a sweep, so a worker embeds each (protocol, seed) it meets at
+# most once and keeps the pass cached for later points and later sweeps.
+
+_pool = None
+_pool_token: bytes | None = None
+_pool_workers: int = 0
+
+# Worker-process globals (set by _worker_init, used by _worker_run_seed).
+_WORKER_TABLE: Table | None = None
+_WORKER_PASSES: "OrderedDict[tuple[SweepProtocol, int], EmbeddedPass]" = (
+    OrderedDict()
+)
+
+
+def _worker_init(table_blob: bytes) -> None:
+    """Pool initializer: install the base relation in the worker."""
+    global _WORKER_TABLE
+    _WORKER_TABLE = pickle.loads(table_blob)
+    _WORKER_PASSES.clear()
+
+
+def _worker_embedded_pass(
+    protocol: SweepProtocol, seed: int
+) -> EmbeddedPass:
+    cache_key = (protocol, seed)
+    embedded = _WORKER_PASSES.get(cache_key)
+    if embedded is None:
+        assert _WORKER_TABLE is not None, "pool worker was not initialized"
+        embedded = EmbeddedPass.build(_WORKER_TABLE, protocol, seed)
+        _WORKER_PASSES[cache_key] = embedded
+        while len(_WORKER_PASSES) > _PASS_CACHE_SIZE:
+            _WORKER_PASSES.popitem(last=False)
+    else:
+        _WORKER_PASSES.move_to_end(cache_key)
+    return embedded
+
+
+def _worker_run_seed(
+    protocol: SweepProtocol,
+    seed: int,
+    cells: list[tuple[float | None, Attack]],
+) -> list[PassResult]:
+    """Pool task: all of one seed's cells, in sweep-point order."""
+    embedded = _worker_embedded_pass(protocol, seed)
+    return [run_cell(embedded, attack, x) for x, attack in cells]
+
+
+def _worker_call(fn, args: tuple) -> Any:
+    """Pool task adapter for table-parametrized jobs outside the sweep
+    protocol (e.g. the analysis Monte-Carlo loops): calls
+    ``fn(worker_table, *args)``."""
+    assert _WORKER_TABLE is not None, "pool worker was not initialized"
+    return fn(_WORKER_TABLE, *args)
+
+
+def _ensure_pool(token: bytes, table: Table, max_workers: int):
+    """The persistent executor for ``table`` (created or reused).
+
+    A new base relation retires the old pool: worker caches are only valid
+    for the table their initializer installed.
+    """
+    global _pool, _pool_token, _pool_workers
+    if (
+        _pool is not None
+        and _pool_token == token
+        and _pool_workers == max_workers
+    ):
+        return _pool
+    shutdown_sweep_pool()
+    from concurrent.futures import ProcessPoolExecutor
+
+    _pool = ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_worker_init,
+        initargs=(pickle.dumps(table),),
+    )
+    _pool_token = token
+    _pool_workers = max_workers
+    return _pool
+
+
+def shutdown_sweep_pool() -> None:
+    """Retire the persistent pool (test isolation, table change, exit)."""
+    global _pool, _pool_token, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+    _pool = None
+    _pool_token = None
+    _pool_workers = 0
+
+
+def pool_table_tasks(
+    table: Table,
+    fn,
+    task_args: Sequence[tuple],
+    max_workers: int | None = None,
+) -> list[Any]:
+    """Run ``fn(table, *args)`` for every ``args`` on the persistent pool.
+
+    ``fn`` must be a module-level function (pickled by reference).  The
+    table ships to the workers once, via the pool initializer — the lever
+    that makes many small tasks over one large relation affordable.
+    Raises whatever the tasks raise; pool-infrastructure failures
+    propagate too (callers fall back to a serial loop).
+    """
+    workers = max_workers or os.cpu_count() or 1
+    # An unpicklable payload would deadlock the executor's queue-feeder
+    # thread instead of raising; probe here so callers get a clean
+    # exception (and can fall back to their serial loops).
+    pickle.dumps((fn, list(task_args)))
+    pool = _ensure_pool(_table_token(table), table, workers)
+    futures = [pool.submit(_worker_call, fn, args) for args in task_args]
+    return [future.result() for future in futures]
+
+
+# -- the engine ---------------------------------------------------------------
+
+class SweepEngine:
+    """Executes embed-once / attack-many sweeps under one of three modes.
+
+    The engine caches one :class:`EmbeddedPass` per ``(base table,
+    protocol, seed)`` — the hoisted and pooled modes reuse them across
+    sweep points *and across successive `run`/`sweep` calls*, which is
+    what makes a bench run's second figure start warm.  ``embeds_performed``
+    counts actual in-process embeds (pooled-mode embeds happen inside the
+    workers and are counted there), so the perf-smoke suite can assert
+    that a second sweep point performs zero embeds.
+    """
+
+    def __init__(
+        self,
+        mode: str = MODE_AUTO,
+        max_workers: int | None = None,
+        pass_cache_size: int = _PASS_CACHE_SIZE,
+    ):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        self.max_workers = max_workers
+        self._passes: "OrderedDict[tuple[bytes, SweepProtocol, int], EmbeddedPass]" = (
+            OrderedDict()
+        )
+        self._pass_cache_size = pass_cache_size
+        #: telemetry: in-process embedding passes actually performed
+        self.embeds_performed = 0
+        #: telemetry: (seed, x) cells evaluated (all modes, parent count)
+        self.cells_executed = 0
+
+    # -- embedded-pass cache ------------------------------------------------
+    def embedded_pass(
+        self,
+        base_table: Table,
+        protocol: SweepProtocol,
+        seed: int,
+        token: bytes | None = None,
+    ) -> EmbeddedPass:
+        """The cached (or freshly built) embedding of ``seed``."""
+        if token is None:
+            token = _table_token(base_table)
+        cache_key = (token, protocol, seed)
+        embedded = self._passes.get(cache_key)
+        if embedded is None:
+            embedded = EmbeddedPass.build(base_table, protocol, seed)
+            self.embeds_performed += 1
+            self._passes[cache_key] = embedded
+            while len(self._passes) > self._pass_cache_size:
+                self._passes.popitem(last=False)
+        else:
+            self._passes.move_to_end(cache_key)
+        return embedded
+
+    # -- execution ----------------------------------------------------------
+    def _resolve_mode(self, mode: str | None, cell_rows: int) -> str:
+        """Pick the execution path for a grid of ``cell_rows`` cell-rows.
+
+        Auto mode pools only when there are cores to fan across *and*
+        the workload amortizes worker startup + shipping the relation
+        (``cell_rows >= AUTO_POOL_THRESHOLD``); note the pool is a single
+        slot keyed by the base table, so workloads alternating between
+        large tables should force a mode explicitly rather than churn it.
+        """
+        resolved = mode or self.mode
+        if resolved == MODE_AUTO:
+            cores = self.max_workers or os.cpu_count() or 1
+            if cores >= 2 and cell_rows >= AUTO_POOL_THRESHOLD:
+                return MODE_POOLED
+            return MODE_HOISTED
+        return resolved
+
+    def run(
+        self,
+        base_table: Table,
+        protocol: SweepProtocol,
+        attacks: Sequence[tuple[float | None, Attack]],
+        seeds: Iterable[int],
+        mode: str | None = None,
+    ) -> list[ExperimentPoint]:
+        """Run the full ``seeds x attacks`` cell grid.
+
+        ``attacks`` is a sequence of ``(x, attack)`` pairs — the attack is
+        pre-built per point so only picklable attack instances (not
+        factories) ever cross the process boundary.
+        """
+        seeds = list(seeds)
+        attacks = list(attacks)
+        resolved = self._resolve_mode(
+            mode, len(seeds) * len(attacks) * len(base_table)
+        )
+        if resolved == MODE_POOLED:
+            from concurrent.futures import BrokenExecutor
+
+            try:
+                return self._run_pooled(base_table, protocol, attacks, seeds)
+            except BrokenExecutor:
+                shutdown_sweep_pool()
+            except RuntimeError:
+                raise  # run_cell's "attack removed the marked pair"
+            except Exception:
+                # Pool infrastructure failure (unpicklable attack,
+                # fork/pipe trouble, nested-daemon limits): the hoisted
+                # path is bit-identical, so never let the pool kill an
+                # experiment.
+                shutdown_sweep_pool()
+        if resolved == MODE_SERIAL:
+            return self._run_serial(base_table, protocol, attacks, seeds)
+        return self._run_hoisted(base_table, protocol, attacks, seeds)
+
+    def _run_serial(self, base_table, protocol, attacks, seeds):
+        """Reference path: re-embed per cell (the naive runner's cost)."""
+        points = []
+        for x, attack in attacks:
+            results = []
+            for seed in seeds:
+                embedded = EmbeddedPass.build(base_table, protocol, seed)
+                self.embeds_performed += 1
+                results.append(run_cell(embedded, attack, x))
+                self.cells_executed += 1
+            points.append(ExperimentPoint(x=x, passes=results))
+        return points
+
+    def _run_hoisted(self, base_table, protocol, attacks, seeds):
+        token = _table_token(base_table)
+        passes = [
+            self.embedded_pass(base_table, protocol, seed, token=token)
+            for seed in seeds
+        ]
+        points = []
+        for x, attack in attacks:
+            results = [run_cell(embedded, attack, x) for embedded in passes]
+            self.cells_executed += len(results)
+            points.append(ExperimentPoint(x=x, passes=results))
+        return points
+
+    def _run_pooled(self, base_table, protocol, attacks, seeds):
+        workers = self.max_workers or os.cpu_count() or 1
+        # Probe picklability up front: an unpicklable attack submitted to
+        # the executor deadlocks its queue-feeder thread instead of
+        # raising, whereas this raises cleanly and run() falls back to
+        # the bit-identical hoisted path.
+        pickle.dumps((protocol, attacks))
+        pool = _ensure_pool(_table_token(base_table), base_table, workers)
+        futures = {
+            seed: pool.submit(_worker_run_seed, protocol, seed, attacks)
+            for seed in seeds
+        }
+        by_seed = {seed: future.result() for seed, future in futures.items()}
+        points = []
+        for index, (x, _) in enumerate(attacks):
+            results = [by_seed[seed][index] for seed in seeds]
+            self.cells_executed += len(results)
+            points.append(ExperimentPoint(x=x, passes=results))
+        return points
+
+    # -- the runner-shaped convenience --------------------------------------
+    def sweep(
+        self,
+        base_table: Table,
+        mark_attribute: str,
+        e: int,
+        attack_factory,
+        xs: list[float],
+        watermark_length: int = 10,
+        passes: int = PAPER_PASSES,
+        seed_offset: int = 0,
+        ecc_name: str = "majority",
+        variant: str = "keyed",
+        mode: str | None = None,
+    ) -> list[ExperimentPoint]:
+        """Embed ``passes`` seeds once, attack at every ``x``.
+
+        ``attack_factory(x)`` builds the (picklable) attack at parameter
+        ``x``; attack randomness is decorrelated across cells by the
+        per-cell ``random.Random(f"attack:{seed}:{x}")`` contract.
+        """
+        protocol = SweepProtocol(
+            mark_attribute=mark_attribute,
+            e=e,
+            watermark_length=watermark_length,
+            ecc_name=ecc_name,
+            variant=variant,
+        )
+        attacks = [(x, attack_factory(x)) for x in xs]
+        seeds = range(seed_offset, seed_offset + passes)
+        return self.run(base_table, protocol, attacks, seeds, mode=mode)
+
+
+# -- process-wide shared engine ----------------------------------------------
+
+_shared_engine: SweepEngine | None = None
+
+
+def get_sweep_engine() -> SweepEngine:
+    """The process-wide :class:`SweepEngine` the public runner API uses.
+
+    Sharing it is what lets successive sweeps in one process (a figure's
+    two series, a bench run's four figures) reuse embedded passes and the
+    persistent pool instead of starting cold.
+    """
+    global _shared_engine
+    if _shared_engine is None:
+        _shared_engine = SweepEngine()
+    return _shared_engine
+
+
+def reset_sweep_engine() -> None:
+    """Drop the shared engine's caches and the pool (test isolation)."""
+    global _shared_engine
+    _shared_engine = None
+    shutdown_sweep_pool()

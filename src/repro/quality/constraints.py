@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 from collections import Counter
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
@@ -224,6 +225,21 @@ class QualityGuard:
             self.report.noop += 1
             return True
 
+        if not self.constraints:
+            # Permissive fast path (the sweep-engine hot loop): no
+            # constraint can veto, so skip the proposal object and the
+            # violation scan while keeping the log and the incremental
+            # statistics identical.
+            context.change_count += 1
+            deltas = context.count_deltas.get(attribute)
+            if deltas is None:
+                deltas = context.count_deltas[attribute] = Counter()
+            deltas[old_value] -= 1
+            deltas[new_value] += 1
+            self.log.record(key, attribute, old_value, new_value)
+            self.report.applied += 1
+            return True
+
         proposal = ChangeRecord(key, attribute, old_value, new_value)
         context.proposal = proposal
         context.change_count += 1
@@ -248,6 +264,22 @@ class QualityGuard:
         context.proposal = None
         self.report.vetoed += 1
         return False
+
+    def apply_group(
+        self, keys: Iterable[Hashable], attribute: str, new_value: Any
+    ) -> bool:
+        """Apply one value to a batch of tuples; ``True`` iff any was kept.
+
+        The columnar counterpart of :meth:`apply` for carrier *groups* —
+        every tuple sharing a §3.3 place-holder key value receives the
+        same mark value, so the encoder hands the whole group over at
+        once.  Constraints are still re-evaluated per cell (a veto
+        mid-group must roll back only that cell, exactly as before).
+        """
+        applied_any = False
+        for key in keys:
+            applied_any |= self.apply(key, attribute, new_value)
+        return applied_any
 
     def _first_violation(self, context: ChangeContext) -> str | None:
         for constraint in self.constraints:

@@ -49,14 +49,26 @@ class CellPreservationMetric(UsabilityMetricPlugin):
     def evaluate(self, original: Table, current: Table) -> MetricResult:
         total = 0
         unchanged = 0
-        for row in original:
-            key = row[original.schema.position(original.primary_key)]
-            if key not in current:
-                continue
-            other = current.get(key)
-            for a, b in zip(row, other):
-                total += 1
-                unchanged += a == b
+        if original.schema.names == current.schema.names:
+            # Columnar fast path (the guard-loop case: same schema on
+            # both sides): compare attribute by attribute over the shared
+            # keys via batched point reads, no row-tuple materialization.
+            shared = [key for key in original.keys() if key in current]
+            for attribute in original.schema.names:
+                before = original.values_for(shared, attribute)
+                after = current.values_for(shared, attribute)
+                total += len(shared)
+                unchanged += sum(a == b for a, b in zip(before, after))
+        else:
+            key_position = original.schema.position(original.primary_key)
+            for row in original:
+                key = row[key_position]
+                if key not in current:
+                    continue
+                other = current.get(key)
+                for a, b in zip(row, other):
+                    total += 1
+                    unchanged += a == b
         score = unchanged / total if total else 1.0
         return MetricResult(
             self.name,

@@ -52,14 +52,18 @@ def rule_statistics(
     """(support, confidence) of one rule over ``table``."""
     if len(table) == 0:
         return 0.0, 0.0
-    a_position = table.schema.position(antecedent_attribute)
-    c_position = table.schema.position(consequent_attribute)
+    # Columnar scan: only the two consulted cells are read per tuple.
+    # This runs inside the per-alteration guard loop (via
+    # AssociationRuleMetric / PluginConstraint), so skipping full-row
+    # materialization matters.
     antecedent_count = 0
     joint_count = 0
-    for row in table:
-        if row[a_position] == antecedent_value:
+    for a_value, c_value in table.iter_cells(
+        antecedent_attribute, consequent_attribute
+    ):
+        if a_value == antecedent_value:
             antecedent_count += 1
-            joint_count += row[c_position] == consequent_value
+            joint_count += c_value == consequent_value
     support = joint_count / len(table)
     confidence = joint_count / antecedent_count if antecedent_count else 0.0
     return support, confidence
@@ -83,14 +87,14 @@ def mine_rules(
         raise ValueError("support/confidence thresholds must be non-negative")
     if len(table) == 0:
         return []
-    a_position = table.schema.position(antecedent_attribute)
-    c_position = table.schema.position(consequent_attribute)
-
+    # One C-speed Counter pass over the (antecedent, consequent) cell
+    # pairs; the antecedent marginal falls out of the joint counts.
+    joint_counts: Counter = Counter(
+        table.iter_cells(antecedent_attribute, consequent_attribute)
+    )
     antecedent_counts: Counter = Counter()
-    joint_counts: Counter = Counter()
-    for row in table:
-        antecedent_counts[row[a_position]] += 1
-        joint_counts[(row[a_position], row[c_position])] += 1
+    for (a_value, _), count in joint_counts.items():
+        antecedent_counts[a_value] += count
 
     rules = []
     for (a_value, c_value), joint in joint_counts.items():

@@ -58,10 +58,22 @@ class Attribute:
 
     def validate(self, value: Any) -> None:
         """Raise unless ``value`` is legal for this attribute."""
+        domain = self.domain
+        if domain is not None:
+            # Categorical fast path (the write-heavy case: every embed and
+            # attack write lands on a categorical cell): membership in the
+            # finite domain subsumes the type check — any domain member is
+            # hashable — so the happy path is a single hash lookup.
+            try:
+                if value in domain:
+                    return
+            except TypeError:  # unhashable, i.e. not a legal categorical
+                raise TypeMismatchError(
+                    value, self.atype.value, self.name
+                ) from None
+            raise DomainError(value, self.name)
         if not self.atype.accepts(value):
             raise TypeMismatchError(value, self.atype.value, self.name)
-        if self.domain is not None and value not in self.domain:
-            raise DomainError(value, self.name)
 
     def with_domain(self, domain: CategoricalDomain) -> "Attribute":
         """Return a copy of this attribute with a replacement domain."""

@@ -214,6 +214,57 @@ class Table:
         self._version += 1
         return previous
 
+    def set_values(
+        self, attribute: str, items: Iterable[tuple[Hashable, Any]]
+    ) -> int:
+        """Batched cell update: ``T_key(attribute) <- value`` for many keys.
+
+        The columnar counterpart of :meth:`set_value` for write-heavy
+        callers (attack trials rewrite thousands of cells per pass): one
+        schema/validator resolution and one version bump for the whole
+        batch, with per-cell validation, copy-on-write privatization and
+        error behaviour identical to the scalar path.  Primary-key updates
+        delegate to :meth:`set_value` (they must rewrite the index).
+        Returns the number of cells written.
+        """
+        position = self._schema.position(attribute)
+        if position == self._pk_position:
+            count = 0
+            for key, value in items:
+                self.set_value(key, attribute, value)
+                count += 1
+            return count
+        # Materialize first: a lazy iterable that reads this table (e.g.
+        # through column_view) must observe the pre-batch state, never a
+        # half-written column cached at the final version.
+        staged = list(items)
+        if not staged:
+            return 0
+        meta = self._schema.attribute(attribute)
+        index = self._pk_index
+        rows = self._rows
+        owned = self._owned
+        # Invalidate read caches up front: a validation failure mid-batch
+        # leaves earlier writes applied (exactly like a loop of set_value
+        # calls), so the version must already have moved.
+        self._version += 1
+        count = 0
+        for key, value in staged:
+            meta.validate(value)
+            try:
+                slot = index[key]
+            except KeyError:
+                raise MissingKeyError(key) from None
+            row = rows[slot]
+            if owned is not None and id(row) not in owned:
+                private = row.copy()
+                rows[slot] = private
+                owned.add(id(private))
+                row = private
+            row[position] = value
+            count += 1
+        return count
+
     def _writable_row(self, slot: int) -> list[Any]:
         """The row at ``slot``, privatized for in-place mutation.
 

@@ -3,9 +3,11 @@
 import pytest
 
 from repro.analysis import (
+    EmpiricalErasure,
     ErasureError,
     bit_undecidable_probability,
     carriers_for_fidelity,
+    empirical_erasure,
     expected_clean_alteration,
     expected_erased_slots,
     slot_erasure_probability,
@@ -78,3 +80,65 @@ class TestAgainstSimulation:
             result.fit_count, spec.channel_length
         )
         assert observed == pytest.approx(predicted, abs=12)
+
+
+class TestEmpiricalErasure:
+    """The multi-pass Monte-Carlo cross-check on the sweep engine."""
+
+    def test_multi_pass_measurement_tracks_the_refined_model(self):
+        from repro.datagen import generate_item_scan
+
+        table = generate_item_scan(6000, item_count=300, seed=17)
+        result = empirical_erasure(table, "Item_Nbr", e=60, passes=5)
+        assert isinstance(result, EmpiricalErasure)
+        assert result.passes == 5
+        assert result.mean_carriers > 0
+        # The refined model (reachable-slot structure of the implemented
+        # msb addressing) matches the measurement tightly; the paper's
+        # uniform model is optimistic and must sit at or below it.
+        assert result.mean_observed_erased == pytest.approx(
+            result.mean_predicted_refined, abs=6
+        )
+        assert (
+            result.mean_predicted_erased
+            <= result.mean_predicted_refined + 1e-9
+        )
+        assert result.model_gap == pytest.approx(
+            result.mean_observed_erased - result.mean_predicted_refined
+        )
+
+    def test_reachable_slots_structure(self):
+        from repro.analysis import (
+            expected_erased_slots_refined,
+            reachable_slots,
+        )
+
+        # L = 100: w = 7, field values 64..127 -> slots {64..99, 0..27}.
+        assert reachable_slots(100) == 64
+        # Powers of two are fully reachable, and there the refined model
+        # collapses to the uniform one.
+        assert reachable_slots(64) == 64
+        assert expected_erased_slots_refined(100, 64) == pytest.approx(
+            expected_erased_slots(100, 64)
+        )
+        # Unreachable slots stay erased no matter how many carriers.
+        assert expected_erased_slots_refined(10_000, 100) >= 36
+
+    def test_passes_share_the_sweep_engine_cache(self):
+        from repro.datagen import generate_item_scan
+        from repro.experiments import get_sweep_engine
+
+        table = generate_item_scan(1500, item_count=100, seed=18)
+        engine = get_sweep_engine()
+        empirical_erasure(table, "Item_Nbr", e=40, passes=3)
+        after_first = engine.embeds_performed
+        # A repeat measurement re-uses every embedded pass.
+        empirical_erasure(table, "Item_Nbr", e=40, passes=3)
+        assert engine.embeds_performed == after_first
+
+    def test_invalid_passes(self):
+        from repro.datagen import generate_item_scan
+
+        table = generate_item_scan(500, item_count=50, seed=19)
+        with pytest.raises(ErasureError):
+            empirical_erasure(table, "Item_Nbr", e=40, passes=0)

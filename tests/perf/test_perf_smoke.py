@@ -19,9 +19,11 @@ import time
 
 import pytest
 
+from repro.attacks import SubsetAlterationAttack
 from repro.core import Watermark, Watermarker
-from repro.crypto import HashEngine, MarkKey
+from repro.crypto import HashEngine, MarkKey, get_engine
 from repro.datagen import generate_item_scan
+from repro.experiments import MODE_HOISTED, SweepEngine, SweepProtocol
 
 ROWS = 4_000
 
@@ -58,3 +60,52 @@ def test_engine_steady_state_is_hash_free():
 
     elapsed = time.perf_counter() - started
     assert elapsed < 2.0, f"perf smoke took {elapsed:.2f}s (budget 2s)"
+
+
+@pytest.mark.perf_smoke
+def test_sweep_second_point_is_embed_free_and_hash_free():
+    """A second sweep point must cost zero embeds and zero SHA-256 calls.
+
+    Exercises both layers of reuse at once: the sweep engine's embed
+    hoisting (the embedded pass built for point one answers point two) and
+    the carrier-plan caches underneath (re-detecting the attacked clones
+    only reads warm fitness/slot entries — the attack rewrites mark
+    values, which are never hashed).
+    """
+    started = time.perf_counter()
+    table = generate_item_scan(2_000, item_count=100, seed=33)
+    engine = SweepEngine(mode=MODE_HOISTED)
+    protocol = SweepProtocol(mark_attribute="Item_Nbr", e=40)
+    seeds = range(5)
+
+    def digests():
+        return sum(
+            get_engine(MarkKey.from_seed(seed)).computed_digests
+            for seed in seeds
+        )
+
+    first = engine.run(
+        table,
+        protocol,
+        [(0.3, SubsetAlterationAttack("Item_Nbr", 0.3, 0.7))],
+        seeds,
+    )
+    assert engine.embeds_performed == len(list(seeds))
+    assert all(result.fit_count > 0 for result in first[0].passes)
+    embeds_after_first = engine.embeds_performed
+    digests_after_first = digests()
+
+    second = engine.run(
+        table,
+        protocol,
+        [(0.5, SubsetAlterationAttack("Item_Nbr", 0.5, 0.7))],
+        seeds,
+    )
+    assert all(result.fit_count > 0 for result in second[0].passes)
+    # Zero embeds: the point-one passes were reused verbatim.
+    assert engine.embeds_performed == embeds_after_first
+    # Zero hashing: every re-detection ran entirely from the plan caches.
+    assert digests() == digests_after_first
+
+    elapsed = time.perf_counter() - started
+    assert elapsed < 2.0, f"sweep perf smoke took {elapsed:.2f}s (budget 2s)"
