@@ -62,6 +62,14 @@ def record():
     return _record
 
 
+def _default_backend_label() -> str:
+    """The backend the AUTO heuristic picks at the bench workload scale —
+    what a bench that doesn't select backends explicitly actually ran on."""
+    from repro.core import auto_backend
+
+    return auto_backend(PAPER_CONFIG.tuple_count)
+
+
 @pytest.fixture(scope="session")
 def record_json(request):
     """Append one structured run entry to ``<bench-json-dir>/<name>.json``.
@@ -69,7 +77,9 @@ def record_json(request):
     The file holds ``{"runs": [...]}``; every bench appends
     ``{"timestamp": ..., **payload}`` so trajectories (throughput, sweep
     speedups, detection rates) accumulate across runs in one uniform
-    format.
+    format.  Every entry is additionally stamped with ``cpu_count`` and
+    ``backend`` (overridable through the payload) so throughput
+    trajectories stay comparable across hosts and execution backends.
     """
     base = Path(request.config.getoption("--bench-json"))
     base.mkdir(parents=True, exist_ok=True)
@@ -82,7 +92,12 @@ def record_json(request):
                 "runs", []
             )
         history.append(
-            {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), **payload}
+            {
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "cpu_count": os.cpu_count(),
+                "backend": _default_backend_label(),
+                **payload,
+            }
         )
         path.write_text(
             json.dumps({"runs": history}, indent=2) + "\n", encoding="utf-8"

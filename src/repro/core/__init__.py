@@ -38,6 +38,7 @@ from .incremental import (
     verify_watermark_consistency,
 )
 from .fitness import count_fit, expected_bandwidth, fit_keys, fit_rows, is_fit
+from .kernels import VECTOR_MIN_ROWS, auto_backend, numpy_available
 from .frequency import (
     FrequencyEmbeddingResult,
     FrequencyMarkRecord,
@@ -92,9 +93,11 @@ __all__ = [
     "VerificationResult",
     "VerifyOutcome",
     "Watermark",
+    "VECTOR_MIN_ROWS",
     "Watermarker",
     "WatermarkingError",
     "add_watermarked_tuples",
+    "auto_backend",
     "apply_mapping",
     "build_pair_closure",
     "count_fit",
@@ -117,6 +120,7 @@ __all__ = [
     "integer_key_generator",
     "is_fit",
     "make_spec",
+    "numpy_available",
     "recover_mapping",
     "recovery_quality",
     "slot_index",

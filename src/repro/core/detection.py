@@ -16,13 +16,14 @@ false-hit probability falls below the court-time threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+from math import comb
 from typing import Hashable
 
-from scipy import stats
-
-from ..crypto import SCALAR, HashEngine, MarkKey, keyed_hash, resolve_engine
+from ..crypto import SCALAR, HashEngine, MarkKey, keyed_hash, resolve_backend
 from ..ecc import DecodeResult
 from ..relational import CategoricalDomain, Table
+from . import kernels
 from .embedding import EmbeddingSpec, VARIANT_KEYED, VARIANT_MAP, slot_index
 from .errors import DetectionError
 from .watermark import Watermark
@@ -107,10 +108,12 @@ def extract_slots(
     :data:`~repro.core.remapping.UNRECOVERED` sentinel fall outside the
     domain and are skipped).
 
-    ``engine`` selects the hashing back end exactly as in
-    :func:`repro.core.embedding.embed`; with the shared engine a repeated
+    ``engine`` selects the execution backend exactly as in
+    :func:`repro.core.embedding.embed` (SCALAR / ENGINE / VECTOR / AUTO or
+    an explicit :class:`HashEngine`); with a shared engine a repeated
     detection of the same relation (attack sweeps, benchmarks) re-hashes
-    nothing at all.
+    nothing at all, and the vector backend additionally runs the per-row
+    work as NumPy gathers over cached column codes.
     """
     if spec.variant == VARIANT_MAP and embedding_map is None:
         raise DetectionError(
@@ -120,6 +123,16 @@ def extract_slots(
     if resolved_domain is None:
         raise DetectionError(
             f"no categorical domain available for {spec.mark_attribute!r}"
+        )
+
+    if engine != SCALAR and kernels.use_vector(engine, table):
+        return kernels.extract_slots_vector(
+            table,
+            spec,
+            resolved_domain,
+            embedding_map,
+            value_mapping,
+            resolve_backend(engine, key),
         )
 
     # Count-based voting: per-slot (total, ones, first-vote) tallies
@@ -134,7 +147,7 @@ def extract_slots(
     if engine == SCALAR:
         fit, slot_of = _scan_scalar(table, key, spec)
     else:
-        engine = resolve_engine(engine, key)
+        engine = resolve_backend(engine, key)
         plan = engine.plan(spec.e, spec.channel_length)
         key_column = table.column_view(spec.key_attribute)
         if spec.key_attribute == table.primary_key:
@@ -242,6 +255,27 @@ def detect(
     )
 
 
+@lru_cache(maxsize=4096)
+def _fair_binomial_tail(matching_bits: int, watermark_length: int) -> float:
+    """Exact ``P[Binom(n, 1/2) >= r]`` via integer combinatorics.
+
+    ``sum(C(n, k) for k >= r) / 2**n`` computed in exact integer
+    arithmetic and rounded once at the final division — replacing the
+    ``scipy.stats.binom.sf`` call so that detection (and every sweep-pool
+    worker importing it at startup) carries no scipy dependency.  Agrees
+    with scipy to the last few ulps (cross-checked to 1e-12 by
+    ``tests/core/test_detection.py``); memoized because verdicts query the
+    same ``(r, |wm|)`` pairs thousands of times per sweep.
+    """
+    if matching_bits <= 0:
+        return 1.0
+    tail = sum(
+        comb(watermark_length, hits)
+        for hits in range(matching_bits, watermark_length + 1)
+    )
+    return tail / (1 << watermark_length)
+
+
 def false_hit_probability(matching_bits: int, watermark_length: int) -> float:
     """``P[Binom(|wm|, 1/2) >= matching_bits]`` — §4.4's court-time test.
 
@@ -251,7 +285,7 @@ def false_hit_probability(matching_bits: int, watermark_length: int) -> float:
         raise DetectionError(
             f"matching bits {matching_bits} outside [0, {watermark_length}]"
         )
-    return float(stats.binom.sf(matching_bits - 1, watermark_length, 0.5))
+    return _fair_binomial_tail(matching_bits, watermark_length)
 
 
 def verify(

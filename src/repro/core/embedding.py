@@ -39,11 +39,12 @@ from ..crypto import (
     bit_length,
     keyed_hash,
     msb,
-    resolve_engine,
+    resolve_backend,
 )
 from ..ecc import ErrorCorrectingCode, get_code
 from ..quality import GuardReport, QualityGuard, permissive_guard
 from ..relational import CategoricalDomain, Table
+from . import kernels
 from .errors import BandwidthError, SpecError
 from .fitness import expected_bandwidth
 from .watermark import Watermark
@@ -269,11 +270,14 @@ def embed(
     :class:`QualityGuard` to enforce usability constraints with rollback;
     without one a permissive guard is used (all changes logged, none vetoed).
 
-    ``engine`` selects the hashing back end: ``None`` uses the process-wide
-    shared :class:`HashEngine` for ``key`` (batched, memoized — the fast
-    path), an explicit engine instance uses that, and
-    :data:`~repro.crypto.SCALAR` forces the row-at-a-time reference
-    implementation.  All back ends are bit-identical.
+    ``engine`` selects the execution backend: ``None`` /
+    :data:`~repro.crypto.AUTO` pick the NumPy vector kernels for large
+    relations and the batched engine path otherwise (both on the shared
+    :class:`HashEngine` for ``key``), an explicit engine instance forces
+    the engine path with that instance, and the
+    :data:`~repro.crypto.SCALAR` / :data:`~repro.crypto.ENGINE` /
+    :data:`~repro.crypto.VECTOR` sentinels force a specific backend.  All
+    backends are bit-identical.
     """
     _validate_against_table(spec, table)
     if len(watermark) != spec.watermark_length:
@@ -303,6 +307,17 @@ def embed(
         guard_report=guard.report,
     )
 
+    if engine != SCALAR and kernels.use_vector(engine, table):
+        return kernels.embed_vector(
+            table,
+            spec,
+            domain,
+            wm_data,
+            guard,
+            result,
+            resolve_backend(engine, key),
+        )
+
     if engine == SCALAR:
         carriers, carrier_pks, carrier_value, digests = _gather_scalar(
             table, key, spec
@@ -310,7 +325,7 @@ def embed(
         slot_of = None
         pair_of = None
     else:
-        engine = resolve_engine(engine, key)
+        engine = resolve_backend(engine, key)
         plan = engine.plan(spec.e, spec.channel_length, domain.size)
         carriers, carrier_pks, carrier_value = _gather_batched(
             table, plan, spec

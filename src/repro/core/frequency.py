@@ -30,6 +30,7 @@ from ..crypto import MarkKey, keyed_rng
 from ..numericwm import detect_numeric_set, embed_numeric_set
 from ..quality import QualityGuard, permissive_guard
 from ..relational import CategoricalDomain, Table
+from . import kernels
 from .detection import false_hit_probability
 from .errors import BandwidthError, DetectionError, SpecError
 from .watermark import Watermark
@@ -222,14 +223,29 @@ def detect_frequency(
             f"attribute {record.attribute!r} missing from the suspect relation"
         )
     domain = CategoricalDomain(record.domain_values)
-    column: Any = table.column_view(record.attribute)
-    if value_mapping is not None:
-        column = (value_mapping.get(value, value) for value in column)
-    # Columnar histogram: one C-speed Counter pass over the (possibly
-    # translated) column; values outside every bin — which a remapping
-    # attack produces — simply never index a count.
-    observed = Counter(column)
-    counts = [observed.get(value, 0) for value in domain.values]
+    # Histogram of the suspect column; values outside every bin — which a
+    # remapping attack produces — simply never index a count.  When a
+    # fresh factorization is already cached, aggregate per *unique* value
+    # over it (one bincount + a loop over distinct values); otherwise one
+    # C-speed Counter pass beats a cold Python-level factorization — and
+    # cold is the common case here, since attacks rewrite exactly this
+    # attribute.  Counts are integers, so the two are bit-identical.
+    cached = kernels.cached_unique_counts(table, record.attribute)
+    if cached is not None:
+        uniques, unique_counts = cached
+        index_of = domain.index_of
+        counts = [0] * domain.size
+        for value, count in zip(uniques, unique_counts):
+            if value_mapping is not None:
+                value = value_mapping.get(value, value)
+            if value in domain:
+                counts[index_of(value)] += count
+    else:
+        column: Any = table.column_view(record.attribute)
+        if value_mapping is not None:
+            column = (value_mapping.get(value, value) for value in column)
+        observed = Counter(column)
+        counts = [observed.get(value, 0) for value in domain.values]
     total = sum(counts)
     if total == 0:
         raise DetectionError(
@@ -273,12 +289,21 @@ def verify_frequency(
 def _counts_in_domain_order(
     table: Table, attribute: str, domain: CategoricalDomain
 ) -> list[int]:
-    """Columnar histogram build: one Counter pass over the cached column.
+    """Columnar histogram build: one ``bincount`` over the column codes
+    when a fresh factorization is already cached, one C-speed Counter
+    pass otherwise (a cold factorization would cost more than it saves).
 
     Out-of-domain values still fail loudly (as the old per-cell
     ``index_of`` did) — an embedding target histogram must cover every
     tuple.
     """
+    cached = kernels.cached_unique_counts(table, attribute)
+    if cached is not None:
+        index_of = domain.index_of
+        counts = [0] * domain.size
+        for value, count in zip(*cached):
+            counts[index_of(value)] = count  # raises DomainError on strays
+        return counts
     observed = Counter(table.column_view(attribute))
     counts = [observed.pop(value, 0) for value in domain.values]
     if observed:

@@ -1,0 +1,373 @@
+"""NumPy vector kernels — the ``VECTOR`` execution backend.
+
+PR 1 made hashing O(distinct values) and PR 2 made sweeps
+embed-once/attack-many, which leaves the Python interpreter itself as the
+hot path: the engine-backed embed/detect loops still walk every row doing
+dict lookups (``fit[key_value]``, ``slot_of[key_value]``) at a few hundred
+nanoseconds each.  This module replaces those per-row loops with array
+programs over two cached building blocks:
+
+* **column codes** — :meth:`repro.relational.table.Table.column_codes`
+  factorizes a column once into ``(int32 codes, uniques)``; clones inherit
+  the factorization copy-on-write, so attack trials and repeated
+  re-detections never re-factorize an untouched column;
+* **plan arrays** — :meth:`repro.crypto.engine.HashEngine.fitness_array` /
+  ``slot_array`` / ``pair_array`` project the engine's memoized derived
+  maps onto the uniques once per factorization, cached weakly per
+  :class:`~repro.relational.table.ColumnCodes` object.
+
+On top of those, detection is a handful of gathers and one
+``np.bincount(slot * 2 + bit)`` tally, and embedding reduces to a boolean
+gather for carrier selection, ``t = 2 * pair + bit`` target coding, and a
+batched :meth:`~repro.relational.table.Table.set_values` write-back — all
+bit-identical to the SCALAR and ENGINE paths (pinned by the equivalence
+suites).  A warm vector re-detection performs zero SHA-256 calls *and*
+zero per-row Python-level hash lookups: only array code touches row-count
+data.
+
+Backend selection
+-----------------
+
+``engine=``/``backend=`` parameters across the stack accept, besides a
+:class:`~repro.crypto.HashEngine` instance:
+
+========  ==================================================================
+SCALAR    row-at-a-time reference implementation
+ENGINE    batched columnar engine path (PR 1)
+VECTOR    these kernels (requires numpy)
+AUTO      VECTOR when numpy imports and the relation has at least
+          :data:`VECTOR_MIN_ROWS` rows, ENGINE otherwise (the default)
+========  ==================================================================
+
+Below :data:`VECTOR_MIN_ROWS` the constant cost of array materialization
+is not worth amortizing and the engine path's warm dict lookups win.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from ..crypto import AUTO, ENGINE, SCALAR, VECTOR, HashEngine
+from ..relational import Table
+from .errors import DetectionError
+
+try:  # numpy rides in on the scipy dependency; gate it anyway
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on slim installs
+    np = None
+
+#: auto heuristic: relations at least this large run on the vector backend
+VECTOR_MIN_ROWS = 4096
+
+_VARIANT_KEYED = "keyed"  # mirrors repro.core.embedding.VARIANT_KEYED
+
+
+def numpy_available() -> bool:
+    """Did numpy import? (The AUTO heuristic's gate.)"""
+    return np is not None
+
+
+def auto_backend(row_count: int) -> str:
+    """The backend AUTO resolves to for a relation of ``row_count`` rows."""
+    if np is not None and row_count >= VECTOR_MIN_ROWS:
+        return VECTOR
+    return ENGINE
+
+
+def use_vector(engine: HashEngine | str | None, table: Table) -> bool:
+    """Should this ``engine=`` parameter run on the vector kernels?
+
+    ``VECTOR`` forces them (and fails loudly without numpy); ``AUTO`` /
+    ``None`` consult :func:`auto_backend`; everything else — ``SCALAR``,
+    ``ENGINE``, or an explicit :class:`HashEngine` instance — keeps its
+    historical path.
+    """
+    if engine == VECTOR:
+        if np is None:
+            raise RuntimeError(
+                "the VECTOR backend requires numpy, which is not installed"
+            )
+        return True
+    if engine is None or engine == AUTO:
+        return auto_backend(len(table)) == VECTOR
+    return False
+
+
+def warm_codes(table: Table, *attributes: str) -> None:
+    """Pre-factorize columns on ``table`` so clones inherit the codes.
+
+    :meth:`Table.clone` copies the codes cache copy-on-write; factorizing
+    the *base* relation before cloning is what lets every marking pass and
+    attack trial over one base share a single factorization (and the plan
+    arrays keyed on it).
+    """
+    for attribute in attributes:
+        table.column_codes(attribute)
+
+
+# -- detection ----------------------------------------------------------------
+
+def extract_slots_vector(
+    table: Table,
+    spec,
+    domain,
+    embedding_map: dict[Hashable, int] | None,
+    value_mapping: dict[Hashable, Hashable] | None,
+    engine: HashEngine,
+) -> tuple[list[int | None], int]:
+    """Array-kernel slot recovery; bit-identical to the reference scan.
+
+    The per-row work is pure NumPy: fitness and slot gathers through the
+    key column's codes, bit decoding through the mark column's codes, and
+    a single ``bincount`` over ``slot * 2 + bit``.  Python-level loops run
+    only over *uniques* (domain decoding, map-variant slot resolution) and
+    over the channel (verdict assembly).
+    """
+    key_codes = table.column_codes(spec.key_attribute)
+    mark_codes = table.column_codes(spec.mark_attribute)
+    channel_length = spec.channel_length
+
+    fit_u = engine.fitness_array(key_codes, spec.e)
+    row_fit = fit_u[key_codes.codes]
+    fit_count = int(np.count_nonzero(row_fit))
+
+    # Per-unique mark decoding: translate (value_mapping), reject values
+    # outside the domain (-1), else the bit is the canonical index parity.
+    mark_uniques = mark_codes.uniques
+    bits_u = np.full(len(mark_uniques), -1, dtype=np.int8)
+    in_domain = domain.__contains__
+    index_of = domain.index_of
+    if value_mapping is None:
+        for position, value in enumerate(mark_uniques):
+            if in_domain(value):
+                bits_u[position] = index_of(value) & 1
+    else:
+        translate = value_mapping.get
+        for position, value in enumerate(mark_uniques):
+            value = translate(value, value)
+            if in_domain(value):
+                bits_u[position] = index_of(value) & 1
+    row_bits = bits_u[mark_codes.codes]
+    valid = row_fit & (row_bits >= 0)
+
+    if spec.variant == _VARIANT_KEYED:
+        slot_u = engine.slot_array(key_codes, channel_length, spec.e)
+        slots_v = slot_u[key_codes.codes[valid]].astype(np.int64)
+        bits_v = row_bits[valid]
+    else:
+        assert embedding_map is not None
+        key_uniques = key_codes.uniques
+        slot_map_u = np.zeros(len(key_uniques), dtype=np.int64)
+        mapped_u = np.zeros(len(key_uniques), dtype=np.bool_)
+        lookup = embedding_map.get
+        for position, value in enumerate(key_uniques):
+            slot = lookup(value)
+            if slot is None:
+                continue
+            mapped_u[position] = True
+            slot_map_u[position] = slot
+        use = valid & mapped_u[key_codes.codes]
+        slots_v = slot_map_u[key_codes.codes[use]]
+        bits_v = row_bits[use]
+        out_of_range = (slots_v < 0) | (slots_v >= channel_length)
+        if out_of_range.any():
+            bad = int(slots_v[out_of_range][0])
+            raise DetectionError(
+                f"embedding map entry {bad} outside channel "
+                f"[0, {channel_length})"
+            )
+
+    counts = np.bincount(
+        slots_v * 2 + bits_v, minlength=2 * channel_length
+    )
+    zeros = counts[0::2]
+    ones = counts[1::2]
+    total = zeros + ones
+
+    # Majority verdict per slot; exact ties fall back to the first vote in
+    # physical row order (np.unique's return_index is documented to give
+    # first occurrences).
+    verdict = (ones > zeros).astype(np.int64)
+    ties = (total > 0) & (ones == zeros)
+    if ties.any():
+        first_slots, first_positions = np.unique(slots_v, return_index=True)
+        firsts = np.zeros(channel_length, dtype=np.int64)
+        firsts[first_slots] = bits_v[first_positions]
+        verdict = np.where(ties, firsts, verdict)
+
+    slots: list[int | None] = [
+        bit if observed else None
+        for bit, observed in zip(verdict.tolist(), total.tolist())
+    ]
+    return slots, fit_count
+
+
+# -- embedding ----------------------------------------------------------------
+
+def embed_vector(
+    table: Table,
+    spec,
+    domain,
+    wm_data,
+    guard,
+    result,
+    engine: HashEngine,
+):
+    """Array-kernel embedding pass; mutates ``table`` and fills ``result``.
+
+    Carrier selection, slot addressing and target coding
+    (``t = 2 * pair + bit``) are vectorized over the key column's codes;
+    the remaining per-carrier loop only assembles write batches.  With an
+    unconstrained guard the write-back goes through one batched
+    :meth:`Table.set_values` call (guard log/report/statistics maintained
+    identically); with constraints every cell still flows through
+    :meth:`QualityGuard.apply_group`, preserving veto-and-rollback
+    semantics cell by cell.
+    """
+    key_codes = table.column_codes(spec.key_attribute)
+    mark_codes = table.column_codes(spec.mark_attribute)
+    channel_length = spec.channel_length
+    keyed_variant = spec.variant == _VARIANT_KEYED
+
+    fit_u = engine.fitness_array(key_codes, spec.e)
+    pair_u = engine.pair_array(key_codes, domain.size, spec.e)
+
+    primary_path = spec.key_attribute == table.primary_key
+    if primary_path:
+        # Codes are row positions (pk factorization is the identity), so
+        # the fit uniques are exactly the carrier rows.
+        carrier_uidx = np.flatnonzero(fit_u)
+        first_rows = carrier_uidx
+        group_rows = None
+        pk_column = None
+    else:
+        row_positions = np.flatnonzero(fit_u[key_codes.codes])
+        fit_codes = key_codes.codes[row_positions]
+        order = np.argsort(fit_codes, kind="stable")
+        group_rows = row_positions[order]
+        sorted_codes = fit_codes[order]
+        carrier_uidx = np.flatnonzero(fit_u)
+        starts = np.searchsorted(sorted_codes, carrier_uidx, side="left")
+        ends = np.searchsorted(sorted_codes, carrier_uidx, side="right")
+        first_rows = group_rows[starts]
+        pk_column = table.column_view(table.primary_key)
+
+    carrier_count = len(carrier_uidx)
+    result.fit_count = carrier_count
+    if carrier_count == 0:
+        return result
+
+    wm = np.asarray(wm_data, dtype=np.int64)
+    if keyed_variant:
+        slot_u = engine.slot_array(key_codes, channel_length, spec.e)
+        slots_c = slot_u[carrier_uidx].astype(np.int64)
+    else:
+        slots_c = np.arange(carrier_count, dtype=np.int64) % channel_length
+    targets_c = 2 * pair_u[carrier_uidx].astype(np.int64) + wm[slots_c]
+
+    key_uniques = key_codes.uniques
+    mark_uniques = mark_codes.uniques
+    first_mark_codes = mark_codes.codes[first_rows]
+    value_at = domain.value_at
+    slots_written = result.slots_written
+    embedding_map = result.embedding_map
+    attribute = spec.mark_attribute
+
+    carrier_list = carrier_uidx.tolist()
+    slots_list = slots_c.tolist()
+    targets_list = targets_c.tolist()
+    first_marks = first_mark_codes.tolist()
+
+    fast_guard = not guard.constraints
+    if fast_guard:
+        context = guard.context
+        deltas = context.count_deltas.get(attribute)
+        if deltas is None:
+            from collections import Counter
+
+            deltas = context.count_deltas[attribute] = Counter()
+        log_record = guard.log.record
+        staged: list[tuple[Hashable, Any]] = []
+        stage = staged.append
+        if not primary_path:
+            mark_code_list = mark_codes.codes.tolist()
+            starts_list = starts.tolist()
+            ends_list = ends.tolist()
+            rows_list = group_rows.tolist()
+
+    for position in range(carrier_count):
+        key_value = key_uniques[carrier_list[position]]
+        slot = slots_list[position]
+        if not keyed_variant:
+            embedding_map[key_value] = slot
+        new_value = value_at(targets_list[position])
+        if mark_uniques[first_marks[position]] == new_value:
+            result.unchanged += 1
+            slots_written.add(slot)
+            continue
+        if fast_guard:
+            # Unconstrained guard: nothing can veto, so stage the batched
+            # write and maintain the guard's log, report and incremental
+            # statistics exactly as a loop of guard.apply calls would.
+            if primary_path:
+                stage((key_value, new_value))
+                old_value = mark_uniques[first_marks[position]]
+                deltas[old_value] -= 1
+                deltas[new_value] += 1
+                log_record(key_value, attribute, old_value, new_value)
+            else:
+                for row in rows_list[
+                    starts_list[position]:ends_list[position]
+                ]:
+                    old_value = mark_uniques[mark_code_list[row]]
+                    if old_value == new_value:
+                        guard.report.noop += 1
+                        continue
+                    stage((pk_column[row], new_value))
+                    deltas[old_value] -= 1
+                    deltas[new_value] += 1
+                    log_record(pk_column[row], attribute, old_value, new_value)
+            result.applied += 1
+            slots_written.add(slot)
+            continue
+        if primary_path:
+            group = (key_value,)
+        else:
+            group = [
+                pk_column[row]
+                for row in group_rows[starts[position]:ends[position]].tolist()
+            ]
+        if guard.apply_group(group, attribute, new_value):
+            result.applied += 1
+            slots_written.add(slot)
+        else:
+            result.vetoed += 1
+
+    if fast_guard and staged:
+        table.set_values(attribute, staged)
+        guard.context.change_count += len(staged)
+        guard.report.applied += len(staged)
+    return result
+
+
+# -- histograms ---------------------------------------------------------------
+
+def cached_unique_counts(
+    table: Table, attribute: str
+) -> tuple[list[Hashable], list[int]] | None:
+    """``(uniques, counts)`` of a column via one ``bincount`` over its
+    codes — but only when a fresh factorization is already cached.
+
+    ``None`` tells the caller to fall back to a plain scan (a C-speed
+    ``Counter`` pass beats a cold Python-level factorization it may never
+    amortize).  Unique order is first physical encounter — the same
+    insertion order ``collections.Counter`` produces — and counts are
+    integers, so histogram consumers are bit-identical either way.
+    """
+    if np is None:
+        return None
+    codes = table.column_codes(attribute, build=False)
+    if codes is None:
+        return None
+    counts = np.bincount(codes.codes, minlength=len(codes.uniques))
+    return codes.uniques, counts.tolist()

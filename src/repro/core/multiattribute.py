@@ -29,7 +29,7 @@ from typing import Hashable
 
 import networkx as nx
 
-from ..crypto import MarkKey, get_engine
+from ..crypto import HashEngine, MarkKey
 from ..quality import Constraint, ChangeContext, QualityGuard
 from ..relational import Table
 from .detection import VerificationResult, verify
@@ -218,6 +218,7 @@ def embed_pairs(
     ecc_name: str = "majority",
     variant: str = "map",
     extra_constraints: list[Constraint] | None = None,
+    backend: HashEngine | str | None = None,
 ) -> MultiEmbeddingResult:
     """Embed ``watermark`` once per attribute pair, in place.
 
@@ -236,6 +237,12 @@ def embed_pairs(
     pairs keyed on a low-cardinality place-holder it is automatically
     reduced so that every watermark bit still gets carriers (roughly two
     per bit), and the reduced value is recorded in that pair's spec.
+
+    ``backend`` selects the execution backend of every pass (the
+    :func:`repro.core.embedding.embed` vocabulary); the default picks per
+    relation size.  Note an explicit :class:`HashEngine` instance only
+    makes sense for a single-directive plan — each pass hashes under its
+    own derived key.
     """
     if directives is None:
         directives = build_pair_closure(table, watermark_length=len(watermark))
@@ -262,11 +269,11 @@ def embed_pairs(
         )
         guard.bind(table)
         # Each pass hashes under its own derived key; the shared registry
-        # engine keeps those digests warm for verify_pairs and for every
-        # re-detection an attack experiment runs afterwards.
+        # engine (resolved per pass inside embed) keeps those digests warm
+        # for verify_pairs and for every re-detection an attack experiment
+        # runs afterwards.
         outcome = embed(
-            table, watermark, pass_key, spec, guard=guard,
-            engine=get_engine(pass_key),
+            table, watermark, pass_key, spec, guard=guard, engine=backend,
         )
         frozen_cells |= guard.log.changed_cells()
         result.passes[label] = outcome
@@ -347,6 +354,7 @@ def verify_pairs(
     embedding: MultiEmbeddingResult,
     expected: Watermark,
     significance: float = 0.01,
+    backend: HashEngine | str | None = None,
 ) -> MultiVerificationResult:
     """Verify every pair whose attributes survive in ``table``.
 
@@ -368,7 +376,7 @@ def verify_pairs(
             expected,
             embedding_map=embedding.embedding_maps.get(label),
             significance=significance,
-            engine=get_engine(pass_key),
+            engine=backend,
         )
     if not per_pair:
         raise SpecError(

@@ -17,9 +17,10 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
-from ..crypto import SCALAR, HashEngine, MarkKey, resolve_engine
+from ..crypto import AUTO, BACKENDS, HashEngine, MarkKey, resolve_engine
 from ..quality import Constraint, QualityGuard
 from ..relational import Table
+from . import kernels
 from .addition import AdditionResult, add_watermarked_tuples
 from .detection import VerificationResult, verify
 from .embedding import EmbeddingResult, EmbeddingSpec, embed, make_spec
@@ -155,11 +156,16 @@ class Watermarker:
         significance: float = 0.01,
         engine: HashEngine | str | None = None,
     ):
-        """``engine`` selects the hashing back end for every embed/verify
-        this instance runs: ``None`` (default) shares the process-wide
-        :class:`HashEngine` for ``key`` — so embedding warms the digest
-        caches detection then reads for free — while
-        :data:`~repro.crypto.SCALAR` forces the reference path."""
+        """``engine`` selects the execution backend for every embed/verify
+        this instance runs.  ``None`` / :data:`~repro.crypto.AUTO`
+        (default) pick per relation — vector kernels for large tables,
+        the batched engine path otherwise — always on the process-wide
+        shared :class:`HashEngine` for ``key``, so embedding warms the
+        caches detection then reads for free.  The
+        :data:`~repro.crypto.SCALAR` / :data:`~repro.crypto.ENGINE` /
+        :data:`~repro.crypto.VECTOR` sentinels force one backend; an
+        explicit :class:`HashEngine` instance forces the engine path on
+        that instance."""
         if e <= 0:
             raise SpecError(f"e must be positive, got {e}")
         self.key = key
@@ -167,9 +173,16 @@ class Watermarker:
         self.ecc_name = ecc_name
         self.variant = variant
         self.significance = significance
-        self.engine = (
-            engine if engine == SCALAR else resolve_engine(engine, key)
-        )
+        if engine is None:
+            self.engine: HashEngine | str = AUTO
+        elif isinstance(engine, str):
+            if engine not in BACKENDS:
+                raise SpecError(
+                    f"backend must be one of {BACKENDS}, got {engine!r}"
+                )
+            self.engine = engine
+        else:
+            self.engine = resolve_engine(engine, key)
 
     # -- embedding ---------------------------------------------------------
     def embed(
@@ -185,6 +198,15 @@ class Watermarker:
         frequency_quantum: float | None = None,
     ) -> EmbedOutcome:
         """Watermark a copy of ``table``; the input is never mutated."""
+        if kernels.use_vector(self.engine, table):
+            # Factorize on the *base* relation first: the clone below
+            # inherits the column codes copy-on-write, so repeated embeds
+            # of one base (sweeps, benches) never re-factorize, and the
+            # engine's plan arrays — keyed by these shared codes objects —
+            # stay warm across passes.
+            kernels.warm_codes(
+                table, key_attribute or table.primary_key, mark_attribute
+            )
         marked = table.clone(name=f"{table.name}_marked")
         spec = make_spec(
             marked,

@@ -39,7 +39,15 @@ class FrequencyProfile:
 
     @classmethod
     def capture(cls, table: Table, attribute: str) -> "FrequencyProfile":
-        counts = Counter(table.column_view(attribute))
+        from . import kernels
+
+        cached = kernels.cached_unique_counts(table, attribute)
+        if cached is not None:
+            # A fresh factorization exists (the profile sort is
+            # insertion-order independent): one bincount, no column scan.
+            counts = dict(zip(*cached))
+        else:
+            counts = Counter(table.column_view(attribute))
         total = sum(counts.values())
         if total == 0:
             raise DetectionError(

@@ -13,13 +13,18 @@ from .bits import (
     set_bit,
 )
 from .engine import (
+    AUTO,
+    BACKENDS,
+    ENGINE,
     SCALAR,
+    VECTOR,
     CarrierPlan,
     HashEngine,
     KeyedDigestCache,
     clear_engine_registry,
     get_digest_cache,
     get_engine,
+    resolve_backend,
     resolve_engine,
 )
 from .hashing import canonical_bytes, crypto_hash, keyed_hash, keyed_hash_mod
@@ -27,7 +32,11 @@ from .keys import KeyError_, MarkKey
 from .prng import keyed_rng, seeded_rng
 
 __all__ = [
+    "AUTO",
+    "BACKENDS",
+    "ENGINE",
     "SCALAR",
+    "VECTOR",
     "CarrierPlan",
     "HashEngine",
     "KeyError_",
@@ -46,6 +55,7 @@ __all__ = [
     "keyed_hash_mod",
     "keyed_rng",
     "msb",
+    "resolve_backend",
     "resolve_engine",
     "seeded_rng",
     "set_bit",

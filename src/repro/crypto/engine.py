@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import gc
 import os
+import weakref
 from collections import OrderedDict
 from collections.abc import Iterable
 from hashlib import sha256
@@ -59,6 +60,21 @@ from .keys import MarkKey
 #: sentinel accepted by engine-aware entry points to force the
 #: row-at-a-time reference path (used by equivalence tests and benches)
 SCALAR = "scalar"
+
+#: force the batched columnar engine path (the PR-1 fast path) even where
+#: the auto heuristic would pick the vector kernels
+ENGINE = "engine"
+
+#: force the NumPy vector-kernel backend (column codes + plan arrays);
+#: requires numpy and is bit-identical to SCALAR and ENGINE
+VECTOR = "vector"
+
+#: pick per call: VECTOR for large relations when numpy imports, the
+#: columnar engine path otherwise (the default, equivalent to ``None``)
+AUTO = "auto"
+
+#: every string a ``backend=``/``engine=`` parameter accepts
+BACKENDS = (SCALAR, ENGINE, VECTOR, AUTO)
 
 #: below this many cache misses a single batch stays on one core;
 #: above it, the work is sharded across a process pool (when available)
@@ -313,6 +329,7 @@ class HashEngine:
 
     __slots__ = (
         "key", "k1", "k2", "_fit", "_slots", "_pairs", "_max_entries",
+        "_array_plans", "plan_arrays_built",
     )
 
     def __init__(
@@ -333,6 +350,16 @@ class HashEngine:
         self._slots: dict[int, dict[Hashable, int]] = {}
         self._pairs: dict[int, dict[Hashable, int]] = {}
         self._max_entries = max_entries
+        # Vector-backend plan arrays, cached per ColumnCodes *object*: a
+        # factorization is immutable for the table version it was built
+        # at, so identity-keyed entries can never go stale, and the weak
+        # keys let arrays die with their table instead of pinning it.
+        self._array_plans: "weakref.WeakKeyDictionary[Any, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: telemetry: plan arrays actually materialized (perf smoke
+        #: asserts a warm vector re-detection builds zero of them)
+        self.plan_arrays_built = 0
 
     def _derived(
         self, store: dict[int, dict], parameter: int
@@ -429,6 +456,90 @@ class HashEngine:
         table = self.pair_map(values, size)
         return [table[v] for v in values]
 
+    # -- vector plan arrays (cached per column factorization) ---------------
+    def _plan_store(self, codes) -> dict:
+        store = self._array_plans.get(codes)
+        if store is None:
+            store = self._array_plans[codes] = {}
+        return store
+
+    def fitness_array(self, codes, e: int):
+        """Read-only bool array: per-unique fitness verdicts for a
+        :class:`~repro.relational.table.ColumnCodes` factorization.
+
+        Aligned with ``codes.uniques`` — gather per-row verdicts as
+        ``fitness_array(codes, e)[codes.codes]``.  Built once per
+        factorization from :meth:`fitness_map` (memoization semantics and
+        digest accounting unchanged) and cached until the factorization
+        dies, so a warm re-detection touches no per-value Python dict at
+        all.
+        """
+        store = self._plan_store(codes)
+        entry = store.get(("fit", e))
+        if entry is None:
+            import numpy as np
+
+            uniques = codes.uniques
+            table = self.fitness_map(uniques, e)
+            entry = np.fromiter(
+                (table[value] for value in uniques),
+                dtype=np.bool_,
+                count=len(uniques),
+            )
+            entry.setflags(write=False)
+            store[("fit", e)] = entry
+            self.plan_arrays_built += 1
+        return entry
+
+    def _fit_masked_array(self, codes, cache_key: tuple, e: int, map_for):
+        """Shared fit-masked plan-array builder for slot/pair indices.
+
+        Only *fit* uniques (under ``e``) are resolved through ``map_for``
+        — exactly the values the scalar and engine paths hash — so digest
+        counts match across backends; unfit entries hold 0 and must be
+        masked by :meth:`fitness_array` before use.
+        """
+        store = self._plan_store(codes)
+        entry = store.get(cache_key)
+        if entry is None:
+            import numpy as np
+
+            fit = self.fitness_array(codes, e)
+            fit_positions = np.flatnonzero(fit)
+            uniques = codes.uniques
+            fit_values = [uniques[i] for i in fit_positions.tolist()]
+            table = map_for(fit_values)
+            entry = np.zeros(len(uniques), dtype=np.int32)
+            entry[fit_positions] = np.fromiter(
+                (table[value] for value in fit_values),
+                dtype=np.int32,
+                count=len(fit_values),
+            )
+            entry.setflags(write=False)
+            store[cache_key] = entry
+            self.plan_arrays_built += 1
+        return entry
+
+    def slot_array(self, codes, channel_length: int, e: int):
+        """Read-only int32 array: per-unique ``wm_data`` slot indices
+        (fit-masked — see :meth:`_fit_masked_array`)."""
+        return self._fit_masked_array(
+            codes,
+            ("slot", channel_length, e),
+            e,
+            lambda values: self.slot_map(values, channel_length),
+        )
+
+    def pair_array(self, codes, domain_size: int, e: int):
+        """Read-only int32 array: per-unique pair indices (fit-masked —
+        only carriers are ever pair-coded)."""
+        return self._fit_masked_array(
+            codes,
+            ("pair", domain_size, e),
+            e,
+            lambda values: self.pair_map(values, domain_size),
+        )
+
     # -- scalar conveniences ----------------------------------------------
     def is_fit(self, value: Hashable, e: int) -> bool:
         derived = self._fit.get(e)
@@ -505,6 +616,28 @@ def resolve_engine(
             "alongside it"
         )
     return engine
+
+
+def resolve_backend(
+    engine: "HashEngine | str | None", key: MarkKey
+) -> HashEngine:
+    """Normalize an ``engine=``/``backend=`` parameter to a
+    :class:`HashEngine` for ``key``.
+
+    Backend *sentinels* (:data:`ENGINE`, :data:`VECTOR`, :data:`AUTO` —
+    the caller dispatches :data:`SCALAR` before ever needing an engine)
+    resolve to the shared registry engine; unknown strings raise instead
+    of silently running on a default backend, so a typo like
+    ``engine="vectr"`` fails loudly.  ``None`` and explicit instances
+    behave as in :func:`resolve_engine`.
+    """
+    if isinstance(engine, str):
+        if engine not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {engine!r}"
+            )
+        return get_engine(key)
+    return resolve_engine(engine, key)
 
 
 def get_digest_cache(key: bytes) -> KeyedDigestCache:

@@ -16,6 +16,7 @@ sweep point, instead of re-embedding per point.
 from __future__ import annotations
 
 from ..attacks import Attack
+from ..crypto import AUTO
 from ..relational import Table
 from .sweepengine import (
     ExperimentPoint,
@@ -45,6 +46,7 @@ def run_attack_experiment(
     ecc_name: str = "majority",
     variant: str = "keyed",
     mode: str | None = None,
+    backend: str = AUTO,
 ) -> list[PassResult]:
     """Embed, attack and verify ``passes`` times with per-pass keys.
 
@@ -63,6 +65,7 @@ def run_attack_experiment(
         watermark_length=watermark_length,
         ecc_name=ecc_name,
         variant=variant,
+        backend=backend,
     )
     point = get_sweep_engine().run(
         base_table,
@@ -86,6 +89,7 @@ def sweep(
     variant: str = "keyed",
     seed_offset: int = 0,
     mode: str | None = None,
+    backend: str = AUTO,
 ) -> list[ExperimentPoint]:
     """Run the paper's pass protocol for every x in ``xs``.
 
@@ -107,4 +111,5 @@ def sweep(
         ecc_name=ecc_name,
         variant=variant,
         mode=mode,
+        backend=backend,
     )

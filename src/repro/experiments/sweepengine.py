@@ -60,7 +60,7 @@ from typing import Any, Hashable
 
 from ..attacks import Attack
 from ..core import Watermark, Watermarker
-from ..crypto import MarkKey, get_engine
+from ..crypto import AUTO, MarkKey
 from ..relational import Table
 
 #: the paper's pass count
@@ -128,6 +128,11 @@ class SweepProtocol:
     Hashable (it keys the embedded-pass caches) and picklable (it travels
     to pool workers).  Everything else a cell needs — the seed and the
     attack — varies per cell.
+
+    ``backend`` is the execution backend every pass embeds and verifies
+    on (:data:`~repro.crypto.SCALAR` / :data:`~repro.crypto.ENGINE` /
+    :data:`~repro.crypto.VECTOR` / :data:`~repro.crypto.AUTO`); all four
+    are bit-identical, so it never changes results — only speed.
     """
 
     mark_attribute: str
@@ -135,6 +140,7 @@ class SweepProtocol:
     watermark_length: int = 10
     ecc_name: str = "majority"
     variant: str = "keyed"
+    backend: str = AUTO
 
 
 @dataclass
@@ -165,7 +171,7 @@ class EmbeddedPass:
             e=protocol.e,
             ecc_name=protocol.ecc_name,
             variant=protocol.variant,
-            engine=get_engine(key),
+            engine=protocol.backend,
         )
         outcome = marker.embed(base_table, watermark, protocol.mark_attribute)
         return cls(
@@ -513,12 +519,15 @@ class SweepEngine:
         ecc_name: str = "majority",
         variant: str = "keyed",
         mode: str | None = None,
+        backend: str = AUTO,
     ) -> list[ExperimentPoint]:
         """Embed ``passes`` seeds once, attack at every ``x``.
 
         ``attack_factory(x)`` builds the (picklable) attack at parameter
         ``x``; attack randomness is decorrelated across cells by the
         per-cell ``random.Random(f"attack:{seed}:{x}")`` contract.
+        ``backend`` selects the (bit-identical) execution backend of each
+        pass's embed/verify.
         """
         protocol = SweepProtocol(
             mark_attribute=mark_attribute,
@@ -526,6 +535,7 @@ class SweepEngine:
             watermark_length=watermark_length,
             ecc_name=ecc_name,
             variant=variant,
+            backend=backend,
         )
         attacks = [(x, attack_factory(x)) for x in xs]
         seeds = range(seed_offset, seed_offset + passes)

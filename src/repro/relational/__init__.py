@@ -42,7 +42,7 @@ from .serialization import (
     schema_to_dict,
     schema_to_json,
 )
-from .table import Table, make_categorical_attribute, table_from_columns
+from .table import ColumnCodes, Table, make_categorical_attribute, table_from_columns
 from .types import AttributeType
 
 __all__ = [
@@ -55,6 +55,7 @@ __all__ = [
     "RelationalError",
     "Schema",
     "SchemaError",
+    "ColumnCodes",
     "Table",
     "TypeMismatchError",
     "UnknownAttributeError",

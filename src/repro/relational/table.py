@@ -22,6 +22,44 @@ from typing import Any, Hashable
 from .errors import DuplicateKeyError, MissingKeyError, SchemaError
 from .schema import Attribute, Schema
 
+_numpy = None  # resolved lazily; the relational layer must import without it
+
+
+def _require_numpy():
+    """NumPy, imported on first use (the VECTOR backend's only dependency)."""
+    global _numpy
+    if _numpy is None:
+        import numpy  # noqa: PLC0415 - deliberate lazy import
+
+        _numpy = numpy
+    return _numpy
+
+
+class ColumnCodes:
+    """A factorized column: dense ``int32`` codes plus the distinct values.
+
+    ``codes[i]`` is the index of row ``i``'s value in ``uniques``, which is
+    kept in *first physical encounter* order — the same distinct-value
+    order the engine's batched scans use (``dict.fromkeys(column)``), so
+    per-unique quantities line up across backends.  Both fields are
+    read-only: the codes array is write-protected and ``uniques`` must not
+    be mutated.  Instances support weak references, which is what lets
+    :class:`~repro.crypto.engine.HashEngine` cache derived plan arrays per
+    factorization without keeping dead tables alive.
+
+    Like the engine's derived maps, factorization keys values by Python
+    equality, so equal-comparing lookalikes (``1``/``True``) share a code.
+    """
+
+    __slots__ = ("codes", "uniques", "__weakref__")
+
+    def __init__(self, codes, uniques: list[Any]):
+        self.codes = codes
+        self.uniques = uniques
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
 
 class Table:
     """A mutable relation instance over a fixed :class:`Schema`."""
@@ -29,6 +67,7 @@ class Table:
     __slots__ = (
         "_schema", "_rows", "_pk_index", "_pk_position", "name",
         "_version", "_column_cache", "_owned",
+        "_codes_cache", "_attr_writes", "_structural_version",
     )
 
     def __init__(
@@ -44,6 +83,12 @@ class Table:
         self.name = name
         self._version = 0
         self._column_cache: dict[str, tuple[int, list[Any]]] = {}
+        self._codes_cache: dict[str, tuple[int, ColumnCodes]] = {}
+        # Write tracking at cache granularity: cell writes invalidate only
+        # the written attribute's cached views; structural changes (insert,
+        # delete, replace_rows) invalidate everything.
+        self._attr_writes: dict[str, int] = {}
+        self._structural_version = 0
         # Copy-on-write state: ``None`` means every row list is exclusively
         # ours; a set holds the ids of rows re-acquired since the last
         # clone() made the storage shared (see _writable_row).
@@ -94,6 +139,19 @@ class Table:
         """
         return self._version
 
+    def _cache_fresh(self, cached_version: int, attribute: str) -> bool:
+        """Is a cache entry for ``attribute`` recorded at ``cached_version``
+        still valid?
+
+        Valid iff no structural mutation and no cell write *to this
+        attribute* happened since — so marking one column does not throw
+        away every other column's cached view/codes.
+        """
+        return (
+            cached_version >= self._structural_version
+            and cached_version >= self._attr_writes.get(attribute, 0)
+        )
+
     # -- reads -------------------------------------------------------------------
     def keys(self) -> Iterator[Hashable]:
         """Primary-key values in current physical order."""
@@ -132,12 +190,62 @@ class Table:
         **Callers must not mutate the returned list.**
         """
         cached = self._column_cache.get(attribute)
-        if cached is not None and cached[0] == self._version:
+        if cached is not None and self._cache_fresh(cached[0], attribute):
             return cached[1]
         position = self._schema.position(attribute)
         values = [row[position] for row in self._rows]
         self._column_cache[attribute] = (self._version, values)
         return values
+
+    def column_codes(
+        self, attribute: str, build: bool = True
+    ) -> ColumnCodes | None:
+        """Factorize ``attribute`` once into :class:`ColumnCodes`.
+
+        The vector backend's entry point: embedding/detection kernels
+        operate on the dense integer codes (NumPy gathers, ``bincount``
+        tallies) and resolve hashes per *unique* value only.  The
+        factorization is cached and invalidated exactly like
+        :meth:`column_view` — by :attr:`version`, at attribute
+        granularity — and :meth:`clone` inherits it copy-on-write, so an
+        attack clone that never rewrites the key column re-detects on the
+        base relation's codes without re-factorizing.  Requires NumPy.
+
+        With ``build=False`` the method only consults the cache, returning
+        ``None`` instead of factorizing — for opportunistic consumers that
+        would rather take a plain scan than pay a cold factorization.
+        """
+        cached = self._codes_cache.get(attribute)
+        if cached is not None and self._cache_fresh(cached[0], attribute):
+            return cached[1]
+        if not build:
+            return None
+        np = _require_numpy()
+        if attribute == self._schema.primary_key:
+            # Primary keys are unique: every row is its own code and the
+            # uniques *are* the column — no dict pass at all.
+            uniques = self.column_view(attribute)
+            codes = np.arange(len(uniques), dtype=np.int32)
+        else:
+            position = self._schema.position(attribute)
+            index: dict[Any, int] = {}
+            uniques = []
+            lookup = index.get
+            remember = uniques.append
+            out: list[int] = []
+            emit = out.append
+            for row in self._rows:
+                value = row[position]
+                code = lookup(value)
+                if code is None:
+                    code = index[value] = len(uniques)
+                    remember(value)
+                emit(code)
+            codes = np.asarray(out, dtype=np.int32)
+        codes.setflags(write=False)
+        entry = ColumnCodes(codes, uniques)
+        self._codes_cache[attribute] = (self._version, entry)
+        return entry
 
     def values_for(self, keys: Iterable[Hashable], attribute: str) -> list[Any]:
         """``T_key(attribute)`` for a batch of primary keys.
@@ -193,6 +301,7 @@ class Table:
         if self._owned is not None:
             self._owned.add(id(materialised))
         self._version += 1
+        self._structural_version = self._version
 
     def set_value(self, key: Hashable, attribute: str, value: Any) -> Any:
         """Update one cell, returning the previous value.
@@ -212,6 +321,7 @@ class Table:
         previous = row[position]
         row[position] = value
         self._version += 1
+        self._attr_writes[attribute] = self._version
         return previous
 
     def set_values(
@@ -220,41 +330,40 @@ class Table:
         """Batched cell update: ``T_key(attribute) <- value`` for many keys.
 
         The columnar counterpart of :meth:`set_value` for write-heavy
-        callers (attack trials rewrite thousands of cells per pass): one
-        schema/validator resolution and one version bump for the whole
-        batch, with per-cell validation, copy-on-write privatization and
-        error behaviour identical to the scalar path.  Primary-key updates
-        delegate to :meth:`set_value` (they must rewrite the index).
-        Returns the number of cells written.
+        callers (attack trials and the vector embedding kernel rewrite
+        thousands of cells per pass): one schema/validator resolution and
+        one version bump for the whole batch, with per-cell validation and
+        copy-on-write privatization identical to the scalar path.
+
+        Unlike a loop of :meth:`set_value` calls, the batch is **atomic**:
+        every value is validated and every key resolved *before* the first
+        cell is touched, so a schema-violating, unknown-key or (for
+        primary-key batches) duplicate-key batch is rejected without
+        applying any write and without bumping :attr:`version`.  Duplicate
+        keys within a non-key batch follow sequential semantics (last value
+        wins).  Returns the number of cells written.
         """
         position = self._schema.position(attribute)
-        if position == self._pk_position:
-            count = 0
-            for key, value in items:
-                self.set_value(key, attribute, value)
-                count += 1
-            return count
         # Materialize first: a lazy iterable that reads this table (e.g.
         # through column_view) must observe the pre-batch state, never a
         # half-written column cached at the final version.
         staged = list(items)
         if not staged:
             return 0
+        if position == self._pk_position:
+            return self._set_keys_batched(attribute, staged)
         meta = self._schema.attribute(attribute)
         index = self._pk_index
-        rows = self._rows
-        owned = self._owned
-        # Invalidate read caches up front: a validation failure mid-batch
-        # leaves earlier writes applied (exactly like a loop of set_value
-        # calls), so the version must already have moved.
-        self._version += 1
-        count = 0
+        slots: list[int] = []
         for key, value in staged:
             meta.validate(value)
             try:
-                slot = index[key]
+                slots.append(index[key])
             except KeyError:
                 raise MissingKeyError(key) from None
+        rows = self._rows
+        owned = self._owned
+        for slot, (_, value) in zip(slots, staged):
             row = rows[slot]
             if owned is not None and id(row) not in owned:
                 private = row.copy()
@@ -262,8 +371,46 @@ class Table:
                 owned.add(id(private))
                 row = private
             row[position] = value
-            count += 1
-        return count
+        self._version += 1
+        self._attr_writes[attribute] = self._version
+        return len(staged)
+
+    def _set_keys_batched(
+        self, attribute: str, staged: list[tuple[Hashable, Any]]
+    ) -> int:
+        """Atomic batched primary-key renames.
+
+        The whole rename sequence is simulated on a copy of the index
+        first (sequential semantics: rename chains like ``a -> b`` then
+        ``b -> c`` are legal), so duplicate or missing keys reject the
+        batch before any row is touched.
+        """
+        meta = self._schema.attribute(attribute)
+        for _, new_key in staged:
+            meta.validate(new_key)
+        simulated = dict(self._pk_index)
+        renames: list[tuple[int, Hashable]] = []
+        for key, new_key in staged:
+            if new_key == key:
+                if key not in simulated:
+                    raise MissingKeyError(key)
+                continue
+            if new_key in simulated:
+                raise DuplicateKeyError(new_key)
+            try:
+                slot = simulated.pop(key)
+            except KeyError:
+                raise MissingKeyError(key) from None
+            simulated[new_key] = slot
+            renames.append((slot, new_key))
+        if not renames:
+            return len(staged)
+        for slot, new_key in renames:
+            self._writable_row(slot)[self._pk_position] = new_key
+        self._pk_index = simulated
+        self._version += 1
+        self._attr_writes[attribute] = self._version
+        return len(staged)
 
     def _writable_row(self, slot: int) -> list[Any]:
         """The row at ``slot``, privatized for in-place mutation.
@@ -296,6 +443,7 @@ class Table:
         self._writable_row(slot)[self._pk_position] = new_key
         self._pk_index[new_key] = slot
         self._version += 1
+        self._attr_writes[self._schema.primary_key] = self._version
         return key
 
     def delete(self, key: Hashable) -> tuple[Any, ...]:
@@ -315,6 +463,7 @@ class Table:
             self._rows[slot] = last
             self._pk_index[last[self._pk_position]] = slot
         self._version += 1
+        self._structural_version = self._version
         return tuple(removed)
 
     def replace_rows(self, rows: Iterable[Iterable[Any]]) -> None:
@@ -333,6 +482,7 @@ class Table:
         self._pk_index = index
         self._owned = None  # every staged row is freshly materialised
         self._version += 1
+        self._structural_version = self._version
 
     # -- copies ---------------------------------------------------------------------
     def clone(self, name: str | None = None) -> "Table":
@@ -343,6 +493,13 @@ class Table:
         rewrite only ~``N/e`` rows — so the row lists are *shared* and
         privatized lazily by :meth:`_writable_row` on first write, making
         clone O(N) pointer copies instead of O(N·arity) cell copies.
+
+        Read caches (column views, column codes) are inherited along with
+        the rows: the clone starts with the same version counters and the
+        same cache entries, which stay valid on each side until *that*
+        side writes the attribute.  An attack clone that only rewrites the
+        mark column therefore re-detects on the base relation's key-column
+        codes — the factorize-once contract of the vector backend.
         """
         duplicate = Table(self._schema, name=name or self.name)
         duplicate._rows = self._rows.copy()
@@ -350,6 +507,13 @@ class Table:
         # Both sides now share every row: reset ownership on both.
         self._owned = set()
         duplicate._owned = set()
+        # Inherit caches in the parent's version space (the cached lists
+        # and codes are shared read-only, like the rows).
+        duplicate._version = self._version
+        duplicate._structural_version = self._structural_version
+        duplicate._attr_writes = dict(self._attr_writes)
+        duplicate._column_cache = dict(self._column_cache)
+        duplicate._codes_cache = dict(self._codes_cache)
         return duplicate
 
     def with_schema(self, schema: Schema, name: str | None = None) -> "Table":

@@ -180,3 +180,44 @@ class TestVerify:
         assert not strict.detected
         lax = verify(table, mark_key, spec, watermark, significance=1e-2)
         assert lax.detected
+
+
+class TestExactBinomialTail:
+    """false_hit_probability is now exact math.comb arithmetic — §4.4's
+    binomial tail with no scipy import at module load (sweep-pool workers
+    start without it).  Cross-check the full grid against scipy."""
+
+    def test_matches_scipy_to_1e_12(self):
+        from scipy import stats
+
+        for length in (1, 2, 5, 10, 16, 24, 37, 64, 100):
+            for matches in range(length + 1):
+                exact = false_hit_probability(matches, length)
+                reference = float(stats.binom.sf(matches - 1, length, 0.5))
+                assert exact == pytest.approx(reference, abs=1e-12), (
+                    matches,
+                    length,
+                )
+
+    def test_edge_values(self):
+        assert false_hit_probability(0, 10) == 1.0
+        assert false_hit_probability(10, 10) == pytest.approx(0.5**10)
+
+    def test_detection_module_does_not_import_scipy(self):
+        """The worker-startup win: importing the detection module (and the
+        whole core package) must not pull scipy in."""
+        import subprocess
+        import sys
+
+        import os
+
+        probe = (
+            "import sys; import repro.core.detection; "
+            "sys.exit(1 if 'scipy' in sys.modules else 0)"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", probe],
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=__file__.rsplit("/tests/", 1)[0],
+        )
+        assert result.returncode == 0, "repro.core.detection imported scipy"

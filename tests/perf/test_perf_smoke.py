@@ -109,3 +109,67 @@ def test_sweep_second_point_is_embed_free_and_hash_free():
 
     elapsed = time.perf_counter() - started
     assert elapsed < 2.0, f"sweep perf smoke took {elapsed:.2f}s (budget 2s)"
+
+
+@pytest.mark.perf_smoke
+def test_vector_steady_redetect_is_pure_array_code(monkeypatch):
+    """A warm vector re-detection runs on codes + plan arrays alone.
+
+    Asserts the tentpole mechanism directly: after one warm-up detection,
+    re-detecting the same relation performs zero SHA-256 computations and
+    zero Python-level hash lookups — every per-row quantity comes from the
+    cached column codes and the engine's cached plan arrays.  Enforced by
+    making every dict-backed engine primitive raise.
+    """
+    from repro.crypto import (
+        VECTOR,
+        KeyedDigestCache,
+        clear_engine_registry,
+        get_engine,
+    )
+
+    started = time.perf_counter()
+    table = generate_item_scan(6_000, item_count=150, seed=47)
+    key = MarkKey.from_seed("perf-smoke-vector")
+    clear_engine_registry()
+    marker = Watermarker(key, e=40, engine=VECTOR)
+    watermark = Watermark.from_int(0x2AB, 10)
+
+    outcome = marker.embed(table, watermark, "Item_Nbr")
+    assert marker.verify(outcome.table, outcome.record).association.detected
+
+    engine = get_engine(key)
+    digests_before = engine.computed_digests
+    arrays_before = engine.plan_arrays_built
+    spec = outcome.record.spec
+    key_codes = outcome.table.column_codes(spec.key_attribute)
+    mark_codes = outcome.table.column_codes(spec.mark_attribute)
+
+    def forbidden(name):
+        def _raise(*args, **kwargs):
+            raise AssertionError(
+                f"warm vector re-detection called {name} — a per-value "
+                f"Python hash lookup on the steady-state path"
+            )
+        return _raise
+
+    monkeypatch.setattr(HashEngine, "fitness_map", forbidden("fitness_map"))
+    monkeypatch.setattr(HashEngine, "slot_map", forbidden("slot_map"))
+    monkeypatch.setattr(HashEngine, "pair_map", forbidden("pair_map"))
+    monkeypatch.setattr(KeyedDigestCache, "digest", forbidden("digest"))
+    monkeypatch.setattr(
+        KeyedDigestCache, "digest_many", forbidden("digest_many")
+    )
+
+    for _ in range(3):
+        verdict = marker.verify(outcome.table, outcome.record)
+        assert verdict.association.detected
+
+    # No hashing, no new plan arrays, no re-factorization.
+    assert engine.computed_digests == digests_before
+    assert engine.plan_arrays_built == arrays_before
+    assert outcome.table.column_codes(spec.key_attribute) is key_codes
+    assert outcome.table.column_codes(spec.mark_attribute) is mark_codes
+
+    elapsed = time.perf_counter() - started
+    assert elapsed < 2.0, f"vector perf smoke took {elapsed:.2f}s (budget 2s)"

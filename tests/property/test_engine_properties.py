@@ -77,3 +77,60 @@ def test_batch_then_scalar_then_rebatch_is_stable(key, values, e):
     fresh = HashEngine(key).fitness_mask(values, e)
     assert first == scalar == fresh
     assert second == list(reversed(first))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    key=keys,
+    values=st.lists(key_values, min_size=1, max_size=40),
+    e=st.integers(min_value=1, max_value=97),
+    channel_length=st.integers(min_value=1, max_value=300),
+    domain_size=st.integers(min_value=2, max_value=64),
+)
+def test_plan_arrays_match_scalar_reference(
+    key, values, e, channel_length, domain_size
+):
+    """Vector plan arrays project the derived maps losslessly: for every
+    unique, fitness matches the scalar criterion and — on fit uniques,
+    the only ones the kernels ever gather — slot and pair indices match
+    the scalar addressing."""
+    np = __import__("numpy")
+
+    from repro.relational import ColumnCodes
+
+    engine = HashEngine(key)
+    # Factorize the generated value list exactly as Table.column_codes
+    # does: first-encounter uniques, dense int32 codes.
+    index = {}
+    uniques = []
+    raw = []
+    for value in values:
+        code = index.get(value)
+        if code is None:
+            code = index[value] = len(uniques)
+            uniques.append(value)
+        raw.append(code)
+    codes = ColumnCodes(np.asarray(raw, dtype=np.int32), uniques)
+
+    fit = engine.fitness_array(codes, e)
+    slot = engine.slot_array(codes, channel_length, e)
+    pair = engine.pair_array(codes, domain_size, e)
+    assert len(fit) == len(slot) == len(pair) == len(codes.uniques)
+
+    for position, value in enumerate(codes.uniques):
+        assert bool(fit[position]) == (keyed_hash(value, key.k1) % e == 0)
+        if fit[position]:
+            assert int(slot[position]) == slot_index(
+                value, key.k2, channel_length
+            )
+            expected_pair = embedded_value_index(
+                value, key.k1, 0, CategoricalDomain(range(domain_size))
+            ) // 2
+            assert int(pair[position]) == expected_pair
+
+    # Per-row gathers reconstruct per-row verdicts.
+    row_fit = fit[codes.codes]
+    assert row_fit.tolist() == [
+        keyed_hash(value, key.k1) % e == 0 for value in values
+    ]
+    assert np.count_nonzero(row_fit) == sum(row_fit.tolist())

@@ -1,0 +1,121 @@
+"""Tests for Table.column_codes — the vector backend's factorize-once
+contract: first-encounter unique order, version-scoped caching at
+attribute granularity, and copy-on-write inheritance across clones."""
+
+import numpy as np
+import pytest
+
+from repro.relational import ColumnCodes, Table
+
+
+def decode(codes: ColumnCodes) -> list:
+    return [codes.uniques[code] for code in codes.codes.tolist()]
+
+
+class TestFactorization:
+    def test_codes_reconstruct_the_column(self, tiny_table):
+        codes = tiny_table.column_codes("A")
+        assert decode(codes) == tiny_table.column("A")
+
+    def test_uniques_in_first_encounter_order(self, tiny_table):
+        codes = tiny_table.column_codes("A")
+        assert codes.uniques == list(
+            dict.fromkeys(tiny_table.column("A"))
+        )
+
+    def test_primary_key_fast_path(self, tiny_table):
+        codes = tiny_table.column_codes("K")
+        assert codes.codes.tolist() == list(range(len(tiny_table)))
+        assert codes.uniques == tiny_table.column("K")
+
+    def test_codes_are_read_only(self, tiny_table):
+        codes = tiny_table.column_codes("A")
+        with pytest.raises(ValueError):
+            codes.codes[0] = 3
+        assert codes.codes.dtype == np.int32
+
+    def test_build_false_only_consults_cache(self, tiny_table):
+        assert tiny_table.column_codes("A", build=False) is None
+        built = tiny_table.column_codes("A")
+        assert tiny_table.column_codes("A", build=False) is built
+
+
+class TestInvalidation:
+    def test_cached_until_write(self, tiny_table):
+        first = tiny_table.column_codes("A")
+        assert tiny_table.column_codes("A") is first
+
+    def test_write_to_attribute_invalidates_it(self, tiny_table):
+        stale = tiny_table.column_codes("A")
+        tiny_table.set_value(1, "A", "blue")
+        fresh = tiny_table.column_codes("A")
+        assert fresh is not stale
+        assert decode(fresh) == tiny_table.column("A")
+
+    def test_write_to_other_attribute_preserves_codes(self, tiny_table):
+        """Attribute-granular invalidation: marking one column must not
+        throw away another column's factorization (the attack-sweep hot
+        path re-detects on the key column after mark-column rewrites)."""
+        kept = tiny_table.column_codes("A")
+        tiny_table.set_value(1, "B", "w")
+        assert tiny_table.column_codes("A") is kept
+
+    def test_batched_write_invalidates(self, tiny_table):
+        stale = tiny_table.column_codes("A")
+        tiny_table.set_values("A", [(1, "blue")])
+        assert tiny_table.column_codes("A") is not stale
+
+    def test_structural_change_invalidates_everything(self, tiny_table):
+        codes_a = tiny_table.column_codes("A")
+        codes_k = tiny_table.column_codes("K")
+        tiny_table.insert((7, "red", "x"))
+        assert tiny_table.column_codes("A") is not codes_a
+        assert tiny_table.column_codes("K") is not codes_k
+        tiny_table.delete(7)
+        assert decode(tiny_table.column_codes("A")) == tiny_table.column("A")
+
+    def test_pk_rename_invalidates_only_the_key_column(self, tiny_table):
+        codes_a = tiny_table.column_codes("A")
+        codes_k = tiny_table.column_codes("K")
+        tiny_table.set_value(1, "K", 100)
+        assert tiny_table.column_codes("A") is codes_a
+        assert tiny_table.column_codes("K") is not codes_k
+
+
+class TestCloneInheritance:
+    def test_clone_inherits_codes(self, tiny_table):
+        codes = tiny_table.column_codes("A")
+        clone = tiny_table.clone()
+        assert clone.column_codes("A") is codes
+
+    def test_clone_write_invalidates_only_its_side(self, tiny_table):
+        codes = tiny_table.column_codes("A")
+        clone = tiny_table.clone()
+        clone.set_value(1, "A", "blue")
+        assert clone.column_codes("A") is not codes
+        assert tiny_table.column_codes("A") is codes
+        assert decode(clone.column_codes("A")) == clone.column("A")
+
+    def test_parent_write_keeps_clone_codes(self, tiny_table):
+        codes = tiny_table.column_codes("A")
+        clone = tiny_table.clone()
+        tiny_table.set_value(1, "A", "blue")
+        assert clone.column_codes("A") is codes
+        assert tiny_table.column_codes("A") is not codes
+
+    def test_attack_shaped_flow(self, tiny_table):
+        """Clone, rewrite the mark column, re-read key codes: the key
+        factorization must survive untouched (factorize-once)."""
+        key_codes = tiny_table.column_codes("K")
+        attacked = tiny_table.clone()
+        attacked.set_values("A", [(1, "green"), (4, "cyan")])
+        assert attacked.column_codes("K") is key_codes
+        assert decode(attacked.column_codes("A")) == attacked.column("A")
+
+    def test_column_view_inherited_and_scoped_like_codes(self, tiny_table):
+        view = tiny_table.column_view("A")
+        clone = tiny_table.clone()
+        assert clone.column_view("A") is view
+        clone.set_value(1, "A", "blue")
+        assert clone.column_view("A") is not view
+        assert tiny_table.column_view("A") is view

@@ -169,3 +169,85 @@ class TestHelpers:
         attribute = make_categorical_attribute("A", ["a", "b"])
         assert attribute.is_categorical
         assert attribute.domain.size == 2
+
+
+class TestSetValuesBatch:
+    """Batched writes: atomicity, copy-on-write, version accounting."""
+
+    def test_batch_writes_and_single_version_bump(self, tiny_table):
+        before = tiny_table.version
+        written = tiny_table.set_values("A", [(1, "blue"), (2, "red")])
+        assert written == 2
+        assert tiny_table.value(1, "A") == "blue"
+        assert tiny_table.value(2, "A") == "red"
+        assert tiny_table.version == before + 1
+
+    def test_batch_on_shared_clone_privatizes_rows(self, tiny_table):
+        clone = tiny_table.clone()
+        clone.set_values("A", [(1, "blue"), (3, "red")])
+        # The clone sees the new values, the original is untouched.
+        assert clone.value(1, "A") == "blue"
+        assert clone.value(3, "A") == "red"
+        assert tiny_table.value(1, "A") == "red"
+        assert tiny_table.value(3, "A") == "blue"
+        # And the other direction: writing the original after the batch
+        # must not leak into the clone.
+        tiny_table.set_values("A", [(2, "cyan")])
+        assert clone.value(2, "A") == "green"
+
+    def test_schema_violating_batch_rejected_atomically(self, tiny_table):
+        before = tiny_table.version
+        with pytest.raises(DomainError):
+            tiny_table.set_values(
+                "A", [(1, "blue"), (2, "not-a-colour"), (3, "red")]
+            )
+        # Nothing applied — not even the valid leading write — and no
+        # cache invalidation happened.
+        assert tiny_table.value(1, "A") == "red"
+        assert tiny_table.version == before
+
+    def test_missing_key_batch_rejected_atomically(self, tiny_table):
+        before = tiny_table.version
+        with pytest.raises(MissingKeyError):
+            tiny_table.set_values("A", [(1, "blue"), (999, "red")])
+        assert tiny_table.value(1, "A") == "red"
+        assert tiny_table.version == before
+
+    def test_pk_batch_renames_atomically(self, tiny_table):
+        before = tiny_table.version
+        tiny_table.set_values("K", [(1, 101), (2, 102)])
+        assert tiny_table.get(101) == (101, "red", "x")
+        assert tiny_table.get(102) == (102, "green", "y")
+        assert 1 not in tiny_table and 2 not in tiny_table
+        assert tiny_table.version == before + 1
+
+    def test_pk_batch_allows_rename_chains(self, tiny_table):
+        # Sequential semantics: 1 -> 7 frees key 1 for 2 -> 1.
+        tiny_table.set_values("K", [(1, 7), (2, 1)])
+        assert tiny_table.get(7) == (7, "red", "x")
+        assert tiny_table.get(1) == (1, "green", "y")
+
+    def test_pk_batch_duplicate_key_rejected_atomically(self, tiny_table):
+        before = tiny_table.version
+        with pytest.raises(DuplicateKeyError):
+            tiny_table.set_values("K", [(1, 100), (2, 3)])  # 3 exists
+        assert tiny_table.get(1) == (1, "red", "x")
+        assert tiny_table.get(2) == (2, "green", "y")
+        assert 100 not in tiny_table
+        assert tiny_table.version == before
+
+    def test_pk_batch_on_shared_clone_privatizes_rows(self, tiny_table):
+        clone = tiny_table.clone()
+        clone.set_values("K", [(1, 100)])
+        assert clone.get(100) == (100, "red", "x")
+        assert tiny_table.get(1) == (1, "red", "x")
+        assert 100 not in tiny_table
+
+    def test_empty_and_lazy_batches(self, tiny_table):
+        before = tiny_table.version
+        assert tiny_table.set_values("A", []) == 0
+        assert tiny_table.version == before
+        # Lazy iterables reading the table observe the pre-batch state.
+        updates = ((key, "cyan") for key in [1, 2])
+        assert tiny_table.set_values("A", updates) == 2
+        assert tiny_table.value(2, "A") == "cyan"
