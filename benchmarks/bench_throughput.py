@@ -26,16 +26,33 @@ fixture / ``--bench-json`` flag) — stamped with ``cpu_count`` and backend
 labels — so the speedup trajectory is recorded across runs.
 """
 
+import os
 import time
 
 from conftest import once
 
 from repro.core import Watermark, Watermarker
-from repro.crypto import ENGINE, SCALAR, VECTOR, MarkKey, clear_engine_registry
+from repro.crypto import (
+    ENGINE,
+    SCALAR,
+    VECTOR,
+    MarkKey,
+    clear_engine_registry,
+    get_engine,
+)
 from repro.datagen import generate_item_scan
 from repro.experiments import format_table
 
-SIZES = (2_000, 8_000, 32_000, 128_000)
+#: ``REPRO_BENCH_SIZES=2000,8000`` restricts the tiers (the CI
+#: bench-smoke job runs the 8k tier only); acceptance assertions engage
+#: per tier, so a restricted run still records its trajectory.
+SIZES = tuple(
+    int(part)
+    for part in os.environ.get(
+        "REPRO_BENCH_SIZES", "2000,8000,32000,128000"
+    ).split(",")
+    if part.strip()
+)
 ASSERT_SIZE = 32_000   # acceptance tier for the engine-vs-scalar speedup
 VECTOR_ASSERT_SIZE = 128_000  # acceptance tier for vector-vs-engine
 STEADY_ROUNDS = 3
@@ -85,6 +102,8 @@ def run_scaling():
     key = MarkKey.from_seed("throughput")
     rows = []
     series = {}
+    telemetry = {}
+    table = None
     for size in SIZES:
         table = generate_item_scan(size, item_count=500, seed=3)
 
@@ -114,11 +133,17 @@ def run_scaling():
                 f"{point['vector_detect_steady']:,.0f}",
             )
         )
-    return rows, series
+    # Cache telemetry for the largest tier's final (vector) run — how the
+    # warm numbers above are actually achieved.
+    telemetry = {
+        "engine": get_engine(key).cache_info(),
+        "table": table.cache_info() if table is not None else {},
+    }
+    return rows, series, telemetry
 
 
 def test_throughput(benchmark, record, record_json):
-    rows, series = once(benchmark, run_scaling)
+    rows, series, telemetry = once(benchmark, run_scaling)
     record(
         "throughput",
         format_table(
@@ -144,26 +169,33 @@ def test_throughput(benchmark, record, record_json):
                 }
                 for size, point in series.items()
             },
+            "cache_info": telemetry,
         },
     )
-    tier = series[ASSERT_SIZE]
-    benchmark.extra_info.update(
-        {f"{metric}_{ASSERT_SIZE}": round(rate) for metric, rate in tier.items()}
-    )
+    if ASSERT_SIZE in series:
+        tier = series[ASSERT_SIZE]
+        benchmark.extra_info.update(
+            {
+                f"{metric}_{ASSERT_SIZE}": round(rate)
+                for metric, rate in tier.items()
+            }
+        )
 
-    # Acceptance: the engine's steady-state (attack-sweep regime) beats the
-    # row-at-a-time scalar reference >= 5x on both paths at the 32k tier.
-    assert tier["engine_embed_steady"] >= 5 * tier["scalar_embed"], tier
-    assert tier["engine_detect_steady"] >= 5 * tier["scalar_detect"], tier
+        # Acceptance: the engine's steady-state (attack-sweep regime)
+        # beats the row-at-a-time scalar reference >= 5x on both paths at
+        # the 32k tier.
+        assert tier["engine_embed_steady"] >= 5 * tier["scalar_embed"], tier
+        assert tier["engine_detect_steady"] >= 5 * tier["scalar_detect"], tier
 
     # Acceptance: the vector kernels beat the engine path's warm numbers
     # >= 2x on embed and >= 3x on detect at the 128k tier (measured ~2.6x
     # and ~18x on the 1-core dev box — detection is pure array code).
-    vector_tier = series[VECTOR_ASSERT_SIZE]
-    assert vector_tier["vector_embed_steady"] >= \
-        2 * vector_tier["engine_embed_steady"], vector_tier
-    assert vector_tier["vector_detect_steady"] >= \
-        3 * vector_tier["engine_detect_steady"], vector_tier
+    if VECTOR_ASSERT_SIZE in series:
+        vector_tier = series[VECTOR_ASSERT_SIZE]
+        assert vector_tier["vector_embed_steady"] >= \
+            2 * vector_tier["engine_embed_steady"], vector_tier
+        assert vector_tier["vector_detect_steady"] >= \
+            3 * vector_tier["engine_detect_steady"], vector_tier
 
     # Single-scan algorithms: cold rates at the largest size stay within
     # 4x of the smallest (no superlinear blowup)...

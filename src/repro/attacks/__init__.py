@@ -3,7 +3,15 @@
 from .addition import SubsetAdditionAttack
 from .additive import AdditiveWatermarkAttack
 from .alteration import SubsetAlterationAttack, TargetedValueAttack
-from .base import Attack, IdentityAttack
+from .base import (
+    ATTACK_AUTO,
+    ATTACK_BACKENDS,
+    ATTACK_CODES,
+    ATTACK_ROWS,
+    Attack,
+    IdentityAttack,
+    codes_backend_available,
+)
 from .composite import CompositeAttack
 from .horizontal import (
     DataLossAttack,
@@ -15,8 +23,13 @@ from .sorting import ShuffleAttack, SortAttack
 from .vertical import SingleColumnAttack, VerticalPartitionAttack
 
 __all__ = [
+    "ATTACK_AUTO",
+    "ATTACK_BACKENDS",
+    "ATTACK_CODES",
+    "ATTACK_ROWS",
     "AdditiveWatermarkAttack",
     "Attack",
+    "codes_backend_available",
     "BijectiveRemapAttack",
     "CompositeAttack",
     "DataLossAttack",

@@ -17,6 +17,11 @@ from typing import Hashable
 from ..relational import Table, empirical_distribution
 from .base import Attack
 
+try:  # the codes fast path needs numpy; the rows path never does
+    import numpy as _np
+except ImportError:  # pragma: no cover - slim installs only
+    _np = None
+
 
 class SubsetAdditionAttack(Attack):
     """Add ``add_fraction * N`` synthetic tuples mimicking the data.
@@ -34,7 +39,7 @@ class SubsetAdditionAttack(Attack):
         self.add_fraction = add_fraction
         self.name = f"A2:addition({add_fraction:g})"
 
-    def apply(self, table: Table, rng: random.Random) -> Table:
+    def apply_rows(self, table: Table, rng: random.Random) -> Table:
         attacked = table.clone(name=f"{table.name}_diluted")
         goal = round(self.add_fraction * len(table))
         if goal == 0:
@@ -49,22 +54,91 @@ class SubsetAdditionAttack(Attack):
             weights = [weight for _, weight in distribution]
             samplers[attribute] = (values, weights)
 
-        for key in _fresh_keys(table, goal, rng):
-            row = []
-            for attribute in table.schema.names:
-                if attribute == table.primary_key:
-                    row.append(key)
-                else:
-                    values, weights = samplers[attribute]
-                    row.append(rng.choices(values, weights=weights, k=1)[0])
+        for row in _synthesize_rows(table, samplers, goal, rng):
             attacked.insert(row)
         return attacked
 
+    def apply_codes(self, table: Table, rng: random.Random) -> Table:
+        """Code-level fast path: same draws, batched landing.
+
+        The marginal distributions come from a ``bincount`` over cached
+        column codes when a fresh factorization exists (the counts — and
+        therefore the sorted value/weight lists the rng consumes — are
+        identical to a ``Counter`` scan), and the synthetic tuples land
+        through one :meth:`~repro.relational.table.Table.append_rows`
+        batch, which *extends* the attacked clone's factorizations instead
+        of invalidating them — the diluted relation re-detects without a
+        re-factorization pass.
+        """
+        attacked = table.clone(name=f"{table.name}_diluted")
+        goal = round(self.add_fraction * len(table))
+        if goal == 0:
+            return attacked
+
+        total = len(table)
+        samplers = {}
+        for attribute in table.schema.names:
+            if attribute == table.primary_key:
+                continue
+            codes = table.column_codes(attribute, build=False)
+            if codes is None:
+                distribution = empirical_distribution(
+                    table.column_view(attribute)
+                )
+            else:
+                counts = _np.bincount(
+                    codes.codes, minlength=len(codes.uniques)
+                ).tolist()
+                distribution = [
+                    (value, count / total)
+                    for value, count in sorted(
+                        zip(codes.uniques, counts),
+                        key=lambda item: (type(item[0]).__name__, item[0]),
+                    )
+                ]
+            values = [value for value, _ in distribution]
+            weights = [weight for _, weight in distribution]
+            samplers[attribute] = (values, weights)
+
+        attacked.append_rows(_synthesize_rows(table, samplers, goal, rng))
+        return attacked
+
+
+def _synthesize_rows(
+    table: Table,
+    samplers: dict,
+    goal: int,
+    rng: random.Random,
+) -> list[list[Hashable]]:
+    """Draw ``goal`` synthetic tuples: fresh keys, marginal-sampled cells.
+
+    The single source of the A2 draw sequence — both attack backends
+    consume it verbatim, so the per-row and batched landings stay
+    bit-identical by construction.
+    """
+    names = table.schema.names
+    primary_key = table.primary_key
+    rows: list[list[Hashable]] = []
+    for key in _fresh_keys(table, goal, rng):
+        row: list[Hashable] = []
+        for attribute in names:
+            if attribute == primary_key:
+                row.append(key)
+            else:
+                values, weights = samplers[attribute]
+                row.append(rng.choices(values, weights=weights, k=1)[0])
+        rows.append(row)
+    return rows
+
 
 def _fresh_keys(table: Table, count: int, rng: random.Random) -> list[Hashable]:
-    """Generate ``count`` primary keys absent from ``table``."""
-    position = table.schema.position(table.primary_key)
-    existing = {row[position] for row in table}
+    """Generate ``count`` primary keys absent from ``table``.
+
+    Reads the key column through :meth:`Table.column_view` (no row-tuple
+    materialization); the produced set — and therefore every rng draw —
+    is identical to a full-row scan.
+    """
+    existing = set(table.column_view(table.primary_key))
     sample = next(iter(existing)) if existing else 0
     keys: list[Hashable] = []
     if isinstance(sample, int):

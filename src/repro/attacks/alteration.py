@@ -14,9 +14,50 @@ Figures 4–6 sweep exactly this attack.
 from __future__ import annotations
 
 import random
+import weakref
 
 from ..relational import Table
 from .base import Attack
+
+# Per-factorization translation cache for the codes fast path: the
+# domain-index -> column-code table and the row-code list are pure
+# functions of one (ColumnCodes, domain) pair, and a sweep re-attacks the
+# same 15 marked factorizations at every point — weak-keyed so entries
+# die with their factorization.
+_translation_cache: "weakref.WeakKeyDictionary[object, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _codes_translation(base, domain):
+    """(domain codes, extra uniques, row-code list) for one factorization.
+
+    ``domain_codes[i]`` is the code of ``domain.value_at(i)`` within
+    ``base.uniques + extra`` (values absent from the column get appended
+    codes); ``row_codes`` is ``base.codes`` as a plain list for fast
+    per-victim reads.
+    """
+    store = _translation_cache.get(base)
+    if store is None:
+        store = _translation_cache[base] = {"rows": base.codes.tolist()}
+    entry = store.get(id(domain))
+    # The entry pins the domain it was built for: identity-checking it
+    # guards against a recycled id() after the original domain was
+    # collected while the factorization stayed alive.
+    if entry is None or entry[0] is not domain:
+        code_of = {value: code for code, value in enumerate(base.uniques)}
+        extra: list = []
+        domain_codes = []
+        next_code = len(base.uniques)
+        for value in domain.values:
+            code = code_of.get(value)
+            if code is None:
+                code = next_code
+                next_code += 1
+                extra.append(value)
+            domain_codes.append(code)
+        entry = store[id(domain)] = (domain, domain_codes, tuple(extra))
+    return entry[1], entry[2], store["rows"]
 
 
 class SubsetAlterationAttack(Attack):
@@ -54,7 +95,7 @@ class SubsetAlterationAttack(Attack):
             f"p={flip_probability:g})"
         )
 
-    def apply(self, table: Table, rng: random.Random) -> Table:
+    def apply_rows(self, table: Table, rng: random.Random) -> Table:
         attacked = table.clone(name=f"{table.name}_altered")
         domain = attacked.schema.attribute(self.attribute).domain
         if domain is None:
@@ -87,6 +128,52 @@ class SubsetAlterationAttack(Attack):
         # distinct and the draws never read the table, batching the writes
         # leaves the output bit-identical to the per-cell loop.
         attacked.set_values(self.attribute, updates)
+        return attacked
+
+    def apply_codes(self, table: Table, rng: random.Random) -> Table:
+        """Code-level fast path: the victim loop runs in code space.
+
+        Identical rng draws and identical cell values as
+        :meth:`apply_rows`; what changes is the substrate.  The domain is
+        translated into column codes once (appending codes for domain
+        values the column does not yet hold), the per-victim compare
+        happens on ``int`` codes, and the write-back is one positional
+        :meth:`~repro.relational.table.Table.apply_codes` batch — no
+        primary-key lookups, no per-cell re-validation, and the attacked
+        clone keeps a *warm* factorization for the detection that
+        follows.  Value equality coincides with code equality because the
+        factorization keys values by Python equality, exactly like the
+        domain itself.
+        """
+        attacked = table.clone(name=f"{table.name}_altered")
+        domain = attacked.schema.attribute(self.attribute).domain
+        if domain is None:
+            raise ValueError(f"attribute {self.attribute!r} is not categorical")
+        if domain.size < 2:
+            return attacked
+
+        size = len(attacked)
+        base = attacked.column_codes(self.attribute)
+        domain_codes, extra, current_codes = _codes_translation(base, domain)
+        last_code = domain_codes[domain.size - 1]
+
+        target_count = round(self.alter_fraction * size)
+        victims = rng.sample(range(size), min(target_count, size))
+        cutoff = domain.size - 1
+        flip_probability = self.flip_probability
+        random_draw = rng.random
+        randrange = rng.randrange
+        positions: list[int] = []
+        codes: list[int] = []
+        for slot in victims:
+            if random_draw() >= flip_probability:
+                continue
+            replacement = domain_codes[randrange(cutoff)]
+            if replacement == current_codes[slot]:
+                replacement = last_code
+            positions.append(slot)
+            codes.append(replacement)
+        attacked.apply_codes(self.attribute, positions, codes, base, extra)
         return attacked
 
 

@@ -14,6 +14,26 @@ from ..relational import Table, drop_fraction, horizontal_sample
 from .base import Attack
 
 
+def _sample_positions_codes(
+    table: Table, fraction: float, rng: random.Random
+) -> Table:
+    """Code-level :func:`~repro.relational.horizontal_sample`.
+
+    ``rng.sample`` draws from the population *length* only, so sampling
+    ``range(n)`` picks exactly the rows — in exactly the order — that
+    sampling the materialized tuple list does; :meth:`Table.take` then
+    shares those row lists copy-on-write and gathers the cached
+    factorizations instead of re-validating every tuple.  Count clamping
+    mirrors :func:`horizontal_sample` exactly.
+    """
+    size = len(table)
+    name = f"{table.name}_sample"
+    if fraction == 0.0 or size == 0:
+        return Table(table.schema, (), name=name)
+    count = max(1, round(fraction * size))
+    return table.take(rng.sample(range(size), min(count, size)), name=name)
+
+
 class HorizontalPartitionAttack(Attack):
     """Keep a uniformly random fraction of the tuples."""
 
@@ -25,8 +45,11 @@ class HorizontalPartitionAttack(Attack):
         self.keep_fraction = keep_fraction
         self.name = f"A1:horizontal(keep={keep_fraction:g})"
 
-    def apply(self, table: Table, rng: random.Random) -> Table:
+    def apply_rows(self, table: Table, rng: random.Random) -> Table:
         return horizontal_sample(table, self.keep_fraction, rng)
+
+    def apply_codes(self, table: Table, rng: random.Random) -> Table:
+        return _sample_positions_codes(table, self.keep_fraction, rng)
 
 
 class DataLossAttack(Attack):
@@ -40,8 +63,11 @@ class DataLossAttack(Attack):
         self.loss_fraction = loss_fraction
         self.name = f"A1:data-loss({loss_fraction:g})"
 
-    def apply(self, table: Table, rng: random.Random) -> Table:
+    def apply_rows(self, table: Table, rng: random.Random) -> Table:
         return drop_fraction(table, self.loss_fraction, rng)
+
+    def apply_codes(self, table: Table, rng: random.Random) -> Table:
+        return _sample_positions_codes(table, 1.0 - self.loss_fraction, rng)
 
 
 class KeyRangePartitionAttack(Attack):

@@ -32,7 +32,8 @@ class BijectiveRemapAttack(Attack):
         #: filled on apply(): foreign label -> original value
         self.true_inverse: dict[Hashable, Hashable] = {}
 
-    def apply(self, table: Table, rng: random.Random) -> Table:
+    def _draw_mapping(self, table: Table, rng: random.Random):
+        """Draw the bijection (both paths share the exact rng draws)."""
         meta = table.schema.attribute(self.attribute)
         if meta.domain is None:
             raise ValueError(f"attribute {self.attribute!r} is not categorical")
@@ -46,9 +47,11 @@ class BijectiveRemapAttack(Attack):
             for index, value in zip(range(len(shuffled)), shuffled)
         }
         self.true_inverse = {label: value for value, label in self.mapping.items()}
-
         new_domain = meta.domain.remapped(self.mapping)
-        schema = table.schema.replace_attribute(meta.with_domain(new_domain))
+        return table.schema.replace_attribute(meta.with_domain(new_domain))
+
+    def apply_rows(self, table: Table, rng: random.Random) -> Table:
+        schema = self._draw_mapping(table, rng)
         position = table.schema.position(self.attribute)
         return Table(
             schema,
@@ -59,6 +62,24 @@ class BijectiveRemapAttack(Attack):
                 )
                 for row in table
             ),
+            name=f"{table.name}_remapped",
+        )
+
+    def apply_codes(self, table: Table, rng: random.Random) -> Table:
+        """Code-level fast path: the bijection applies per *distinct* value.
+
+        :meth:`~repro.relational.table.Table.with_mapped_column` rewrites
+        the column through the mapping once per unique, skips per-row
+        schema re-validation, and carries the factorization over with
+        re-labelled uniques — the codes array (and with it every cached
+        positional quantity of the untouched key column) survives the
+        attack unchanged.
+        """
+        schema = self._draw_mapping(table, rng)
+        return table.with_mapped_column(
+            self.attribute,
+            self.mapping,
+            schema=schema,
             name=f"{table.name}_remapped",
         )
 
@@ -77,7 +98,7 @@ class PermutationRemapAttack(Attack):
         self.mapping: dict[Hashable, Hashable] = {}
         self.true_inverse: dict[Hashable, Hashable] = {}
 
-    def apply(self, table: Table, rng: random.Random) -> Table:
+    def _draw_mapping(self, table: Table, rng: random.Random) -> None:
         meta = table.schema.attribute(self.attribute)
         if meta.domain is None:
             raise ValueError(f"attribute {self.attribute!r} is not categorical")
@@ -90,9 +111,20 @@ class PermutationRemapAttack(Attack):
                     break
         self.mapping = dict(zip(originals, permuted))
         self.true_inverse = {new: old for old, new in self.mapping.items()}
+
+    def apply_rows(self, table: Table, rng: random.Random) -> Table:
+        self._draw_mapping(table, rng)
         return apply_to_column(
             table,
             self.attribute,
             lambda value: self.mapping[value],
+            name=f"{table.name}_permuted",
+        )
+
+    def apply_codes(self, table: Table, rng: random.Random) -> Table:
+        self._draw_mapping(table, rng)
+        return table.with_mapped_column(
+            self.attribute,
+            self.mapping,
             name=f"{table.name}_permuted",
         )

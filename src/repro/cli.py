@@ -1,6 +1,6 @@
 """Command-line interface: the owner's workflow over CSV files.
 
-Four subcommands mirror the lifecycle::
+Subcommands mirror the lifecycle::
 
     repro-wm genkey  --out key.json
     repro-wm embed   --data sales.csv --schema schema.json --key key.json \\
@@ -9,6 +9,19 @@ Four subcommands mirror the lifecycle::
     repro-wm detect  --data suspect.csv --schema schema.json --key key.json \\
                      --record record.json [--remap-recovery]
     repro-wm inspect --data sales.csv --schema schema.json [--attribute A]
+
+plus the experiment harness (previously Python-API-only)::
+
+    repro-wm sweep   --data sales.csv --schema schema.json \\
+                     --attribute Item_Nbr --e 65 --attack alteration \\
+                     --xs 0.2,0.4,0.6 --passes 15 \\
+                     --backend vector --mode hoisted [--json out.json]
+    repro-wm figure  --figure 4 --tuples 6000 --items 500 --passes 15 \\
+                     --backend auto --mode auto [--json out.json]
+
+``--backend`` selects the (bit-identical) execution backend of every
+pass's embed/verify; ``--mode`` the sweep engine's execution mode
+(``serial`` re-embeds per cell — the reference cost model).
 
 ``detect`` exits 0 when the watermark is detected and 3 when it is not, so
 the tool composes into shell pipelines.  Schemas are JSON documents in the
@@ -142,6 +155,151 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_mode(mode: str) -> str | None:
+    """CLI ``--mode`` to sweep-engine mode (``auto`` -> engine default)."""
+    return None if mode == "auto" else mode
+
+
+def _attack_factory(args: argparse.Namespace):
+    from .attacks import (
+        DataLossAttack,
+        HorizontalPartitionAttack,
+        SubsetAdditionAttack,
+        SubsetAlterationAttack,
+    )
+
+    if args.attack == "alteration":
+        return lambda x: SubsetAlterationAttack(
+            args.attribute, x, args.flip_probability
+        )
+    if args.attack == "loss":
+        return lambda x: DataLossAttack(x)
+    if args.attack == "horizontal":
+        return lambda x: HorizontalPartitionAttack(x)
+    assert args.attack == "addition"
+    return lambda x: SubsetAdditionAttack(x)
+
+
+def _points_payload(points) -> list[dict]:
+    return [
+        {
+            "x": point.x,
+            "mean_alteration": round(point.mean_alteration, 6),
+            "alteration_stdev": round(point.alteration_stdev, 6),
+            "detection_rate": round(point.detection_rate, 6),
+        }
+        for point in points
+    ]
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import format_series, sweep
+
+    table = _load_table(args.data, args.schema)
+    xs = [float(part) for part in args.xs.split(",") if part.strip()]
+    if not xs:
+        raise SystemExit("--xs needs at least one value")
+    points = sweep(
+        table,
+        args.attribute,
+        args.e,
+        _attack_factory(args),
+        xs,
+        watermark_length=args.watermark_length,
+        passes=args.passes,
+        mode=_resolve_mode(args.mode),
+        backend=args.backend,
+    )
+    title = (
+        f"{args.attack} sweep on {args.attribute!r} (e={args.e}, "
+        f"passes={args.passes}, backend={args.backend}, mode={args.mode})"
+    )
+    print(format_series(title, points, x_label="x", percent_x=True))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                {
+                    "attack": args.attack,
+                    "attribute": args.attribute,
+                    "e": args.e,
+                    "passes": args.passes,
+                    "watermark_length": args.watermark_length,
+                    "flip_probability": args.flip_probability,
+                    "backend": args.backend,
+                    "mode": args.mode,
+                    "points": _points_payload(points),
+                },
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"series JSON   -> {args.json}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import (
+        FigureConfig,
+        figure4_series,
+        figure5_series,
+        figure6_surface,
+        figure7_series,
+        format_series,
+        format_surface,
+    )
+
+    config = FigureConfig(
+        tuple_count=args.tuples, item_count=args.items, passes=args.passes
+    )
+    mode = _resolve_mode(args.mode)
+    kwargs = dict(config=config, mode=mode, backend=args.backend)
+    payload: dict = {
+        "figure": args.figure,
+        "tuples": args.tuples,
+        "items": args.items,
+        "passes": args.passes,
+        "backend": args.backend,
+        "mode": args.mode,
+    }
+    if args.figure == 4:
+        series = figure4_series(**kwargs)
+        for e, points in series.items():
+            print(format_series(
+                f"figure 4 (e={e})", points, "attack size", percent_x=True
+            ))
+        payload["series"] = {
+            str(e): _points_payload(points) for e, points in series.items()
+        }
+    elif args.figure == 5:
+        series = figure5_series(**kwargs)
+        for attack_size, points in series.items():
+            print(format_series(
+                f"figure 5 (attack={attack_size:.0%})", points, "e"
+            ))
+        payload["series"] = {
+            f"{attack_size:g}": _points_payload(points)
+            for attack_size, points in series.items()
+        }
+    elif args.figure == 6:
+        surface = figure6_surface(**kwargs)
+        print(format_surface("figure 6", surface))
+        payload["surface"] = [
+            {"e": e, "attack": attack, "mean_alteration": round(value, 6)}
+            for e, attack, value in surface
+        ]
+    else:
+        points = figure7_series(config=config, mode=mode, backend=args.backend)
+        print(format_series("figure 7", points, "data loss", percent_x=True))
+        payload["points"] = _points_payload(points)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"figure JSON   -> {args.json}")
+    return 0
+
+
 def cmd_schema(args: argparse.Namespace) -> int:
     """Print a schema JSON template inferred from a CSV header."""
     header = (
@@ -227,6 +385,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="attempt §4.5 bijective-remapping recovery before decoding",
     )
     detect.set_defaults(handler=cmd_detect)
+
+    backend_choices = ("auto", "scalar", "engine", "vector")
+    mode_choices = ("auto", "serial", "hoisted", "pooled")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run the §5 multi-pass protocol over an attack-strength axis",
+    )
+    sweep.add_argument("--data", required=True, help="base relation CSV")
+    sweep.add_argument("--schema", required=True, help="schema JSON")
+    sweep.add_argument(
+        "--attribute", required=True, help="categorical attribute to mark"
+    )
+    sweep.add_argument("--e", type=int, default=65, help="encoding parameter")
+    sweep.add_argument(
+        "--attack",
+        choices=("alteration", "loss", "horizontal", "addition"),
+        default="alteration",
+        help="attack family swept over --xs",
+    )
+    sweep.add_argument(
+        "--xs", required=True,
+        help="comma-separated attack strengths (e.g. 0.2,0.4,0.6)",
+    )
+    sweep.add_argument(
+        "--passes", type=int, default=15,
+        help="keyed passes per point (the paper uses 15)",
+    )
+    sweep.add_argument(
+        "--watermark-length", type=int, default=10, help="|wm| bits"
+    )
+    sweep.add_argument(
+        "--flip-probability", type=float, default=0.7,
+        help="alteration bit-kill probability p (paper's estimate: 0.7)",
+    )
+    sweep.add_argument(
+        "--backend", choices=backend_choices, default="auto",
+        help="execution backend for embed/verify (bit-identical)",
+    )
+    sweep.add_argument(
+        "--mode", choices=mode_choices, default="auto",
+        help="sweep engine execution mode (serial = reference cost model)",
+    )
+    sweep.add_argument(
+        "--json", default=None, help="optional JSON output path"
+    )
+    sweep.set_defaults(handler=cmd_sweep)
+
+    figure = sub.add_parser(
+        "figure", help="regenerate one of the paper's figure series"
+    )
+    figure.add_argument(
+        "--figure", type=int, choices=(4, 5, 6, 7), required=True
+    )
+    figure.add_argument(
+        "--tuples", type=int, default=6000, help="relation size (§5: 6000)"
+    )
+    figure.add_argument(
+        "--items", type=int, default=500, help="distinct item count"
+    )
+    figure.add_argument(
+        "--passes", type=int, default=15, help="keyed passes per point"
+    )
+    figure.add_argument("--backend", choices=backend_choices, default="auto")
+    figure.add_argument("--mode", choices=mode_choices, default="auto")
+    figure.add_argument(
+        "--json", default=None, help="optional JSON output path"
+    )
+    figure.set_defaults(handler=cmd_figure)
 
     inspect = sub.add_parser(
         "inspect", help="show size and frequency profiles of a CSV"

@@ -13,8 +13,10 @@ from .detection import (
     VerificationResult,
     detect,
     extract_slots,
+    extract_slots_multipass,
     false_hit_probability,
     verify,
+    verify_multipass,
 )
 from .embedding import (
     EmbeddingResult,
@@ -113,6 +115,7 @@ __all__ = [
     "estimate_profile",
     "expected_bandwidth",
     "extract_slots",
+    "extract_slots_multipass",
     "false_hit_probability",
     "fit_keys",
     "fit_rows",
@@ -128,6 +131,7 @@ __all__ = [
     "value_pair_count",
     "verify",
     "verify_frequency",
+    "verify_multipass",
     "verify_pairs",
     "verify_watermark_consistency",
 ]

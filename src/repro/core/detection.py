@@ -15,6 +15,7 @@ false-hit probability falls below the court-time threshold.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from functools import lru_cache
 from math import comb
@@ -232,6 +233,39 @@ def _scan_scalar(
     return fit, slot_of
 
 
+def _assemble_detection(
+    spec: EmbeddingSpec, slots: list[int | None], fit_count: int, ecc=None
+) -> DetectionResult:
+    """Decode recovered slots into a :class:`DetectionResult`.
+
+    The single assembly point behind :func:`detect` and the fused
+    :func:`verify_multipass` — one place to grow, so the multi-pass path
+    can never drift from the single-pass one.
+    """
+    decode = (ecc or spec.ecc()).decode(slots, spec.watermark_length)
+    return DetectionResult(
+        watermark=Watermark(decode.bits),
+        decode=decode,
+        fit_count=fit_count,
+        slots_recovered=sum(slot is not None for slot in slots),
+        channel_length=spec.channel_length,
+    )
+
+
+def _assemble_verification(
+    detection: DetectionResult, expected: Watermark, significance: float
+) -> VerificationResult:
+    """Compare a detection against the claim (shared verdict assembly)."""
+    matches = expected.matching_bits(detection.watermark)
+    return VerificationResult(
+        detection=detection,
+        expected=expected,
+        matching_bits=matches,
+        false_hit_probability=false_hit_probability(matches, len(expected)),
+        significance=significance,
+    )
+
+
 def detect(
     table: Table,
     key: MarkKey,
@@ -245,14 +279,7 @@ def detect(
     slots, fit_count = extract_slots(
         table, key, spec, embedding_map, domain, value_mapping, engine
     )
-    decode = spec.ecc().decode(slots, spec.watermark_length)
-    return DetectionResult(
-        watermark=Watermark(decode.bits),
-        decode=decode,
-        fit_count=fit_count,
-        slots_recovered=sum(slot is not None for slot in slots),
-        channel_length=spec.channel_length,
-    )
+    return _assemble_detection(spec, slots, fit_count)
 
 
 @lru_cache(maxsize=4096)
@@ -288,6 +315,119 @@ def false_hit_probability(matching_bits: int, watermark_length: int) -> float:
     return _fair_binomial_tail(matching_bits, watermark_length)
 
 
+def extract_slots_multipass(
+    tables: Sequence[Table],
+    keys: Sequence[MarkKey],
+    spec: EmbeddingSpec,
+    embedding_maps: Sequence[dict[Hashable, int] | None] | None = None,
+    domain: CategoricalDomain | None = None,
+    value_mapping: dict[Hashable, Hashable] | None = None,
+    engine: HashEngine | str | None = None,
+) -> list[tuple[list[int | None], int]]:
+    """:func:`extract_slots` for P keyed passes over one shared spec.
+
+    Routes through the fused :func:`repro.core.kernels.detect_multipass`
+    kernel — one carrier gather + one ``bincount`` for all passes — when
+    the backend is vector-eligible and every suspect relation shares one
+    key-column factorization object (the §5 sweep-cell regime: attacked
+    clones of one base).  Otherwise it degrades to per-pass
+    :func:`extract_slots` calls; both routes are bit-identical.
+    """
+    tables = list(tables)
+    keys = list(keys)
+    if len(tables) != len(keys):
+        raise DetectionError(
+            f"{len(tables)} suspect relations but {len(keys)} keys"
+        )
+    maps: Sequence[dict[Hashable, int] | None]
+    maps = list(embedding_maps) if embedding_maps is not None else [None] * len(tables)
+    if len(maps) != len(tables):
+        raise DetectionError(
+            f"{len(tables)} suspect relations but {len(maps)} embedding maps"
+        )
+    if spec.variant == VARIANT_MAP and any(m is None for m in maps):
+        raise DetectionError(
+            "the 'map' variant needs the embedding_map recorded at embedding"
+        )
+    if (
+        len(tables) > 1
+        and engine != SCALAR
+        and all(kernels.use_vector(engine, table) for table in tables)
+        and kernels.shared_key_codes(tables, spec.key_attribute) is not None
+    ):
+        domains = []
+        for table in tables:
+            resolved = (
+                domain or table.schema.attribute(spec.mark_attribute).domain
+            )
+            if resolved is None:
+                raise DetectionError(
+                    f"no categorical domain available for "
+                    f"{spec.mark_attribute!r}"
+                )
+            domains.append(resolved)
+        engines = [resolve_backend(engine, key) for key in keys]
+        return kernels.detect_multipass(
+            tables,
+            spec,
+            domains,
+            maps if spec.variant == VARIANT_MAP else None,
+            value_mapping,
+            engines,
+        )
+    return [
+        extract_slots(
+            table, key, spec, embedding_map, domain, value_mapping, engine
+        )
+        for table, key, embedding_map in zip(tables, keys, maps)
+    ]
+
+
+def verify_multipass(
+    tables: Sequence[Table],
+    keys: Sequence[MarkKey],
+    spec: EmbeddingSpec,
+    expecteds: Sequence[Watermark],
+    embedding_maps: Sequence[dict[Hashable, int] | None] | None = None,
+    domain: CategoricalDomain | None = None,
+    value_mapping: dict[Hashable, Hashable] | None = None,
+    significance: float = DEFAULT_SIGNIFICANCE,
+    engine: HashEngine | str | None = None,
+) -> list[VerificationResult]:
+    """Verify P keyed passes of one spec in a single fused detection.
+
+    The multi-pass entry point behind the §5 evaluation protocol (and the
+    sweep engine's warm cells): pass ``p`` is verified on ``tables[p]``
+    under ``keys[p]`` against ``expecteds[p]``.  Results — detection,
+    matching bits, false-hit probability, verdict — are bit-identical to
+    a loop of :func:`verify` calls; only the execution fuses.
+    """
+    expecteds = list(expecteds)
+    if len(expecteds) != len(tables):
+        raise DetectionError(
+            f"{len(tables)} suspect relations but {len(expecteds)} "
+            f"expected watermarks"
+        )
+    for expected in expecteds:
+        if len(expected) != spec.watermark_length:
+            raise DetectionError(
+                f"expected watermark has {len(expected)} bits, spec says "
+                f"{spec.watermark_length}"
+            )
+    recovered = extract_slots_multipass(
+        tables, keys, spec, embedding_maps, domain, value_mapping, engine
+    )
+    ecc = spec.ecc()
+    return [
+        _assemble_verification(
+            _assemble_detection(spec, slots, fit_count, ecc=ecc),
+            expected,
+            significance,
+        )
+        for expected, (slots, fit_count) in zip(expecteds, recovered)
+    ]
+
+
 def verify(
     table: Table,
     key: MarkKey,
@@ -308,11 +448,4 @@ def verify(
     detection = detect(
         table, key, spec, embedding_map, domain, value_mapping, engine
     )
-    matches = expected.matching_bits(detection.watermark)
-    return VerificationResult(
-        detection=detection,
-        expected=expected,
-        matching_bits=matches,
-        false_hit_probability=false_hit_probability(matches, len(expected)),
-        significance=significance,
-    )
+    return _assemble_verification(detection, expected, significance)

@@ -61,6 +61,18 @@ VECTOR_MIN_ROWS = 4096
 
 _VARIANT_KEYED = "keyed"  # mirrors repro.core.embedding.VARIANT_KEYED
 
+#: kernel-launch telemetry: how many single-pass detections, fused
+#: multi-pass detections and embedding kernels ran.  The perf-smoke suite
+#: asserts a warm sweep cell performs exactly one ``detect_multipass``
+#: launch and zero per-pass ``detect`` launches.
+KERNEL_CALLS = {"detect": 0, "detect_multipass": 0, "embed": 0}
+
+
+def reset_kernel_calls() -> None:
+    """Zero the :data:`KERNEL_CALLS` counters (test isolation)."""
+    for name in KERNEL_CALLS:
+        KERNEL_CALLS[name] = 0
+
 
 def numpy_available() -> bool:
     """Did numpy import? (The AUTO heuristic's gate.)"""
@@ -107,6 +119,26 @@ def warm_codes(table: Table, *attributes: str) -> None:
 
 # -- detection ----------------------------------------------------------------
 
+def _decode_bits(mark_uniques, domain, value_mapping):
+    """Per-unique mark decoding: translate (``value_mapping``), reject
+    values outside the domain (-1), else the bit is the canonical index
+    parity.  Shared by the single-pass and fused multi-pass kernels."""
+    bits_u = np.full(len(mark_uniques), -1, dtype=np.int8)
+    in_domain = domain.__contains__
+    index_of = domain.index_of
+    if value_mapping is None:
+        for position, value in enumerate(mark_uniques):
+            if in_domain(value):
+                bits_u[position] = index_of(value) & 1
+    else:
+        translate = value_mapping.get
+        for position, value in enumerate(mark_uniques):
+            value = translate(value, value)
+            if in_domain(value):
+                bits_u[position] = index_of(value) & 1
+    return bits_u
+
+
 def extract_slots_vector(
     table: Table,
     spec,
@@ -123,6 +155,7 @@ def extract_slots_vector(
     only over *uniques* (domain decoding, map-variant slot resolution) and
     over the channel (verdict assembly).
     """
+    KERNEL_CALLS["detect"] += 1
     key_codes = table.column_codes(spec.key_attribute)
     mark_codes = table.column_codes(spec.mark_attribute)
     channel_length = spec.channel_length
@@ -131,22 +164,7 @@ def extract_slots_vector(
     row_fit = fit_u[key_codes.codes]
     fit_count = int(np.count_nonzero(row_fit))
 
-    # Per-unique mark decoding: translate (value_mapping), reject values
-    # outside the domain (-1), else the bit is the canonical index parity.
-    mark_uniques = mark_codes.uniques
-    bits_u = np.full(len(mark_uniques), -1, dtype=np.int8)
-    in_domain = domain.__contains__
-    index_of = domain.index_of
-    if value_mapping is None:
-        for position, value in enumerate(mark_uniques):
-            if in_domain(value):
-                bits_u[position] = index_of(value) & 1
-    else:
-        translate = value_mapping.get
-        for position, value in enumerate(mark_uniques):
-            value = translate(value, value)
-            if in_domain(value):
-                bits_u[position] = index_of(value) & 1
+    bits_u = _decode_bits(mark_codes.uniques, domain, value_mapping)
     row_bits = bits_u[mark_codes.codes]
     valid = row_fit & (row_bits >= 0)
 
@@ -202,6 +220,151 @@ def extract_slots_vector(
     return slots, fit_count
 
 
+def shared_key_codes(tables, key_attribute: str):
+    """The one :class:`ColumnCodes` object every table in ``tables``
+    holds for ``key_attribute`` — or ``None`` when they do not share.
+
+    Sharing happens by construction on the attack-sweep hot path: every
+    keyed pass clones the same base relation (inheriting its key-column
+    factorization copy-on-write) and the attacks only rewrite the mark
+    column, so the fifteen attacked clones of a sweep cell present the
+    *identical* factorization object.  Identity — not equality — is the
+    test, because the stacked plan caches are keyed per object.
+    """
+    if np is None or not tables:
+        return None
+    if all(table is tables[0] for table in tables[1:]):
+        return tables[0].column_codes(key_attribute)
+    codes = tables[0].column_codes(key_attribute, build=False)
+    if codes is None:
+        return None
+    for table in tables[1:]:
+        if table.column_codes(key_attribute, build=False) is not codes:
+            return None
+    return codes
+
+
+def detect_multipass(
+    tables,
+    spec,
+    domains,
+    embedding_maps,
+    value_mapping: dict[Hashable, Hashable] | None,
+    engines,
+) -> list[tuple[list[int | None], int]]:
+    """Fused slot recovery for P keyed passes sharing one key-column
+    factorization: one carrier gather and one ``bincount`` tally.
+
+    ``tables[p]`` is pass ``p``'s suspect relation (often fifteen attacked
+    clones of one base), ``engines[p]`` the pass's keyed engine and
+    ``domains[p]`` its resolved mark-value domain; all passes share
+    ``spec``.  Per-pass work above the row count is limited to mark-bit
+    decoding over *uniques*; everything row-shaped runs once, stacked:
+    fitness and slots gather through ``(P, U)`` plan stacks
+    (:meth:`~repro.crypto.HashEngine.fitness_stack` /
+    :meth:`~repro.crypto.HashEngine.slot_stack`) and every vote of every
+    pass lands in a single ``bincount(pass·2L + slot·2 + bit)``.  Tie
+    resolution is per pass, first vote in physical row order — output is
+    bit-identical to P separate :func:`extract_slots_vector` calls.
+
+    Callers must have verified sharing via :func:`shared_key_codes`.
+    """
+    KERNEL_CALLS["detect_multipass"] += 1
+    key_codes = tables[0].column_codes(spec.key_attribute)
+    channel_length = spec.channel_length
+    pass_count = len(tables)
+
+    fit_stack = HashEngine.fitness_stack(engines, key_codes, spec.e)
+    fit_rows = fit_stack[:, key_codes.codes]
+    fit_counts = fit_rows.sum(axis=1)
+
+    # Mark bits per pass; passes whose mark factorization object and
+    # domain coincide (e.g. verify_pairs over one table) decode once.
+    decoded: dict[tuple[int, int], Any] = {}
+    bits_rows = []
+    for table, domain in zip(tables, domains):
+        mark_codes = table.column_codes(spec.mark_attribute)
+        cache_key = (id(mark_codes), id(domain))
+        bits = decoded.get(cache_key)
+        if bits is None:
+            bits_u = _decode_bits(mark_codes.uniques, domain, value_mapping)
+            bits = bits_u[mark_codes.codes]
+            decoded[cache_key] = bits
+        bits_rows.append(bits)
+    bits_stack = np.stack(bits_rows)
+
+    valid = fit_rows & (bits_stack >= 0)
+    row_codes = key_codes.codes
+    if spec.variant == _VARIANT_KEYED:
+        slot_stack = HashEngine.slot_stack(
+            engines, key_codes, channel_length, spec.e
+        )
+        pass_rows, row_positions = np.nonzero(valid)
+        slots_v = slot_stack[pass_rows, row_codes[row_positions]].astype(
+            np.int64
+        )
+        bits_v = bits_stack[pass_rows, row_positions].astype(np.int64)
+    else:
+        assert embedding_maps is not None
+        key_uniques = key_codes.uniques
+        slot_map_stack = np.zeros(
+            (pass_count, len(key_uniques)), dtype=np.int64
+        )
+        mapped_stack = np.zeros((pass_count, len(key_uniques)), dtype=np.bool_)
+        for index, embedding_map in enumerate(embedding_maps):
+            lookup = embedding_map.get
+            for position, value in enumerate(key_uniques):
+                slot = lookup(value)
+                if slot is None:
+                    continue
+                mapped_stack[index, position] = True
+                slot_map_stack[index, position] = slot
+        use = valid & mapped_stack[:, row_codes]
+        pass_rows, row_positions = np.nonzero(use)
+        slots_v = slot_map_stack[pass_rows, row_codes[row_positions]]
+        bits_v = bits_stack[pass_rows, row_positions].astype(np.int64)
+        out_of_range = (slots_v < 0) | (slots_v >= channel_length)
+        if out_of_range.any():
+            bad = int(slots_v[out_of_range][0])
+            raise DetectionError(
+                f"embedding map entry {bad} outside channel "
+                f"[0, {channel_length})"
+            )
+
+    counts = np.bincount(
+        pass_rows * (2 * channel_length) + slots_v * 2 + bits_v,
+        minlength=pass_count * 2 * channel_length,
+    ).reshape(pass_count, channel_length, 2)
+    zeros = counts[:, :, 0]
+    ones = counts[:, :, 1]
+    total = zeros + ones
+
+    verdict = (ones > zeros).astype(np.int64)
+    ties = (total > 0) & (ones == zeros)
+    if ties.any():
+        # First vote per (pass, slot) in physical row order: np.nonzero is
+        # row-major, so entries of one pass appear in ascending row order
+        # and np.unique's return_index picks exactly the first of each.
+        flat = pass_rows * channel_length + slots_v
+        first_keys, first_positions = np.unique(flat, return_index=True)
+        firsts = np.zeros(pass_count * channel_length, dtype=np.int64)
+        firsts[first_keys] = bits_v[first_positions]
+        verdict = np.where(
+            ties, firsts.reshape(pass_count, channel_length), verdict
+        )
+
+    results: list[tuple[list[int | None], int]] = []
+    verdict_lists = verdict.tolist()
+    total_lists = total.tolist()
+    for index in range(pass_count):
+        slots: list[int | None] = [
+            bit if observed else None
+            for bit, observed in zip(verdict_lists[index], total_lists[index])
+        ]
+        results.append((slots, int(fit_counts[index])))
+    return results
+
+
 # -- embedding ----------------------------------------------------------------
 
 def embed_vector(
@@ -224,6 +387,7 @@ def embed_vector(
     :meth:`QualityGuard.apply_group`, preserving veto-and-rollback
     semantics cell by cell.
     """
+    KERNEL_CALLS["embed"] += 1
     key_codes = table.column_codes(spec.key_attribute)
     mark_codes = table.column_codes(spec.mark_attribute)
     channel_length = spec.channel_length

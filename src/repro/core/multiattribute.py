@@ -32,7 +32,7 @@ import networkx as nx
 from ..crypto import HashEngine, MarkKey
 from ..quality import Constraint, ChangeContext, QualityGuard
 from ..relational import Table
-from .detection import VerificationResult, verify
+from .detection import VerificationResult, verify_multipass
 from .embedding import (
     EmbeddingResult,
     EmbeddingSpec,
@@ -360,24 +360,37 @@ def verify_pairs(
 
     Pairs whose key or mark attribute was projected away (A5) are skipped —
     the surviving pairs are exactly the witnesses the scheme banks on.
+
+    Verification routes through the multi-pass detector
+    (:func:`~repro.core.detection.verify_multipass`): witnesses sharing
+    one spec shape run as a single fused kernel over the suspect
+    relation's shared factorization, heterogeneous specs (the usual
+    closure output — every directive marks a different pair) degrade to
+    per-pair detections; both are bit-identical to a loop of
+    :func:`~repro.core.detection.verify` calls.
     """
-    per_pair: dict[str, VerificationResult] = {}
+    groups: dict[EmbeddingSpec, list[str]] = {}
     for label, spec in embedding.specs.items():
         if (
             spec.key_attribute not in table.schema
             or spec.mark_attribute not in table.schema
         ):
             continue
-        pass_key = master_key.derive(label)
-        per_pair[label] = verify(
-            table,
-            pass_key,
+        groups.setdefault(spec, []).append(label)
+    per_pair: dict[str, VerificationResult] = {}
+    for spec, labels in groups.items():
+        results = verify_multipass(
+            [table] * len(labels),
+            [master_key.derive(label) for label in labels],
             spec,
-            expected,
-            embedding_map=embedding.embedding_maps.get(label),
+            [expected] * len(labels),
+            embedding_maps=[
+                embedding.embedding_maps.get(label) for label in labels
+            ],
             significance=significance,
             engine=backend,
         )
+        per_pair.update(zip(labels, results))
     if not per_pair:
         raise SpecError(
             "no marked attribute pair survives in the suspect relation"

@@ -26,6 +26,7 @@ from .engine import (
     get_engine,
     resolve_backend,
     resolve_engine,
+    stack_cache_info,
 )
 from .hashing import canonical_bytes, crypto_hash, keyed_hash, keyed_hash_mod
 from .keys import KeyError_, MarkKey
@@ -59,4 +60,5 @@ __all__ = [
     "resolve_engine",
     "seeded_rng",
     "set_bit",
+    "stack_cache_info",
 ]

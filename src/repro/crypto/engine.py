@@ -95,7 +95,40 @@ GC_PAUSE_THRESHOLD = 10_000
 #: bound keeps worst-case memory at cache ~hundreds of MB, not unbounded.
 DEFAULT_MAX_ENTRIES = 2_000_000
 
+#: per-engine bound on the number of column factorizations whose plan
+#: arrays are kept warm.  The arrays are weak-keyed (they die with their
+#: ColumnCodes), but workloads that churn *live* factorizations — an A1
+#: sweep creates a fresh subset factorization per cell — would otherwise
+#: accumulate arrays for as long as the attacked tables stay referenced;
+#: the LRU keeps the working set at "the few relations under study".
+DEFAULT_MAX_PLAN_CODES = 32
+
+#: process-wide bound on factorizations with cached multi-pass stacks
+_MAX_STACK_CODES = 16
+
 _DIGEST_BYTES = 32
+
+
+def _weak_lru_store(plans: "OrderedDict[weakref.ref, dict]", codes, bound: int) -> dict:
+    """The per-factorization sub-store of a weak-keyed, LRU-bounded cache.
+
+    Keyed by a weak reference so entries die with their
+    :class:`~repro.relational.table.ColumnCodes`; the reference's death
+    callback removes the slot eagerly, and the LRU bound evicts the
+    coldest *live* factorizations beyond ``bound``.  Shared by the
+    per-engine plan-array stores and the module-level stack-plan cache.
+    """
+    reference = weakref.ref(
+        codes, lambda ref, _plans=plans: _plans.pop(ref, None)
+    )
+    store = plans.get(reference)
+    if store is None:
+        store = plans[reference] = {}
+        while len(plans) > bound:
+            plans.popitem(last=False)
+    else:
+        plans.move_to_end(reference)
+    return store
 
 
 def _digest_chunk(key: bytes, bodies: list[bytes]) -> bytes:
@@ -329,7 +362,8 @@ class HashEngine:
 
     __slots__ = (
         "key", "k1", "k2", "_fit", "_slots", "_pairs", "_max_entries",
-        "_array_plans", "plan_arrays_built",
+        "_array_plans", "_max_plan_codes", "plan_arrays_built",
+        "plan_array_hits",
     )
 
     def __init__(
@@ -338,6 +372,7 @@ class HashEngine:
         pool_threshold: int = DEFAULT_POOL_THRESHOLD,
         max_workers: int | None = None,
         max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_plan_codes: int = DEFAULT_MAX_PLAN_CODES,
     ):
         self.key = key
         self.k1 = KeyedDigestCache(
@@ -354,12 +389,15 @@ class HashEngine:
         # factorization is immutable for the table version it was built
         # at, so identity-keyed entries can never go stale, and the weak
         # keys let arrays die with their table instead of pinning it.
-        self._array_plans: "weakref.WeakKeyDictionary[Any, dict]" = (
-            weakref.WeakKeyDictionary()
-        )
+        # LRU-bounded (max_plan_codes live factorizations) so that
+        # workloads churning live codes objects cannot grow it unbounded.
+        self._array_plans: "OrderedDict[weakref.ref, dict]" = OrderedDict()
+        self._max_plan_codes = max_plan_codes
         #: telemetry: plan arrays actually materialized (perf smoke
         #: asserts a warm vector re-detection builds zero of them)
         self.plan_arrays_built = 0
+        #: telemetry: plan-array requests answered from cache
+        self.plan_array_hits = 0
 
     def _derived(
         self, store: dict[int, dict], parameter: int
@@ -458,10 +496,8 @@ class HashEngine:
 
     # -- vector plan arrays (cached per column factorization) ---------------
     def _plan_store(self, codes) -> dict:
-        store = self._array_plans.get(codes)
-        if store is None:
-            store = self._array_plans[codes] = {}
-        return store
+        """The (LRU-tracked) plan-array store for one factorization."""
+        return _weak_lru_store(self._array_plans, codes, self._max_plan_codes)
 
     def fitness_array(self, codes, e: int):
         """Read-only bool array: per-unique fitness verdicts for a
@@ -476,19 +512,21 @@ class HashEngine:
         """
         store = self._plan_store(codes)
         entry = store.get(("fit", e))
-        if entry is None:
-            import numpy as np
+        if entry is not None:
+            self.plan_array_hits += 1
+            return entry
+        import numpy as np
 
-            uniques = codes.uniques
-            table = self.fitness_map(uniques, e)
-            entry = np.fromiter(
-                (table[value] for value in uniques),
-                dtype=np.bool_,
-                count=len(uniques),
-            )
-            entry.setflags(write=False)
-            store[("fit", e)] = entry
-            self.plan_arrays_built += 1
+        uniques = codes.uniques
+        table = self.fitness_map(uniques, e)
+        entry = np.fromiter(
+            (table[value] for value in uniques),
+            dtype=np.bool_,
+            count=len(uniques),
+        )
+        entry.setflags(write=False)
+        store[("fit", e)] = entry
+        self.plan_arrays_built += 1
         return entry
 
     def _fit_masked_array(self, codes, cache_key: tuple, e: int, map_for):
@@ -501,23 +539,25 @@ class HashEngine:
         """
         store = self._plan_store(codes)
         entry = store.get(cache_key)
-        if entry is None:
-            import numpy as np
+        if entry is not None:
+            self.plan_array_hits += 1
+            return entry
+        import numpy as np
 
-            fit = self.fitness_array(codes, e)
-            fit_positions = np.flatnonzero(fit)
-            uniques = codes.uniques
-            fit_values = [uniques[i] for i in fit_positions.tolist()]
-            table = map_for(fit_values)
-            entry = np.zeros(len(uniques), dtype=np.int32)
-            entry[fit_positions] = np.fromiter(
-                (table[value] for value in fit_values),
-                dtype=np.int32,
-                count=len(fit_values),
-            )
-            entry.setflags(write=False)
-            store[cache_key] = entry
-            self.plan_arrays_built += 1
+        fit = self.fitness_array(codes, e)
+        fit_positions = np.flatnonzero(fit)
+        uniques = codes.uniques
+        fit_values = [uniques[i] for i in fit_positions.tolist()]
+        table = map_for(fit_values)
+        entry = np.zeros(len(uniques), dtype=np.int32)
+        entry[fit_positions] = np.fromiter(
+            (table[value] for value in fit_values),
+            dtype=np.int32,
+            count=len(fit_values),
+        )
+        entry.setflags(write=False)
+        store[cache_key] = entry
+        self.plan_arrays_built += 1
         return entry
 
     def slot_array(self, codes, channel_length: int, e: int):
@@ -539,6 +579,92 @@ class HashEngine:
             e,
             lambda values: self.pair_map(values, domain_size),
         )
+
+    # -- stacked plan projections (multi-pass detection) ---------------------
+    #
+    # The §5 protocol detects P keyed passes over relations sharing one
+    # key-column factorization.  The stacks below bundle P engines'
+    # single-pass plan arrays into one (P, U) array so the fused kernel
+    # (repro.core.kernels.detect_multipass) gathers all passes at once.
+    # Cached weak-keyed per ColumnCodes like the single-pass arrays —
+    # keyed by the engines' MarkKeys, which fully determine the content —
+    # and LRU-bounded process-wide.
+
+    @staticmethod
+    def _stack(engines, codes, cache_key: tuple, build_row):
+        global plan_stacks_built, plan_stack_hits
+        store = _weak_lru_store(_stack_plans, codes, _MAX_STACK_CODES)
+        full_key = (cache_key, tuple(engine.key for engine in engines))
+        entry = store.get(full_key)
+        if entry is not None:
+            plan_stack_hits += 1
+            return entry
+        import numpy as np
+
+        entry = np.stack([build_row(engine) for engine in engines])
+        entry.setflags(write=False)
+        store[full_key] = entry
+        plan_stacks_built += 1
+        return entry
+
+    @staticmethod
+    def fitness_stack(engines, codes, e: int):
+        """Read-only ``(P, U)`` bool array: per-pass per-unique fitness
+        verdicts, one row per engine (pass), aligned with
+        ``codes.uniques``."""
+        return HashEngine._stack(
+            engines,
+            codes,
+            ("fit", e),
+            lambda engine: engine.fitness_array(codes, e),
+        )
+
+    @staticmethod
+    def slot_stack(engines, codes, channel_length: int, e: int):
+        """Read-only ``(P, U)`` int32 array: per-pass per-unique slot
+        indices (fit-masked like :meth:`slot_array`)."""
+        return HashEngine._stack(
+            engines,
+            codes,
+            ("slot", channel_length, e),
+            lambda engine: engine.slot_array(codes, channel_length, e),
+        )
+
+    @staticmethod
+    def pair_stack(engines, codes, domain_size: int, e: int):
+        """Read-only ``(P, U)`` int32 array: per-pass per-unique pair
+        indices (fit-masked like :meth:`pair_array`)."""
+        return HashEngine._stack(
+            engines,
+            codes,
+            ("pair", domain_size, e),
+            lambda engine: engine.pair_array(codes, domain_size, e),
+        )
+
+    # -- introspection ------------------------------------------------------
+    def cache_info(self) -> dict[str, Any]:
+        """Hit/miss/entry telemetry across every cache layer.
+
+        Digest misses are SHA-256 evaluations actually performed; derived
+        entries count memoized fitness/slot/pair verdicts; plan-array
+        numbers cover the weak-keyed vector-backend caches (bounded by
+        ``max_plan_codes``).  Surfaced in the bench JSON records.
+        """
+        return {
+            "digest_entries": len(self.k1) + len(self.k2),
+            "digests_computed": self.computed_digests,
+            "derived_entries": {
+                "fitness": sum(len(m) for m in self._fit.values()),
+                "slot": sum(len(m) for m in self._slots.values()),
+                "pair": sum(len(m) for m in self._pairs.values()),
+            },
+            "plan_codes_tracked": len(self._array_plans),
+            "plan_arrays": sum(
+                len(store) for store in self._array_plans.values()
+            ),
+            "plan_arrays_built": self.plan_arrays_built,
+            "plan_array_hits": self.plan_array_hits,
+        }
 
     # -- scalar conveniences ----------------------------------------------
     def is_fit(self, value: Hashable, e: int) -> bool:
@@ -571,6 +697,30 @@ class HashEngine:
     ) -> CarrierPlan:
         """A :class:`CarrierPlan` view for one embedding spec."""
         return CarrierPlan(self, e, channel_length, domain_size)
+
+
+# -- multi-pass stack-plan cache -------------------------------------------
+#
+# Stacked (P, U) plan arrays span several engines, so they live at module
+# level rather than on any single engine: weak-keyed per ColumnCodes (the
+# arrays die with the factorization), LRU-bounded, inner-keyed by the
+# participating MarkKeys + parameters.
+
+_stack_plans: "OrderedDict[weakref.ref, dict]" = OrderedDict()
+
+#: telemetry: (P, U) plan stacks actually materialized / served warm
+plan_stacks_built = 0
+plan_stack_hits = 0
+
+
+def stack_cache_info() -> dict[str, int]:
+    """Entry/built/hit telemetry for the multi-pass stack-plan cache."""
+    return {
+        "codes_tracked": len(_stack_plans),
+        "stacks": sum(len(store) for store in _stack_plans.values()),
+        "stacks_built": plan_stacks_built,
+        "stack_hits": plan_stack_hits,
+    }
 
 
 # -- process-wide engine registry ------------------------------------------
@@ -660,3 +810,4 @@ def clear_engine_registry() -> None:
     """Drop every shared engine/cache (test isolation, memory pressure)."""
     _engines.clear()
     _raw_caches.clear()
+    _stack_plans.clear()

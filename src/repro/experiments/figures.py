@@ -14,7 +14,8 @@ All series run on the shared :class:`~repro.experiments.sweepengine
 sweep point (and across the figures of one bench run, which share the
 same base relation).  ``mode`` forwards the engine's execution mode —
 ``"serial"`` for the re-embed-per-cell reference, ``"hoisted"`` /
-``"pooled"`` to force a path, ``None`` for auto.
+``"pooled"`` to force a path, ``None`` for auto — and ``backend`` the
+(bit-identical) execution backend of every pass's embed/verify.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..attacks import DataLossAttack, SubsetAlterationAttack
+from ..crypto import AUTO
 from ..datagen import generate_item_scan
 from .runner import ExperimentPoint, PAPER_PASSES, sweep
 
@@ -54,6 +56,7 @@ def figure4_series(
     e_values: tuple[int, ...] = (65, 35),
     attack_sizes: tuple[float, ...] = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
     mode: str | None = None,
+    backend: str = AUTO,
 ) -> dict[int, list[ExperimentPoint]]:
     """Figure 4: mark alteration vs attack size, one series per ``e``."""
     table = config.base_table()
@@ -70,6 +73,7 @@ def figure4_series(
             watermark_length=config.watermark_length,
             passes=config.passes,
             mode=mode,
+            backend=backend,
         )
     return series
 
@@ -79,6 +83,7 @@ def figure5_series(
     e_values: tuple[int, ...] = (10, 25, 50, 75, 100, 125, 150, 175, 200),
     attack_sizes: tuple[float, ...] = (0.55, 0.20),
     mode: str | None = None,
+    backend: str = AUTO,
 ) -> dict[float, list[ExperimentPoint]]:
     """Figure 5: mark alteration vs ``e``, one series per attack size.
 
@@ -101,6 +106,7 @@ def figure5_series(
                 watermark_length=config.watermark_length,
                 passes=config.passes,
                 mode=mode,
+                backend=backend,
             )[0]
             points.append(ExperimentPoint(x=float(e), passes=results.passes))
         series[attack_size] = points
@@ -112,6 +118,7 @@ def figure6_surface(
     e_values: tuple[int, ...] = (20, 65, 110, 155, 200),
     attack_sizes: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8),
     mode: str | None = None,
+    backend: str = AUTO,
 ) -> list[tuple[int, float, float]]:
     """Figure 6: the (attack size × e) → mark-loss surface.
 
@@ -132,6 +139,7 @@ def figure6_surface(
             watermark_length=config.watermark_length,
             passes=config.passes,
             mode=mode,
+            backend=backend,
         )
         for point in points:
             surface.append((e, point.x, point.mean_alteration))
@@ -145,6 +153,7 @@ def figure7_series(
         0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
     ),
     mode: str | None = None,
+    backend: str = AUTO,
 ) -> list[ExperimentPoint]:
     """Figure 7: mark alteration vs data loss (attack A1).
 
@@ -161,4 +170,5 @@ def figure7_series(
         watermark_length=config.watermark_length,
         passes=config.passes,
         mode=mode,
+        backend=backend,
     )

@@ -52,6 +52,7 @@ import hashlib
 import os
 import pickle
 import random
+import weakref
 from collections import OrderedDict
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
@@ -59,9 +60,9 @@ from statistics import mean, pstdev
 from typing import Any, Hashable
 
 from ..attacks import Attack
-from ..core import Watermark, Watermarker
-from ..crypto import AUTO, MarkKey
-from ..relational import Table
+from ..core import Watermark, Watermarker, kernels, verify_multipass
+from ..crypto import AUTO, ENGINE, SCALAR, MarkKey
+from ..relational import CategoricalDomain, Table
 
 #: the paper's pass count
 PAPER_PASSES = 15
@@ -174,6 +175,13 @@ class EmbeddedPass:
             engine=protocol.backend,
         )
         outcome = marker.embed(base_table, watermark, protocol.mark_attribute)
+        if kernels.use_vector(marker.engine, outcome.table):
+            # Re-factorize the mark column once per seed: embedding just
+            # rewrote it, and every attacked clone of this pass inherits
+            # the refreshed codes copy-on-write — so the code-level
+            # attacks and the fused detection kernel start warm at every
+            # sweep point instead of re-factorizing per cell.
+            kernels.warm_codes(outcome.table, protocol.mark_attribute)
         return cls(
             seed=seed, marker=marker, table=outcome.table,
             record=outcome.record,
@@ -196,6 +204,11 @@ def run_cell(
 ) -> PassResult:
     """Attack + verify one ``(seed, x)`` cell of an embedded pass."""
     attacked = attack.apply(embedded.table, cell_rng(embedded.seed, x))
+    return _verify_cell(embedded, attacked)
+
+
+def _verify_cell(embedded: EmbeddedPass, attacked: Table) -> PassResult:
+    """Verify one already-attacked cell (the per-pass reference path)."""
     verdict = embedded.marker.verify(attacked, embedded.record)
     association = verdict.association
     if association is None:
@@ -213,19 +226,137 @@ def run_cell(
     )
 
 
+def run_point(
+    passes: Sequence[EmbeddedPass],
+    attack: Attack,
+    x: float | None,
+    fused: bool = True,
+) -> list[PassResult]:
+    """Every pass's cell at one sweep point — fused when possible.
+
+    Attacks run per cell under the usual rng contract; verification of
+    all P attacked clones then goes through one
+    :func:`~repro.core.detection.verify_multipass` call (one carrier
+    gather + one ``bincount`` for the whole point) whenever the passes
+    are homogeneous and the attacked clones share the base relation's
+    key-column factorization.  Heterogeneous or non-vector points fall
+    back to the per-cell path; both are bit-identical.
+    """
+    attacked = [
+        attack.apply(embedded.table, cell_rng(embedded.seed, x))
+        for embedded in passes
+    ]
+    if fused and len(passes) > 1:
+        results = _fused_point_results(passes, attacked)
+        if results is not None:
+            return results
+    return [
+        _verify_cell(embedded, suspect)
+        for embedded, suspect in zip(passes, attacked)
+    ]
+
+
+def _fused_point_results(
+    passes: Sequence[EmbeddedPass], attacked: Sequence[Table]
+) -> list[PassResult] | None:
+    """Fused verification of one sweep point, or ``None`` to fall back.
+
+    Fusable when every pass shares the protocol-shaped state (spec,
+    domain, backend, significance, no frequency channel) and every
+    attacked clone is vector-eligible and presents the same key-column
+    factorization object — the regime of every alteration-style sweep
+    cell.  The per-cell fallback produces bit-identical results.
+    """
+    first = passes[0]
+    record = first.record
+    spec = record.spec
+    marker = first.marker
+    backend = marker.engine
+    if not isinstance(backend, str) or backend in (SCALAR, ENGINE):
+        return None
+    for embedded in passes:
+        other = embedded.record
+        if (
+            other.spec != spec
+            or other.frequency_record is not None
+            or other.domain_values != record.domain_values
+            or embedded.marker.engine != backend
+            or embedded.marker.significance != marker.significance
+        ):
+            return None
+    for suspect in attacked:
+        if (
+            spec.key_attribute not in suspect.schema
+            or spec.mark_attribute not in suspect.schema
+            or not kernels.use_vector(backend, suspect)
+        ):
+            return None
+    if kernels.shared_key_codes(attacked, spec.key_attribute) is None:
+        return None
+    domain = (
+        CategoricalDomain(record.domain_values)
+        if record.domain_values is not None
+        else None
+    )
+    verifications = verify_multipass(
+        attacked,
+        [embedded.marker.key for embedded in passes],
+        spec,
+        [embedded.record.watermark for embedded in passes],
+        embedding_maps=[embedded.record.embedding_map for embedded in passes],
+        domain=domain,
+        significance=marker.significance,
+        engine=backend,
+    )
+    return [
+        PassResult(
+            seed=embedded.seed,
+            mark_alteration=result.mark_alteration,
+            detected=result.detected,
+            false_hit_probability=result.false_hit_probability,
+            fit_count=result.detection.fit_count,
+            slots_recovered=result.detection.slots_recovered,
+        )
+        for embedded, result in zip(passes, verifications)
+    ]
+
+
+# Token memoization, keyed by table identity (tables are content-equal
+# comparable, hence unhashable — the weak reference guards id reuse and
+# cleans the slot up when the table dies).
+_token_cache: dict[int, tuple["weakref.ref[Table]", int, bytes]] = {}
+
+
 def _table_token(table: Table) -> bytes:
     """Content fingerprint of a relation (schema + rows, physical order).
 
     Keys the embedded-pass caches and the persistent pool: equal-content
     base relations (e.g. the same ``generate_item_scan`` call in two
     benches) share warm state; any difference — including row order —
-    forces a re-embed, which is always safe.
+    forces a re-embed, which is always safe.  Memoized per (table,
+    version) so repeated runs over one base relation hash it once.
     """
+    slot = id(table)
+    entry = _token_cache.get(slot)
+    if (
+        entry is not None
+        and entry[0]() is table
+        and entry[1] == table.version
+    ):
+        return entry[2]
     digest = hashlib.sha256()
     digest.update(repr(table.schema).encode("utf-8"))
     for row in table:
         digest.update(repr(row).encode("utf-8"))
-    return digest.digest()
+    token = digest.digest()
+    _token_cache[slot] = (
+        weakref.ref(
+            table, lambda ref, _slot=slot: _token_cache.pop(_slot, None)
+        ),
+        table.version,
+        token,
+    )
+    return token
 
 
 # -- persistent worker pool ---------------------------------------------------
@@ -366,11 +497,16 @@ class SweepEngine:
         mode: str = MODE_AUTO,
         max_workers: int | None = None,
         pass_cache_size: int = _PASS_CACHE_SIZE,
+        fused: bool = True,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         self.mode = mode
         self.max_workers = max_workers
+        #: fuse all passes of a hoisted sweep point into one multi-pass
+        #: detection kernel (bit-identical; ``False`` keeps the PR-3
+        #: per-pass path — the benches' comparison baseline)
+        self.fused = fused
         self._passes: "OrderedDict[tuple[bytes, SweepProtocol, int], EmbeddedPass]" = (
             OrderedDict()
         )
@@ -480,7 +616,7 @@ class SweepEngine:
         ]
         points = []
         for x, attack in attacks:
-            results = [run_cell(embedded, attack, x) for embedded in passes]
+            results = run_point(passes, attack, x, fused=self.fused)
             self.cells_executed += len(results)
             points.append(ExperimentPoint(x=x, passes=results))
         return points

@@ -61,6 +61,28 @@ class ColumnCodes:
         return len(self.codes)
 
 
+def _canonical_codes(np, raw, uniques: list[Any]) -> ColumnCodes:
+    """Re-canonicalize a raw code array into first-encounter form.
+
+    ``raw`` indexes into ``uniques`` but may use the codes in any order and
+    may leave some unused (a batched overwrite can erase a value's last
+    occurrence).  The result is exactly what a fresh row scan would
+    factorize: uniques in first physical encounter order, no unused
+    entries — so every codes consumer (plan arrays, histogram bincounts)
+    sees the same factorization either way.
+    """
+    used, first_positions = np.unique(raw, return_index=True)
+    order = np.argsort(first_positions, kind="stable")
+    encounter = used[order]
+    translate = np.empty(
+        int(used[-1]) + 1 if len(used) else 0, dtype=np.int32
+    )
+    translate[encounter] = np.arange(len(encounter), dtype=np.int32)
+    codes = translate[raw]
+    codes.setflags(write=False)
+    return ColumnCodes(codes, [uniques[i] for i in encounter.tolist()])
+
+
 class Table:
     """A mutable relation instance over a fixed :class:`Schema`."""
 
@@ -68,6 +90,8 @@ class Table:
         "_schema", "_rows", "_pk_index", "_pk_position", "name",
         "_version", "_column_cache", "_owned",
         "_codes_cache", "_attr_writes", "_structural_version",
+        "_view_hits", "_view_misses", "_codes_hits", "_codes_misses",
+        "_pending", "__weakref__",
     )
 
     def __init__(
@@ -93,6 +117,21 @@ class Table:
         # ours; a set holds the ids of rows re-acquired since the last
         # clone() made the storage shared (see _writable_row).
         self._owned: set[int] | None = None
+        # Read-cache telemetry (cache_info): column-view and column-codes
+        # requests answered from cache vs rebuilt.
+        self._view_hits = 0
+        self._view_misses = 0
+        self._codes_hits = 0
+        self._codes_misses = 0
+        # Deferred columnar write (apply_codes): logically-applied cell
+        # updates for ONE non-key attribute whose row materialization is
+        # postponed until something actually reads those rows.  Shape:
+        # (attribute, column position, row positions, codes, uniques).
+        # The attribute's cached factorization already reflects the
+        # update, so codes-only consumers (the vector detection kernels)
+        # never trigger the flush — a sweep's attacked clones die without
+        # ever paying the per-row write loop.
+        self._pending: tuple[str, int, list[int], list[int], list[Any]] | None = None
         for row in rows:
             self.insert(row)
 
@@ -110,6 +149,7 @@ class Table:
 
     def __iter__(self) -> Iterator[tuple[Any, ...]]:
         """Iterate tuples in current physical order."""
+        self._flush_pending()
         return (tuple(row) for row in self._rows)
 
     def __contains__(self, key: Hashable) -> bool:
@@ -152,6 +192,57 @@ class Table:
             and cached_version >= self._attr_writes.get(attribute, 0)
         )
 
+    def cache_info(self) -> dict[str, int]:
+        """Read-cache telemetry: entries held and hit/miss counts.
+
+        ``*_entries`` counts cached attributes (stale entries included —
+        they are evicted lazily); hits/misses count :meth:`column_view` /
+        :meth:`column_codes` requests since construction.  Surfaced in the
+        bench JSON records so cache efficiency is tracked alongside
+        throughput.
+        """
+        return {
+            "view_entries": len(self._column_cache),
+            "view_hits": self._view_hits,
+            "view_misses": self._view_misses,
+            "codes_entries": len(self._codes_cache),
+            "codes_hits": self._codes_hits,
+            "codes_misses": self._codes_misses,
+        }
+
+    # -- deferred columnar writes ------------------------------------------------
+    def _flush_pending(self) -> None:
+        """Materialize a deferred :meth:`apply_codes` batch into the rows.
+
+        Runs before any row-shaped read or any mutation; a no-op almost
+        always.  Does **not** bump :attr:`version` — the logical mutation
+        (and its version bump) happened when the batch was staged.
+        """
+        pending = self._pending
+        if pending is None:
+            return
+        self._pending = None
+        _, position, positions, codes, uniques = pending
+        rows = self._rows
+        owned = self._owned
+        if owned is None:
+            for slot, code in zip(positions, codes):
+                rows[slot][position] = uniques[code]
+            return
+        for slot, code in zip(positions, codes):
+            row = rows[slot]
+            if id(row) not in owned:
+                row = row.copy()
+                rows[slot] = row
+                owned.add(id(row))
+            row[position] = uniques[code]
+
+    def _flush_if(self, attribute: str) -> None:
+        """Flush only when the deferred batch covers ``attribute``."""
+        pending = self._pending
+        if pending is not None and pending[0] == attribute:
+            self._flush_pending()
+
     # -- reads -------------------------------------------------------------------
     def keys(self) -> Iterator[Hashable]:
         """Primary-key values in current physical order."""
@@ -159,6 +250,7 @@ class Table:
 
     def get(self, key: Hashable) -> tuple[Any, ...]:
         """Return the tuple whose primary key equals ``key``."""
+        self._flush_pending()
         try:
             return tuple(self._rows[self._pk_index[key]])
         except KeyError:
@@ -166,6 +258,7 @@ class Table:
 
     def value(self, key: Hashable, attribute: str) -> Any:
         """Return ``T_key(attribute)``."""
+        self._flush_if(attribute)
         position = self._schema.position(attribute)
         try:
             return self._rows[self._pk_index[key]][position]
@@ -178,6 +271,7 @@ class Table:
         Returns a fresh list the caller may mutate; hot loops that only
         read should prefer :meth:`column_view`.
         """
+        self._flush_if(attribute)
         position = self._schema.position(attribute)
         return [row[position] for row in self._rows]
 
@@ -191,7 +285,10 @@ class Table:
         """
         cached = self._column_cache.get(attribute)
         if cached is not None and self._cache_fresh(cached[0], attribute):
+            self._view_hits += 1
             return cached[1]
+        self._view_misses += 1
+        self._flush_if(attribute)
         position = self._schema.position(attribute)
         values = [row[position] for row in self._rows]
         self._column_cache[attribute] = (self._version, values)
@@ -217,9 +314,12 @@ class Table:
         """
         cached = self._codes_cache.get(attribute)
         if cached is not None and self._cache_fresh(cached[0], attribute):
+            self._codes_hits += 1
             return cached[1]
         if not build:
             return None
+        self._codes_misses += 1
+        self._flush_if(attribute)
         np = _require_numpy()
         if attribute == self._schema.primary_key:
             # Primary keys are unique: every row is its own code and the
@@ -253,6 +353,7 @@ class Table:
         The columnar counterpart of :meth:`value` — one schema lookup for
         the whole batch instead of one per cell.
         """
+        self._flush_if(attribute)
         position = self._schema.position(attribute)
         rows = self._rows
         index = self._pk_index
@@ -268,6 +369,9 @@ class Table:
         several — the columnar alternative to ``for row in table`` for
         loops that touch two columns of a wide relation.
         """
+        pending = self._pending
+        if pending is not None and pending[0] in attributes:
+            self._flush_pending()
         positions = tuple(self._schema.position(a) for a in attributes)
         if len(positions) == 1:
             position = positions[0]
@@ -283,6 +387,7 @@ class Table:
         self, predicate: Callable[[tuple[Any, ...]], bool]
     ) -> Iterator[tuple[Any, ...]]:
         """Yield tuples satisfying ``predicate``."""
+        self._flush_pending()
         for row in self._rows:
             frozen = tuple(row)
             if predicate(frozen):
@@ -291,6 +396,7 @@ class Table:
     # -- writes -------------------------------------------------------------------
     def insert(self, row: Iterable[Any]) -> None:
         """Append a tuple; rejects arity/type/domain violations and PK reuse."""
+        self._flush_pending()
         materialised = list(row)
         self._schema.validate_row(materialised)
         key = materialised[self._pk_position]
@@ -309,6 +415,7 @@ class Table:
         This is the single write primitive used by mark encoding
         (``T_j(A) <- a_t``) and by the rollback log's undo path.
         """
+        self._flush_pending()
         position = self._schema.position(attribute)
         self._schema.attribute(attribute).validate(value)
         if position == self._pk_position:
@@ -343,6 +450,7 @@ class Table:
         keys within a non-key batch follow sequential semantics (last value
         wins).  Returns the number of cells written.
         """
+        self._flush_pending()
         position = self._schema.position(attribute)
         # Materialize first: a lazy iterable that reads this table (e.g.
         # through column_view) must observe the pre-batch state, never a
@@ -412,6 +520,170 @@ class Table:
         self._attr_writes[attribute] = self._version
         return len(staged)
 
+    def apply_codes(
+        self,
+        attribute: str,
+        positions: Iterable[int],
+        codes: Iterable[int],
+        base: ColumnCodes,
+        extra_uniques: Iterable[Any] = (),
+    ) -> int:
+        """Batched positional cell update in code space — the attack fast
+        path.
+
+        Writes ``uniques[codes[i]]`` into row ``positions[i]`` of
+        ``attribute``, where ``uniques`` is ``base.uniques`` extended by
+        ``extra_uniques``.  Like :meth:`set_values` the batch is atomic
+        (everything validated before the first write) and costs a single
+        version bump; unlike it, the row addressing is positional (no
+        primary-key lookups) and the column's cached factorization is
+        *maintained* instead of invalidated: the updated
+        :class:`ColumnCodes` — re-canonicalized to first-encounter form,
+        exactly what a fresh scan would factorize — is installed at the
+        new version, so a following vector detection of the attacked
+        column re-factorizes nothing.
+
+        ``base`` must be this table's current fresh
+        ``column_codes(attribute)`` (anything else would desynchronize
+        codes and rows and is rejected).  Positions should be distinct;
+        duplicates follow last-value-wins sequential semantics.  The
+        primary key is not supported (renames need index maintenance, and
+        code-level attacks never rewrite keys).
+
+        The row materialization itself is *deferred*: the batch is staged
+        (and the version bumped) immediately, but the per-row cell writes
+        run lazily on the first row-shaped read.  Codes-only consumers —
+        the vector detection kernels — never trigger them, which is what
+        makes a code-level attack O(batch) instead of O(batch · row
+        bookkeeping).
+        """
+        position = self._schema.position(attribute)
+        if position == self._pk_position:
+            raise SchemaError(
+                "apply_codes does not support the primary-key column"
+            )
+        self._flush_pending()
+        current = self._codes_cache.get(attribute)
+        if (
+            current is None
+            or current[1] is not base
+            or not self._cache_fresh(current[0], attribute)
+        ):
+            raise ValueError(
+                f"base is not this table's current column_codes() "
+                f"factorization of {attribute!r}"
+            )
+        positions = list(positions)
+        codes = list(codes)
+        if len(positions) != len(codes):
+            raise ValueError("positions and codes must have equal length")
+        if not positions:
+            return 0
+        uniques = base.uniques
+        base_length = len(uniques)
+        if extra_uniques:
+            uniques = list(uniques) + list(extra_uniques)
+        lowest, highest = min(codes), max(codes)
+        if lowest < 0 or highest >= len(uniques):
+            bad = lowest if lowest < 0 else highest
+            raise IndexError(f"code {bad} outside [0, {len(uniques)})")
+        if highest >= base_length:
+            # Only appended values need validation: every code below
+            # base_length names a value already present in the column,
+            # which passed schema validation when it entered the table.
+            meta = self._schema.attribute(attribute)
+            for code in set(codes):
+                if code >= base_length:
+                    meta.validate(uniques[code])
+        row_count = len(self._rows)
+        lowest, highest = min(positions), max(positions)
+        if lowest < 0 or highest >= row_count:
+            bad = lowest if lowest < 0 else highest
+            raise IndexError(
+                f"row position {bad} outside [0, {row_count})"
+            )
+        self._pending = (attribute, position, positions, codes, uniques)
+        self._version += 1
+        self._attr_writes[attribute] = self._version
+        np = _require_numpy()
+        raw = base.codes.copy()
+        raw[positions] = np.asarray(codes, dtype=np.int32)
+        self._codes_cache[attribute] = (
+            self._version, _canonical_codes(np, raw, uniques)
+        )
+        return len(positions)
+
+    def append_rows(self, rows: Iterable[Iterable[Any]]) -> int:
+        """Batched :meth:`insert`: append many tuples, one version bump.
+
+        Validation and duplicate-key rejection are atomic — the whole
+        batch is checked before the first row lands.  Cached column
+        factorizations that are fresh at call time are *extended* instead
+        of invalidated: appending cannot change an existing row's code,
+        so the new factorization is the old one plus the appended values
+        (first-encounter order preserved) — the A2 attack fast path
+        re-detects the diluted relation without re-factorizing it.
+        """
+        self._flush_pending()
+        staged = [list(row) for row in rows]
+        if not staged:
+            return 0
+        for row in staged:
+            self._schema.validate_row(row)
+        pk_position = self._pk_position
+        index = self._pk_index
+        batch: set[Hashable] = set()
+        for row in staged:
+            key = row[pk_position]
+            if key in index or key in batch:
+                raise DuplicateKeyError(key)
+            batch.add(key)
+        # Capture fresh factorizations before the structural bump below
+        # marks them stale.
+        fresh = {
+            attribute: entry[1]
+            for attribute, entry in self._codes_cache.items()
+            if self._cache_fresh(entry[0], attribute)
+        }
+        start = len(self._rows)
+        for offset, row in enumerate(staged):
+            index[row[pk_position]] = start + offset
+        self._rows.extend(staged)
+        if self._owned is not None:
+            self._owned.update(id(row) for row in staged)
+        self._version += 1
+        self._structural_version = self._version
+        if fresh:
+            np = _require_numpy()
+            for attribute, codes in fresh.items():
+                attr_position = self._schema.position(attribute)
+                appended = [row[attr_position] for row in staged]
+                if attr_position == pk_position:
+                    # Primary keys stay unique: the factorization remains
+                    # the identity over the (extended) column.
+                    uniques = codes.uniques + appended
+                    extended = np.arange(len(uniques), dtype=np.int32)
+                else:
+                    uniques = list(codes.uniques)
+                    lookup = {
+                        value: slot for slot, value in enumerate(uniques)
+                    }
+                    out: list[int] = []
+                    for value in appended:
+                        slot = lookup.get(value)
+                        if slot is None:
+                            slot = lookup[value] = len(uniques)
+                            uniques.append(value)
+                        out.append(slot)
+                    extended = np.concatenate(
+                        [codes.codes, np.asarray(out, dtype=np.int32)]
+                    )
+                extended.setflags(write=False)
+                self._codes_cache[attribute] = (
+                    self._version, ColumnCodes(extended, uniques)
+                )
+        return len(staged)
+
     def _writable_row(self, slot: int) -> list[Any]:
         """The row at ``slot``, privatized for in-place mutation.
 
@@ -453,6 +725,7 @@ class Table:
         guaranteed to be stable across deletions (watermark detection must
         not — and does not — rely on physical order, per attack A4).
         """
+        self._flush_pending()
         try:
             slot = self._pk_index.pop(key)
         except KeyError:
@@ -468,6 +741,7 @@ class Table:
 
     def replace_rows(self, rows: Iterable[Iterable[Any]]) -> None:
         """Atomically replace the table contents (used by sort/shuffle ops)."""
+        self._pending = None  # superseded wholesale; nothing to keep
         staged: list[list[Any]] = []
         index: dict[Hashable, int] = {}
         for row in rows:
@@ -501,6 +775,7 @@ class Table:
         mark column therefore re-detects on the base relation's key-column
         codes — the factorize-once contract of the vector backend.
         """
+        self._flush_pending()
         duplicate = Table(self._schema, name=name or self.name)
         duplicate._rows = self._rows.copy()
         duplicate._pk_index = self._pk_index.copy()
@@ -516,12 +791,140 @@ class Table:
         duplicate._codes_cache = dict(self._codes_cache)
         return duplicate
 
+    def take(self, positions: Iterable[int], name: str | None = None) -> "Table":
+        """Row subset by physical position, sharing storage copy-on-write.
+
+        The relational fast path behind the A1 attacks: the selected row
+        lists are *shared* with this table (privatized on first write on
+        either side, exactly like :meth:`clone`) instead of re-validated
+        and re-materialized tuple by tuple, and every fresh cached
+        factorization comes along as a gather — re-canonicalized so the
+        subset's codes are exactly what a fresh scan of it would produce.
+        Output order follows ``positions``; out-of-range or duplicate-key
+        positions raise before any state changes.
+        """
+        self._flush_pending()
+        positions = list(positions)
+        rows = self._rows
+        row_count = len(rows)
+        taken: list[list[Any]] = []
+        for position in positions:
+            if not 0 <= position < row_count:
+                raise IndexError(
+                    f"row position {position} outside [0, {row_count})"
+                )
+            taken.append(rows[position])
+        pk_position = self._pk_position
+        index: dict[Hashable, int] = {}
+        for slot, row in enumerate(taken):
+            key = row[pk_position]
+            if key in index:
+                raise DuplicateKeyError(key)
+            index[key] = slot
+        duplicate = Table(self._schema, name=name or f"{self.name}_take")
+        duplicate._rows = taken
+        duplicate._pk_index = index
+        # Shared storage: every row of either side must now privatize
+        # before mutating (the taken rows live in both tables).
+        self._owned = set()
+        duplicate._owned = set()
+        if taken and self._codes_cache:
+            np = _require_numpy()
+            gather = np.asarray(positions, dtype=np.intp)
+            for attribute, (cached_version, codes) in self._codes_cache.items():
+                if not self._cache_fresh(cached_version, attribute):
+                    continue
+                duplicate._codes_cache[attribute] = (
+                    duplicate._version,
+                    _canonical_codes(np, codes.codes[gather], codes.uniques),
+                )
+        return duplicate
+
+    def with_mapped_column(
+        self,
+        attribute: str,
+        mapping: dict[Any, Any],
+        schema: Schema | None = None,
+        name: str | None = None,
+    ) -> "Table":
+        """Rewrite one column through a per-value mapping into a new table.
+
+        The code-level A6 (re-mapping) fast path: the mapping is resolved
+        and validated once per *distinct* value instead of per row, rows
+        are copied without per-row schema validation (every other cell is
+        already valid under an identical attribute layout), and the
+        column's factorization carries over with only its uniques
+        re-labelled — the codes array itself is unchanged, and untouched
+        columns keep their factorization objects verbatim, so detection
+        of the re-mapped relation stays warm.  ``schema`` (defaults to
+        this table's) must have identical attribute names and order;
+        a value missing from ``mapping`` raises ``KeyError`` exactly like
+        a per-row ``mapping[value]`` scan would.
+        """
+        target_schema = schema or self._schema
+        if target_schema.names != self._schema.names:
+            raise SchemaError(
+                "replacement schema must have identical attribute names/order"
+            )
+        position = target_schema.position(attribute)
+        meta = target_schema.attribute(attribute)
+        try:
+            codes = self.column_codes(attribute)
+        except ImportError:  # pragma: no cover - slim installs only
+            codes = None
+        if codes is not None:
+            distinct: Iterable[Any] = codes.uniques
+        else:
+            distinct = dict.fromkeys(self.column_view(attribute))
+        images = {value: mapping[value] for value in distinct}
+        for value in images.values():
+            meta.validate(value)
+        self._flush_pending()
+        mapped_rows: list[list[Any]] = []
+        for row in self._rows:
+            fresh = row.copy()
+            fresh[position] = images[fresh[position]]
+            mapped_rows.append(fresh)
+        duplicate = Table(target_schema, name=name or f"{self.name}_mapped")
+        duplicate._rows = mapped_rows
+        if position == self._pk_position:
+            index: dict[Hashable, int] = {}
+            for slot, row in enumerate(mapped_rows):
+                key = row[position]
+                if key in index:
+                    raise DuplicateKeyError(key)
+                index[key] = slot
+            duplicate._pk_index = index
+        else:
+            duplicate._pk_index = dict(self._pk_index)
+        if codes is not None:
+            mapped_uniques = [images[v] for v in codes.uniques]
+            if len(set(mapped_uniques)) == len(mapped_uniques):
+                duplicate._codes_cache[attribute] = (
+                    duplicate._version,
+                    ColumnCodes(codes.codes, mapped_uniques),
+                )
+            # A non-injective mapping merges values: the carried-over codes
+            # would hold duplicate uniques (two codes for one value), which
+            # breaks the distinct-by-equality invariant every consumer
+            # assumes — leave the column cold and let a fresh scan
+            # canonicalize it instead.
+            for other, (cached_version, shared) in self._codes_cache.items():
+                if other != attribute and self._cache_fresh(
+                    cached_version, other
+                ):
+                    duplicate._codes_cache[other] = (
+                        duplicate._version, shared
+                    )
+        return duplicate
+
     def with_schema(self, schema: Schema, name: str | None = None) -> "Table":
         """Re-type this table's rows under a compatible replacement schema."""
         if schema.names != self._schema.names:
             raise SchemaError(
                 "replacement schema must have identical attribute names/order"
             )
+        self._flush_pending()
         return Table(schema, (tuple(row) for row in self._rows),
                      name=name or self.name)
 

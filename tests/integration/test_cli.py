@@ -201,3 +201,112 @@ class TestRemapRecoveryFlag:
         ]
         assert main(base) == EXIT_NOT_DETECTED
         assert main(base + ["--remap-recovery"]) == 0
+
+
+class TestSweepCommand:
+    @pytest.fixture
+    def small_workspace(self, tmp_path):
+        table = generate_item_scan(600, item_count=60, seed=19)
+        data = tmp_path / "data.csv"
+        schema = tmp_path / "schema.json"
+        write_csv(table, data)
+        schema.write_text(schema_to_json(table.schema), encoding="utf-8")
+        return tmp_path
+
+    def _sweep(self, ws, out, **overrides):
+        args = {
+            "--data": str(ws / "data.csv"),
+            "--schema": str(ws / "schema.json"),
+            "--attribute": "Item_Nbr",
+            "--e": "25",
+            "--attack": "alteration",
+            "--xs": "0.3,0.6",
+            "--passes": "2",
+            "--json": str(out),
+        }
+        args.update(overrides)
+        return ["sweep"] + [part for pair in args.items() for part in pair]
+
+    def test_sweep_writes_series_json(self, small_workspace, capsys):
+        out = small_workspace / "series.json"
+        assert main(self._sweep(small_workspace, out)) == 0
+        payload = json.loads(out.read_text())
+        assert payload["attack"] == "alteration"
+        assert [point["x"] for point in payload["points"]] == [0.3, 0.6]
+        assert "mark alteration" in capsys.readouterr().out
+
+    def test_backend_and_mode_flags_are_bit_identical(self, small_workspace):
+        """--backend/--mode select execution only — results never change."""
+        outputs = []
+        for backend, mode in (
+            ("scalar", "serial"),
+            ("engine", "hoisted"),
+            ("vector", "hoisted"),
+            ("auto", "auto"),
+        ):
+            out = small_workspace / f"{backend}-{mode}.json"
+            code = main(
+                self._sweep(
+                    small_workspace, out,
+                    **{"--backend": backend, "--mode": mode},
+                )
+            )
+            assert code == 0
+            outputs.append(json.loads(out.read_text())["points"])
+        assert all(points == outputs[0] for points in outputs[1:])
+
+    def test_loss_attack_sweep(self, small_workspace):
+        out = small_workspace / "loss.json"
+        assert (
+            main(
+                self._sweep(
+                    small_workspace, out,
+                    **{"--attack": "loss", "--xs": "0.5"},
+                )
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert len(payload["points"]) == 1
+
+    def test_rejects_unknown_backend(self, small_workspace):
+        out = small_workspace / "bad.json"
+        with pytest.raises(SystemExit):
+            main(
+                self._sweep(
+                    small_workspace, out, **{"--backend": "vectr"}
+                )
+            )
+
+
+class TestFigureCommand:
+    def test_figure7_json(self, tmp_path, capsys):
+        out = tmp_path / "fig7.json"
+        code = main(
+            [
+                "figure", "--figure", "7", "--tuples", "500",
+                "--items", "50", "--passes", "2",
+                "--backend", "auto", "--mode", "auto",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["figure"] == 7
+        assert len(payload["points"]) == 8
+        assert "figure 7" in capsys.readouterr().out
+
+    def test_figure6_surface_modes_match(self, tmp_path):
+        payloads = []
+        for mode in ("serial", "hoisted"):
+            out = tmp_path / f"fig6-{mode}.json"
+            code = main(
+                [
+                    "figure", "--figure", "6", "--tuples", "400",
+                    "--items", "40", "--passes", "2",
+                    "--mode", mode, "--json", str(out),
+                ]
+            )
+            assert code == 0
+            payloads.append(json.loads(out.read_text())["surface"])
+        assert payloads[0] == payloads[1]

@@ -112,6 +112,66 @@ def test_sweep_second_point_is_embed_free_and_hash_free():
 
 
 @pytest.mark.perf_smoke
+def test_warm_sweep_cell_is_fused_and_code_level(monkeypatch):
+    """A warm sweep cell: one fused kernel, zero row-tuple materialization.
+
+    Asserts the PR-4 tentpole mechanism: once a point has warmed the
+    stacked plan arrays, the next sweep point performs exactly **one**
+    ``detect_multipass`` launch for all passes (zero per-pass ``detect``
+    launches, zero embeds, zero SHA-256 calls, zero new plan stacks), and
+    the code-level attacks never materialize a row tuple — ``Table``
+    iteration is forbidden outright for the whole warm cell.
+    """
+    from repro.core import kernels
+    from repro.crypto import VECTOR, stack_cache_info
+    from repro.experiments import SweepProtocol, run_point
+    from repro.relational import Table
+
+    started = time.perf_counter()
+    table = generate_item_scan(5_000, item_count=120, seed=51)
+    engine = SweepEngine(mode=MODE_HOISTED)
+    protocol = SweepProtocol(mark_attribute="Item_Nbr", e=40, backend=VECTOR)
+    seeds = range(5)
+    passes = [engine.embedded_pass(table, protocol, seed) for seed in seeds]
+
+    def attack(x):
+        return SubsetAlterationAttack("Item_Nbr", x, 0.7)
+
+    run_point(passes, attack(0.3), 0.3)  # warm-up point: builds the stacks
+
+    def digests():
+        return sum(
+            get_engine(MarkKey.from_seed(seed)).computed_digests
+            for seed in seeds
+        )
+
+    kernels.reset_kernel_calls()
+    stacks_before = stack_cache_info()["stacks_built"]
+    digests_before = digests()
+    embeds_before = engine.embeds_performed
+
+    def forbidden_iter(self):
+        raise AssertionError(
+            "warm sweep cell materialized row tuples (Table.__iter__)"
+        )
+
+    with pytest.MonkeyPatch.context() as patch:
+        patch.setattr(Table, "__iter__", forbidden_iter)
+        results = run_point(passes, attack(0.5), 0.5)
+
+    assert all(result.fit_count > 0 for result in results)
+    assert kernels.KERNEL_CALLS["detect_multipass"] == 1
+    assert kernels.KERNEL_CALLS["detect"] == 0
+    assert kernels.KERNEL_CALLS["embed"] == 0
+    assert engine.embeds_performed == embeds_before
+    assert stack_cache_info()["stacks_built"] == stacks_before
+    assert digests() == digests_before
+
+    elapsed = time.perf_counter() - started
+    assert elapsed < 2.0, f"fused perf smoke took {elapsed:.2f}s (budget 2s)"
+
+
+@pytest.mark.perf_smoke
 def test_vector_steady_redetect_is_pure_array_code(monkeypatch):
     """A warm vector re-detection runs on codes + plan arrays alone.
 
