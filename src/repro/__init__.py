@@ -38,6 +38,10 @@ Subpackages
     Agrawal–Kiernan numeric watermarking for comparison.
 ``repro.datagen`` / ``repro.experiments``
     Synthetic workloads and the figure-regeneration harness.
+``repro.stream``
+    Out-of-core chunked mark/detect pipelines over on-disk relations
+    (CSV/gzip/SQLite sources and sinks, checkpointed resumable embeds,
+    accumulator-based streaming detection).
 """
 
 from .core import (

@@ -10,6 +10,24 @@ Subcommands mirror the lifecycle::
                      --record record.json [--remap-recovery]
     repro-wm inspect --data sales.csv --schema schema.json [--attribute A]
 
+For relations too large to hold in memory, ``embed`` (alias ``mark``) and
+``detect`` also run as bounded-memory streaming pipelines over CSV
+(plain or gzip) and SQLite files::
+
+    repro-wm mark    --input sales.csv.gz --output marked.csv.gz \\
+                     --chunk-size 65536 --schema schema.json --key key.json \\
+                     --attribute Item_Nbr --watermark "(c) ACME" --e 60 \\
+                     --record record.json [--checkpoint run.ckpt [--resume]]
+    repro-wm detect  --input suspect.csv.gz --chunk-size 65536 \\
+                     --schema schema.json --key key.json --record record.json
+
+``--input`` selects file mode (``--data`` loads in memory); the marked
+output is cell-identical either way, and streamed detection is
+bit-identical to the in-memory verdict.  ``--checkpoint`` makes the
+embed resumable after interruption (``--resume`` picks it back up).
+Streaming mode requires the schema JSON to declare the mark attribute's
+full domain and serves the association channel only.
+
 plus the experiment harness (previously Python-API-only)::
 
     repro-wm sweep   --data sales.csv --schema schema.json \\
@@ -89,7 +107,89 @@ def cmd_genkey(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_one_input(args: argparse.Namespace) -> None:
+    if (args.data is None) == (getattr(args, "input", None) is None):
+        raise SystemExit(
+            "exactly one of --data (in-memory) and --input (streaming) "
+            "is required"
+        )
+
+
+def cmd_embed_stream(args: argparse.Namespace) -> int:
+    """File-mode embed: chunked, bounded memory, optionally resumable."""
+    from .core import EmbeddingSpec, default_channel_length
+    from .stream import count_data_rows, open_sink, open_source, stream_mark
+
+    if args.output is None:
+        raise SystemExit("--input (streaming embed) requires --output")
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("--resume requires --checkpoint")
+    for flag, name in (
+        (args.max_alteration is not None, "--max-alteration"),
+        (bool(args.p_add), "--p-add"),
+        (args.frequency_channel, "--frequency-channel"),
+    ):
+        if flag:
+            raise SystemExit(
+                f"{name} is not available in streaming mode (association "
+                f"channel only; quality budgets need the whole relation)"
+            )
+    schema = _load_schema(args.schema)
+    key = _load_key(args.key)
+    watermark = _parse_watermark(args.watermark)
+    channel_length = args.channel_length or default_channel_length(
+        count_data_rows(args.input), args.e, len(watermark)
+    )
+    spec = EmbeddingSpec(
+        key_attribute=schema.primary_key,
+        mark_attribute=args.attribute,
+        e=args.e,
+        watermark_length=len(watermark),
+        channel_length=channel_length,
+        ecc_name=args.ecc,
+    )
+    source = open_source(args.input, schema, chunk_size=args.chunk_size)
+    result = stream_mark(
+        source,
+        watermark,
+        key,
+        spec,
+        open_sink(args.output),
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
+    domain = schema.attribute(args.attribute).domain
+    record = MarkRecord(
+        watermark=watermark,
+        spec=spec,
+        domain_values=domain.values if domain is not None else None,
+        metadata={
+            "source": str(args.input),
+            "tuples": result.rows,
+            "streamed": True,
+        },
+    )
+    Path(args.record).write_text(record.to_json() + "\n", encoding="utf-8")
+    resumed = (
+        f", resumed at chunk {result.resumed_at_chunk}"
+        if result.resumed_at_chunk else ""
+    )
+    print(
+        f"embedded {len(watermark)} bits into {result.applied} of "
+        f"{result.rows} tuples ({result.chunks + result.resumed_at_chunk} "
+        f"chunks of {args.chunk_size}{resumed})"
+    )
+    print(f"marked data   -> {args.output}")
+    print(f"mark record   -> {args.record} (escrow with the key)")
+    return 0
+
+
 def cmd_embed(args: argparse.Namespace) -> int:
+    _require_one_input(args)
+    if args.input is not None:
+        return cmd_embed_stream(args)
+    if args.out is None:
+        raise SystemExit("--data (in-memory embed) requires --out")
     table = _load_table(args.data, args.schema)
     key = _load_key(args.key)
     watermark = _parse_watermark(args.watermark)
@@ -120,7 +220,52 @@ def cmd_embed(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_detect_stream(args: argparse.Namespace) -> int:
+    """File-mode detect: accumulator-based, bit-identical to in-memory."""
+    from .relational import CategoricalDomain
+    from .stream import open_source, stream_verify
+
+    if args.remap_recovery:
+        raise SystemExit(
+            "--remap-recovery is not available in streaming mode (recovery "
+            "matches the whole frequency profile); run the suspect file "
+            "through --data instead"
+        )
+    schema = _load_schema(args.schema)
+    key = _load_key(args.key)
+    record = MarkRecord.from_json(
+        Path(args.record).read_text(encoding="utf-8")
+    )
+    domain = (
+        CategoricalDomain(record.domain_values)
+        if record.domain_values is not None else None
+    )
+    # Suspect copies may hold out-of-domain values; widen per chunk and
+    # decode against the escrowed canonical domain, like the in-memory
+    # blind detector does.
+    source = open_source(
+        args.input, schema, chunk_size=args.chunk_size, infer_domains=True
+    )
+    result = stream_verify(
+        source,
+        key,
+        record.spec,
+        record.watermark,
+        embedding_map=record.embedding_map,
+        domain=domain,
+        significance=args.significance,
+    )
+    print(
+        f"association channel ({result.rows} tuples in {result.chunks} "
+        f"chunks): {result.summary()}"
+    )
+    return 0 if result.detected else EXIT_NOT_DETECTED
+
+
 def cmd_detect(args: argparse.Namespace) -> int:
+    _require_one_input(args)
+    if args.input is not None:
+        return cmd_detect_stream(args)
     table = _load_table(args.data, args.schema)
     key = _load_key(args.key)
     record = MarkRecord.from_json(
@@ -340,8 +485,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     genkey.set_defaults(handler=cmd_genkey)
 
-    embed = sub.add_parser("embed", help="watermark a CSV relation")
-    embed.add_argument("--data", required=True, help="input CSV")
+    embed = sub.add_parser(
+        "embed", aliases=["mark"],
+        help="watermark a relation (in-memory CSV or streamed file mode)",
+    )
+    embed.add_argument(
+        "--data", default=None, help="input CSV (in-memory mode)"
+    )
+    embed.add_argument(
+        "--input", default=None,
+        help="input CSV/.csv.gz/SQLite (streaming file mode)",
+    )
     embed.add_argument("--schema", required=True, help="schema JSON")
     embed.add_argument("--key", required=True, help="key JSON from genkey")
     embed.add_argument(
@@ -365,14 +519,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--frequency-channel", action="store_true",
         help="also mark the value-frequency histogram (§4.2)",
     )
-    embed.add_argument("--out", required=True, help="marked CSV output")
+    embed.add_argument(
+        "--out", default=None, help="marked CSV output (in-memory mode)"
+    )
+    embed.add_argument(
+        "--output", default=None,
+        help="marked CSV/.csv.gz/SQLite output (streaming file mode)",
+    )
+    embed.add_argument(
+        "--chunk-size", type=int, default=65_536,
+        help="rows per streamed chunk (file mode; default 65536)",
+    )
+    embed.add_argument(
+        "--channel-length", type=int, default=None,
+        help="|wm_data| override (file mode; default max(|wm|, N/e))",
+    )
+    embed.add_argument(
+        "--checkpoint", default=None,
+        help="checkpoint JSON path making a file-mode embed resumable",
+    )
+    embed.add_argument(
+        "--resume", action="store_true",
+        help="resume a file-mode embed from --checkpoint",
+    )
     embed.add_argument(
         "--record", required=True, help="mark record JSON output (escrow)"
     )
     embed.set_defaults(handler=cmd_embed)
 
-    detect = sub.add_parser("detect", help="blindly verify a suspect CSV")
-    detect.add_argument("--data", required=True, help="suspect CSV")
+    detect = sub.add_parser(
+        "detect",
+        help="blindly verify a suspect relation (in-memory or streamed)",
+    )
+    detect.add_argument(
+        "--data", default=None, help="suspect CSV (in-memory mode)"
+    )
+    detect.add_argument(
+        "--input", default=None,
+        help="suspect CSV/.csv.gz/SQLite (streaming file mode)",
+    )
+    detect.add_argument(
+        "--chunk-size", type=int, default=65_536,
+        help="rows per streamed chunk (file mode; default 65536)",
+    )
     detect.add_argument("--schema", required=True, help="schema JSON")
     detect.add_argument("--key", required=True, help="key JSON")
     detect.add_argument("--record", required=True, help="mark record JSON")

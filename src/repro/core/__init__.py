@@ -10,8 +10,11 @@ from .addition import AdditionResult, add_watermarked_tuples, integer_key_genera
 from .detection import (
     DEFAULT_SIGNIFICANCE,
     DetectionResult,
+    SlotVotes,
     VerificationResult,
+    VoteAccumulator,
     detect,
+    extract_slot_votes,
     extract_slots,
     extract_slots_multipass,
     false_hit_probability,
@@ -89,10 +92,12 @@ __all__ = [
     "MultiEmbeddingResult",
     "MultiVerificationResult",
     "PairDirective",
+    "SlotVotes",
     "SpecError",
     "VARIANT_KEYED",
     "VARIANT_MAP",
     "VerificationResult",
+    "VoteAccumulator",
     "VerifyOutcome",
     "Watermark",
     "VECTOR_MIN_ROWS",
@@ -114,6 +119,7 @@ __all__ = [
     "embedded_value_index_from_digest",
     "estimate_profile",
     "expected_bandwidth",
+    "extract_slot_votes",
     "extract_slots",
     "extract_slots_multipass",
     "false_hit_probability",

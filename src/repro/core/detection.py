@@ -87,6 +87,148 @@ class VerificationResult:
         )
 
 
+@dataclass
+class SlotVotes:
+    """Raw per-slot vote tallies of one detection scan (or one chunk).
+
+    The sufficient statistic behind slot resolution: per slot, the total
+    vote count, the count of 1-votes, and the *first* vote in physical row
+    order (``None`` when the slot was never addressed) — exactly what the
+    majority-with-first-vote-tie-break rule consumes.  Tallies are
+    associative, which is what makes detection streamable: chunk tallies
+    merged in chunk order (:class:`VoteAccumulator`) resolve bit-identically
+    to one scan of the concatenated rows.
+    """
+
+    total: list[int]
+    ones: list[int]
+    first: list[int | None]
+    fit_count: int
+
+    @classmethod
+    def from_arrays(cls, zeros, ones, firsts, fit_count: int) -> "SlotVotes":
+        """Adopt a vector-kernel tally (``firsts`` uses ``-1`` for None)."""
+        zeros = zeros.tolist()
+        ones = ones.tolist()
+        return cls(
+            total=[z + o for z, o in zip(zeros, ones)],
+            ones=ones,
+            first=[None if f < 0 else f for f in firsts.tolist()],
+            fit_count=fit_count,
+        )
+
+    def resolve(self) -> tuple[list[int | None], int]:
+        """``(slots, fit_count)`` under the majority / first-vote rule."""
+        slots: list[int | None] = []
+        for total, ones, first in zip(self.total, self.ones, self.first):
+            if not total:
+                slots.append(None)
+                continue
+            slots.append(1 if ones * 2 > total else
+                         0 if ones * 2 < total else first)
+        return slots, self.fit_count
+
+
+class VoteAccumulator:
+    """Order-preserving merge of per-chunk :class:`SlotVotes`.
+
+    The streaming detection state: O(channel length) integers, independent
+    of how many rows flow past.  Chunks must be added in physical row
+    order — the first chunk to address a slot contributes the slot's first
+    vote, which preserves the global first-vote tie rule of a one-shot
+    scan over the concatenated relation.
+    """
+
+    def __init__(self, channel_length: int):
+        if channel_length <= 0:
+            raise DetectionError(
+                f"channel length must be positive, got {channel_length}"
+            )
+        self.channel_length = channel_length
+        self._total = [0] * channel_length
+        self._ones = [0] * channel_length
+        self._first: list[int | None] = [None] * channel_length
+        self._fit_count = 0
+        self.chunks_merged = 0
+
+    def add(self, votes: SlotVotes) -> None:
+        """Merge the next chunk's tallies (chunks arrive in row order)."""
+        if len(votes.total) != self.channel_length:
+            raise DetectionError(
+                f"chunk tallies cover {len(votes.total)} slots, "
+                f"accumulator expects {self.channel_length}"
+            )
+        total = self._total
+        ones = self._ones
+        first = self._first
+        for slot, count in enumerate(votes.total):
+            if not count:
+                continue
+            total[slot] += count
+            ones[slot] += votes.ones[slot]
+            if first[slot] is None:
+                first[slot] = votes.first[slot]
+        self._fit_count += votes.fit_count
+        self.chunks_merged += 1
+
+    @property
+    def fit_count(self) -> int:
+        return self._fit_count
+
+    def votes(self) -> SlotVotes:
+        """The merged tallies so far (a snapshot copy)."""
+        return SlotVotes(
+            total=list(self._total),
+            ones=list(self._ones),
+            first=list(self._first),
+            fit_count=self._fit_count,
+        )
+
+    def resolve(self) -> tuple[list[int | None], int]:
+        """``(slots, fit_count)`` over everything merged so far."""
+        return self.votes().resolve()
+
+    def detection(self, spec: EmbeddingSpec, ecc=None) -> DetectionResult:
+        """Decode the accumulated votes into a :class:`DetectionResult`."""
+        slots, fit_count = self.resolve()
+        return _assemble_detection(spec, slots, fit_count, ecc=ecc)
+
+    def verification(
+        self,
+        spec: EmbeddingSpec,
+        expected: Watermark,
+        significance: float = DEFAULT_SIGNIFICANCE,
+    ) -> VerificationResult:
+        """Compare the accumulated detection against the owner's claim."""
+        if len(expected) != spec.watermark_length:
+            raise DetectionError(
+                f"expected watermark has {len(expected)} bits, spec says "
+                f"{spec.watermark_length}"
+            )
+        return _assemble_verification(
+            self.detection(spec), expected, significance
+        )
+
+
+def _resolve_domain(
+    table: Table,
+    spec: EmbeddingSpec,
+    embedding_map: dict[Hashable, int] | None,
+    domain: CategoricalDomain | None,
+) -> CategoricalDomain:
+    """Shared input validation of every slot-recovery entry point."""
+    if spec.variant == VARIANT_MAP and embedding_map is None:
+        raise DetectionError(
+            "the 'map' variant needs the embedding_map recorded at embedding"
+        )
+    resolved = domain or table.schema.attribute(spec.mark_attribute).domain
+    if resolved is None:
+        raise DetectionError(
+            f"no categorical domain available for {spec.mark_attribute!r}"
+        )
+    return resolved
+
+
 def extract_slots(
     table: Table,
     key: MarkKey,
@@ -116,15 +258,7 @@ def extract_slots(
     nothing at all, and the vector backend additionally runs the per-row
     work as NumPy gathers over cached column codes.
     """
-    if spec.variant == VARIANT_MAP and embedding_map is None:
-        raise DetectionError(
-            "the 'map' variant needs the embedding_map recorded at embedding"
-        )
-    resolved_domain = domain or table.schema.attribute(spec.mark_attribute).domain
-    if resolved_domain is None:
-        raise DetectionError(
-            f"no categorical domain available for {spec.mark_attribute!r}"
-        )
+    resolved_domain = _resolve_domain(table, spec, embedding_map, domain)
 
     if engine != SCALAR and kernels.use_vector(engine, table):
         return kernels.extract_slots_vector(
@@ -135,12 +269,63 @@ def extract_slots(
             value_mapping,
             resolve_backend(engine, key),
         )
+    return _scan_votes(
+        table, key, spec, embedding_map, resolved_domain, value_mapping, engine
+    ).resolve()
 
-    # Count-based voting: per-slot (total, ones, first-vote) tallies
-    # replace the list-of-vote-lists — same majority and same first-vote
-    # tie-break, without materializing a Python list per slot.  This loop
-    # runs once per attack-sweep cell, so its constant factor is the
-    # detection share of a sweep's wall time.
+
+def extract_slot_votes(
+    table: Table,
+    key: MarkKey,
+    spec: EmbeddingSpec,
+    embedding_map: dict[Hashable, int] | None = None,
+    domain: CategoricalDomain | None = None,
+    value_mapping: dict[Hashable, Hashable] | None = None,
+    engine: HashEngine | str | None = None,
+) -> SlotVotes:
+    """:func:`extract_slots` stopped one step short of resolution.
+
+    Returns the raw per-slot tallies (:class:`SlotVotes`) instead of the
+    resolved slots — the accumulator-based entry point streamed detection
+    is built on: a :class:`VoteAccumulator` merges per-chunk tallies and
+    resolves once at the end, bit-identically to an in-memory
+    :func:`extract_slots` over the concatenated rows.  Backend selection
+    matches :func:`extract_slots` exactly.
+    """
+    resolved_domain = _resolve_domain(table, spec, embedding_map, domain)
+    if engine != SCALAR and kernels.use_vector(engine, table):
+        return SlotVotes.from_arrays(
+            *kernels.extract_votes_vector(
+                table,
+                spec,
+                resolved_domain,
+                embedding_map,
+                value_mapping,
+                resolve_backend(engine, key),
+            )
+        )
+    return _scan_votes(
+        table, key, spec, embedding_map, resolved_domain, value_mapping, engine
+    )
+
+
+def _scan_votes(
+    table: Table,
+    key: MarkKey,
+    spec: EmbeddingSpec,
+    embedding_map: dict[Hashable, int] | None,
+    resolved_domain: CategoricalDomain,
+    value_mapping: dict[Hashable, Hashable] | None,
+    engine: HashEngine | str | None,
+) -> SlotVotes:
+    """The SCALAR/ENGINE row scan, tallying votes without resolving them.
+
+    Count-based voting: per-slot (total, ones, first-vote) tallies
+    replace the list-of-vote-lists — same majority and same first-vote
+    tie-break, without materializing a Python list per slot.  This loop
+    runs once per attack-sweep cell, so its constant factor is the
+    detection share of a sweep's wall time.
+    """
     votes_total = [0] * spec.channel_length
     votes_ones = [0] * spec.channel_length
     votes_first: list[int | None] = [None] * spec.channel_length
@@ -196,16 +381,7 @@ def extract_slots(
         if votes_first[slot] is None:
             votes_first[slot] = bit
 
-    slots: list[int | None] = []
-    recovered = 0
-    for total, ones, first in zip(votes_total, votes_ones, votes_first):
-        if not total:
-            slots.append(None)
-            continue
-        slots.append(1 if ones * 2 > total else
-                     0 if ones * 2 < total else first)
-        recovered += 1
-    return slots, fit_count
+    return SlotVotes(votes_total, votes_ones, votes_first, fit_count)
 
 
 def _scan_scalar(

@@ -62,10 +62,17 @@ VECTOR_MIN_ROWS = 4096
 _VARIANT_KEYED = "keyed"  # mirrors repro.core.embedding.VARIANT_KEYED
 
 #: kernel-launch telemetry: how many single-pass detections, fused
-#: multi-pass detections and embedding kernels ran.  The perf-smoke suite
-#: asserts a warm sweep cell performs exactly one ``detect_multipass``
-#: launch and zero per-pass ``detect`` launches.
-KERNEL_CALLS = {"detect": 0, "detect_multipass": 0, "embed": 0}
+#: multi-pass detections, embedding kernels and streaming vote
+#: extractions ran.  The perf-smoke suite asserts a warm sweep cell
+#: performs exactly one ``detect_multipass`` launch and zero per-pass
+#: ``detect`` launches.
+KERNEL_CALLS = {
+    "detect": 0,
+    "detect_multipass": 0,
+    "embed": 0,
+    "detect_votes": 0,
+    "detect_multipass_votes": 0,
+}
 
 
 def reset_kernel_calls() -> None:
@@ -139,23 +146,21 @@ def _decode_bits(mark_uniques, domain, value_mapping):
     return bits_u
 
 
-def extract_slots_vector(
+def _gather_single(
     table: Table,
     spec,
     domain,
     embedding_map: dict[Hashable, int] | None,
     value_mapping: dict[Hashable, Hashable] | None,
     engine: HashEngine,
-) -> tuple[list[int | None], int]:
-    """Array-kernel slot recovery; bit-identical to the reference scan.
+):
+    """The shared per-row vote gather of one detection pass.
 
-    The per-row work is pure NumPy: fitness and slot gathers through the
-    key column's codes, bit decoding through the mark column's codes, and
-    a single ``bincount`` over ``slot * 2 + bit``.  Python-level loops run
-    only over *uniques* (domain decoding, map-variant slot resolution) and
-    over the channel (verdict assembly).
+    Returns ``(slots_v, bits_v, fit_count)``: the slot and bit of every
+    decodable vote, in physical row order — the inputs both the tallying
+    kernel (:func:`extract_slots_vector`) and the streaming vote kernel
+    (:func:`extract_votes_vector`) consume.
     """
-    KERNEL_CALLS["detect"] += 1
     key_codes = table.column_codes(spec.key_attribute)
     mark_codes = table.column_codes(spec.mark_attribute)
     channel_length = spec.channel_length
@@ -194,6 +199,30 @@ def extract_slots_vector(
                 f"embedding map entry {bad} outside channel "
                 f"[0, {channel_length})"
             )
+    return slots_v, bits_v, fit_count
+
+
+def extract_slots_vector(
+    table: Table,
+    spec,
+    domain,
+    embedding_map: dict[Hashable, int] | None,
+    value_mapping: dict[Hashable, Hashable] | None,
+    engine: HashEngine,
+) -> tuple[list[int | None], int]:
+    """Array-kernel slot recovery; bit-identical to the reference scan.
+
+    The per-row work is pure NumPy: fitness and slot gathers through the
+    key column's codes, bit decoding through the mark column's codes, and
+    a single ``bincount`` over ``slot * 2 + bit``.  Python-level loops run
+    only over *uniques* (domain decoding, map-variant slot resolution) and
+    over the channel (verdict assembly).
+    """
+    KERNEL_CALLS["detect"] += 1
+    channel_length = spec.channel_length
+    slots_v, bits_v, fit_count = _gather_single(
+        table, spec, domain, embedding_map, value_mapping, engine
+    )
 
     counts = np.bincount(
         slots_v * 2 + bits_v, minlength=2 * channel_length
@@ -220,6 +249,42 @@ def extract_slots_vector(
     return slots, fit_count
 
 
+def extract_votes_vector(
+    table: Table,
+    spec,
+    domain,
+    embedding_map: dict[Hashable, int] | None,
+    value_mapping: dict[Hashable, Hashable] | None,
+    engine: HashEngine,
+):
+    """Array-kernel *vote tally* for one chunk of a streamed detection.
+
+    Same gather as :func:`extract_slots_vector`, but instead of resolving
+    slot verdicts it returns the raw per-slot tallies —
+    ``(zeros, ones, firsts, fit_count)`` where ``firsts[slot]`` is the
+    first vote of the chunk in physical row order (``-1`` when the chunk
+    never addressed the slot).  Tallies merge associatively across chunks,
+    and keeping the per-chunk first votes lets the accumulator preserve
+    the global first-vote tie rule exactly.
+    """
+    KERNEL_CALLS["detect_votes"] += 1
+    channel_length = spec.channel_length
+    slots_v, bits_v, fit_count = _gather_single(
+        table, spec, domain, embedding_map, value_mapping, engine
+    )
+    counts = np.bincount(
+        slots_v * 2 + bits_v, minlength=2 * channel_length
+    )
+    zeros = counts[0::2]
+    ones = counts[1::2]
+    firsts = np.full(channel_length, -1, dtype=np.int64)
+    # np.unique's return_index is documented to give first occurrences,
+    # and slots_v/bits_v are in physical row order.
+    first_slots, first_positions = np.unique(slots_v, return_index=True)
+    firsts[first_slots] = bits_v[first_positions]
+    return zeros, ones, firsts, fit_count
+
+
 def shared_key_codes(tables, key_attribute: str):
     """The one :class:`ColumnCodes` object every table in ``tables``
     holds for ``key_attribute`` — or ``None`` when they do not share.
@@ -244,32 +309,22 @@ def shared_key_codes(tables, key_attribute: str):
     return codes
 
 
-def detect_multipass(
+def _gather_multipass(
     tables,
     spec,
     domains,
     embedding_maps,
     value_mapping: dict[Hashable, Hashable] | None,
     engines,
-) -> list[tuple[list[int | None], int]]:
-    """Fused slot recovery for P keyed passes sharing one key-column
-    factorization: one carrier gather and one ``bincount`` tally.
+):
+    """The shared stacked vote gather of P fused detection passes.
 
-    ``tables[p]`` is pass ``p``'s suspect relation (often fifteen attacked
-    clones of one base), ``engines[p]`` the pass's keyed engine and
-    ``domains[p]`` its resolved mark-value domain; all passes share
-    ``spec``.  Per-pass work above the row count is limited to mark-bit
-    decoding over *uniques*; everything row-shaped runs once, stacked:
-    fitness and slots gather through ``(P, U)`` plan stacks
-    (:meth:`~repro.crypto.HashEngine.fitness_stack` /
-    :meth:`~repro.crypto.HashEngine.slot_stack`) and every vote of every
-    pass lands in a single ``bincount(pass·2L + slot·2 + bit)``.  Tie
-    resolution is per pass, first vote in physical row order — output is
-    bit-identical to P separate :func:`extract_slots_vector` calls.
-
-    Callers must have verified sharing via :func:`shared_key_codes`.
+    Returns ``(pass_rows, slots_v, bits_v, fit_counts)``: the pass, slot
+    and bit of every decodable vote — ``np.nonzero`` is row-major, so one
+    pass's entries appear in ascending physical row order — plus the
+    per-pass fit-row counts.  Consumed by :func:`detect_multipass` and the
+    streaming :func:`detect_multipass_votes`.
     """
-    KERNEL_CALLS["detect_multipass"] += 1
     key_codes = tables[0].column_codes(spec.key_attribute)
     channel_length = spec.channel_length
     pass_count = len(tables)
@@ -330,6 +385,40 @@ def detect_multipass(
                 f"embedding map entry {bad} outside channel "
                 f"[0, {channel_length})"
             )
+    return pass_rows, slots_v, bits_v, fit_counts
+
+
+def detect_multipass(
+    tables,
+    spec,
+    domains,
+    embedding_maps,
+    value_mapping: dict[Hashable, Hashable] | None,
+    engines,
+) -> list[tuple[list[int | None], int]]:
+    """Fused slot recovery for P keyed passes sharing one key-column
+    factorization: one carrier gather and one ``bincount`` tally.
+
+    ``tables[p]`` is pass ``p``'s suspect relation (often fifteen attacked
+    clones of one base), ``engines[p]`` the pass's keyed engine and
+    ``domains[p]`` its resolved mark-value domain; all passes share
+    ``spec``.  Per-pass work above the row count is limited to mark-bit
+    decoding over *uniques*; everything row-shaped runs once, stacked:
+    fitness and slots gather through ``(P, U)`` plan stacks
+    (:meth:`~repro.crypto.HashEngine.fitness_stack` /
+    :meth:`~repro.crypto.HashEngine.slot_stack`) and every vote of every
+    pass lands in a single ``bincount(pass·2L + slot·2 + bit)``.  Tie
+    resolution is per pass, first vote in physical row order — output is
+    bit-identical to P separate :func:`extract_slots_vector` calls.
+
+    Callers must have verified sharing via :func:`shared_key_codes`.
+    """
+    KERNEL_CALLS["detect_multipass"] += 1
+    channel_length = spec.channel_length
+    pass_count = len(tables)
+    pass_rows, slots_v, bits_v, fit_counts = _gather_multipass(
+        tables, spec, domains, embedding_maps, value_mapping, engines
+    )
 
     counts = np.bincount(
         pass_rows * (2 * channel_length) + slots_v * 2 + bits_v,
@@ -363,6 +452,48 @@ def detect_multipass(
         ]
         results.append((slots, int(fit_counts[index])))
     return results
+
+
+def detect_multipass_votes(
+    tables,
+    spec,
+    domains,
+    embedding_maps,
+    value_mapping: dict[Hashable, Hashable] | None,
+    engines,
+):
+    """Fused *vote tally* for P passes over one chunk of a streamed
+    detection.
+
+    Same stacked gather as :func:`detect_multipass` — one carrier gather
+    and one ``bincount`` for all passes — but it returns the raw per-pass
+    tallies ``(zeros, ones, firsts, fit_count)`` (``firsts[slot] = -1``
+    when pass ``p`` never addressed the slot in this chunk) instead of
+    resolving verdicts, so a per-pass accumulator can merge chunks while
+    preserving each pass's global first-vote tie rule.  On the streaming
+    hot path every pass detects on the *same* chunk table, so the shared
+    key-factorization precondition holds trivially.
+    """
+    KERNEL_CALLS["detect_multipass_votes"] += 1
+    channel_length = spec.channel_length
+    pass_count = len(tables)
+    pass_rows, slots_v, bits_v, fit_counts = _gather_multipass(
+        tables, spec, domains, embedding_maps, value_mapping, engines
+    )
+
+    counts = np.bincount(
+        pass_rows * (2 * channel_length) + slots_v * 2 + bits_v,
+        minlength=pass_count * 2 * channel_length,
+    ).reshape(pass_count, channel_length, 2)
+    flat = pass_rows * channel_length + slots_v
+    first_keys, first_positions = np.unique(flat, return_index=True)
+    firsts = np.full(pass_count * channel_length, -1, dtype=np.int64)
+    firsts[first_keys] = bits_v[first_positions]
+    firsts = firsts.reshape(pass_count, channel_length)
+    return [
+        (counts[p, :, 0], counts[p, :, 1], firsts[p], int(fit_counts[p]))
+        for p in range(pass_count)
+    ]
 
 
 # -- embedding ----------------------------------------------------------------

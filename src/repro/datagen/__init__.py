@@ -1,6 +1,6 @@
 """Synthetic data generators substituting the paper's proprietary corpus."""
 
-from .airline import airline_schema, generate_bookings
+from .airline import airline_schema, generate_bookings, iter_booking_rows
 from .distributions import (
     CategoricalSampler,
     DistributionError,
@@ -12,6 +12,8 @@ from .walmart import (
     generate_sales,
     item_catalogue,
     item_scan_schema,
+    iter_item_scan_rows,
+    iter_sales_rows,
     sales_schema,
 )
 
@@ -24,6 +26,9 @@ __all__ = [
     "generate_sales",
     "item_catalogue",
     "item_scan_schema",
+    "iter_booking_rows",
+    "iter_item_scan_rows",
+    "iter_sales_rows",
     "sales_schema",
     "uniform_weights",
     "zipf_weights",

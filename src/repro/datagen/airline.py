@@ -12,6 +12,7 @@ second realistic domain.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterator
 
 from ..relational import (
     Attribute,
@@ -63,6 +64,36 @@ def airline_schema() -> Schema:
     )
 
 
+def iter_booking_rows(
+    tuple_count: int,
+    seed: int | str = 0,
+    hub_exponent: float = 0.9,
+) -> Iterator[tuple]:
+    """Lazy bookings row stream — row-identical to
+    :func:`generate_bookings` (same rng label, same draw order), for the
+    synthetic chunk sources.  Deterministic and restartable per ``seed``.
+    """
+    if tuple_count < 0:
+        raise ValueError(f"tuple count must be non-negative, got {tuple_count}")
+    rng = random.Random(f"bookings:{seed}")
+    city_sampler = CategoricalSampler.zipf(list(_CITIES), hub_exponent, rng=rng)
+    airline_sampler = CategoricalSampler.zipf(list(_AIRLINES), 0.7, rng=rng)
+    fare_sampler = CategoricalSampler.zipf(list(_FARE_CLASSES), 1.2, rng=rng)
+
+    for index in range(tuple_count):
+        depart = city_sampler.sample(rng)
+        arrive = city_sampler.sample(rng)
+        while arrive == depart:
+            arrive = city_sampler.sample(rng)
+        yield (
+            200_000 + index,
+            depart,
+            arrive,
+            airline_sampler.sample(rng),
+            fare_sampler.sample(rng),
+        )
+
+
 def generate_bookings(
     tuple_count: int,
     seed: int | str = 0,
@@ -74,26 +105,8 @@ def generate_bookings(
     occurrence profile — the distinguishing property §4.5 remapping
     recovery relies on.
     """
-    if tuple_count < 0:
-        raise ValueError(f"tuple count must be non-negative, got {tuple_count}")
-    rng = random.Random(f"bookings:{seed}")
-    schema = airline_schema()
-    city_sampler = CategoricalSampler.zipf(list(_CITIES), hub_exponent, rng=rng)
-    airline_sampler = CategoricalSampler.zipf(list(_AIRLINES), 0.7, rng=rng)
-    fare_sampler = CategoricalSampler.zipf(list(_FARE_CLASSES), 1.2, rng=rng)
-
-    def one_row(ticket_id: int):
-        depart = city_sampler.sample(rng)
-        arrive = city_sampler.sample(rng)
-        while arrive == depart:
-            arrive = city_sampler.sample(rng)
-        return (
-            ticket_id,
-            depart,
-            arrive,
-            airline_sampler.sample(rng),
-            fare_sampler.sample(rng),
-        )
-
-    rows = (one_row(200_000 + index) for index in range(tuple_count))
-    return Table(schema, rows, name="Bookings")
+    return Table(
+        airline_schema(),
+        iter_booking_rows(tuple_count, seed, hub_exponent),
+        name="Bookings",
+    )

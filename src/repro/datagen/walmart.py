@@ -22,6 +22,7 @@ schema for the multi-attribute and vertical-partition experiments.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterator
 
 from ..relational import (
     Attribute,
@@ -83,6 +84,43 @@ def generate_item_scan(
     return Table(schema, rows, name="ItemScan")
 
 
+def iter_item_scan_rows(
+    tuple_count: int,
+    item_count: int = 500,
+    zipf_exponent: float = 1.05,
+    seed: int | str = 0,
+) -> Iterator[tuple[int, int]]:
+    """Lazy ``ItemScan`` row stream — O(1) memory however large ``n`` is.
+
+    The out-of-core counterpart of :func:`generate_item_scan` (which must
+    draw its visit numbers with a bulk ``rng.sample`` and therefore holds
+    them all at once): visit numbers are drawn lazily from disjoint strata
+    of width 20 — unique by construction, irregular like real visit
+    numbering — and items from the same Zipf catalogue sampler.  The
+    stream is deterministic per ``seed`` (its own ``item-scan-stream``
+    label; it is *not* row-identical to :func:`generate_item_scan`, whose
+    bulk sampling draws a different sequence) and restartable: two
+    iterators built with equal arguments yield equal rows, which is what
+    lets a :class:`repro.stream.SyntheticChunkSource` re-open and
+    fast-forward it for checkpoint resume.
+    """
+    if tuple_count < 0:
+        raise ValueError(f"tuple count must be non-negative, got {tuple_count}")
+    rng = random.Random(f"item-scan-stream:{seed}")
+    items = item_catalogue(item_count)
+    sampler = CategoricalSampler.zipf(items, zipf_exponent, rng=rng)
+    # Items are drawn in fixed blocks: ``rng.choices`` re-derives its
+    # cumulative weights per call, so per-row draws would dominate a
+    # million-row stream.  Memory stays O(block).
+    block = 4096
+    index = 0
+    while index < tuple_count:
+        drawn = sampler.sample_many(min(block, tuple_count - index), rng)
+        for item in drawn:
+            yield (1_000_000 + 20 * index + rng.randrange(20), item)
+            index += 1
+
+
 #: store/department layout for the richer schema
 _STORE_COUNT = 40
 _DEPARTMENTS = (
@@ -118,13 +156,19 @@ def sales_schema(items: list[int]) -> Schema:
     )
 
 
-def generate_sales(
+def iter_sales_rows(
     tuple_count: int,
     item_count: int = 300,
     zipf_exponent: float = 1.05,
     seed: int | str = 0,
-) -> Table:
-    """Generate the richer sales relation (items, stores, departments)."""
+) -> Iterator[tuple]:
+    """Lazy sales row stream — row-identical to :func:`generate_sales`.
+
+    Sales rows are generated sequentially anyway, so the lazy stream *is*
+    the table builder's row source (same rng label, same draw order);
+    :func:`generate_sales` just materializes it.  Deterministic and
+    restartable per ``seed``, for the synthetic chunk sources.
+    """
     if tuple_count < 0:
         raise ValueError(f"tuple count must be non-negative, got {tuple_count}")
     rng = random.Random(f"sales:{seed}")
@@ -140,14 +184,26 @@ def generate_sales(
     dept_sampler = CategoricalSampler.zipf(
         list(dept_domain.values), 0.8, rng=rng
     )
-    rows = (
-        (
+    for scan_id in range(1, tuple_count + 1):
+        yield (
             scan_id,
             item_sampler.sample(rng),
             store_sampler.sample(rng),
             dept_sampler.sample(rng),
             1 + min(rng.randrange(1, 7), rng.randrange(1, 7)),
         )
-        for scan_id in range(1, tuple_count + 1)
+
+
+def generate_sales(
+    tuple_count: int,
+    item_count: int = 300,
+    zipf_exponent: float = 1.05,
+    seed: int | str = 0,
+) -> Table:
+    """Generate the richer sales relation (items, stores, departments)."""
+    schema = sales_schema(item_catalogue(item_count))
+    return Table(
+        schema,
+        iter_sales_rows(tuple_count, item_count, zipf_exponent, seed),
+        name="Sales",
     )
-    return Table(schema, rows, name="Sales")

@@ -5,7 +5,14 @@ operate on, together with the relational operations the adversary model
 (§2.3 of the paper) is expressed in.
 """
 
-from .csvio import dumps_csv, loads_csv, read_csv, schema_for_csv, write_csv
+from .csvio import (
+    cell_parsers,
+    dumps_csv,
+    loads_csv,
+    read_csv,
+    schema_for_csv,
+    write_csv,
+)
 from .domain import CategoricalDomain
 from .errors import (
     DomainError,
@@ -60,6 +67,7 @@ __all__ = [
     "TypeMismatchError",
     "UnknownAttributeError",
     "apply_to_column",
+    "cell_parsers",
     "count_vector",
     "drop_fraction",
     "dumps_csv",

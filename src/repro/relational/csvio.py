@@ -65,23 +65,53 @@ def loads_csv(
     return _read(io.StringIO(text), schema, infer_categorical_domains, name)
 
 
+def check_header(header, schema: Schema) -> None:
+    """Reject a CSV header row that does not spell out ``schema.names``."""
+    if tuple(header) != schema.names:
+        raise ValueError(
+            f"CSV header {tuple(header)} does not match schema {schema.names}"
+        )
+
+
+def parse_row(row: list[str], parsers, arity: int, number: int) -> tuple:
+    """Type one CSV record, rejecting arity mismatches loudly.
+
+    ``zip`` would silently drop surplus cells (and silently shorten the
+    tuple on missing ones, surfacing later as a confusing schema error),
+    so a malformed record — a stray delimiter, a half-written line — is
+    reported with its data-row ``number`` instead.
+    """
+    if len(row) != arity:
+        raise ValueError(
+            f"CSV row {number} has {len(row)} fields, schema has {arity}"
+        )
+    return tuple(parse(cell) for parse, cell in zip(parsers, row))
+
+
 def _read(handle, schema: Schema, infer: bool, name: str) -> Table:
     reader = csv.reader(handle)
     header = next(reader, None)
     if header is None:
         return Table(schema, (), name=name)
-    if tuple(header) != schema.names:
-        raise ValueError(
-            f"CSV header {tuple(header)} does not match schema {schema.names}"
-        )
-    parsers = [_cell_parser(schema.attribute(column)) for column in schema.names]
-    typed_rows = []
-    for row in reader:
-        typed_rows.append(
-            tuple(parse(cell) for parse, cell in zip(parsers, row))
-        )
+    check_header(header, schema)
+    parsers = cell_parsers(schema)
+    arity = schema.arity
+    typed_rows = [
+        parse_row(row, parsers, arity, number)
+        for number, row in enumerate(reader, start=1)
+    ]
     effective = infer_domains(schema, typed_rows) if infer else schema
     return Table(effective, typed_rows, name=name)
+
+
+def cell_parsers(schema: Schema) -> list:
+    """Per-attribute cell parsers, in schema order.
+
+    The shared typing layer of :func:`read_csv` and the chunked
+    :class:`repro.stream.CSVChunkSource` — one parser list built per file,
+    not per row.
+    """
+    return [_cell_parser(schema.attribute(column)) for column in schema.names]
 
 
 def _cell_parser(attribute: Attribute):
@@ -96,10 +126,14 @@ def _cell_parser(attribute: Attribute):
     """
     if attribute.atype is not AttributeType.CATEGORICAL:
         return attribute.atype.parse
-    by_text = {
-        str(value): value
-        for value in (attribute.domain.values if attribute.domain else ())
-    }
+    # First-wins on text collisions: a domain holding both 1 and "1"
+    # renders identically, so the coercion is genuinely ambiguous — pin it
+    # to the first value in canonical domain order (the same
+    # first-encounter-wins rule the engine caches use) instead of leaving
+    # it to dict-comprehension overwrite order.
+    by_text: dict[str, object] = {}
+    for value in (attribute.domain.values if attribute.domain else ()):
+        by_text.setdefault(str(value), value)
 
     def parse(cell: str):
         if cell in by_text:

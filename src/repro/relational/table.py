@@ -393,6 +393,43 @@ class Table:
             if predicate(frozen):
                 yield frozen
 
+    @classmethod
+    def from_trusted_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Iterable[Any]],
+        name: str = "relation",
+    ) -> "Table":
+        """Adopt ``rows`` wholesale, skipping per-cell validation.
+
+        The chunk-pipeline constructor: a streaming source re-windows rows
+        that are schema-valid *by construction* — tuples of an existing
+        validated :class:`Table`, CSV cells typed by parsers whose domains
+        were just inference-widened over those very rows — and per-cell
+        re-validation would dominate the chunk's whole processing cost.
+        Primary-key uniqueness is still enforced (the index is built
+        anyway); everything else is the caller's contract.
+        """
+        table = cls(schema, (), name=name)
+        materialised = [list(row) for row in rows]
+        pk_position = table._pk_position
+        index = {
+            row[pk_position]: slot
+            for slot, row in enumerate(materialised)
+        }
+        if len(index) != len(materialised):
+            seen: set[Hashable] = set()
+            for row in materialised:
+                key = row[pk_position]
+                if key in seen:
+                    raise DuplicateKeyError(key)
+                seen.add(key)
+        table._rows = materialised
+        table._pk_index = index
+        table._version = 1
+        table._structural_version = 1
+        return table
+
     # -- writes -------------------------------------------------------------------
     def insert(self, row: Iterable[Any]) -> None:
         """Append a tuple; rejects arity/type/domain violations and PK reuse."""

@@ -1,0 +1,87 @@
+"""Out-of-core streaming subsystem: chunked mark/detect over on-disk
+relations.
+
+The scheme's per-tuple decisions are pure functions of a keyed hash of
+the tuple's key value, so marking and detection chunk perfectly:
+
+* **sources** — :class:`ChunkSource` readers (CSV incl. gzip, SQLite,
+  ``datagen``-backed synthetic streams) yield schema-typed
+  :class:`~repro.relational.Table` chunks;
+* **pipelines** — :func:`stream_mark` maps chunks through the existing
+  embed kernels into a :class:`ChunkSink` (checkpointed, resumable);
+  :func:`stream_verify` / :func:`stream_verify_multipass` merge per-chunk
+  vote tallies in O(chunk + channel) memory, bit-identical to the
+  in-memory detector on the concatenated rows.
+
+Opens the million-row / on-disk workload class the in-memory
+:class:`~repro.relational.Table` paths cap out on.
+"""
+
+from .checkpoint import (
+    MarkCheckpoint,
+    load_checkpoint,
+    mark_fingerprint,
+    save_checkpoint,
+)
+from .errors import CheckpointError, StreamError
+from .pipeline import (
+    StreamDetection,
+    StreamMarkResult,
+    StreamVerification,
+    stream_detect,
+    stream_engine,
+    stream_mark,
+    stream_verify,
+    stream_verify_multipass,
+)
+from .sinks import (
+    ChunkSink,
+    CSVChunkSink,
+    NullChunkSink,
+    SQLiteChunkSink,
+    TableChunkSink,
+    open_sink,
+)
+from .sources import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkSource,
+    CSVChunkSource,
+    SQLiteChunkSource,
+    SyntheticChunkSource,
+    TableChunkSource,
+    count_data_rows,
+    item_scan_source,
+    open_source,
+)
+
+__all__ = [
+    "CSVChunkSink",
+    "CSVChunkSource",
+    "CheckpointError",
+    "ChunkSink",
+    "ChunkSource",
+    "DEFAULT_CHUNK_SIZE",
+    "MarkCheckpoint",
+    "NullChunkSink",
+    "SQLiteChunkSink",
+    "SQLiteChunkSource",
+    "StreamDetection",
+    "StreamError",
+    "StreamMarkResult",
+    "StreamVerification",
+    "SyntheticChunkSource",
+    "TableChunkSink",
+    "TableChunkSource",
+    "count_data_rows",
+    "item_scan_source",
+    "load_checkpoint",
+    "mark_fingerprint",
+    "open_sink",
+    "open_source",
+    "save_checkpoint",
+    "stream_detect",
+    "stream_engine",
+    "stream_mark",
+    "stream_verify",
+    "stream_verify_multipass",
+]

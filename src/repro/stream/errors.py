@@ -1,0 +1,11 @@
+"""Errors of the out-of-core streaming subsystem."""
+
+from __future__ import annotations
+
+
+class StreamError(Exception):
+    """A streaming pipeline was misconfigured or fed inconsistent state."""
+
+
+class CheckpointError(StreamError):
+    """A checkpoint file is unreadable or belongs to a different run."""

@@ -1,0 +1,293 @@
+"""Chunk sinks: bounded-memory writers for marked relations.
+
+A :class:`ChunkSink` receives the marked chunks of a streaming embed and
+persists them — CSV (plain or gzip), SQLite, or an in-memory table for
+tests.  Sinks expose two small hooks the checkpoint layer builds resume
+on:
+
+* :meth:`ChunkSink.flush_state` — flush everything written so far and
+  return a JSON-serializable durability marker (a byte offset, a row
+  count);
+* :meth:`ChunkSink.restore` — reopen the sink positioned exactly at such
+  a marker, discarding anything written after it (the partial chunk a
+  crash may have left behind).
+
+Both gzip framing (one gzip *member* per flush interval — concatenated
+members are a single valid gzip stream) and SQLite transactions (one
+commit per chunk) are chosen so that every marker is a clean truncation
+point.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+import os
+import sqlite3
+from pathlib import Path
+from typing import Any
+
+from ..relational import AttributeType, Schema, Table
+from .errors import StreamError
+from .sources import _quote_identifier
+
+
+class ChunkSink:
+    """Destination for the marked chunks of a streaming embed."""
+
+    def open(self, schema: Schema) -> None:
+        """Begin a fresh output for ``schema`` (truncates prior content)."""
+        raise NotImplementedError
+
+    def write_chunk(self, chunk: Table) -> None:
+        raise NotImplementedError
+
+    def flush_state(self) -> dict[str, Any]:
+        """Flush and return a durability marker for checkpointing."""
+        raise NotImplementedError
+
+    def restore(self, schema: Schema, state: dict[str, Any]) -> None:
+        """Reopen at ``state`` (from :meth:`flush_state`), dropping
+        anything written after that marker."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "ChunkSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CSVChunkSink(ChunkSink):
+    """CSV writer, gzip-compressed when the path says so.
+
+    Plain CSV flushes are byte offsets into a growing text file; gzip
+    output closes one compressed *member* per flush interval (header
+    member first, then one per chunk), so every recorded offset sits on a
+    member boundary and truncating there leaves a valid gzip stream.
+    ``mtime=0`` keeps members byte-deterministic — a resumed run produces
+    the identical file an uninterrupted run would have.
+    """
+
+    def __init__(self, path: str | Path, compress: bool | None = None):
+        self.path = Path(path)
+        # Writers decide by the *requested* path suffix (or the explicit
+        # flag), never by sniffing pre-existing bytes the open() below is
+        # about to truncate — stale gzip content at a ``.csv`` path must
+        # not make a fresh run silently write gzip.
+        self.compress = (
+            self.path.suffix == ".gz" if compress is None else compress
+        )
+        self._raw = None
+        self._text = None
+        self._writer = None
+        self._schema: Schema | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+    def open(self, schema: Schema) -> None:
+        self._schema = schema
+        self._raw = open(self.path, "wb")
+        if self.compress:
+            self._begin_member()
+            self._write_rows([schema.names])
+            self._end_member()
+        else:
+            self._begin_text()
+            self._write_rows([schema.names])
+            self._text.flush()
+
+    def restore(self, schema: Schema, state: dict[str, Any]) -> None:
+        offset = int(state["offset"])
+        self._schema = schema
+        self._raw = open(self.path, "r+b")
+        self._raw.truncate(offset)
+        self._raw.seek(offset)
+        if not self.compress:
+            self._begin_text()
+
+    def close(self) -> None:
+        if self._text is not None and not self.compress:
+            self._text.flush()
+            self._text.detach()
+            self._text = None
+        if self._raw is not None:
+            self._raw.close()
+            self._raw = None
+        self._writer = None
+
+    # -- writing ---------------------------------------------------------------
+    def write_chunk(self, chunk: Table) -> None:
+        if self.compress:
+            self._begin_member()
+            self._write_rows(chunk)
+            self._end_member()
+        else:
+            self._write_rows(chunk)
+
+    def flush_state(self) -> dict[str, Any]:
+        if not self.compress:
+            self._text.flush()
+        self._raw.flush()
+        os.fsync(self._raw.fileno())
+        return {"offset": self._raw.tell()}
+
+    # -- internals -------------------------------------------------------------
+    def _begin_text(self) -> None:
+        self._text = io.TextIOWrapper(
+            self._raw, encoding="utf-8", newline=""
+        )
+        self._writer = csv.writer(self._text)
+
+    def _begin_member(self) -> None:
+        # filename="" drops the FNAME header field and mtime=0 the
+        # timestamp, so members are byte-deterministic: a resumed run's
+        # file is identical to an uninterrupted run's, whatever the path.
+        member = gzip.GzipFile(
+            filename="", fileobj=self._raw, mode="wb", mtime=0
+        )
+        self._text = io.TextIOWrapper(member, encoding="utf-8", newline="")
+        self._writer = csv.writer(self._text)
+
+    def _end_member(self) -> None:
+        member = self._text.detach()
+        member.close()
+        self._text = None
+        self._writer = None
+
+    def _write_rows(self, rows) -> None:
+        self._writer.writerows(rows)
+
+
+_AFFINITY = {
+    AttributeType.INTEGER: "INTEGER",
+    AttributeType.REAL: "REAL",
+    AttributeType.STRING: "TEXT",
+    # No declared type => BLOB affinity: SQLite stores categorical values
+    # exactly as given (an out-of-domain "007" string must not come back
+    # as the integer 7).
+    AttributeType.CATEGORICAL: "",
+}
+
+
+class SQLiteChunkSink(ChunkSink):
+    """SQLite writer: one table, one transaction commit per chunk.
+
+    The commit-per-chunk rhythm makes the database itself the durability
+    mechanism — an interrupted chunk rolls back — and :meth:`restore`
+    deletes any rows a crash landed *after* the last checkpoint was
+    recorded (committed chunk, unwritten checkpoint).
+    """
+
+    def __init__(self, path: str | Path, table: str = "relation"):
+        self.path = Path(path)
+        self.table = table
+        self._connection: sqlite3.Connection | None = None
+        self._insert: str | None = None
+        self._rows_written = 0
+
+    def open(self, schema: Schema) -> None:
+        self._connect(schema)
+        quoted = _quote_identifier(self.table)
+        self._connection.execute(f"DROP TABLE IF EXISTS {quoted}")
+        columns = ", ".join(
+            f"{_quote_identifier(a.name)} {_AFFINITY[a.atype]}".rstrip()
+            for a in schema.attributes
+        )
+        self._connection.execute(f"CREATE TABLE {quoted} ({columns})")
+        self._connection.commit()
+        self._rows_written = 0
+
+    def restore(self, schema: Schema, state: dict[str, Any]) -> None:
+        rows = int(state["rows"])
+        self._connect(schema)
+        quoted = _quote_identifier(self.table)
+        self._connection.execute(
+            f"DELETE FROM {quoted} WHERE rowid IN "
+            f"(SELECT rowid FROM {quoted} ORDER BY rowid LIMIT -1 OFFSET ?)",
+            (rows,),
+        )
+        self._connection.commit()
+        self._rows_written = rows
+
+    def _connect(self, schema: Schema) -> None:
+        self._connection = sqlite3.connect(self.path)
+        placeholders = ", ".join("?" for _ in schema.names)
+        columns = ", ".join(
+            _quote_identifier(column) for column in schema.names
+        )
+        self._insert = (
+            f"INSERT INTO {_quote_identifier(self.table)} "
+            f"({columns}) VALUES ({placeholders})"
+        )
+
+    def write_chunk(self, chunk: Table) -> None:
+        self._connection.executemany(self._insert, iter(chunk))
+        self._connection.commit()
+        self._rows_written += len(chunk)
+
+    def flush_state(self) -> dict[str, Any]:
+        return {"rows": self._rows_written}
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+
+class TableChunkSink(ChunkSink):
+    """Collects marked chunks into one in-memory :class:`Table` (tests,
+    equivalence suites, small pipelines)."""
+
+    def __init__(self, name: str = "marked"):
+        self.name = name
+        self.table: Table | None = None
+
+    def open(self, schema: Schema) -> None:
+        self.table = Table(schema, (), name=self.name)
+
+    def restore(self, schema: Schema, state: dict[str, Any]) -> None:
+        raise StreamError("TableChunkSink does not support resume")
+
+    def write_chunk(self, chunk: Table) -> None:
+        self.table.append_rows(iter(chunk))
+
+    def flush_state(self) -> dict[str, Any]:
+        return {"rows": len(self.table)}
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+
+class NullChunkSink(ChunkSink):
+    """Discards chunks (embed-throughput measurement)."""
+
+    def __init__(self):
+        self.rows = 0
+
+    def open(self, schema: Schema) -> None:
+        self.rows = 0
+
+    def restore(self, schema: Schema, state: dict[str, Any]) -> None:
+        self.rows = int(state["rows"])
+
+    def write_chunk(self, chunk: Table) -> None:
+        self.rows += len(chunk)
+
+    def flush_state(self) -> dict[str, Any]:
+        return {"rows": self.rows}
+
+    def close(self) -> None:
+        pass
+
+
+def open_sink(path: str | Path, table: str = "relation") -> ChunkSink:
+    """A chunk sink for ``path`` picked by file type (mirrors
+    :func:`repro.stream.sources.open_source`)."""
+    path = Path(path)
+    if path.suffix in {".sqlite", ".sqlite3", ".db"}:
+        return SQLiteChunkSink(path, table=table)
+    return CSVChunkSink(path)

@@ -1,0 +1,428 @@
+"""Chunk sources: bounded-memory readers over on-disk relations.
+
+A :class:`ChunkSource` turns a relation that does not fit in memory — a
+CSV file (plain or gzip), a SQLite table, a synthetic ``datagen`` row
+stream — into an iterator of schema-typed :class:`~repro.relational.Table`
+chunks of a configurable row count.  Every chunk is a fully validated
+in-memory relation, so the existing embed/detect kernels run on it
+unchanged; only the *pipeline* (``repro.stream.pipeline``) knows the
+chunks are windows of one larger relation.
+
+Chunks are yielded in file order, which the streaming detector relies on:
+its accumulator preserves the global first-vote tie rule by merging chunk
+tallies in physical row order.
+
+Domain handling
+---------------
+
+``infer_domains=False`` (the default) types every chunk under the
+*declared* schema — the marking regime, where the canonical domain
+ordering must be identical across chunks (and identical to detection
+time).  ``infer_domains=True`` widens categorical domains per chunk to
+whatever values the chunk contains — the suspect-data regime, where an
+attacked copy may hold out-of-domain values that must load, not raise;
+streamed detection then decodes against an explicitly supplied canonical
+domain, so the per-chunk widening never influences a verdict.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import sqlite3
+from collections.abc import Callable, Iterable, Iterator
+from itertools import islice
+from pathlib import Path
+
+from ..datagen import (
+    item_catalogue,
+    item_scan_schema,
+    iter_item_scan_rows,
+)
+from ..relational import Schema, Table, infer_domains
+from ..relational.csvio import cell_parsers, check_header, parse_row
+from .errors import StreamError
+
+#: default rows per chunk — small enough that a chunk's Python objects
+#: stay cache- and RAM-friendly, large enough to amortize kernel setup
+DEFAULT_CHUNK_SIZE = 65_536
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def is_gzip_path(path: str | Path) -> bool:
+    """Does ``path`` hold a gzip stream?  (Magic bytes when the file
+    exists, ``.gz`` suffix otherwise — so sinks can decide before the
+    file does.)"""
+    path = Path(path)
+    if path.exists() and path.stat().st_size >= 2:
+        with open(path, "rb") as probe:
+            return probe.read(2) == _GZIP_MAGIC
+    return path.suffix == ".gz"
+
+
+def open_text(path: str | Path):
+    """Open a (possibly gzip-compressed) text file for reading."""
+    if is_gzip_path(path):
+        return gzip.open(path, "rt", encoding="utf-8", newline="")
+    return open(path, newline="", encoding="utf-8")
+
+
+class ChunkSource:
+    """Iterable of schema-typed :class:`Table` chunks of one relation.
+
+    Subclasses implement :meth:`chunks`; ``start`` skips that many whole
+    chunks cheaply (raw records are consumed but never typed or
+    validated), which is what checkpoint resume uses.
+    """
+
+    schema: Schema
+    chunk_size: int
+    name: str
+
+    def chunks(self, start: int = 0) -> Iterator[Table]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Table]:
+        return self.chunks()
+
+    # -- shared chunk assembly -------------------------------------------------
+    #: rows are schema-valid by construction (tuples of a validated
+    #: table, generator output) — skip per-cell re-validation
+    trusted_rows = False
+
+    def _table(self, rows: list[tuple], index: int, infer: bool) -> Table:
+        name = f"{self.name}[{index}]"
+        if infer:
+            # Inference widens every categorical domain over exactly these
+            # rows, and the cell parsers typed the scalar columns — the
+            # rows are valid under the widened schema by construction.
+            return Table.from_trusted_rows(
+                infer_domains(self.schema, rows), rows, name=name
+            )
+        if self.trusted_rows:
+            return Table.from_trusted_rows(self.schema, rows, name=name)
+        return Table(self.schema, rows, name=name)
+
+    def _batched(
+        self, rows: Iterator[tuple], start: int, infer: bool
+    ) -> Iterator[Table]:
+        index = start
+        while True:
+            batch = list(islice(rows, self.chunk_size))
+            if not batch:
+                return
+            yield self._table(batch, index, infer)
+            index += 1
+
+
+def resolve_chunks(source, start: int = 0) -> Iterator[Table]:
+    """Chunks of ``source``: a :class:`ChunkSource` or any iterable of
+    :class:`Table` objects (handy for tests and in-memory pipelines).
+
+    Plain iterables cannot skip, so ``start > 0`` — checkpoint resume —
+    requires a real source.
+    """
+    if isinstance(source, ChunkSource) or hasattr(source, "chunks"):
+        return source.chunks(start)
+    if start:
+        raise StreamError(
+            "resuming needs a restartable ChunkSource, not a plain iterable"
+        )
+    return iter(source)
+
+
+def source_schema(source) -> Schema | None:
+    """The declared schema of ``source`` when it carries one."""
+    return getattr(source, "schema", None)
+
+
+class CSVChunkSource(ChunkSource):
+    """Chunked reader over a CSV file (gzip detected automatically).
+
+    The file is parsed with the same typed cell parsers as
+    :func:`repro.relational.read_csv`, so a relation round-trips through
+    ``write_csv`` / streamed reading value-identically.  Quoted fields may
+    contain delimiters and newlines; records with the wrong field count
+    raise with their row number.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        schema: Schema,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        infer_domains: bool = False,
+        name: str | None = None,
+    ):
+        if chunk_size <= 0:
+            raise StreamError(f"chunk size must be positive, got {chunk_size}")
+        self.path = Path(path)
+        self.schema = schema
+        self.chunk_size = chunk_size
+        self.infer = infer_domains
+        self.name = name or self.path.stem
+
+    def chunks(self, start: int = 0) -> Iterator[Table]:
+        with open_text(self.path) as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                return
+            check_header(header, self.schema)
+            parsers = cell_parsers(self.schema)
+            arity = self.schema.arity
+            number = 0
+            for _ in range(start * self.chunk_size):
+                if next(reader, None) is None:
+                    return
+                number += 1
+            typed = (
+                parse_row(row, parsers, arity, num)
+                for num, row in enumerate(reader, start=number + 1)
+            )
+            yield from self._batched(typed, start, self.infer)
+
+
+def _quote_identifier(name: str) -> str:
+    """SQL-quote ``name`` for SQLite (doubles embedded quotes)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def resolve_sqlite_table(path: str | Path, preferred: str | None) -> str:
+    """The table to read from a SQLite database.
+
+    ``preferred`` (when given) is used verbatim — a typo'd explicit name
+    must fail loudly in SQL, not silently fall back to a different
+    table.  Without a preference, the sink's default name ``relation``
+    wins when present, a single-table database names itself, and
+    anything ambiguous raises.
+    """
+    if preferred is not None:
+        return preferred
+    connection = sqlite3.connect(path)
+    try:
+        tables = [
+            row[0]
+            for row in connection.execute(
+                "SELECT name FROM sqlite_master WHERE type='table' "
+                "ORDER BY name"
+            )
+        ]
+    finally:
+        connection.close()
+    if "relation" in tables:
+        return "relation"
+    if len(tables) == 1:
+        return tables[0]
+    raise StreamError(
+        f"cannot pick a table in {path}: found {tables!r}; pass table="
+    )
+
+
+class SQLiteChunkSource(ChunkSource):
+    """Chunked reader over one table of a SQLite database.
+
+    Rows are read in ``rowid`` order — insertion order, the database's
+    physical row order — via ``fetchmany``, so only one chunk of cursor
+    results is materialized at a time.  SQLite returns natively typed
+    values (int/float/str/bytes), which are validated against the schema
+    per chunk exactly like CSV cells.  ``table=None`` (the default)
+    auto-resolves via :func:`resolve_sqlite_table`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        schema: Schema,
+        table: str | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        infer_domains: bool = False,
+        name: str | None = None,
+    ):
+        if chunk_size <= 0:
+            raise StreamError(f"chunk size must be positive, got {chunk_size}")
+        self.path = Path(path)
+        self.schema = schema
+        self.table = table
+        self.chunk_size = chunk_size
+        self.infer = infer_domains
+        self.name = name or table or self.path.stem
+
+    def chunks(self, start: int = 0) -> Iterator[Table]:
+        table = resolve_sqlite_table(self.path, self.table)
+        connection = sqlite3.connect(self.path)
+        try:
+            columns = ", ".join(
+                _quote_identifier(column) for column in self.schema.names
+            )
+            cursor = connection.execute(
+                f"SELECT {columns} FROM {_quote_identifier(table)} "
+                f"ORDER BY rowid LIMIT -1 OFFSET ?",
+                (start * self.chunk_size,),
+            )
+            index = start
+            while True:
+                batch = cursor.fetchmany(self.chunk_size)
+                if not batch:
+                    return
+                yield self._table(
+                    [tuple(row) for row in batch], index, self.infer
+                )
+                index += 1
+        finally:
+            connection.close()
+
+
+class SyntheticChunkSource(ChunkSource):
+    """Chunked view over a restartable ``datagen`` row stream.
+
+    ``rows_factory`` must return a *fresh* iterator of rows on every call
+    (the lazy ``iter_*_rows`` generators of :mod:`repro.datagen` qualify):
+    that is what makes the source re-iterable and resumable — a skip is a
+    deterministic fast-forward through the same pseudo-random stream.
+    Rows must be schema-valid; they are adopted without per-cell
+    validation (the generators draw from the schema's own domains).
+    """
+
+    trusted_rows = True
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows_factory: Callable[[], Iterable[tuple]],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        name: str = "synthetic",
+    ):
+        if chunk_size <= 0:
+            raise StreamError(f"chunk size must be positive, got {chunk_size}")
+        self.schema = schema
+        self.rows_factory = rows_factory
+        self.chunk_size = chunk_size
+        self.name = name
+
+    def chunks(self, start: int = 0) -> Iterator[Table]:
+        rows = iter(self.rows_factory())
+        if start:
+            for _ in islice(rows, start * self.chunk_size):
+                pass
+        yield from self._batched(rows, start, infer=False)
+
+
+def item_scan_source(
+    tuple_count: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    item_count: int = 500,
+    zipf_exponent: float = 1.05,
+    seed: int | str = 0,
+) -> SyntheticChunkSource:
+    """A synthetic ``ItemScan`` stream of ``tuple_count`` rows.
+
+    The million-row bench substrate: paper-shaped data with O(chunk)
+    memory however large ``tuple_count`` grows.
+    """
+    schema = item_scan_schema(item_catalogue(item_count))
+    return SyntheticChunkSource(
+        schema,
+        lambda: iter_item_scan_rows(
+            tuple_count, item_count, zipf_exponent, seed
+        ),
+        chunk_size=chunk_size,
+        name="ItemScanStream",
+    )
+
+
+class TableChunkSource(ChunkSource):
+    """Chunked view over an in-memory :class:`Table`.
+
+    The equivalence-test (and overhead-measurement) source: streaming a
+    table through chunks of any size must reproduce the in-memory verdict
+    bit for bit.  Chunks are :meth:`Table.take` windows — copy-on-write
+    row sharing, no re-validation, and any fresh cached factorization of
+    the base column arrives as a gather — so the source measures the
+    *pipeline's* overhead, not redundant row copying.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        name: str | None = None,
+    ):
+        if chunk_size <= 0:
+            raise StreamError(f"chunk size must be positive, got {chunk_size}")
+        self.table = table
+        self.schema = table.schema
+        self.chunk_size = chunk_size
+        self.name = name or table.name
+
+    def chunks(self, start: int = 0) -> Iterator[Table]:
+        total = len(self.table)
+        index = start
+        for begin in range(start * self.chunk_size, total, self.chunk_size):
+            yield self.table.take(
+                range(begin, min(begin + self.chunk_size, total)),
+                name=f"{self.name}[{index}]",
+            )
+            index += 1
+
+
+def open_source(
+    path: str | Path,
+    schema: Schema,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    infer_domains: bool = False,
+    table: str | None = None,
+) -> ChunkSource:
+    """A chunk source for ``path`` picked by file type.
+
+    SQLite databases (by suffix ``.sqlite`` / ``.sqlite3`` / ``.db``, or
+    by magic when the file exists) get a :class:`SQLiteChunkSource`;
+    everything else is treated as CSV (gzip detected automatically).
+    """
+    path = Path(path)
+    if _is_sqlite_path(path):
+        return SQLiteChunkSource(
+            path, schema, table=table, chunk_size=chunk_size,
+            infer_domains=infer_domains,
+        )
+    return CSVChunkSource(
+        path, schema, chunk_size=chunk_size, infer_domains=infer_domains
+    )
+
+
+_SQLITE_SUFFIXES = {".sqlite", ".sqlite3", ".db"}
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+def _is_sqlite_path(path: Path) -> bool:
+    if path.exists() and path.stat().st_size >= len(_SQLITE_MAGIC):
+        with open(path, "rb") as probe:
+            return probe.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC
+    return path.suffix in _SQLITE_SUFFIXES
+
+
+def count_data_rows(path: str | Path, table: str | None = None) -> int:
+    """Number of data rows in a file without typing a single cell.
+
+    Used by the CLI to fill in the paper's nominal channel length
+    (``max(|wm|, N/e)``) for a file-mode embed, where the relation is
+    never whole in memory.  CSV records are counted with the csv module
+    (quoted embedded newlines are one record, not two); SQLite asks the
+    database — the same table :class:`SQLiteChunkSource` would read.
+    """
+    path = Path(path)
+    if _is_sqlite_path(path):
+        resolved = resolve_sqlite_table(path, table)
+        connection = sqlite3.connect(path)
+        try:
+            return connection.execute(
+                f"SELECT COUNT(*) FROM {_quote_identifier(resolved)}"
+            ).fetchone()[0]
+        finally:
+            connection.close()
+    with open_text(path) as handle:
+        reader = csv.reader(handle)
+        if next(reader, None) is None:
+            return 0
+        return sum(1 for _ in reader)

@@ -310,3 +310,110 @@ class TestFigureCommand:
             assert code == 0
             payloads.append(json.loads(out.read_text())["surface"])
         assert payloads[0] == payloads[1]
+
+
+class TestStreamingFileMode:
+    """--input/--output/--chunk-size: the out-of-core CLI pipelines."""
+
+    def stream_embed_args(self, ws, **overrides):
+        args = {
+            "--input": str(ws / "data.csv"),
+            "--output": str(ws / "marked.csv.gz"),
+            "--chunk-size": "1024",
+            "--schema": str(ws / "schema.json"),
+            "--key": str(ws / "key.json"),
+            "--attribute": "Item_Nbr",
+            "--watermark": "(c)T",
+            "--e": "50",
+            "--record": str(ws / "record_stream.json"),
+        }
+        args.update(overrides)
+        return ["mark"] + [part for pair in args.items() for part in pair]
+
+    def test_streamed_mark_then_streamed_detect(self, workspace, capsys):
+        assert main(self.stream_embed_args(workspace)) == 0
+        code = main(
+            [
+                "detect",
+                "--input", str(workspace / "marked.csv.gz"),
+                "--chunk-size", "1024",
+                "--schema", str(workspace / "schema.json"),
+                "--key", str(workspace / "key.json"),
+                "--record", str(workspace / "record_stream.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DETECTED" in out and "chunks" in out
+
+    def test_streamed_output_matches_in_memory_output(self, workspace):
+        import gzip
+
+        assert main(embed_args(workspace)) == 0
+        assert main(self.stream_embed_args(workspace)) == 0
+        in_memory = (workspace / "marked.csv").read_bytes()
+        streamed = gzip.decompress(
+            (workspace / "marked.csv.gz").read_bytes()
+        )
+        assert streamed == in_memory
+        # and the escrowed specs agree
+        record_memory = json.loads((workspace / "record.json").read_text())
+        record_stream = json.loads(
+            (workspace / "record_stream.json").read_text()
+        )
+        assert record_stream["spec"] == record_memory["spec"]
+
+    def test_streamed_detect_not_detected_on_unmarked(self, workspace):
+        assert main(self.stream_embed_args(workspace)) == 0
+        code = main(
+            [
+                "detect",
+                "--input", str(workspace / "data.csv"),  # the original!
+                "--schema", str(workspace / "schema.json"),
+                "--key", str(workspace / "key.json"),
+                "--record", str(workspace / "record_stream.json"),
+            ]
+        )
+        assert code == EXIT_NOT_DETECTED
+
+    def test_checkpoint_file_written(self, workspace):
+        checkpoint = workspace / "run.ckpt"
+        assert main(
+            self.stream_embed_args(
+                workspace, **{"--checkpoint": str(checkpoint)}
+            )
+        ) == 0
+        payload = json.loads(checkpoint.read_text())
+        assert payload["rows_done"] == 5000
+
+    def test_data_and_input_are_mutually_exclusive(self, workspace):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(
+                self.stream_embed_args(
+                    workspace, **{"--data": str(workspace / "data.csv")}
+                )
+            )
+        with pytest.raises(SystemExit):
+            main([
+                "detect",
+                "--schema", str(workspace / "schema.json"),
+                "--key", str(workspace / "key.json"),
+                "--record", str(workspace / "record.json"),
+            ])
+
+    def test_streaming_rejects_in_memory_only_flags(self, workspace):
+        import pytest
+
+        with pytest.raises(SystemExit, match="frequency"):
+            main(
+                self.stream_embed_args(workspace)
+                + ["--frequency-channel"]
+            )
+
+    def test_resume_without_checkpoint_is_a_usage_error(self, workspace):
+        import pytest
+
+        with pytest.raises(SystemExit, match="checkpoint"):
+            main(self.stream_embed_args(workspace) + ["--resume"])

@@ -233,3 +233,62 @@ def test_vector_steady_redetect_is_pure_array_code(monkeypatch):
 
     elapsed = time.perf_counter() - started
     assert elapsed < 2.0, f"vector perf smoke took {elapsed:.2f}s (budget 2s)"
+
+
+@pytest.mark.perf_smoke
+def test_stream_second_chunk_is_hash_free():
+    """Engine sharing across chunks: re-seen values re-hash nothing.
+
+    Two layers of the streaming subsystem's cache story, asserted by
+    digest accounting rather than wall clock: (1) a second chunk holding
+    already-seen key values performs **zero** SHA-256 calls — the
+    stream-scoped engine's memoization spans chunks; (2) a streamed
+    verify right after a streamed mark on the same shared engine performs
+    zero additional hashing — embedding already resolved every fitness
+    and slot digest detection needs.
+    """
+    from repro.core import EmbeddingSpec
+    from repro.stream import (
+        TableChunkSink,
+        TableChunkSource,
+        stream_engine,
+        stream_mark,
+        stream_verify,
+    )
+
+    started = time.perf_counter()
+    table = generate_item_scan(2_000, item_count=100, seed=63)
+    key = MarkKey.from_seed("perf-smoke-stream")
+    spec = EmbeddingSpec("Visit_Nbr", "Item_Nbr", 40, 10, 50)
+    watermark = Watermark.from_int(0x2AB, 10)
+    engine = stream_engine(key, chunk_size=500)
+
+    # Streamed mark: one warm engine across all four chunks.
+    sink = TableChunkSink()
+    stream_mark(
+        TableChunkSource(table, chunk_size=500), watermark, key, spec,
+        sink, backend=engine,
+    )
+    digests_after_mark = engine.computed_digests
+    assert digests_after_mark > 0
+
+    # Streamed verify of the marked output on the same engine: zero new
+    # hashing — detection only reads fitness/slot entries the mark pass
+    # already resolved (mark values are never hashed).
+    first = stream_verify(
+        TableChunkSource(sink.table, chunk_size=500), key, spec, watermark,
+        backend=engine,
+    )
+    assert first.detected and first.chunks == 4
+    assert engine.computed_digests == digests_after_mark
+
+    # A second chunk of already-seen values: zero SHA-256 calls.  The
+    # suspect stream presents the same chunk twice (same key values); the
+    # second pass must run entirely from the warm caches.
+    chunk = next(iter(TableChunkSource(sink.table, chunk_size=500)))
+    again = stream_verify([chunk, chunk], key, spec, watermark, backend=engine)
+    assert again.chunks == 2
+    assert engine.computed_digests == digests_after_mark
+
+    elapsed = time.perf_counter() - started
+    assert elapsed < 2.0, f"stream perf smoke took {elapsed:.2f}s (budget 2s)"

@@ -85,3 +85,96 @@ class TestSchemaForCsv:
             categorical_values={"A": ["p", "q"]},
         )
         assert set(schema.attribute("A").domain.values) == {"p", "q"}
+
+
+class TestRoundTripHardening:
+    """CSV round trips must survive hostile cell contents.
+
+    The streaming subsystem trusts write-then-read to be the identity on
+    every legal relation — delimiters, quotes, newlines and empty strings
+    inside categorical values included.
+    """
+
+    def _schema(self, values):
+        from repro.relational import (
+            Attribute,
+            AttributeType,
+            CategoricalDomain,
+            Schema,
+        )
+
+        return Schema(
+            (
+                Attribute("K", AttributeType.INTEGER),
+                Attribute(
+                    "A", AttributeType.CATEGORICAL, CategoricalDomain(values)
+                ),
+            ),
+            primary_key="K",
+        )
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "plain",
+            "with,comma",
+            'with"quote',
+            "with\nnewline",
+            "with\r\ncrlf",
+            "",
+            " leading and trailing ",
+            "ünïcödé",
+        ],
+    )
+    def test_hostile_values_round_trip(self, value):
+        from repro.relational import Table
+
+        schema = self._schema([value, "other"])
+        table = Table(schema, [(1, value), (2, "other"), (3, value)])
+        restored = loads_csv(
+            dumps_csv(table), schema, infer_categorical_domains=False
+        )
+        assert list(restored) == list(table)
+
+    def test_hostile_values_file_round_trip(self, tmp_path):
+        from repro.relational import Table
+
+        values = ["a,b", 'c"d', "e\nf", ""]
+        schema = self._schema(values)
+        table = Table(
+            schema, [(index, value) for index, value in enumerate(values)]
+        )
+        path = tmp_path / "hostile.csv"
+        write_csv(table, path)
+        assert list(read_csv(path, schema)) == list(table)
+
+    def test_short_row_raises_with_row_number(self, tiny_schema):
+        with pytest.raises(ValueError, match="row 2"):
+            loads_csv("K,A,B\n1,red,x\n2,red\n", tiny_schema)
+
+    def test_long_row_raises_instead_of_truncating(self, tiny_schema):
+        # zip() used to drop the surplus cell silently — data loss on a
+        # malformed file must be loud.
+        with pytest.raises(ValueError, match="row 1"):
+            loads_csv("K,A,B\n1,red,x,EXTRA\n", tiny_schema)
+
+    def test_text_collision_resolves_first_in_domain_order(self):
+        # int 1 and str "1" both render as "1"; the parser must pick one
+        # deterministically — the first in canonical domain order.
+        schema = self._schema([1, "1", "other"])
+        domain = schema.attribute("A").domain
+        expected = next(v for v in domain.values if str(v) == "1")
+        restored = loads_csv(
+            "K,A\n7,1\n", schema, infer_categorical_domains=False
+        )
+        assert next(iter(restored))[1] == expected
+
+    def test_out_of_domain_numeric_text_sniffs_number(self, tiny_schema):
+        table = loads_csv("K,A,B\n1,42,x\n", tiny_schema)
+        assert next(iter(table))[1] == 42
+
+    def test_inference_of_empty_string_value(self):
+        schema = self._schema(["known"])
+        table = loads_csv("K,A\n1,\n", schema)
+        assert next(iter(table))[1] == ""
+        assert "" in table.schema.attribute("A").domain

@@ -1,0 +1,329 @@
+"""Tests for repro.stream sources and sinks — chunked file I/O."""
+
+import gzip
+import sqlite3
+
+import pytest
+
+from repro.datagen import generate_item_scan, iter_item_scan_rows
+from repro.relational import (
+    Attribute,
+    AttributeType,
+    CategoricalDomain,
+    Schema,
+    Table,
+    write_csv,
+)
+from repro.stream import (
+    CSVChunkSink,
+    CSVChunkSource,
+    NullChunkSink,
+    SQLiteChunkSink,
+    SQLiteChunkSource,
+    StreamError,
+    SyntheticChunkSource,
+    TableChunkSink,
+    TableChunkSource,
+    count_data_rows,
+    item_scan_source,
+    open_sink,
+    open_source,
+)
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_item_scan(1000, item_count=60, seed=13)
+
+
+def concatenate(chunks):
+    rows = []
+    schema = None
+    for chunk in chunks:
+        schema = schema or chunk.schema
+        rows.extend(chunk)
+    return rows, schema
+
+
+class TestCSVChunkSource:
+    def test_chunks_cover_file_in_order(self, relation, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(relation, path)
+        source = CSVChunkSource(path, relation.schema, chunk_size=128)
+        chunks = list(source)
+        assert [len(chunk) for chunk in chunks] == [128] * 7 + [104]
+        rows, _ = concatenate(chunks)
+        assert rows == list(relation)
+
+    def test_cells_are_typed(self, relation, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(relation, path)
+        chunk = next(iter(CSVChunkSource(path, relation.schema, chunk_size=5)))
+        first = next(iter(chunk))
+        assert isinstance(first[0], int) and isinstance(first[1], int)
+
+    def test_gzip_detected_by_magic(self, relation, tmp_path):
+        path = tmp_path / "data.csv.gz"  # suffix and magic both say gzip
+        with gzip.open(path, "wt", encoding="utf-8", newline="") as handle:
+            handle.write(
+                "Visit_Nbr,Item_Nbr\n"
+                + "".join(f"{k},{v}\n" for k, v in relation.iter_cells(
+                    "Visit_Nbr", "Item_Nbr"))
+            )
+        rows, _ = concatenate(
+            CSVChunkSource(path, relation.schema, chunk_size=300)
+        )
+        assert rows == list(relation)
+
+    def test_start_skips_whole_chunks(self, relation, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(relation, path)
+        source = CSVChunkSource(path, relation.schema, chunk_size=128)
+        tail = list(source.chunks(start=6))
+        assert [len(chunk) for chunk in tail] == [128, 104]
+        assert list(tail[0])[0] == list(relation)[6 * 128]
+
+    def test_header_mismatch_raises(self, relation, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("A,B\n1,2\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="header"):
+            list(CSVChunkSource(path, relation.schema))
+
+    def test_arity_mismatch_reports_row_number(self, relation, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(
+            "Visit_Nbr,Item_Nbr\n1,10003\n2,10003,EXTRA\n", encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="row 2"):
+            list(CSVChunkSource(path, relation.schema))
+
+    def test_bad_chunk_size_rejected(self, relation, tmp_path):
+        with pytest.raises(StreamError):
+            CSVChunkSource(tmp_path / "x.csv", relation.schema, chunk_size=0)
+
+    def test_infer_domains_widens_per_chunk(self, tmp_path):
+        schema = Schema(
+            (
+                Attribute("K", AttributeType.INTEGER),
+                Attribute(
+                    "A", AttributeType.CATEGORICAL, CategoricalDomain(["a"])
+                ),
+            ),
+            primary_key="K",
+        )
+        path = tmp_path / "data.csv"
+        path.write_text("K,A\n1,a\n2,zz\n", encoding="utf-8")
+        with pytest.raises(Exception):  # strict mode rejects out-of-domain
+            list(CSVChunkSource(path, schema, chunk_size=10))
+        chunks = list(
+            CSVChunkSource(path, schema, chunk_size=10, infer_domains=True)
+        )
+        assert "zz" in chunks[0].schema.attribute("A").domain
+
+
+class TestSQLiteChunkSource:
+    def test_round_trip_via_sink(self, relation, tmp_path):
+        path = tmp_path / "data.sqlite"
+        sink = SQLiteChunkSink(path)
+        sink.open(relation.schema)
+        sink.write_chunk(relation)
+        sink.close()
+        source = SQLiteChunkSource(path, relation.schema, chunk_size=333)
+        rows, _ = concatenate(source)
+        assert rows == list(relation)
+
+    def test_start_offsets_by_rowid(self, relation, tmp_path):
+        path = tmp_path / "data.sqlite"
+        with SQLiteChunkSink(path) as sink:
+            sink.open(relation.schema)
+            sink.write_chunk(relation)
+        source = SQLiteChunkSource(path, relation.schema, chunk_size=400)
+        tail = list(source.chunks(start=2))
+        assert [len(chunk) for chunk in tail] == [200]
+        assert list(tail[0]) == list(relation)[800:]
+
+
+class TestSyntheticChunkSource:
+    def test_restartable_and_deterministic(self):
+        source = item_scan_source(500, chunk_size=64, item_count=50, seed=3)
+        first, _ = concatenate(source)
+        second, _ = concatenate(source)
+        assert first == second
+        assert len(first) == 500
+        assert len({row[0] for row in first}) == 500  # unique PKs
+
+    def test_start_fast_forwards_the_stream(self):
+        source = item_scan_source(500, chunk_size=64, item_count=50, seed=3)
+        full, _ = concatenate(source)
+        tail, _ = concatenate(source.chunks(start=3))
+        assert tail == full[3 * 64:]
+
+    def test_rows_factory_contract(self):
+        schema = generate_item_scan(1, item_count=10).schema
+        source = SyntheticChunkSource(
+            schema,
+            lambda: iter_item_scan_rows(100, item_count=10, seed=1),
+            chunk_size=30,
+        )
+        assert [len(chunk) for chunk in source] == [30, 30, 30, 10]
+
+
+class TestTableChunkSource:
+    def test_whole_table_single_chunk(self, relation):
+        chunks = list(TableChunkSource(relation, chunk_size=len(relation)))
+        assert len(chunks) == 1
+        assert list(chunks[0]) == list(relation)
+
+    def test_chunk_size_one(self, relation):
+        source = TableChunkSource(relation, chunk_size=1)
+        total = sum(len(chunk) for chunk in source)
+        assert total == len(relation)
+
+
+class TestOpenHelpers:
+    def test_open_source_dispatches_by_type(self, relation, tmp_path):
+        csv_path = tmp_path / "r.csv"
+        write_csv(relation, csv_path)
+        assert isinstance(
+            open_source(csv_path, relation.schema), CSVChunkSource
+        )
+        db_path = tmp_path / "r.sqlite"
+        with SQLiteChunkSink(db_path) as sink:
+            sink.open(relation.schema)
+            sink.write_chunk(relation)
+        assert isinstance(
+            open_source(db_path, relation.schema), SQLiteChunkSource
+        )
+
+    def test_open_sink_dispatches_by_suffix(self, tmp_path):
+        assert isinstance(open_sink(tmp_path / "x.csv"), CSVChunkSink)
+        assert isinstance(open_sink(tmp_path / "x.csv.gz"), CSVChunkSink)
+        assert isinstance(open_sink(tmp_path / "x.sqlite"), SQLiteChunkSink)
+
+    def test_count_data_rows_csv_with_embedded_newlines(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text('K,A\n1,"a\nb"\n2,c\n', encoding="utf-8")
+        assert count_data_rows(path) == 2  # a quoted newline is one record
+
+    def test_count_data_rows_sqlite(self, relation, tmp_path):
+        path = tmp_path / "r.sqlite"
+        with SQLiteChunkSink(path) as sink:
+            sink.open(relation.schema)
+            sink.write_chunk(relation)
+        assert count_data_rows(path) == len(relation)
+
+
+class TestSinks:
+    def test_csv_sink_restore_truncates_garbage(self, relation, tmp_path):
+        path = tmp_path / "out.csv"
+        sink = CSVChunkSink(path)
+        sink.open(relation.schema)
+        sink.write_chunk(relation)
+        state = sink.flush_state()
+        sink.close()
+        with open(path, "ab") as handle:
+            handle.write(b"half-written,chunk")
+        sink = CSVChunkSink(path)
+        sink.restore(relation.schema, state)
+        sink.close()
+        rows, _ = concatenate(CSVChunkSource(path, relation.schema))
+        assert rows == list(relation)
+
+    def test_gzip_sink_members_concatenate(self, relation, tmp_path):
+        path = tmp_path / "out.csv.gz"
+        sink = CSVChunkSink(path)
+        sink.open(relation.schema)
+        half = len(relation) // 2
+        rows = list(relation)
+        sink.write_chunk(Table(relation.schema, rows[:half]))
+        sink.write_chunk(Table(relation.schema, rows[half:]))
+        sink.close()
+        text = gzip.decompress(path.read_bytes()).decode("utf-8")
+        assert text.count("\r\n") == len(relation) + 1  # header + rows
+        restored, _ = concatenate(
+            CSVChunkSource(path, relation.schema, chunk_size=100)
+        )
+        assert restored == rows
+
+    def test_sqlite_sink_restore_deletes_beyond_marker(
+        self, relation, tmp_path
+    ):
+        path = tmp_path / "out.sqlite"
+        rows = list(relation)
+        sink = SQLiteChunkSink(path)
+        sink.open(relation.schema)
+        sink.write_chunk(Table(relation.schema, rows[:400]))
+        state = sink.flush_state()
+        sink.write_chunk(Table(relation.schema, rows[400:]))
+        sink.close()
+        sink = SQLiteChunkSink(path)
+        sink.restore(relation.schema, state)
+        sink.close()
+        with sqlite3.connect(path) as connection:
+            count = connection.execute(
+                "SELECT COUNT(*) FROM relation"
+            ).fetchone()[0]
+        assert count == 400
+
+    def test_table_sink_collects(self, relation):
+        sink = TableChunkSink()
+        sink.open(relation.schema)
+        sink.write_chunk(relation)
+        assert list(sink.table) == list(relation)
+        with pytest.raises(StreamError):
+            sink.restore(relation.schema, {"rows": 0})
+
+    def test_null_sink_counts(self, relation):
+        sink = NullChunkSink()
+        sink.open(relation.schema)
+        sink.write_chunk(relation)
+        assert sink.flush_state() == {"rows": len(relation)}
+
+
+class TestSQLiteTableResolution:
+    def _renamed_db(self, relation, tmp_path, new_name):
+        path = tmp_path / "data.sqlite"
+        with SQLiteChunkSink(path) as sink:
+            sink.open(relation.schema)
+            sink.write_chunk(relation)
+        with sqlite3.connect(path) as connection:
+            connection.execute(f'ALTER TABLE relation RENAME TO "{new_name}"')
+        return path
+
+    def test_single_table_auto_resolves_whatever_its_name(
+        self, relation, tmp_path
+    ):
+        path = self._renamed_db(relation, tmp_path, "sales")
+        rows, _ = concatenate(SQLiteChunkSource(path, relation.schema))
+        assert rows == list(relation)
+        assert count_data_rows(path) == len(relation)
+
+    def test_explicit_table_name_is_used_verbatim(self, relation, tmp_path):
+        path = self._renamed_db(relation, tmp_path, "sales")
+        with pytest.raises(sqlite3.OperationalError):
+            list(SQLiteChunkSource(path, relation.schema, table="nope"))
+
+    def test_ambiguous_tables_raise(self, relation, tmp_path):
+        path = self._renamed_db(relation, tmp_path, "sales")
+        with sqlite3.connect(path) as connection:
+            connection.execute("CREATE TABLE other (x INTEGER)")
+        with pytest.raises(StreamError, match="pass table="):
+            list(SQLiteChunkSource(path, relation.schema))
+
+
+class TestSinkCompressionChoice:
+    def test_sink_format_follows_requested_suffix_not_stale_bytes(
+        self, relation, tmp_path
+    ):
+        # A .csv path currently holding gzip bytes (say, a renamed earlier
+        # output) must be overwritten with PLAIN csv, not silently gzip.
+        path = tmp_path / "out.csv"
+        path.write_bytes(gzip.compress(b"old,contents\n"))
+        sink = CSVChunkSink(path)
+        sink.open(relation.schema)
+        sink.write_chunk(relation)
+        sink.close()
+        head = path.read_bytes()[:2]
+        assert head != b"\x1f\x8b"
+        rows, _ = concatenate(CSVChunkSource(path, relation.schema))
+        assert rows == list(relation)
