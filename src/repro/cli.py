@@ -42,8 +42,14 @@ pass's embed/verify; ``--mode`` the sweep engine's execution mode
 (``serial`` re-embeds per cell — the reference cost model).
 
 ``detect`` exits 0 when the watermark is detected and 3 when it is not, so
-the tool composes into shell pipelines.  Schemas are JSON documents in the
-:func:`repro.relational.schema_to_json` format.
+the tool composes into shell pipelines.  Failures carry their own codes:
+4 for a corrupt checkpoint with no verified rollback target, 5 when
+``--retries`` was exhausted by persistent transient I/O failures, and 6
+when a malformed CSV row aborted the run under ``--on-bad-rows raise``.
+File-mode runs accept ``--retries N`` (crash-safe retry with
+deterministic backoff) and ``--on-bad-rows {raise,skip,quarantine}``.
+Schemas are JSON documents in the :func:`repro.relational.schema_to_json`
+format.
 """
 
 from __future__ import annotations
@@ -68,6 +74,16 @@ from .relational import (
 
 #: exit code for "ran fine, watermark not detected"
 EXIT_NOT_DETECTED = 3
+
+#: a checkpoint failed CRC/schema verification and no verified rollback
+#: target survived — the run must not silently restart from scratch
+EXIT_CHECKPOINT_CORRUPT = 4
+
+#: a transient I/O failure outlived the retry budget (``--retries``)
+EXIT_RETRY_EXHAUSTED = 5
+
+#: a malformed CSV row aborted the run (``--on-bad-rows raise``)
+EXIT_BAD_ROWS = 6
 
 
 def _load_schema(path: str):
@@ -115,6 +131,23 @@ def _require_one_input(args: argparse.Namespace) -> None:
         )
 
 
+def _retry_policy(args: argparse.Namespace):
+    """``--retries N`` to a :class:`~repro.reliability.RetryPolicy` (one
+    try plus N retries), or ``None`` for the historical fail-fast path."""
+    retries = getattr(args, "retries", 0)
+    if not retries:
+        return None
+    from .reliability import RetryPolicy
+
+    return RetryPolicy(max_attempts=retries + 1)
+
+
+def _print_reliability(report) -> None:
+    """Surface recovery telemetry when anything was recovered from."""
+    if report is not None and (report.any_recovery or report.bad_rows):
+        print(report.summary())
+
+
 def cmd_embed_stream(args: argparse.Namespace) -> int:
     """File-mode embed: chunked, bounded memory, optionally resumable."""
     from .core import EmbeddingSpec, default_channel_length
@@ -148,7 +181,10 @@ def cmd_embed_stream(args: argparse.Namespace) -> int:
         channel_length=channel_length,
         ecc_name=args.ecc,
     )
-    source = open_source(args.input, schema, chunk_size=args.chunk_size)
+    source = open_source(
+        args.input, schema, chunk_size=args.chunk_size,
+        on_bad_rows=args.on_bad_rows,
+    )
     result = stream_mark(
         source,
         watermark,
@@ -157,6 +193,7 @@ def cmd_embed_stream(args: argparse.Namespace) -> int:
         open_sink(args.output),
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        retry=_retry_policy(args),
     )
     domain = schema.attribute(args.attribute).domain
     record = MarkRecord(
@@ -181,6 +218,7 @@ def cmd_embed_stream(args: argparse.Namespace) -> int:
     )
     print(f"marked data   -> {args.output}")
     print(f"mark record   -> {args.record} (escrow with the key)")
+    _print_reliability(result.reliability)
     return 0
 
 
@@ -244,7 +282,8 @@ def cmd_detect_stream(args: argparse.Namespace) -> int:
     # decode against the escrowed canonical domain, like the in-memory
     # blind detector does.
     source = open_source(
-        args.input, schema, chunk_size=args.chunk_size, infer_domains=True
+        args.input, schema, chunk_size=args.chunk_size, infer_domains=True,
+        on_bad_rows=args.on_bad_rows,
     )
     result = stream_verify(
         source,
@@ -254,11 +293,13 @@ def cmd_detect_stream(args: argparse.Namespace) -> int:
         embedding_map=record.embedding_map,
         domain=domain,
         significance=args.significance,
+        retry=_retry_policy(args),
     )
     print(
         f"association channel ({result.rows} tuples in {result.chunks} "
         f"chunks): {result.summary()}"
     )
+    _print_reliability(result.reliability)
     return 0 if result.detected else EXIT_NOT_DETECTED
 
 
@@ -543,6 +584,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a file-mode embed from --checkpoint",
     )
     embed.add_argument(
+        "--retries", type=int, default=0,
+        help="retry transient I/O failures up to N times per operation "
+             "(file mode; deterministic backoff; default 0 = fail fast)",
+    )
+    embed.add_argument(
+        "--on-bad-rows", choices=("raise", "skip", "quarantine"),
+        default="raise",
+        help="file-mode policy for unparseable CSV rows: abort (default), "
+             "drop, or drop + append to a .quarantine.csv sidecar",
+    )
+    embed.add_argument(
         "--record", required=True, help="mark record JSON output (escrow)"
     )
     embed.set_defaults(handler=cmd_embed)
@@ -572,6 +624,17 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--remap-recovery", action="store_true",
         help="attempt §4.5 bijective-remapping recovery before decoding",
+    )
+    detect.add_argument(
+        "--retries", type=int, default=0,
+        help="retry transient I/O failures up to N times per operation "
+             "(file mode; deterministic backoff; default 0 = fail fast)",
+    )
+    detect.add_argument(
+        "--on-bad-rows", choices=("raise", "skip", "quarantine"),
+        default="raise",
+        help="file-mode policy for unparseable CSV rows: abort (default), "
+             "drop, or drop + append to a .quarantine.csv sidecar",
     )
     detect.set_defaults(handler=cmd_detect)
 
@@ -664,7 +727,29 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    from .reliability import RetryError
+    from .stream import BadRowError, CheckpointCorruptError
+
+    # The failure taxonomy as exit codes, so shell pipelines can
+    # distinguish "resume from a damaged checkpoint" from "disk kept
+    # failing" from "the input itself is malformed".
+    try:
+        return args.handler(args)
+    except CheckpointCorruptError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CHECKPOINT_CORRUPT
+    except RetryError as exc:
+        cause = exc.__cause__
+        detail = f" (last failure: {cause})" if cause is not None else ""
+        print(f"error: {exc}{detail}", file=sys.stderr)
+        return EXIT_RETRY_EXHAUSTED
+    except BadRowError as exc:
+        print(
+            f"error: {exc}\n(use --on-bad-rows skip|quarantine to "
+            f"continue past malformed rows)",
+            file=sys.stderr,
+        )
+        return EXIT_BAD_ROWS
 
 
 if __name__ == "__main__":  # pragma: no cover

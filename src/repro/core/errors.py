@@ -21,5 +21,16 @@ class SpecError(WatermarkingError):
     """An embedding specification is malformed or inconsistent."""
 
 
+class PermanentError(WatermarkingError):
+    """A failure retrying can never fix — bad configuration or bad data.
+
+    The reliability layer (:mod:`repro.reliability.retry`) classifies
+    every :class:`WatermarkingError` as permanent and fails fast; raise
+    this subclass to mark a failure as unretryable when no more specific
+    error class fits (e.g. wrapping an ``OSError`` that is known to be
+    deterministic, which would otherwise classify as transient).
+    """
+
+
 class DetectionError(WatermarkingError):
     """Blind detection could not be performed on the suspect relation."""

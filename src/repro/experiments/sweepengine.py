@@ -49,9 +49,12 @@ same verdicts.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import random
+import signal
+import time
 import weakref
 from collections import OrderedDict
 from collections.abc import Iterable, Sequence
@@ -63,6 +66,21 @@ from ..attacks import Attack
 from ..core import Watermark, Watermarker, kernels, verify_multipass
 from ..crypto import AUTO, ENGINE, SCALAR, MarkKey
 from ..relational import CategoricalDomain, Table
+from ..reliability.faults import (
+    KILL,
+    InjectedFaultError,
+    active_plan,
+    injection_armed,
+)
+from ..reliability.report import ReliabilityReport
+from ..reliability.retry import (
+    TRANSIENT,
+    RetryError,
+    RetryPolicy,
+    classify,
+)
+
+logger = logging.getLogger(__name__)
 
 #: the paper's pass count
 PAPER_PASSES = 15
@@ -404,10 +422,26 @@ def _worker_run_seed(
     protocol: SweepProtocol,
     seed: int,
     cells: list[tuple[float | None, Attack]],
+    inject: tuple[int, str] | None = None,
 ) -> list[PassResult]:
-    """Pool task: all of one seed's cells, in sweep-point order."""
+    """Pool task: all of one seed's cells, in sweep-point order.
+
+    ``inject`` ships a parent-planned fault across the process boundary
+    (the armed :class:`~repro.reliability.FaultPlan` lives in the parent):
+    ``(cell_index, kind)`` makes this task die — ``SIGKILL`` for a
+    ``"kill"`` fault, :class:`InjectedFaultError` otherwise — when it
+    reaches that cell.  The parent consumed the plan trigger at submit
+    time, so the retried task runs clean.
+    """
     embedded = _worker_embedded_pass(protocol, seed)
-    return [run_cell(embedded, attack, x) for x, attack in cells]
+    results = []
+    for index, (x, attack) in enumerate(cells):
+        if inject is not None and index == inject[0]:
+            if inject[1] == KILL:
+                os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover
+            raise InjectedFaultError("pool.worker", seed, inject[1])
+        results.append(run_cell(embedded, attack, x))
+    return results
 
 
 def _worker_call(fn, args: tuple) -> Any:
@@ -498,6 +532,7 @@ class SweepEngine:
         max_workers: int | None = None,
         pass_cache_size: int = _PASS_CACHE_SIZE,
         fused: bool = True,
+        retry: RetryPolicy | None = None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -507,6 +542,10 @@ class SweepEngine:
         #: detection kernel (bit-identical; ``False`` keeps the PR-3
         #: per-pass path — the benches' comparison baseline)
         self.fused = fused
+        #: bounded-attempt policy for pooled-mode task retries and pool
+        #: respawns (per-seed tasks are pure functions of their labels,
+        #: so a retried task is bit-identical to a first-try one)
+        self.retry = retry if retry is not None else RetryPolicy()
         self._passes: "OrderedDict[tuple[bytes, SweepProtocol, int], EmbeddedPass]" = (
             OrderedDict()
         )
@@ -515,6 +554,26 @@ class SweepEngine:
         self.embeds_performed = 0
         #: telemetry: (seed, x) cells evaluated (all modes, parent count)
         self.cells_executed = 0
+        #: telemetry: recovery actions (retries, respawns, fallbacks)
+        self.reliability = ReliabilityReport()
+
+    def cache_info(self) -> dict[str, int]:
+        """Engine telemetry snapshot (``functools.cache_info`` style) —
+        cache occupancy, work counters, and the recovery counters that
+        make pool degradation visible instead of silent."""
+        return {
+            "passes_cached": len(self._passes),
+            "pass_cache_size": self._pass_cache_size,
+            "embeds_performed": self.embeds_performed,
+            "cells_executed": self.cells_executed,
+            "cell_retries": self.reliability.cell_retries,
+            "pool_respawns": self.reliability.pool_respawns,
+            "pool_fallbacks": self.reliability.pool_fallbacks,
+        }
+
+    def reliability_report(self) -> ReliabilityReport:
+        """The engine's accumulated :class:`ReliabilityReport`."""
+        return self.reliability
 
     # -- embedded-pass cache ------------------------------------------------
     def embedded_pass(
@@ -581,19 +640,33 @@ class SweepEngine:
 
             try:
                 return self._run_pooled(base_table, protocol, attacks, seeds)
-            except BrokenExecutor:
+            except BrokenExecutor as exc:
+                self._note_pool_fallback(exc)
                 shutdown_sweep_pool()
             except RuntimeError:
                 raise  # run_cell's "attack removed the marked pair"
-            except Exception:
+            except Exception as exc:
                 # Pool infrastructure failure (unpicklable attack,
-                # fork/pipe trouble, nested-daemon limits): the hoisted
-                # path is bit-identical, so never let the pool kill an
-                # experiment.
+                # fork/pipe trouble, nested-daemon limits, retry
+                # exhaustion): the hoisted path is bit-identical, so
+                # never let the pool kill an experiment — but never
+                # degrade silently either.
+                self._note_pool_fallback(exc)
                 shutdown_sweep_pool()
         if resolved == MODE_SERIAL:
             return self._run_serial(base_table, protocol, attacks, seeds)
         return self._run_hoisted(base_table, protocol, attacks, seeds)
+
+    def _note_pool_fallback(self, exc: BaseException) -> None:
+        """Count and log a pooled -> hoisted degradation (results stay
+        bit-identical; only the parallelism is lost)."""
+        self.reliability.pool_fallbacks += 1
+        logger.warning(
+            "pooled sweep failed (%s: %s); falling back to the "
+            "bit-identical hoisted path",
+            type(exc).__name__,
+            exc,
+        )
 
     def _run_serial(self, base_table, protocol, attacks, seeds):
         """Reference path: re-embed per cell (the naive runner's cost)."""
@@ -622,24 +695,83 @@ class SweepEngine:
         return points
 
     def _run_pooled(self, base_table, protocol, attacks, seeds):
+        from concurrent.futures import BrokenExecutor
+
         workers = self.max_workers or os.cpu_count() or 1
         # Probe picklability up front: an unpicklable attack submitted to
         # the executor deadlocks its queue-feeder thread instead of
         # raising, whereas this raises cleanly and run() falls back to
         # the bit-identical hoisted path.
         pickle.dumps((protocol, attacks))
-        pool = _ensure_pool(_table_token(base_table), base_table, workers)
-        futures = {
-            seed: pool.submit(_worker_run_seed, protocol, seed, attacks)
-            for seed in seeds
-        }
-        by_seed = {seed: future.result() for seed, future in futures.items()}
+        token = _table_token(base_table)
+        policy = self.retry
+        by_seed: dict[int, list[PassResult]] = {}
+        pending = list(seeds)
+        attempt = 0
+        while pending:
+            pool = _ensure_pool(token, base_table, workers)
+            futures = {
+                seed: pool.submit(
+                    _worker_run_seed,
+                    protocol,
+                    seed,
+                    attacks,
+                    self._planned_worker_fault(seed, len(attacks)),
+                )
+                for seed in pending
+            }
+            failed = []
+            last_exc: BaseException | None = None
+            broken = False
+            for seed, future in futures.items():
+                try:
+                    by_seed[seed] = future.result()
+                except BrokenExecutor as exc:
+                    # A worker died (OOM kill, injected SIGKILL): the
+                    # executor is unusable, every in-flight seed fails.
+                    failed.append(seed)
+                    last_exc = exc
+                    broken = True
+                except Exception as exc:
+                    if classify(exc) is not TRANSIENT:
+                        raise
+                    failed.append(seed)
+                    last_exc = exc
+            if failed:
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    raise RetryError("pool.worker", attempt) from last_exc
+                self.reliability.cell_retries += len(failed) * len(attacks)
+                self.reliability.record_retry("pool.worker", attempt, last_exc)
+                time.sleep(policy.delay("pool.worker", attempt))
+                if broken:
+                    # Respawn: per-seed tasks are pure functions of their
+                    # labels, so a fresh pool reproduces the lost results
+                    # bit-identically.
+                    shutdown_sweep_pool()
+                    self.reliability.pool_respawns += 1
+            pending = failed
         points = []
         for index, (x, _) in enumerate(attacks):
             results = [by_seed[seed][index] for seed in seeds]
             self.cells_executed += len(results)
             points.append(ExperimentPoint(x=x, passes=results))
         return points
+
+    def _planned_worker_fault(
+        self, seed: int, cell_count: int
+    ) -> tuple[int, str] | None:
+        """Consume any fault the armed plan scheduled for this seed's
+        pool task, shipping it as an inject instruction (the plan lives
+        in the parent; workers are separate processes)."""
+        if not injection_armed():
+            return None
+        plan = active_plan()
+        kind = plan.draw("pool.worker", seed)
+        if kind is None:
+            return None
+        cell = plan.rng("pool.worker", seed).randrange(max(1, cell_count))
+        return (cell, kind)
 
     # -- the runner-shaped convenience --------------------------------------
     def sweep(

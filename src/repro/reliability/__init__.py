@@ -1,0 +1,75 @@
+"""Fault injection + crash-safe retry/recovery for the long-running paths.
+
+The §5 protocol claims only hold if a multi-hour streaming mark/detect
+run actually completes and its checkpoints can be trusted.  This package
+makes recovery *provable* instead of hoped-for:
+
+* :mod:`~repro.reliability.faults` — a seeded, label-addressed
+  :class:`FaultPlan` that injection points across ``repro.stream`` and
+  the sweep pool consult, raising deterministic ``IOError``/torn-write/
+  truncated-gzip/corrupted-JSON/``SIGKILL`` faults at chosen chunk or
+  cell indices (zero overhead when no plan is armed);
+* :mod:`~repro.reliability.retry` — a :class:`RetryPolicy` (bounded
+  attempts, exponential backoff, deterministic jitter) plus the shared
+  transient/permanent fault taxonomy, applied at every I/O boundary;
+* :mod:`~repro.reliability.report` — a :class:`ReliabilityReport`
+  counting every retry, rollback, respawn and fallback, because silent
+  recovery is indistinguishable from silent degradation.
+
+The chaos suite (``pytest -m chaos``) kills real subprocesses at every
+chunk boundary and asserts resumed runs are byte-identical to
+uninterrupted ones — the enumerate-every-reachable-failure-state
+discipline applied to the streaming layer.
+"""
+
+from .faults import (
+    CORRUPT_JSON,
+    Fault,
+    FaultPlan,
+    IO_ERROR,
+    InjectedFaultError,
+    KILL,
+    KINDS,
+    TORN_WRITE,
+    TRUNCATED_GZIP,
+    active_plan,
+    arm,
+    disarm,
+    fault_point,
+    injection_armed,
+)
+from .report import ReliabilityReport
+from .retry import (
+    NO_RETRY,
+    PERMANENT,
+    RetryError,
+    RetryPolicy,
+    TRANSIENT,
+    call_with_retry,
+    classify,
+)
+
+__all__ = [
+    "CORRUPT_JSON",
+    "Fault",
+    "FaultPlan",
+    "IO_ERROR",
+    "InjectedFaultError",
+    "KILL",
+    "KINDS",
+    "NO_RETRY",
+    "PERMANENT",
+    "ReliabilityReport",
+    "RetryError",
+    "RetryPolicy",
+    "TORN_WRITE",
+    "TRANSIENT",
+    "TRUNCATED_GZIP",
+    "active_plan",
+    "arm",
+    "call_with_retry",
+    "classify",
+    "disarm",
+    "fault_point",
+    "injection_armed",
+]

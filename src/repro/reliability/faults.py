@@ -1,0 +1,215 @@
+"""Deterministic fault injection: break the pipeline on purpose.
+
+Recovery code that has never seen a failure is untested code.  This
+module lets the test suite (and the chaos benches) schedule *precise*
+failures — an ``IOError`` on chunk 3's sink write, a torn gzip member on
+flush 2, a corrupted checkpoint payload, a ``SIGKILL`` at a chunk
+boundary, a dead pool worker on seed 1 — and then assert that the
+retry/recovery layer restores a byte-identical outcome.
+
+Design rules, mirroring the repo's determinism contract:
+
+* **Label-addressed** — every injection point has a literal label
+  (``"sink.write"``, ``"source.read"``, ``"checkpoint.save"``,
+  ``"pool.worker"``, ...) and a zero-based index (chunk index, seed);
+  a :class:`FaultPlan` schedules fault *kinds* at ``(label, index)``
+  addresses with a bounded trigger count, so fault sequences are
+  order-independent and reproducible run to run.
+* **Seeded** — any randomness a fault needs (how many rows of a torn
+  write survive) comes from ``random.Random(f"fault:{seed}:{label}:
+  {index}")``, the same literal-label rng contract the attack sweep
+  uses.
+* **Zero overhead disarmed** — production code consults
+  :func:`fault_point` (one module-global ``None`` check per *chunk*,
+  never per row) and :func:`injection_armed` guards any
+  fault-preparation work, so an unarmed pipeline pays nothing.
+
+Faults are injected *through the same exceptions real failures raise*
+(:class:`InjectedFaultError` is an ``OSError``), so the retry layer
+cannot special-case them.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import signal
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+#: raise an OSError (EIO) at the injection point — the generic
+#: transient-I/O failure
+IO_ERROR = "io-error"
+
+#: cooperative: the injection point persists a *partial* write (a half
+#: chunk, a prefix of a JSON payload) and then fails
+TORN_WRITE = "torn-write"
+
+#: cooperative: a gzip sink flushes a member with no trailer (compressed
+#: bytes on disk, stream not closed) and then fails
+TRUNCATED_GZIP = "truncated-gzip"
+
+#: cooperative: a JSON payload is written bit-rotted but syntactically
+#: plausible — the "silently corrupted checkpoint" case CRC verification
+#: exists to catch
+CORRUPT_JSON = "corrupt-json"
+
+#: the process dies on the spot (``SIGKILL`` — no atexit, no flush), or a
+#: pool worker is instructed to die mid-task
+KILL = "kill"
+
+KINDS = (IO_ERROR, TORN_WRITE, TRUNCATED_GZIP, CORRUPT_JSON, KILL)
+
+#: kinds :func:`fault_point` resolves itself; the rest are returned to
+#: the (cooperating) injection point
+_SELF_SERVICE = (IO_ERROR, KILL)
+
+
+class InjectedFaultError(OSError):
+    """The transient I/O failure a :class:`FaultPlan` injects.
+
+    An ``OSError`` with ``errno=EIO``, so retry classification treats it
+    exactly like a real disk error — no test-only code path in the
+    recovery layer.
+    """
+
+    def __init__(self, label: str, index: int, kind: str = IO_ERROR):
+        self.label = label
+        self.index = index
+        self.kind = kind
+        super().__init__(
+            errno.EIO, f"injected {kind} fault at {label}[{index}]"
+        )
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled failure: ``kind`` at ``(label, index)``, firing at
+    most ``times`` times before the address exhausts."""
+
+    label: str
+    index: int
+    kind: str
+    times: int = 1
+
+
+class FaultPlan:
+    """A seeded schedule of failures, consulted by injection points.
+
+    Plans are built once (``add`` chains), armed around the code under
+    test (:meth:`armed`, or process-globally via :func:`arm`), and
+    consumed as the pipeline hits the scheduled addresses.  ``times``
+    bounds every address, so a recovered retry of the same chunk runs
+    clean — exactly how a transient real-world fault behaves.
+    """
+
+    def __init__(self, seed: int | str = 0):
+        self.seed = seed
+        self._pending: dict[tuple[str, int], list] = {}
+        #: telemetry: (label, index, kind) triples actually fired
+        self.fired: list[tuple[str, int, str]] = []
+
+    def add(
+        self, label: str, kind: str, at: int = 0, times: int = 1
+    ) -> "FaultPlan":
+        """Schedule ``kind`` at ``(label, at)``; returns ``self``."""
+        if kind not in KINDS:
+            raise ValueError(f"fault kind must be one of {KINDS}, got {kind!r}")
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        self._pending[(label, int(at))] = [kind, times]
+        return self
+
+    def scheduled(self, label: str, index: int) -> bool:
+        """Is a fault still pending at ``(label, index)``?  (Peek — does
+        not consume a trigger.)"""
+        return (label, int(index)) in self._pending
+
+    def draw(self, label: str, index: int) -> str | None:
+        """Consume one trigger at ``(label, index)``: its kind, or
+        ``None`` when nothing (or nothing *left*) is scheduled there."""
+        entry = self._pending.get((label, int(index)))
+        if entry is None:
+            return None
+        kind, remaining = entry
+        if remaining <= 1:
+            del self._pending[(label, int(index))]
+        else:
+            entry[1] = remaining - 1
+        self.fired.append((label, int(index), kind))
+        return kind
+
+    def rng(self, label: str, index: int) -> random.Random:
+        """The private generator of fault ``(label, index)`` — the
+        literal-label contract, so torn-write cut points etc. reproduce."""
+        return random.Random(f"fault:{self.seed}:{label}:{index}")
+
+    def pending(self) -> int:
+        """Total triggers not yet fired (assert == 0 to prove a chaos
+        scenario exercised its whole schedule)."""
+        return sum(entry[1] for entry in self._pending.values())
+
+    @contextmanager
+    def armed(self):
+        """Arm this plan process-globally for the ``with`` body."""
+        previous = arm(self)
+        try:
+            yield self
+        finally:
+            arm(previous)
+
+
+# The single process-global armed plan.  Injection points read it with
+# one attribute lookup; ``None`` (the production state) short-circuits
+# everything.
+_PLAN: FaultPlan | None = None
+
+
+def arm(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install ``plan`` as the armed plan; returns the previous one."""
+    global _PLAN
+    previous = _PLAN
+    _PLAN = plan
+    return previous
+
+
+def disarm() -> None:
+    """Remove any armed plan (the production state)."""
+    arm(None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The armed plan, or ``None``."""
+    return _PLAN
+
+
+def injection_armed() -> bool:
+    """Cheap guard for fault-preparation work (flushes, row splitting)
+    that only a *scheduled* fault needs."""
+    return _PLAN is not None
+
+
+def fault_point(label: str, index: int) -> str | None:
+    """Declare an injection point; acts on any fault scheduled here.
+
+    Disarmed (no plan): a single ``None`` check, nothing else.  Armed:
+    consumes at most one trigger at ``(label, index)`` and
+
+    * raises :class:`InjectedFaultError` for :data:`IO_ERROR`,
+    * ``SIGKILL``-s the process for :data:`KILL` (never returns),
+    * returns the kind for the cooperative faults (:data:`TORN_WRITE`,
+      :data:`TRUNCATED_GZIP`, :data:`CORRUPT_JSON`) — the injection
+      point itself performs the partial/corrupted write and then fails.
+    """
+    plan = _PLAN
+    if plan is None:
+        return None
+    kind = plan.draw(label, index)
+    if kind is None:
+        return None
+    if kind == KILL:
+        os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover — fatal
+    if kind == IO_ERROR:
+        raise InjectedFaultError(label, index)
+    return kind

@@ -1,0 +1,114 @@
+"""Reliability telemetry: what the recovery layer actually did.
+
+Silent recovery is indistinguishable from silent degradation, so every
+retry, rollback, fallback and respawn is counted in a
+:class:`ReliabilityReport` the caller can read (and the chaos CI job
+uploads as an artifact).  The report is plain counters — JSON-friendly,
+mergeable, and cheap enough to thread through hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ReliabilityReport:
+    """Counters of recovery actions taken during one run."""
+
+    #: retries performed, by injection-point label (``"sink.write"`` ...)
+    retries: Counter = field(default_factory=Counter)
+    #: sink rollbacks to the last durable marker before a rewrite
+    sink_rollbacks: int = 0
+    #: source re-opens at a chunk boundary after a read failure
+    source_reopens: int = 0
+    #: resumes that fell back to the previous (``.prev``) checkpoint
+    #: because the newest one failed verification
+    checkpoint_rollbacks: int = 0
+    #: malformed input rows skipped or quarantined (CSV ``on_bad_rows``)
+    bad_rows: int = 0
+    quarantined_rows: int = 0
+    #: sweep-pool recovery (see :class:`~repro.experiments.SweepEngine`)
+    pool_respawns: int = 0
+    pool_fallbacks: int = 0
+    cell_retries: int = 0
+
+    def record_retry(self, label: str, attempt: int, exc: BaseException) -> None:
+        """``on_retry`` hook for :func:`~repro.reliability.call_with_retry`."""
+        self.retries[label] += 1
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    @property
+    def any_recovery(self) -> bool:
+        """Did this run survive at least one fault?"""
+        return bool(
+            self.total_retries
+            or self.sink_rollbacks
+            or self.source_reopens
+            or self.checkpoint_rollbacks
+            or self.pool_respawns
+            or self.pool_fallbacks
+            or self.cell_retries
+        )
+
+    def merge(self, other: "ReliabilityReport") -> None:
+        self.retries.update(other.retries)
+        self.sink_rollbacks += other.sink_rollbacks
+        self.source_reopens += other.source_reopens
+        self.checkpoint_rollbacks += other.checkpoint_rollbacks
+        self.bad_rows += other.bad_rows
+        self.quarantined_rows += other.quarantined_rows
+        self.pool_respawns += other.pool_respawns
+        self.pool_fallbacks += other.pool_fallbacks
+        self.cell_retries += other.cell_retries
+
+    def to_dict(self) -> dict:
+        return {
+            "retries": dict(self.retries),
+            "total_retries": self.total_retries,
+            "sink_rollbacks": self.sink_rollbacks,
+            "source_reopens": self.source_reopens,
+            "checkpoint_rollbacks": self.checkpoint_rollbacks,
+            "bad_rows": self.bad_rows,
+            "quarantined_rows": self.quarantined_rows,
+            "pool_respawns": self.pool_respawns,
+            "pool_fallbacks": self.pool_fallbacks,
+            "cell_retries": self.cell_retries,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def summary(self) -> str:
+        """One-line human summary (the CLI prints it after recovery)."""
+        if not self.any_recovery and not self.bad_rows:
+            return "reliability: clean run (no retries, no recovery)"
+        parts = []
+        if self.total_retries:
+            labels = ", ".join(
+                f"{label} x{count}" for label, count in sorted(self.retries.items())
+            )
+            parts.append(f"{self.total_retries} retries ({labels})")
+        if self.sink_rollbacks:
+            parts.append(f"{self.sink_rollbacks} sink rollbacks")
+        if self.source_reopens:
+            parts.append(f"{self.source_reopens} source reopens")
+        if self.checkpoint_rollbacks:
+            parts.append(f"{self.checkpoint_rollbacks} checkpoint rollbacks")
+        if self.bad_rows:
+            parts.append(
+                f"{self.bad_rows} bad rows "
+                f"({self.quarantined_rows} quarantined)"
+            )
+        if self.pool_respawns or self.pool_fallbacks or self.cell_retries:
+            parts.append(
+                f"pool: {self.cell_retries} task retries, "
+                f"{self.pool_respawns} respawns, "
+                f"{self.pool_fallbacks} fallbacks"
+            )
+        return "reliability: " + "; ".join(parts)

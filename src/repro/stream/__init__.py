@@ -20,10 +20,16 @@ Opens the million-row / on-disk workload class the in-memory
 from .checkpoint import (
     MarkCheckpoint,
     load_checkpoint,
+    load_verified_checkpoint,
     mark_fingerprint,
     save_checkpoint,
 )
-from .errors import CheckpointError, StreamError
+from .errors import (
+    BadRowError,
+    CheckpointCorruptError,
+    CheckpointError,
+    StreamError,
+)
 from .pipeline import (
     StreamDetection,
     StreamMarkResult,
@@ -55,8 +61,10 @@ from .sources import (
 )
 
 __all__ = [
+    "BadRowError",
     "CSVChunkSink",
     "CSVChunkSource",
+    "CheckpointCorruptError",
     "CheckpointError",
     "ChunkSink",
     "ChunkSource",
@@ -75,6 +83,7 @@ __all__ = [
     "count_data_rows",
     "item_scan_source",
     "load_checkpoint",
+    "load_verified_checkpoint",
     "mark_fingerprint",
     "open_sink",
     "open_source",

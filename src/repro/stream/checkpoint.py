@@ -15,12 +15,28 @@ Checkpoints carry **no secret material**: the run is identified by a
 one-way fingerprint over the key pair, the spec, and the watermark, which
 also guards against resuming with mismatched parameters (a silent way to
 produce a half-marked relation).
+
+Trust, but verify
+-----------------
+
+A checkpoint the pipeline cannot *verify* is worse than none: resuming
+from a bit-rotted or torn payload silently produces a half-marked
+relation.  Every payload therefore carries a ``schema_version`` and a
+CRC-32 over the canonical body; :func:`load_checkpoint` rejects
+mismatches with :class:`CheckpointCorruptError` (naming the file and the
+offset where verification failed) instead of resuming from garbage.
+:func:`save_checkpoint` additionally rotates the previous checkpoint to
+``<path>.prev`` before installing the new one, so
+:func:`load_verified_checkpoint` can roll back to the last *verified*
+record when the newest is damaged — re-marking one extra chunk is cheap;
+trusting a corrupt checkpoint is not.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
 from hashlib import sha256
 from pathlib import Path
@@ -28,9 +44,20 @@ from typing import Any
 
 from ..core import EmbeddingSpec, Watermark
 from ..crypto import MarkKey
-from .errors import CheckpointError
+from ..reliability.faults import (
+    CORRUPT_JSON,
+    TORN_WRITE,
+    active_plan,
+    fault_point,
+)
+from .errors import CheckpointCorruptError, CheckpointError
 
-_FORMAT = 1
+#: checkpoint payload schema version; bumped whenever the payload shape
+#: changes (v1 predates CRC verification and is rejected as unverifiable)
+SCHEMA_VERSION = 2
+
+#: suffix of the rotated previous checkpoint (the rollback target)
+PREV_SUFFIX = ".prev"
 
 
 def mark_fingerprint(
@@ -59,29 +86,58 @@ class MarkCheckpoint:
     vetoes_by_constraint: dict[str, int] = field(default_factory=dict)
     sink_state: dict[str, Any] = field(default_factory=dict)
 
+    def _body(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "chunks_done": self.chunks_done,
+            "rows_done": self.rows_done,
+            "counters": self.counters,
+            "slots_written": self.slots_written,
+            "vetoes_by_constraint": self.vetoes_by_constraint,
+            "sink_state": self.sink_state,
+        }
+
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "format": _FORMAT,
-                "fingerprint": self.fingerprint,
-                "chunks_done": self.chunks_done,
-                "rows_done": self.rows_done,
-                "counters": self.counters,
-                "slots_written": self.slots_written,
-                "vetoes_by_constraint": self.vetoes_by_constraint,
-                "sink_state": self.sink_state,
-            },
-            sort_keys=True,
+        body = self._body()
+        # The CRC covers the canonical (sorted-keys) encoding of the body
+        # alone; load recomputes it the same way, so any damaged byte in
+        # the payload — including the schema_version — is detected.
+        body["crc"] = zlib.crc32(
+            json.dumps(body, sort_keys=True).encode("utf-8")
         )
+        return json.dumps(body, sort_keys=True)
 
     @classmethod
-    def from_json(cls, text: str) -> "MarkCheckpoint":
+    def from_json(cls, text: str, path: str | Path = "<memory>") -> "MarkCheckpoint":
         try:
             payload = json.loads(text)
-            if payload.get("format") != _FORMAT:
-                raise CheckpointError(
-                    f"unsupported checkpoint format {payload.get('format')!r}"
-                )
+        except json.JSONDecodeError as exc:
+            raise CheckpointCorruptError(
+                path, f"not valid JSON: {exc.msg}", offset=exc.pos
+            ) from exc
+        if not isinstance(payload, dict):
+            raise CheckpointCorruptError(path, "payload is not a JSON object")
+        crc = payload.pop("crc", None)
+        if crc is None:
+            raise CheckpointCorruptError(
+                path, "missing crc field (pre-verification v1 file, or "
+                "truncated payload)"
+            )
+        expected = zlib.crc32(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+        if crc != expected:
+            raise CheckpointCorruptError(
+                path, f"crc mismatch (stored {crc}, computed {expected})"
+            )
+        if payload.get("schema_version") != SCHEMA_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint schema version "
+                f"{payload.get('schema_version')!r} in {path} "
+                f"(this build writes v{SCHEMA_VERSION})"
+            )
+        try:
             return cls(
                 fingerprint=payload["fingerprint"],
                 chunks_done=int(payload["chunks_done"]),
@@ -97,8 +153,16 @@ class MarkCheckpoint:
                 },
                 sink_state=payload["sink_state"],
             )
-        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
-            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            # CRC-valid but shape-invalid: a foreign (hand-edited?) file,
+            # not bit rot — still refuse with the file named.
+            raise CheckpointError(
+                f"malformed checkpoint {path}: {exc}"
+            ) from exc
+
+
+def _prev_path(path: Path) -> Path:
+    return path.with_name(path.name + PREV_SUFFIX)
 
 
 def save_checkpoint(path: str | Path, checkpoint: MarkCheckpoint) -> None:
@@ -106,20 +170,98 @@ def save_checkpoint(path: str | Path, checkpoint: MarkCheckpoint) -> None:
 
     A crash mid-save leaves either the previous checkpoint or the new one
     on disk, never a torn file — the invariant resume correctness rests
-    on.
+    on.  The previous record is rotated to ``<path>.prev`` first, so even
+    a checkpoint corrupted *after* landing (bit rot, a torn write from a
+    buggy filesystem) leaves a verified rollback target; the only crash
+    window with no ``path`` on disk is between the two renames, which
+    :func:`load_verified_checkpoint` covers by falling back to ``.prev``.
     """
     path = Path(path)
+    payload = checkpoint.to_json()
+    # Injection point: checkpoint persistence is exactly where silent
+    # corruption is most dangerous, so the chaos suite plants torn and
+    # bit-rotted payloads here (CRC verification must catch both).
+    kind = fault_point("checkpoint.save", checkpoint.chunks_done)
+    if kind == CORRUPT_JSON:
+        payload = _bit_rot(
+            payload, active_plan().rng("checkpoint.save", checkpoint.chunks_done)
+        )
+    elif kind == TORN_WRITE:
+        # Simulate a non-atomic writer / failing rename: a prefix of the
+        # payload lands at the *final* path.
+        cut = max(1, len(payload) // 2)
+        if path.exists():
+            os.replace(path, _prev_path(path))
+        path.write_text(payload[:cut], encoding="utf-8")
+        return
     scratch = path.with_name(path.name + ".tmp")
     with open(scratch, "w", encoding="utf-8") as handle:
-        handle.write(checkpoint.to_json() + "\n")
+        handle.write(payload + "\n")
         handle.flush()
         os.fsync(handle.fileno())
+    if path.exists():
+        os.replace(path, _prev_path(path))
     os.replace(scratch, path)
 
 
+def _bit_rot(payload: str, rng) -> str:
+    """Corrupt ``payload`` like silent media damage would: a few digit
+    characters flipped, JSON syntax preserved (so only the CRC catches
+    it)."""
+    chars = list(payload)
+    digit_positions = [
+        index for index, char in enumerate(chars) if char.isdigit()
+    ]
+    for position in rng.sample(digit_positions, min(3, len(digit_positions))):
+        chars[position] = rng.choice(
+            [d for d in "0123456789" if d != chars[position]]
+        )
+    return "".join(chars)
+
+
 def load_checkpoint(path: str | Path) -> MarkCheckpoint | None:
-    """The checkpoint at ``path``, or ``None`` when none was written."""
+    """The checkpoint at ``path``, or ``None`` when none was written.
+
+    Raises :class:`CheckpointCorruptError` when a file exists but fails
+    CRC/schema verification — corruption must never look like "no
+    checkpoint" (which would silently restart a half-written output from
+    scratch under a stale sink).
+    """
     path = Path(path)
     if not path.exists():
         return None
-    return MarkCheckpoint.from_json(path.read_text(encoding="utf-8"))
+    return MarkCheckpoint.from_json(
+        path.read_text(encoding="utf-8"), path=path
+    )
+
+
+def load_verified_checkpoint(
+    path: str | Path,
+) -> tuple[MarkCheckpoint | None, bool]:
+    """The newest checkpoint that passes verification: ``(checkpoint,
+    rolled_back)``.
+
+    Tries ``path`` first; on corruption (or a crash window that left only
+    the rotated file) falls back to ``<path>.prev``.  ``rolled_back`` is
+    ``True`` when the previous record was used.  Raises the *original*
+    :class:`CheckpointCorruptError` when the newest record is corrupt and
+    no verified fallback exists — resuming must fail loudly, not restart
+    silently.
+    """
+    path = Path(path)
+    prev = _prev_path(path)
+    try:
+        checkpoint = load_checkpoint(path)
+    except CheckpointCorruptError:
+        if prev.exists():
+            try:
+                return load_checkpoint(prev), True
+            except CheckpointCorruptError:
+                pass
+        raise
+    if checkpoint is not None:
+        return checkpoint, False
+    if prev.exists():
+        # Crash between the rotation renames: only .prev survived.
+        return load_checkpoint(prev), True
+    return None, False

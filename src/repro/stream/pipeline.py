@@ -28,6 +28,7 @@ mark-then-verify pair — re-seeing a value re-hashes nothing.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any, Hashable
@@ -55,9 +56,18 @@ from ..core.watermark import Watermark
 from ..crypto import AUTO, BACKENDS, SCALAR, VECTOR, HashEngine, MarkKey
 from ..quality import GuardReport, QualityGuard
 from ..relational import CategoricalDomain, Schema, Table
+from ..reliability.faults import fault_point
+from ..reliability.report import ReliabilityReport
+from ..reliability.retry import (
+    TRANSIENT,
+    RetryError,
+    RetryPolicy,
+    call_with_retry,
+    classify,
+)
 from .checkpoint import (
     MarkCheckpoint,
-    load_checkpoint,
+    load_verified_checkpoint,
     mark_fingerprint,
     save_checkpoint,
 )
@@ -147,6 +157,50 @@ def _source_chunk_size(source) -> int:
     return getattr(source, "chunk_size", DEFAULT_CHUNK_SIZE)
 
 
+def _chunks_with_retry(
+    source,
+    start: int,
+    policy: RetryPolicy | None,
+    report: ReliabilityReport,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Chunks of ``source`` from ``start``, re-opening on transient read
+    failures.
+
+    A failed read never loses a chunk: the source is re-opened at the
+    last *completed* chunk boundary (chunks are only counted once they
+    have been fully yielded downstream), so a retried read re-produces
+    the exact chunk whose read failed.  Attempts are bounded per
+    position; plain iterables cannot be re-opened and propagate their
+    failures unchanged.
+    """
+    if policy is None or not hasattr(source, "chunks"):
+        yield from resolve_chunks(source, start)
+        return
+    position = start
+    attempt = 0
+    iterator = resolve_chunks(source, position)
+    while True:
+        try:
+            chunk = next(iterator)
+        except StopIteration:
+            return
+        except Exception as exc:
+            if classify(exc) is not TRANSIENT:
+                raise
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                raise RetryError("source.read", attempt) from exc
+            report.record_retry("source.read", attempt, exc)
+            sleep(policy.delay("source.read", attempt))
+            report.source_reopens += 1
+            iterator = resolve_chunks(source, position)
+            continue
+        attempt = 0
+        yield chunk
+        position += 1
+
+
 # -- streaming embed -----------------------------------------------------------
 
 @dataclass
@@ -163,6 +217,7 @@ class StreamMarkResult:
     slots_written: set[int] = field(default_factory=set)
     guard_report: GuardReport = field(default_factory=GuardReport)
     resumed_at_chunk: int = 0
+    reliability: ReliabilityReport = field(default_factory=ReliabilityReport)
 
     @property
     def slot_coverage(self) -> float:
@@ -220,6 +275,7 @@ def stream_mark(
     checkpoint_path=None,
     resume: bool = False,
     constraints_factory: Callable[[], list] | None = None,
+    retry: RetryPolicy | None = None,
 ) -> StreamMarkResult:
     """Embed ``watermark`` into a streamed relation, chunk by chunk.
 
@@ -244,6 +300,15 @@ def stream_mark(
     The source must present the canonical declared domain on every chunk
     (``infer_domains=False``); marking under per-chunk inferred domains
     would embed against inconsistent value orderings.
+
+    A ``retry`` policy arms the recovery layer: transient failures of
+    source reads (re-open at the failed chunk boundary), sink writes
+    (roll back to the last durable marker, rewrite the chunk) and
+    checkpoint saves are retried with deterministic backoff, and every
+    recovery action is counted in ``result.reliability``.  ``retry=None``
+    (the default) keeps the historical fail-fast behavior.  Resume always
+    prefers the newest checkpoint that passes CRC verification, falling
+    back to the rotated ``.prev`` record when the newest is corrupt.
     """
     schema = source_schema(source)
     if schema is None:
@@ -261,15 +326,18 @@ def stream_mark(
         unchanged=0,
     )
     fingerprint = mark_fingerprint(key, spec, watermark)
+    reliability = result.reliability
     start = 0
     if resume:
         if checkpoint_path is None:
             raise CheckpointError("resume=True needs a checkpoint_path")
-        checkpoint = load_checkpoint(checkpoint_path)
+        checkpoint, rolled_back = load_verified_checkpoint(checkpoint_path)
         if checkpoint is None:
             raise CheckpointError(
                 f"no checkpoint to resume from at {checkpoint_path}"
             )
+        if rolled_back:
+            reliability.checkpoint_rollbacks += 1
         if checkpoint.fingerprint != fingerprint:
             raise CheckpointError(
                 "checkpoint belongs to a different (key, spec, watermark) "
@@ -281,8 +349,12 @@ def stream_mark(
     else:
         sink.open(schema)
 
+    # The durable marker the retry layer rolls the sink back to before
+    # rewriting a chunk whose write failed mid-way.
+    last_good = sink.flush_state() if retry is not None else None
+
     try:
-        for chunk in resolve_chunks(source, start):
+        for chunk in _chunks_with_retry(source, start, retry, reliability):
             chunk_domain = chunk.schema.attribute(spec.mark_attribute).domain
             if chunk_domain != domain:
                 raise StreamError(
@@ -311,16 +383,51 @@ def stream_mark(
                     engine=SCALAR if mode == SCALAR else engine,
                 )
             _merge_result(result, pass_result, guard.report, len(chunk))
-            sink.write_chunk(chunk)
-            if checkpoint_path is not None:
-                save_checkpoint(
-                    checkpoint_path,
-                    _as_checkpoint(
-                        result, fingerprint, start, sink.flush_state()
-                    ),
+            index = start + result.chunks - 1  # global chunk index
+
+            if retry is None:
+                sink.write_chunk(chunk)
+                state = (
+                    sink.flush_state() if checkpoint_path is not None
+                    else None
                 )
+            else:
+                def _write():
+                    sink.write_chunk(chunk)
+                    return sink.flush_state()
+
+                def _rollback():
+                    reliability.sink_rollbacks += 1
+                    sink.restore(schema, last_good)
+
+                state = call_with_retry(
+                    _write, "sink.write", retry,
+                    recover=_rollback, on_retry=reliability.record_retry,
+                )
+                last_good = state
+
+            if checkpoint_path is not None:
+                def _save():
+                    save_checkpoint(
+                        checkpoint_path,
+                        _as_checkpoint(result, fingerprint, start, state),
+                    )
+
+                if retry is None:
+                    _save()
+                else:
+                    call_with_retry(
+                        _save, "checkpoint.save", retry,
+                        on_retry=reliability.record_retry,
+                    )
+            # Injection point: the chunk is fully durable here — a kill at
+            # this boundary is the canonical crash the chaos kill-matrix
+            # resumes from.
+            fault_point("pipeline.chunk", index)
     finally:
         sink.close()
+    reliability.bad_rows += getattr(source, "bad_row_count", 0)
+    reliability.quarantined_rows += getattr(source, "quarantined_rows", 0)
     result.resumed_at_chunk = start
     return result
 
@@ -399,6 +506,7 @@ class StreamDetection:
     votes: SlotVotes
     chunks: int
     rows: int
+    reliability: ReliabilityReport = field(default_factory=ReliabilityReport)
 
 
 @dataclass
@@ -409,6 +517,7 @@ class StreamVerification:
     votes: SlotVotes
     chunks: int
     rows: int
+    reliability: ReliabilityReport = field(default_factory=ReliabilityReport)
 
     @property
     def detected(self) -> bool:
@@ -484,13 +593,17 @@ def stream_detect(
     domain: CategoricalDomain | None = None,
     value_mapping: dict[Hashable, Hashable] | None = None,
     backend: HashEngine | str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> StreamDetection:
     """Blindly extract the most likely watermark from a streamed relation.
 
     Bit-identical to :func:`repro.core.detect` over the concatenation of
     the chunks, at O(chunk + channel length) memory: each chunk
     contributes one bincount tally to a :class:`VoteAccumulator`, and the
-    majority/first-vote resolution runs once at the end.
+    majority/first-vote resolution runs once at the end.  A ``retry``
+    policy makes transient chunk-read failures re-open the source at the
+    failed boundary instead of aborting the scan — safe because each
+    chunk's tally is merged only after the chunk was fully read.
     """
     _check_map_inputs(spec, embedding_map)
     engine, mode = _resolve_stream_backend(
@@ -498,8 +611,9 @@ def stream_detect(
     )
     resolved = _resolve_stream_domain(domain, source, spec)
     accumulator = VoteAccumulator(spec.channel_length)
+    reliability = ReliabilityReport()
     rows = 0
-    for chunk in resolve_chunks(source):
+    for chunk in _chunks_with_retry(source, 0, retry, reliability):
         if resolved is None:
             resolved = chunk.schema.attribute(spec.mark_attribute).domain
         if resolved is None:
@@ -514,11 +628,14 @@ def stream_detect(
             )
         )
         rows += len(chunk)
+    reliability.bad_rows += getattr(source, "bad_row_count", 0)
+    reliability.quarantined_rows += getattr(source, "quarantined_rows", 0)
     return StreamDetection(
         detection=accumulator.detection(spec),
         votes=accumulator.votes(),
         chunks=accumulator.chunks_merged,
         rows=rows,
+        reliability=reliability,
     )
 
 
@@ -533,6 +650,7 @@ def stream_verify(
     value_mapping: dict[Hashable, Hashable] | None = None,
     significance: float = DEFAULT_SIGNIFICANCE,
     backend: HashEngine | str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> StreamVerification:
     """Streamed counterpart of :func:`repro.core.verify`.
 
@@ -557,6 +675,7 @@ def stream_verify(
         domain=domain,
         value_mapping=value_mapping,
         backend=backend,
+        retry=retry,
     )
     return StreamVerification(
         verification=_assemble_verification(
@@ -565,6 +684,7 @@ def stream_verify(
         votes=streamed.votes,
         chunks=streamed.chunks,
         rows=streamed.rows,
+        reliability=streamed.reliability,
     )
 
 
@@ -579,6 +699,7 @@ def stream_verify_multipass(
     value_mapping: dict[Hashable, Hashable] | None = None,
     significance: float = DEFAULT_SIGNIFICANCE,
     backend: str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> list[VerificationResult]:
     """Streamed counterpart of :func:`repro.core.verify_multipass`.
 
@@ -629,7 +750,8 @@ def stream_verify_multipass(
     accumulators = [
         VoteAccumulator(spec.channel_length) for _ in range(pass_count)
     ]
-    for chunk in resolve_chunks(source):
+    reliability = ReliabilityReport()
+    for chunk in _chunks_with_retry(source, 0, retry, reliability):
         if resolved is None:
             resolved = chunk.schema.attribute(spec.mark_attribute).domain
         if resolved is None:

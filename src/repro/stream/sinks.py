@@ -29,6 +29,13 @@ from pathlib import Path
 from typing import Any
 
 from ..relational import AttributeType, Schema, Table
+from ..reliability.faults import (
+    TORN_WRITE,
+    InjectedFaultError,
+    active_plan,
+    fault_point,
+    injection_armed,
+)
 from .errors import StreamError
 from .sources import _quote_identifier
 
@@ -86,10 +93,12 @@ class CSVChunkSink(ChunkSink):
         self._text = None
         self._writer = None
         self._schema: Schema | None = None
+        self._chunks = 0
 
     # -- lifecycle -------------------------------------------------------------
     def open(self, schema: Schema) -> None:
         self._schema = schema
+        self._chunks = 0
         self._raw = open(self.path, "wb")
         if self.compress:
             self._begin_member()
@@ -101,13 +110,28 @@ class CSVChunkSink(ChunkSink):
             self._text.flush()
 
     def restore(self, schema: Schema, state: dict[str, Any]) -> None:
+        self._abort()
         offset = int(state["offset"])
         self._schema = schema
+        self._chunks = int(state.get("chunks", 0))
         self._raw = open(self.path, "r+b")
         self._raw.truncate(offset)
         self._raw.seek(offset)
         if not self.compress:
             self._begin_text()
+
+    def _abort(self) -> None:
+        # Drop whatever handles a failed write left half-open, *without*
+        # flushing — restore() truncates back to the durable marker, so
+        # buffered bytes from the failed chunk must not leak out first.
+        self._text = None
+        self._writer = None
+        if self._raw is not None:
+            try:
+                self._raw.close()
+            except OSError:
+                pass
+            self._raw = None
 
     def close(self) -> None:
         if self._text is not None and not self.compress:
@@ -121,19 +145,52 @@ class CSVChunkSink(ChunkSink):
 
     # -- writing ---------------------------------------------------------------
     def write_chunk(self, chunk: Table) -> None:
+        index = self._chunks
+        # Injection points: "sink.write" fails before any byte of the
+        # chunk lands; "sink.write.mid" persists a torn prefix (flushed
+        # to the OS with no member trailer / row terminator) and *then*
+        # fails — the state a real crash mid-flush leaves behind.
+        fault_point("sink.write", index)
+        if injection_armed() and active_plan().scheduled(
+            "sink.write.mid", index
+        ):
+            self._write_torn(chunk, index)
         if self.compress:
             self._begin_member()
             self._write_rows(chunk)
             self._end_member()
         else:
             self._write_rows(chunk)
+        self._chunks += 1
+
+    def _write_torn(self, chunk: Table, index: int) -> None:
+        plan = active_plan()
+        rows = list(iter(chunk))
+        cut = plan.rng("sink.write.mid", index).randrange(
+            1, max(2, len(rows))
+        )
+        if self.compress:
+            self._begin_member()
+            self._write_rows(rows[:cut])
+            member = self._text.detach()
+            member.flush()  # compressed bytes reach _raw; no trailer
+            self._text = None
+            self._writer = None
+        else:
+            self._write_rows(rows[:cut])
+            self._text.flush()
+        self._raw.flush()
+        os.fsync(self._raw.fileno())
+        kind = fault_point("sink.write.mid", index)
+        raise InjectedFaultError("sink.write.mid", index, kind or TORN_WRITE)
 
     def flush_state(self) -> dict[str, Any]:
+        fault_point("sink.flush", self._chunks)
         if not self.compress:
             self._text.flush()
         self._raw.flush()
         os.fsync(self._raw.fileno())
-        return {"offset": self._raw.tell()}
+        return {"offset": self._raw.tell(), "chunks": self._chunks}
 
     # -- internals -------------------------------------------------------------
     def _begin_text(self) -> None:
@@ -188,6 +245,7 @@ class SQLiteChunkSink(ChunkSink):
         self._connection: sqlite3.Connection | None = None
         self._insert: str | None = None
         self._rows_written = 0
+        self._chunks = 0
 
     def open(self, schema: Schema) -> None:
         self._connect(schema)
@@ -200,8 +258,12 @@ class SQLiteChunkSink(ChunkSink):
         self._connection.execute(f"CREATE TABLE {quoted} ({columns})")
         self._connection.commit()
         self._rows_written = 0
+        self._chunks = 0
 
     def restore(self, schema: Schema, state: dict[str, Any]) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
         rows = int(state["rows"])
         self._connect(schema)
         quoted = _quote_identifier(self.table)
@@ -212,6 +274,7 @@ class SQLiteChunkSink(ChunkSink):
         )
         self._connection.commit()
         self._rows_written = rows
+        self._chunks = int(state.get("chunks", 0))
 
     def _connect(self, schema: Schema) -> None:
         self._connection = sqlite3.connect(self.path)
@@ -225,12 +288,18 @@ class SQLiteChunkSink(ChunkSink):
         )
 
     def write_chunk(self, chunk: Table) -> None:
+        # Injection point: a failed commit rolls the chunk back — SQLite
+        # itself is the torn-write protection, so only the boundary
+        # fault is meaningful here.
+        fault_point("sink.write", self._chunks)
         self._connection.executemany(self._insert, iter(chunk))
         self._connection.commit()
         self._rows_written += len(chunk)
+        self._chunks += 1
 
     def flush_state(self) -> dict[str, Any]:
-        return {"rows": self._rows_written}
+        fault_point("sink.flush", self._chunks)
+        return {"rows": self._rows_written, "chunks": self._chunks}
 
     def close(self) -> None:
         if self._connection is not None:

@@ -41,7 +41,8 @@ from ..datagen import (
 )
 from ..relational import Schema, Table, infer_domains
 from ..relational.csvio import cell_parsers, check_header, parse_row
-from .errors import StreamError
+from ..reliability.faults import fault_point
+from .errors import BadRowError, StreamError
 
 #: default rows per chunk — small enough that a chunk's Python objects
 #: stay cache- and RAM-friendly, large enough to amortize kernel setup
@@ -109,6 +110,10 @@ class ChunkSource:
     ) -> Iterator[Table]:
         index = start
         while True:
+            # Injection point: a chunk read failing (disk error, NFS
+            # hiccup) — the pipeline's retry layer re-opens the source at
+            # the last completed chunk boundary.
+            fault_point("source.read", index)
             batch = list(islice(rows, self.chunk_size))
             if not batch:
                 return
@@ -137,14 +142,35 @@ def source_schema(source) -> Schema | None:
     return getattr(source, "schema", None)
 
 
+#: bad-row policies of :class:`CSVChunkSource`
+BAD_ROWS_RAISE = "raise"
+BAD_ROWS_SKIP = "skip"
+BAD_ROWS_QUARANTINE = "quarantine"
+BAD_ROWS_POLICIES = (BAD_ROWS_RAISE, BAD_ROWS_SKIP, BAD_ROWS_QUARANTINE)
+
+
 class CSVChunkSource(ChunkSource):
     """Chunked reader over a CSV file (gzip detected automatically).
 
     The file is parsed with the same typed cell parsers as
     :func:`repro.relational.read_csv`, so a relation round-trips through
     ``write_csv`` / streamed reading value-identically.  Quoted fields may
-    contain delimiters and newlines; records with the wrong field count
-    raise with their row number.
+    contain delimiters and newlines.
+
+    ``on_bad_rows`` decides what happens to a record the schema cannot
+    type (wrong field count — a stray delimiter, a half-written line):
+
+    * ``"raise"`` (default, the historical behavior) — abort with
+      :class:`~repro.stream.errors.BadRowError` naming the data-row
+      number;
+    * ``"skip"`` — drop the record, counting it in ``bad_row_count``;
+    * ``"quarantine"`` — drop it *and* append ``(row number, error, raw
+      fields)`` to a CSV sidecar (``quarantine_path``, default
+      ``<input>.quarantine.csv``) so no byte of input is silently lost.
+
+    Both lossy policies count surviving rows for chunk boundaries, so a
+    checkpointed resume re-applies the same policy while skipping and
+    lands on identical chunks.
     """
 
     def __init__(
@@ -154,34 +180,97 @@ class CSVChunkSource(ChunkSource):
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         infer_domains: bool = False,
         name: str | None = None,
+        on_bad_rows: str = BAD_ROWS_RAISE,
+        quarantine_path: str | Path | None = None,
     ):
         if chunk_size <= 0:
             raise StreamError(f"chunk size must be positive, got {chunk_size}")
+        if on_bad_rows not in BAD_ROWS_POLICIES:
+            raise StreamError(
+                f"on_bad_rows must be one of {BAD_ROWS_POLICIES}, "
+                f"got {on_bad_rows!r}"
+            )
         self.path = Path(path)
         self.schema = schema
         self.chunk_size = chunk_size
         self.infer = infer_domains
         self.name = name or self.path.stem
+        self.on_bad_rows = on_bad_rows
+        self.quarantine_path = (
+            Path(quarantine_path) if quarantine_path is not None
+            else self.path.with_name(self.path.name + ".quarantine.csv")
+        )
+        #: malformed records seen by the most recent iteration
+        self.bad_row_count = 0
+        #: subset of ``bad_row_count`` written to the sidecar
+        self.quarantined_rows = 0
+        self._sidecar = None
+        self._sidecar_writer = None
 
     def chunks(self, start: int = 0) -> Iterator[Table]:
-        with open_text(self.path) as handle:
-            reader = csv.reader(handle)
-            header = next(reader, None)
-            if header is None:
-                return
-            check_header(header, self.schema)
-            parsers = cell_parsers(self.schema)
-            arity = self.schema.arity
-            number = 0
-            for _ in range(start * self.chunk_size):
-                if next(reader, None) is None:
+        self.bad_row_count = 0
+        self.quarantined_rows = 0
+        try:
+            with open_text(self.path) as handle:
+                reader = csv.reader(handle)
+                header = next(reader, None)
+                if header is None:
                     return
-                number += 1
-            typed = (
-                parse_row(row, parsers, arity, num)
-                for num, row in enumerate(reader, start=number + 1)
+                check_header(header, self.schema)
+                parsers = cell_parsers(self.schema)
+                arity = self.schema.arity
+                if self.on_bad_rows == BAD_ROWS_RAISE:
+                    # Raw fast-forward on resume is sound under the raise
+                    # policy only: every skipped raw record was a typed
+                    # row of the interrupted run (a bad one would have
+                    # aborted it before the checkpoint landed).
+                    number = 0
+                    for _ in range(start * self.chunk_size):
+                        if next(reader, None) is None:
+                            return
+                        number += 1
+                    typed = self._typed_rows(reader, parsers, arity, number)
+                else:
+                    typed = self._typed_rows(reader, parsers, arity, 0)
+                    if start:
+                        # Chunk boundaries count *surviving* rows, so the
+                        # fast-forward must apply the same bad-row policy
+                        # (re-quarantining deterministically rewrites the
+                        # sidecar with identical content).
+                        for _ in islice(typed, start * self.chunk_size):
+                            pass
+                yield from self._batched(typed, start, self.infer)
+        finally:
+            self._close_sidecar()
+
+    def _typed_rows(
+        self, reader, parsers, arity: int, first: int
+    ) -> Iterator[tuple]:
+        for number, row in enumerate(reader, start=first + 1):
+            try:
+                yield parse_row(row, parsers, arity, number)
+            except ValueError as exc:
+                if self.on_bad_rows == BAD_ROWS_RAISE:
+                    raise BadRowError(self.path, number, str(exc)) from exc
+                self.bad_row_count += 1
+                if self.on_bad_rows == BAD_ROWS_QUARANTINE:
+                    self._quarantine(number, row, exc)
+
+    def _quarantine(self, number: int, row: list, exc: Exception) -> None:
+        if self._sidecar is None:
+            self._sidecar = open(
+                self.quarantine_path, "w", newline="", encoding="utf-8"
             )
-            yield from self._batched(typed, start, self.infer)
+            self._sidecar_writer = csv.writer(self._sidecar)
+            self._sidecar_writer.writerow(["row_number", "error", "fields"])
+        self._sidecar_writer.writerow([number, str(exc), *row])
+        self.quarantined_rows += 1
+
+    def _close_sidecar(self) -> None:
+        if self._sidecar is not None:
+            self._sidecar.close()
+            self._sidecar = None
+            self._sidecar_writer = None
 
 
 def _quote_identifier(name: str) -> str:
@@ -373,21 +462,31 @@ def open_source(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     infer_domains: bool = False,
     table: str | None = None,
+    on_bad_rows: str = BAD_ROWS_RAISE,
 ) -> ChunkSource:
     """A chunk source for ``path`` picked by file type.
 
     SQLite databases (by suffix ``.sqlite`` / ``.sqlite3`` / ``.db``, or
     by magic when the file exists) get a :class:`SQLiteChunkSource`;
     everything else is treated as CSV (gzip detected automatically).
+    ``on_bad_rows`` is the CSV malformed-record policy; SQLite rows are
+    already typed by the database, so any non-default policy there is a
+    configuration error.
     """
     path = Path(path)
     if _is_sqlite_path(path):
+        if on_bad_rows != BAD_ROWS_RAISE:
+            raise StreamError(
+                "on_bad_rows applies to CSV sources only (SQLite rows "
+                "are already typed)"
+            )
         return SQLiteChunkSource(
             path, schema, table=table, chunk_size=chunk_size,
             infer_domains=infer_domains,
         )
     return CSVChunkSource(
-        path, schema, chunk_size=chunk_size, infer_domains=infer_domains
+        path, schema, chunk_size=chunk_size, infer_domains=infer_domains,
+        on_bad_rows=on_bad_rows,
     )
 
 

@@ -106,6 +106,37 @@ class TestModeEquivalence:
         )
         assert _flatten(pooled) == _flatten(serial)
 
+    def test_pool_fallback_is_logged_and_counted(self, base_table, caplog):
+        class ClosureAttack(Attack):
+            name = "closure"
+
+            def __init__(self):
+                self.pick = lambda rng: DataLossAttack(0.4)
+
+            def apply(self, table, rng):
+                return self.pick(rng).apply(table, rng)
+
+        engine = SweepEngine(mode=MODE_POOLED, max_workers=1)
+        with caplog.at_level("WARNING", logger="repro.experiments.sweepengine"):
+            engine.run(base_table, PROTOCOL, [(0.4, ClosureAttack())], SEEDS)
+        # the degradation is visible, not silent: a warning naming the
+        # cause plus a counter in both telemetry surfaces
+        assert any("falling back" in record.message for record in caplog.records)
+        assert engine.reliability_report().pool_fallbacks == 1
+        assert engine.cache_info()["pool_fallbacks"] == 1
+
+    def test_cache_info_exposes_reliability_counters(self, base_table):
+        engine = SweepEngine(mode=MODE_SERIAL)
+        engine.run(base_table, PROTOCOL, _attacks(), SEEDS)
+        info = engine.cache_info()
+        for field in (
+            "passes_cached", "embeds_performed", "cells_executed",
+            "cell_retries", "pool_respawns", "pool_fallbacks",
+        ):
+            assert field in info
+        assert info["pool_fallbacks"] == 0
+        assert info["cells_executed"] == len(XS) * len(list(SEEDS))
+
 
 class TestEmbedHoisting:
     def test_one_embed_per_seed_across_points(self, base_table):

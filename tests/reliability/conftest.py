@@ -1,0 +1,45 @@
+"""Fixtures for the reliability/chaos suite.
+
+Every test leaves the process disarmed (an armed plan leaking across
+tests would inject faults into unrelated suites), and chaos tests can
+record their :class:`~repro.reliability.ReliabilityReport` snapshots into
+a session-level collection; when ``REPRO_CHAOS_REPORT`` names a path the
+collection is written there as JSON (the CI chaos-smoke job uploads it as
+an artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.reliability.faults import disarm
+
+_REPORTS: list[dict] = []
+
+
+@pytest.fixture(autouse=True)
+def _always_disarmed():
+    yield
+    disarm()
+
+
+@pytest.fixture
+def chaos_report(request):
+    """Callable recording one reliability report for the session artifact."""
+
+    def record(report) -> None:
+        payload = report.to_dict() if hasattr(report, "to_dict") else dict(report)
+        _REPORTS.append({"test": request.node.nodeid, **payload})
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get("REPRO_CHAOS_REPORT")
+    if path and _REPORTS:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(_REPORTS, handle, indent=2)
+            handle.write("\n")

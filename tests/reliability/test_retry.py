@@ -1,0 +1,136 @@
+"""Tests for repro.reliability.retry — classification and backoff."""
+
+import sqlite3
+import zlib
+
+import pytest
+
+from repro.core.errors import BandwidthError, PermanentError, WatermarkingError
+from repro.relational.errors import RelationalError
+from repro.reliability import (
+    NO_RETRY,
+    PERMANENT,
+    RetryError,
+    RetryPolicy,
+    TRANSIENT,
+    call_with_retry,
+    classify,
+)
+
+
+class TestClassify:
+    @pytest.mark.parametrize("exc", [
+        OSError("disk"),
+        IOError("disk"),
+        EOFError(),
+        zlib.error("truncated"),
+        sqlite3.OperationalError("locked"),
+    ])
+    def test_io_failures_are_transient(self, exc):
+        assert classify(exc) == TRANSIENT
+
+    @pytest.mark.parametrize("exc", [
+        WatermarkingError("logic"),
+        BandwidthError("too small"),
+        PermanentError("bad config"),
+        RelationalError("schema"),
+        KeyError("unknown"),     # unknown types default to permanent
+        ValueError("bad row"),
+    ])
+    def test_logic_and_unknown_failures_are_permanent(self, exc):
+        assert classify(exc) == PERMANENT
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic_under_fixed_seed(self):
+        a = RetryPolicy(seed=11)
+        b = RetryPolicy(seed=11)
+        schedule = [a.delay("sink.write", n) for n in (1, 2, 3)]
+        assert schedule == [b.delay("sink.write", n) for n in (1, 2, 3)]
+        # a different seed or label yields a different jitter draw
+        assert schedule != [
+            RetryPolicy(seed=12).delay("sink.write", n) for n in (1, 2, 3)
+        ]
+        assert schedule != [a.delay("source.read", n) for n in (1, 2, 3)]
+
+    def test_backoff_grows_exponentially_within_jitter_bounds(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.25
+        )
+        for attempt, raw in ((1, 0.1), (2, 0.2), (3, 0.4), (4, 0.8)):
+            delay = policy.delay("x", attempt)
+            assert raw * 0.75 <= delay <= raw * 1.25
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=2.0)
+        assert policy.delay("x", 5) <= 2.0 * 1.25
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(base_delay=0.5, multiplier=2.0, jitter=0.0)
+        assert policy.delay("x", 2) == pytest.approx(1.0)
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+
+class TestCallWithRetry:
+    def _flaky(self, failures, exc_factory=lambda: OSError("flaky")):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise exc_factory()
+            return calls["n"]
+
+        return fn, calls
+
+    def test_succeeds_after_transient_failures(self):
+        fn, calls = self._flaky(2)
+        sleeps: list[float] = []
+        retries: list[tuple] = []
+        policy = RetryPolicy(max_attempts=3, seed=5)
+        result = call_with_retry(
+            fn, "op", policy,
+            on_retry=lambda *args: retries.append(args),
+            sleep=sleeps.append,
+        )
+        assert result == 3 and calls["n"] == 3
+        assert [label for label, _, _ in retries] == ["op", "op"]
+        # the sleeps are exactly the policy's deterministic schedule
+        assert sleeps == [policy.delay("op", 1), policy.delay("op", 2)]
+
+    def test_recover_runs_between_attempts(self):
+        fn, _ = self._flaky(1)
+        events: list[str] = []
+        call_with_retry(
+            fn, "op", RetryPolicy(max_attempts=2),
+            recover=lambda: events.append("recover"),
+            on_retry=lambda *_: events.append("notify"),
+            sleep=lambda _: events.append("sleep"),
+        )
+        assert events == ["notify", "sleep", "recover"]
+
+    def test_permanent_failure_propagates_untouched(self):
+        def fn():
+            raise PermanentError("never retry me")
+
+        with pytest.raises(PermanentError):
+            call_with_retry(fn, "op", RetryPolicy(max_attempts=5),
+                            sleep=lambda _: None)
+
+    def test_exhaustion_raises_retry_error_from_last_cause(self):
+        fn, calls = self._flaky(10)
+        with pytest.raises(RetryError) as excinfo:
+            call_with_retry(fn, "op", RetryPolicy(max_attempts=3),
+                            sleep=lambda _: None)
+        assert calls["n"] == 3
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_no_retry_sentinel_fails_on_first_transient(self):
+        fn, calls = self._flaky(1)
+        with pytest.raises(RetryError):
+            call_with_retry(fn, "op", NO_RETRY, sleep=lambda _: None)
+        assert calls["n"] == 1
