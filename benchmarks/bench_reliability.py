@@ -1,19 +1,25 @@
 """Reliability-layer overhead — the "zero cost when disarmed" claim, measured.
 
-The fault-injection points and the retry plumbing sit on the streaming
-hot path (every chunk read, write, flush and checkpoint crosses one), so
-the reliability layer's contract is that it is *free* until something
-actually fails:
+The fault-injection points, the retry plumbing and the stall-safety
+checks sit on the streaming hot path (every chunk read, write, flush and
+checkpoint crosses one), so the reliability layer's contract is that it
+is *free* until something actually fails:
 
 * **disarmed ``fault_point``** — a module-global ``None`` check; the
   bench times it raw and asserts it stays under a microsecond per call,
   so injection points can be sprinkled without throughput anxiety;
+* **disarmed ``check_deadline``** — the stall-safety twin (a single
+  ``is not None`` test), held to the same sub-microsecond bar, and the
+  *armed* check (one ``time.monotonic()`` call) measured alongside;
 * **retry-armed, fault-free streaming** — a streamed mark with a
   ``RetryPolicy`` attached (bookkeeping armed: ``flush_state`` snapshots
   per chunk, ``call_with_retry`` wrappers) must hold at least 0.6x the
-  fail-fast path's throughput on a clean run.
+  fail-fast path's throughput on a clean run;
+* **deadline-armed streaming** — a generous ``Deadline`` threaded
+  through the same run (one boundary check per chunk) must also hold
+  0.6x, byte-identically.
 
-Both series land in ``benchmarks/results/reliability_overhead.json``.
+All series land in ``benchmarks/results/reliability_overhead.json``.
 ``REPRO_BENCH_RELIABILITY_ROWS`` selects the tier (default 100,000).
 """
 
@@ -24,7 +30,12 @@ import timeit
 from repro.core import EmbeddingSpec, Watermark, default_channel_length
 from repro.crypto import MarkKey
 from repro.datagen import generate_item_scan
-from repro.reliability import RetryPolicy, fault_point
+from repro.reliability import (
+    Deadline,
+    RetryPolicy,
+    check_deadline,
+    fault_point,
+)
 from repro.stream import CSVChunkSink, TableChunkSource, stream_mark
 
 ROWS = int(os.environ.get("REPRO_BENCH_RELIABILITY_ROWS", "100000"))
@@ -43,11 +54,11 @@ def _spec() -> EmbeddingSpec:
     )
 
 
-def _mark_seconds(base, key, spec, path, retry) -> float:
+def _mark_seconds(base, key, spec, path, retry, deadline=None) -> float:
     started = time.perf_counter()
     result = stream_mark(
         TableChunkSource(base, chunk_size=CHUNK), WATERMARK, key, spec,
-        CSVChunkSink(path), retry=retry,
+        CSVChunkSink(path), retry=retry, deadline=deadline,
     )
     seconds = time.perf_counter() - started
     assert result.rows == ROWS
@@ -67,6 +78,25 @@ def test_disarmed_and_fault_free_overhead(record, record_json, tmp_path):
         "no longer negligible on the chunk hot path"
     )
 
+    # -- disarmed / armed check_deadline -----------------------------------
+    deadline_disarmed = (
+        timeit.timeit(
+            lambda: check_deadline(None, "bench.point", 0), number=calls
+        )
+        / calls
+    )
+    assert deadline_disarmed < 1e-6, (
+        f"disarmed check_deadline costs {deadline_disarmed * 1e9:.0f}ns/"
+        "call — no longer negligible on the chunk hot path"
+    )
+    generous = Deadline(3600.0)
+    deadline_armed = (
+        timeit.timeit(
+            lambda: check_deadline(generous, "bench.point", 0), number=calls
+        )
+        / calls
+    )
+
     # -- retry-armed vs fail-fast streamed mark, no faults -----------------
     base = generate_item_scan(ROWS, item_count=500, seed=17)
     key = MarkKey.from_seed("reliability-bench")
@@ -82,12 +112,28 @@ def test_disarmed_and_fault_free_overhead(record, record_json, tmp_path):
         "the reliability layer is no longer near-free when idle"
     )
 
+    # -- deadline-armed streamed mark, never expiring ----------------------
+    budgeted = _mark_seconds(
+        base, key, spec, tmp_path / "c.csv", None,
+        deadline=Deadline(3600.0),
+    )
+    assert (tmp_path / "a.csv").read_bytes() == (tmp_path / "c.csv").read_bytes()
+    deadline_ratio = fail_fast / budgeted
+    assert deadline_ratio >= 0.6, (
+        f"deadline checks cost {1 / deadline_ratio:.2f}x on a clean run — "
+        "stall-safety is no longer near-free when the budget is generous"
+    )
+
     lines = [
         f"reliability overhead tier: {ROWS} rows, chunk {CHUNK}",
-        f"  disarmed fault_point : {per_call * 1e9:>8.1f} ns/call",
-        f"  mark fail-fast       : {ROWS / fail_fast:>12,.0f} rows/s",
-        f"  mark retry-armed     : {ROWS / armed:>12,.0f} rows/s "
+        f"  disarmed fault_point   : {per_call * 1e9:>8.1f} ns/call",
+        f"  disarmed check_deadline: {deadline_disarmed * 1e9:>8.1f} ns/call",
+        f"  armed check_deadline   : {deadline_armed * 1e9:>8.1f} ns/call",
+        f"  mark fail-fast         : {ROWS / fail_fast:>12,.0f} rows/s",
+        f"  mark retry-armed       : {ROWS / armed:>12,.0f} rows/s "
         f"({ratio:.2f}x of fail-fast)",
+        f"  mark deadline-armed    : {ROWS / budgeted:>12,.0f} rows/s "
+        f"({deadline_ratio:.2f}x of fail-fast)",
     ]
     record("reliability_overhead", "\n".join(lines))
     record_json(
@@ -96,8 +142,12 @@ def test_disarmed_and_fault_free_overhead(record, record_json, tmp_path):
             "rows": ROWS,
             "chunk": CHUNK,
             "fault_point_ns": round(per_call * 1e9, 1),
+            "deadline_check_disarmed_ns": round(deadline_disarmed * 1e9, 1),
+            "deadline_check_armed_ns": round(deadline_armed * 1e9, 1),
             "mark_fail_fast_rows_per_s": round(ROWS / fail_fast),
             "mark_retry_armed_rows_per_s": round(ROWS / armed),
+            "mark_deadline_armed_rows_per_s": round(ROWS / budgeted),
             "armed_over_fail_fast": round(armed / fail_fast, 4),
+            "deadline_over_fail_fast": round(budgeted / fail_fast, 4),
         },
     )

@@ -10,7 +10,12 @@ the tuple's key value alone, so both directions chunk perfectly:
    re-run with ``resume=True`` — the output is byte-identical);
 2. blindly verify the marked file with O(chunk + channel) memory: each
    chunk contributes one vote tally to an accumulator, bit-identical to
-   the in-memory detector on the same rows.
+   the in-memory detector on the same rows;
+3. stall-safety: re-run the same embed under an impossibly tight
+   wall-clock ``Deadline`` — the run stops *resumably* with
+   ``DeadlineExceededError`` (the CLI's ``--deadline SECONDS`` / exit
+   code 7), and a fresh-budget resume completes byte-identical to the
+   uninterrupted output.
 
 Run:  python examples/streaming_pipeline.py
 """
@@ -20,6 +25,7 @@ from pathlib import Path
 
 from repro import MarkKey, Watermark
 from repro.core import EmbeddingSpec, default_channel_length
+from repro.reliability import Deadline, DeadlineExceededError
 from repro.stream import (
     CSVChunkSink,
     CSVChunkSource,
@@ -74,6 +80,37 @@ def main() -> None:
     print(f"verdict ({verdict.rows} rows, {verdict.chunks} chunks): "
           f"{verdict.summary()}")
     assert verdict.detected
+
+    # -- 4. stall-safety: deadline-bounded, resumable embed ------------------
+    # The same embed under an impossibly tight wall-clock budget: each
+    # attempt stops resumably at a chunk boundary (the CLI maps this to
+    # --deadline SECONDS / exit code 7), and re-running with a fresh
+    # budget picks up from the last durable chunk.  However many times
+    # the deadline fires, the final bytes equal the uninterrupted run's.
+    budgeted_path = workdir / "budgeted.csv.gz"
+    budgeted_ckpt = workdir / "budgeted.ckpt.json"
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            stream_mark(
+                item_scan_source(
+                    ROWS, chunk_size=CHUNK, item_count=500, seed=7
+                ),
+                watermark, key, spec, CSVChunkSink(budgeted_path),
+                checkpoint_path=budgeted_ckpt,
+                resume=budgeted_ckpt.exists(),
+                deadline=Deadline(0.5),  # far too tight on purpose
+            )
+            break
+        except DeadlineExceededError as exc:
+            print(f"  attempt {attempts}: deadline expired at "
+                  f"{exc.label}[{exc.position}] — resuming")
+            assert attempts < 100, "no forward progress under deadline"
+    print(f"deadline-bounded embed finished after {attempts} attempt(s)")
+    assert budgeted_path.read_bytes() == marked_path.read_bytes(), \
+        "deadline-interrupted resume must be byte-identical"
+    print("byte-identical to the uninterrupted output")
 
 
 if __name__ == "__main__":

@@ -44,10 +44,13 @@ pass's embed/verify; ``--mode`` the sweep engine's execution mode
 ``detect`` exits 0 when the watermark is detected and 3 when it is not, so
 the tool composes into shell pipelines.  Failures carry their own codes:
 4 for a corrupt checkpoint with no verified rollback target, 5 when
-``--retries`` was exhausted by persistent transient I/O failures, and 6
-when a malformed CSV row aborted the run under ``--on-bad-rows raise``.
+``--retries`` was exhausted by persistent transient I/O failures, 6
+when a malformed CSV row aborted the run under ``--on-bad-rows raise``,
+and 7 when a ``--deadline`` budget expired (the run stops at a resumable
+chunk boundary — re-run with ``--resume`` and a fresh budget).
 File-mode runs accept ``--retries N`` (crash-safe retry with
-deterministic backoff) and ``--on-bad-rows {raise,skip,quarantine}``.
+deterministic backoff), ``--on-bad-rows {raise,skip,quarantine}`` and
+``--deadline SECONDS`` (cooperative wall-clock stall-safety).
 Schemas are JSON documents in the :func:`repro.relational.schema_to_json`
 format.
 """
@@ -84,6 +87,11 @@ EXIT_RETRY_EXHAUSTED = 5
 
 #: a malformed CSV row aborted the run (``--on-bad-rows raise``)
 EXIT_BAD_ROWS = 6
+
+#: the run outlived its ``--deadline`` wall-clock budget and stopped at a
+#: resumable boundary (re-run with --checkpoint/--resume and a fresh
+#: budget to continue)
+EXIT_DEADLINE_EXCEEDED = 7
 
 
 def _load_schema(path: str):
@@ -142,6 +150,17 @@ def _retry_policy(args: argparse.Namespace):
     return RetryPolicy(max_attempts=retries + 1)
 
 
+def _deadline(args: argparse.Namespace):
+    """``--deadline SECONDS`` to a :class:`~repro.reliability.Deadline`
+    armed now, or ``None`` (the historical unbounded run)."""
+    seconds = getattr(args, "deadline", None)
+    if not seconds:
+        return None
+    from .reliability import Deadline
+
+    return Deadline(seconds)
+
+
 def _print_reliability(report) -> None:
     """Surface recovery telemetry when anything was recovered from."""
     if report is not None and (report.any_recovery or report.bad_rows):
@@ -194,6 +213,7 @@ def cmd_embed_stream(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         retry=_retry_policy(args),
+        deadline=_deadline(args),
     )
     domain = schema.attribute(args.attribute).domain
     record = MarkRecord(
@@ -294,6 +314,7 @@ def cmd_detect_stream(args: argparse.Namespace) -> int:
         domain=domain,
         significance=args.significance,
         retry=_retry_policy(args),
+        deadline=_deadline(args),
     )
     print(
         f"association channel ({result.rows} tuples in {result.chunks} "
@@ -595,6 +616,11 @@ def build_parser() -> argparse.ArgumentParser:
              "drop, or drop + append to a .quarantine.csv sidecar",
     )
     embed.add_argument(
+        "--deadline", type=float, default=None,
+        help="wall-clock budget in seconds (file mode); expiry stops the "
+             "run at a resumable chunk boundary with exit code 7",
+    )
+    embed.add_argument(
         "--record", required=True, help="mark record JSON output (escrow)"
     )
     embed.set_defaults(handler=cmd_embed)
@@ -635,6 +661,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="raise",
         help="file-mode policy for unparseable CSV rows: abort (default), "
              "drop, or drop + append to a .quarantine.csv sidecar",
+    )
+    detect.add_argument(
+        "--deadline", type=float, default=None,
+        help="wall-clock budget in seconds (file mode); expiry stops the "
+             "scan with exit code 7",
     )
     detect.set_defaults(handler=cmd_detect)
 
@@ -727,7 +758,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    from .reliability import RetryError
+    from .reliability import DeadlineExceededError, RetryError
     from .stream import BadRowError, CheckpointCorruptError
 
     # The failure taxonomy as exit codes, so shell pipelines can
@@ -750,6 +781,14 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return EXIT_BAD_ROWS
+    except DeadlineExceededError as exc:
+        print(
+            f"error: {exc}\n(progress up to the last completed boundary "
+            f"is durable; re-run with --checkpoint ... --resume and a "
+            f"fresh --deadline to continue)",
+            file=sys.stderr,
+        )
+        return EXIT_DEADLINE_EXCEEDED
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -53,7 +53,9 @@ import logging
 import os
 import pickle
 import random
+import shutil
 import signal
+import tempfile
 import time
 import weakref
 from collections import OrderedDict
@@ -66,9 +68,14 @@ from ..attacks import Attack
 from ..core import Watermark, Watermarker, kernels, verify_multipass
 from ..crypto import AUTO, ENGINE, SCALAR, MarkKey
 from ..relational import CategoricalDomain, Table
+from ..reliability.breaker import CircuitBreaker
+from ..reliability.deadline import Deadline, DeadlineExceededError, check_deadline
 from ..reliability.faults import (
+    HANG,
     KILL,
+    SLOW,
     InjectedFaultError,
+    MEMORY,
     active_plan,
     injection_armed,
 )
@@ -79,6 +86,7 @@ from ..reliability.retry import (
     RetryPolicy,
     classify,
 )
+from ..reliability.watchdog import IDLE, Watchdog, beat
 
 logger = logging.getLogger(__name__)
 
@@ -387,19 +395,24 @@ def _table_token(table: Table) -> bytes:
 _pool = None
 _pool_token: bytes | None = None
 _pool_workers: int = 0
+#: pool-scoped heartbeat directory the workers beat into (watchdog state)
+_pool_hb_dir: str | None = None
 
 # Worker-process globals (set by _worker_init, used by _worker_run_seed).
 _WORKER_TABLE: Table | None = None
+_WORKER_HB_DIR: str | None = None
 _WORKER_PASSES: "OrderedDict[tuple[SweepProtocol, int], EmbeddedPass]" = (
     OrderedDict()
 )
 
 
-def _worker_init(table_blob: bytes) -> None:
+def _worker_init(table_blob: bytes, heartbeat_dir: str | None = None) -> None:
     """Pool initializer: install the base relation in the worker."""
-    global _WORKER_TABLE
+    global _WORKER_TABLE, _WORKER_HB_DIR
     _WORKER_TABLE = pickle.loads(table_blob)
+    _WORKER_HB_DIR = heartbeat_dir
     _WORKER_PASSES.clear()
+    beat(heartbeat_dir, state=IDLE)
 
 
 def _worker_embedded_pass(
@@ -422,25 +435,46 @@ def _worker_run_seed(
     protocol: SweepProtocol,
     seed: int,
     cells: list[tuple[float | None, Attack]],
-    inject: tuple[int, str] | None = None,
+    inject: tuple | None = None,
 ) -> list[PassResult]:
     """Pool task: all of one seed's cells, in sweep-point order.
 
+    Each cell boundary heartbeats the pool's watchdog directory (state
+    ``busy``; the task's return beats ``idle``), so a worker stuck inside
+    a cell is detectable from the parent.
+
     ``inject`` ships a parent-planned fault across the process boundary
     (the armed :class:`~repro.reliability.FaultPlan` lives in the parent):
-    ``(cell_index, kind)`` makes this task die — ``SIGKILL`` for a
-    ``"kill"`` fault, :class:`InjectedFaultError` otherwise — when it
-    reaches that cell.  The parent consumed the plan trigger at submit
-    time, so the retried task runs clean.
+    ``(cell_index, kind, param)`` makes this task misbehave when it
+    reaches that cell — ``SIGKILL`` for a ``kill`` fault, a ``param``-
+    second stall for ``hang`` (then a transient error: whichever of the
+    watchdog or the retry path notices first recovers the seed) and
+    ``slow`` (then continue), ``MemoryError`` for ``memory``, and
+    :class:`InjectedFaultError` otherwise.  The parent consumed the plan
+    trigger at submit time, so the retried task runs clean.
     """
     embedded = _worker_embedded_pass(protocol, seed)
     results = []
     for index, (x, attack) in enumerate(cells):
+        beat(_WORKER_HB_DIR)
         if inject is not None and index == inject[0]:
-            if inject[1] == KILL:
+            kind = inject[1]
+            param = inject[2] if len(inject) > 2 else 0.0
+            if kind == KILL:
                 os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover
-            raise InjectedFaultError("pool.worker", seed, inject[1])
+            elif kind == HANG:
+                time.sleep(param)
+                raise InjectedFaultError("pool.worker", seed, kind)
+            elif kind == SLOW:
+                time.sleep(param)
+            elif kind == MEMORY:
+                raise MemoryError(
+                    f"injected memory fault at pool.worker[{seed}]"
+                )
+            else:
+                raise InjectedFaultError("pool.worker", seed, kind)
         results.append(run_cell(embedded, attack, x))
+    beat(_WORKER_HB_DIR, state=IDLE)
     return results
 
 
@@ -449,7 +483,11 @@ def _worker_call(fn, args: tuple) -> Any:
     protocol (e.g. the analysis Monte-Carlo loops): calls
     ``fn(worker_table, *args)``."""
     assert _WORKER_TABLE is not None, "pool worker was not initialized"
-    return fn(_WORKER_TABLE, *args)
+    beat(_WORKER_HB_DIR)
+    try:
+        return fn(_WORKER_TABLE, *args)
+    finally:
+        beat(_WORKER_HB_DIR, state=IDLE)
 
 
 def _ensure_pool(token: bytes, table: Table, max_workers: int):
@@ -458,7 +496,7 @@ def _ensure_pool(token: bytes, table: Table, max_workers: int):
     A new base relation retires the old pool: worker caches are only valid
     for the table their initializer installed.
     """
-    global _pool, _pool_token, _pool_workers
+    global _pool, _pool_token, _pool_workers, _pool_hb_dir
     if (
         _pool is not None
         and _pool_token == token
@@ -468,10 +506,11 @@ def _ensure_pool(token: bytes, table: Table, max_workers: int):
     shutdown_sweep_pool()
     from concurrent.futures import ProcessPoolExecutor
 
+    _pool_hb_dir = tempfile.mkdtemp(prefix="sweep-heartbeat-")
     _pool = ProcessPoolExecutor(
         max_workers=max_workers,
         initializer=_worker_init,
-        initargs=(pickle.dumps(table),),
+        initargs=(pickle.dumps(table), _pool_hb_dir),
     )
     _pool_token = token
     _pool_workers = max_workers
@@ -480,12 +519,41 @@ def _ensure_pool(token: bytes, table: Table, max_workers: int):
 
 def shutdown_sweep_pool() -> None:
     """Retire the persistent pool (test isolation, table change, exit)."""
-    global _pool, _pool_token, _pool_workers
+    global _pool, _pool_token, _pool_workers, _pool_hb_dir
     if _pool is not None:
         _pool.shutdown(wait=True, cancel_futures=True)
+    if _pool_hb_dir is not None:
+        shutil.rmtree(_pool_hb_dir, ignore_errors=True)
     _pool = None
     _pool_token = None
     _pool_workers = 0
+    _pool_hb_dir = None
+
+
+def _pool_worker_pids() -> list[int]:
+    """PIDs of the live pool workers (empty when no pool is up)."""
+    if _pool is None:
+        return []
+    return list((getattr(_pool, "_processes", None) or {}).keys())
+
+
+def _kill_pool_workers() -> int:
+    """``SIGKILL`` every live pool worker (deadline/timeout cleanup: a
+    hung worker would otherwise outlive the pool shutdown, because
+    ``Executor.shutdown`` *joins* workers rather than signalling them)."""
+    killed = 0
+    for pid in _pool_worker_pids():
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            continue
+        killed += 1
+    return killed
+
+
+#: ceiling on any single pooled task's wall-clock (pool_table_tasks); far
+#: above any legitimate cell batch, so tripping it means a hung worker
+DEFAULT_TASK_TIMEOUT = 600.0
 
 
 def pool_table_tasks(
@@ -493,6 +561,7 @@ def pool_table_tasks(
     fn,
     task_args: Sequence[tuple],
     max_workers: int | None = None,
+    timeout: float | None = DEFAULT_TASK_TIMEOUT,
 ) -> list[Any]:
     """Run ``fn(table, *args)`` for every ``args`` on the persistent pool.
 
@@ -501,6 +570,12 @@ def pool_table_tasks(
     that makes many small tasks over one large relation affordable.
     Raises whatever the tasks raise; pool-infrastructure failures
     propagate too (callers fall back to a serial loop).
+
+    ``timeout`` bounds the whole batch's wall-clock (``None`` restores
+    the historical unbounded wait): a hung worker trips it, the pool's
+    workers are killed and the executor retired, and ``TimeoutError``
+    propagates so callers take their serial fallback instead of blocking
+    forever.
     """
     workers = max_workers or os.cpu_count() or 1
     # An unpicklable payload would deadlock the executor's queue-feeder
@@ -509,7 +584,22 @@ def pool_table_tasks(
     pickle.dumps((fn, list(task_args)))
     pool = _ensure_pool(_table_token(table), table, workers)
     futures = [pool.submit(_worker_call, fn, args) for args in task_args]
-    return [future.result() for future in futures]
+    if timeout is None:
+        return [future.result() for future in futures]
+    from concurrent.futures import TimeoutError as FuturesTimeout
+
+    batch = Deadline(timeout)
+    try:
+        return [future.result(timeout=batch.timeout()) for future in futures]
+    except FuturesTimeout as exc:
+        for future in futures:
+            future.cancel()
+        _kill_pool_workers()
+        shutdown_sweep_pool()
+        raise TimeoutError(
+            f"pooled task batch still running after {timeout:.6g}s; "
+            f"workers killed, pool retired"
+        ) from exc
 
 
 # -- the engine ---------------------------------------------------------------
@@ -533,6 +623,8 @@ class SweepEngine:
         pass_cache_size: int = _PASS_CACHE_SIZE,
         fused: bool = True,
         retry: RetryPolicy | None = None,
+        watchdog: Watchdog | bool | None = None,
+        breaker: CircuitBreaker | None = None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -546,6 +638,15 @@ class SweepEngine:
         #: respawns (per-seed tasks are pure functions of their labels,
         #: so a retried task is bit-identical to a first-try one)
         self.retry = retry if retry is not None else RetryPolicy()
+        #: heartbeat watchdog over the pooled workers (``False`` disables;
+        #: ``None`` takes the default 300 s silence budget)
+        self.watchdog: Watchdog | None = (
+            None if watchdog is False
+            else (watchdog if isinstance(watchdog, Watchdog) else Watchdog())
+        )
+        #: consecutive-failure breaker steering pooled -> hoisted
+        #: degradation (label ``"pool.worker"``)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._passes: "OrderedDict[tuple[bytes, SweepProtocol, int], EmbeddedPass]" = (
             OrderedDict()
         )
@@ -623,23 +724,44 @@ class SweepEngine:
         attacks: Sequence[tuple[float | None, Attack]],
         seeds: Iterable[int],
         mode: str | None = None,
+        deadline: Deadline | None = None,
     ) -> list[ExperimentPoint]:
         """Run the full ``seeds x attacks`` cell grid.
 
         ``attacks`` is a sequence of ``(x, attack)`` pairs — the attack is
         pre-built per point so only picklable attack instances (not
         factories) ever cross the process boundary.
+
+        ``deadline`` bounds the run's wall-clock: it is checked at every
+        cell/point boundary and caps every pool wait, and expiry raises
+        :class:`~repro.reliability.DeadlineExceededError` — never
+        swallowed by the pooled -> hoisted fallback, because falling back
+        *after* the budget is spent would bust the budget twice over.
         """
         seeds = list(seeds)
         attacks = list(attacks)
         resolved = self._resolve_mode(
             mode, len(seeds) * len(attacks) * len(base_table)
         )
+        if resolved == MODE_POOLED and not self.breaker.allow("pool.worker"):
+            # Open circuit, still cooling down: dispatching would burn
+            # the retry budget against a known-sick pool — degrade
+            # straight down the bit-identical ladder.
+            logger.warning(
+                "circuit breaker open on pool.worker: degrading sweep to "
+                "the bit-identical hoisted path"
+            )
+            self.reliability.pool_fallbacks += 1
+            resolved = MODE_HOISTED
         if resolved == MODE_POOLED:
             from concurrent.futures import BrokenExecutor
 
             try:
-                return self._run_pooled(base_table, protocol, attacks, seeds)
+                return self._run_pooled(
+                    base_table, protocol, attacks, seeds, deadline
+                )
+            except DeadlineExceededError:
+                raise  # stall-safety verdicts outrank the fallback ladder
             except BrokenExecutor as exc:
                 self._note_pool_fallback(exc)
                 shutdown_sweep_pool()
@@ -654,8 +776,12 @@ class SweepEngine:
                 self._note_pool_fallback(exc)
                 shutdown_sweep_pool()
         if resolved == MODE_SERIAL:
-            return self._run_serial(base_table, protocol, attacks, seeds)
-        return self._run_hoisted(base_table, protocol, attacks, seeds)
+            return self._run_serial(
+                base_table, protocol, attacks, seeds, deadline
+            )
+        return self._run_hoisted(
+            base_table, protocol, attacks, seeds, deadline
+        )
 
     def _note_pool_fallback(self, exc: BaseException) -> None:
         """Count and log a pooled -> hoisted degradation (results stay
@@ -668,33 +794,76 @@ class SweepEngine:
             exc,
         )
 
-    def _run_serial(self, base_table, protocol, attacks, seeds):
+    def _run_serial(self, base_table, protocol, attacks, seeds, deadline=None):
         """Reference path: re-embed per cell (the naive runner's cost)."""
         points = []
+        cell_index = 0
         for x, attack in attacks:
             results = []
             for seed in seeds:
+                check_deadline(deadline, "sweep.cell", cell_index)
                 embedded = EmbeddedPass.build(base_table, protocol, seed)
                 self.embeds_performed += 1
                 results.append(run_cell(embedded, attack, x))
                 self.cells_executed += 1
+                cell_index += 1
             points.append(ExperimentPoint(x=x, passes=results))
         return points
 
-    def _run_hoisted(self, base_table, protocol, attacks, seeds):
+    def _run_hoisted(self, base_table, protocol, attacks, seeds, deadline=None):
         token = _table_token(base_table)
-        passes = [
-            self.embedded_pass(base_table, protocol, seed, token=token)
-            for seed in seeds
-        ]
+        passes = []
+        for position, seed in enumerate(seeds):
+            check_deadline(deadline, "sweep.embed", position)
+            passes.append(
+                self.embedded_pass(base_table, protocol, seed, token=token)
+            )
         points = []
-        for x, attack in attacks:
+        for position, (x, attack) in enumerate(attacks):
+            check_deadline(deadline, "sweep.point", position)
             results = run_point(passes, attack, x, fused=self.fused)
             self.cells_executed += len(results)
             points.append(ExperimentPoint(x=x, passes=results))
         return points
 
-    def _run_pooled(self, base_table, protocol, attacks, seeds):
+    def _await_result(self, future, deadline: Deadline | None, position: int):
+        """Bounded replacement for the historical unbounded
+        ``future.result()`` wait.
+
+        Polls in watchdog-sized slices; every wakeup scans the pool's
+        heartbeat directory and ``SIGKILL``-s workers that went silent
+        mid-task past the watchdog budget (the broken executor then takes
+        the existing respawn path, so the hung seed is re-dispatched
+        bit-identically), and an armed deadline turns the wait into an
+        immediate-timeout poll once its budget is spent.
+        """
+        from concurrent.futures import TimeoutError as FuturesTimeout
+
+        watchdog = self.watchdog
+        cap = watchdog.poll if watchdog is not None else 1.0
+        while True:
+            if deadline is not None and deadline.expired():
+                _kill_pool_workers()
+                shutdown_sweep_pool()
+                deadline.check("pool.worker", position)  # raises
+            slice_timeout = (
+                deadline.timeout(cap) if deadline is not None else cap
+            )
+            try:
+                return future.result(timeout=slice_timeout)
+            except FuturesTimeout:
+                pass
+            if watchdog is not None and _pool_hb_dir is not None:
+                killed = watchdog.kill_stale(_pool_hb_dir, _pool_worker_pids())
+                if killed:
+                    self.reliability.watchdog_kills += len(killed)
+                    logger.warning(
+                        "watchdog killed %d hung pool worker(s) silent "
+                        "past %.6gs: %s — respawning and re-dispatching",
+                        len(killed), watchdog.budget, killed,
+                    )
+
+    def _run_pooled(self, base_table, protocol, attacks, seeds, deadline=None):
         from concurrent.futures import BrokenExecutor
 
         workers = self.max_workers or os.cpu_count() or 1
@@ -710,6 +879,8 @@ class SweepEngine:
         attempt = 0
         while pending:
             pool = _ensure_pool(token, base_table, workers)
+            if self.watchdog is not None:
+                self.watchdog.start_round()
             futures = {
                 seed: pool.submit(
                     _worker_run_seed,
@@ -725,10 +896,13 @@ class SweepEngine:
             broken = False
             for seed, future in futures.items():
                 try:
-                    by_seed[seed] = future.result()
+                    by_seed[seed] = self._await_result(
+                        future, deadline, len(by_seed)
+                    )
                 except BrokenExecutor as exc:
-                    # A worker died (OOM kill, injected SIGKILL): the
-                    # executor is unusable, every in-flight seed fails.
+                    # A worker died (OOM kill, injected or watchdog
+                    # SIGKILL): the executor is unusable, every in-flight
+                    # seed fails.
                     failed.append(seed)
                     last_exc = exc
                     broken = True
@@ -739,6 +913,13 @@ class SweepEngine:
                     last_exc = exc
             if failed:
                 attempt += 1
+                if self.breaker.record_failure(
+                    "pool.worker", cause=repr(last_exc)
+                ):
+                    # K consecutive failed rounds: stop burning the retry
+                    # budget; run() degrades to the hoisted ladder.
+                    self.reliability.breaker_trips["pool.worker"] += 1
+                    raise RetryError("pool.worker", attempt) from last_exc
                 if attempt >= policy.max_attempts:
                     raise RetryError("pool.worker", attempt) from last_exc
                 self.reliability.cell_retries += len(failed) * len(attacks)
@@ -751,6 +932,7 @@ class SweepEngine:
                     shutdown_sweep_pool()
                     self.reliability.pool_respawns += 1
             pending = failed
+        self.breaker.record_success("pool.worker")
         points = []
         for index, (x, _) in enumerate(attacks):
             results = [by_seed[seed][index] for seed in seeds]
@@ -760,10 +942,12 @@ class SweepEngine:
 
     def _planned_worker_fault(
         self, seed: int, cell_count: int
-    ) -> tuple[int, str] | None:
+    ) -> tuple[int, str, float] | None:
         """Consume any fault the armed plan scheduled for this seed's
         pool task, shipping it as an inject instruction (the plan lives
-        in the parent; workers are separate processes)."""
+        in the parent; workers are separate processes).  The third field
+        carries the stall parameter (``hang_seconds``/``slow_seconds``)
+        for the stall kinds."""
         if not injection_armed():
             return None
         plan = active_plan()
@@ -771,7 +955,13 @@ class SweepEngine:
         if kind is None:
             return None
         cell = plan.rng("pool.worker", seed).randrange(max(1, cell_count))
-        return (cell, kind)
+        if kind == HANG:
+            param = plan.hang_seconds
+        elif kind == SLOW:
+            param = plan.slow_seconds
+        else:
+            param = 0.0
+        return (cell, kind, param)
 
     # -- the runner-shaped convenience --------------------------------------
     def sweep(
@@ -788,6 +978,7 @@ class SweepEngine:
         variant: str = "keyed",
         mode: str | None = None,
         backend: str = AUTO,
+        deadline: Deadline | None = None,
     ) -> list[ExperimentPoint]:
         """Embed ``passes`` seeds once, attack at every ``x``.
 
@@ -807,7 +998,10 @@ class SweepEngine:
         )
         attacks = [(x, attack_factory(x)) for x in xs]
         seeds = range(seed_offset, seed_offset + passes)
-        return self.run(base_table, protocol, attacks, seeds, mode=mode)
+        return self.run(
+            base_table, protocol, attacks, seeds, mode=mode,
+            deadline=deadline,
+        )
 
 
 # -- process-wide shared engine ----------------------------------------------

@@ -14,7 +14,19 @@ makes recovery *provable* instead of hoped-for:
   transient/permanent fault taxonomy, applied at every I/O boundary;
 * :mod:`~repro.reliability.report` — a :class:`ReliabilityReport`
   counting every retry, rollback, respawn and fallback, because silent
-  recovery is indistinguishable from silent degradation.
+  recovery is indistinguishable from silent degradation;
+* :mod:`~repro.reliability.deadline` — a monotonic wall-clock
+  :class:`Deadline` checked at chunk/cell boundaries, raising
+  :class:`DeadlineExceededError` with a resumable position (exit code 7);
+* :mod:`~repro.reliability.watchdog` — heartbeat-based detection and
+  ``SIGKILL`` of *hung* (not just dead) pool workers;
+* :mod:`~repro.reliability.budget` — a :class:`MemoryBudget` that halves
+  the effective chunk size and replays on breach or ``MemoryError``,
+  regrowing after sustained headroom;
+* :mod:`~repro.reliability.breaker` — a :class:`CircuitBreaker` opening
+  after K consecutive transient failures on one label, steering runs
+  down the bit-identical degradation ladders instead of retrying
+  forever.
 
 The chaos suite (``pytest -m chaos``) kills real subprocesses at every
 chunk boundary and asserts resumed runs are byte-identical to
@@ -22,14 +34,20 @@ uninterrupted ones — the enumerate-every-reachable-failure-state
 discipline applied to the streaming layer.
 """
 
+from .breaker import CircuitBreaker
+from .budget import MemoryBudget, rss_bytes
+from .deadline import Deadline, DeadlineExceededError, check_deadline
 from .faults import (
     CORRUPT_JSON,
     Fault,
     FaultPlan,
+    HANG,
     IO_ERROR,
     InjectedFaultError,
     KILL,
     KINDS,
+    MEMORY,
+    SLOW,
     TORN_WRITE,
     TRUNCATED_GZIP,
     active_plan,
@@ -48,28 +66,40 @@ from .retry import (
     call_with_retry,
     classify,
 )
+from .watchdog import Watchdog, beat
 
 __all__ = [
     "CORRUPT_JSON",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceededError",
     "Fault",
     "FaultPlan",
+    "HANG",
     "IO_ERROR",
     "InjectedFaultError",
     "KILL",
     "KINDS",
+    "MEMORY",
+    "MemoryBudget",
     "NO_RETRY",
     "PERMANENT",
     "ReliabilityReport",
     "RetryError",
     "RetryPolicy",
+    "SLOW",
     "TORN_WRITE",
     "TRANSIENT",
     "TRUNCATED_GZIP",
+    "Watchdog",
     "active_plan",
     "arm",
+    "beat",
     "call_with_retry",
+    "check_deadline",
     "classify",
     "disarm",
     "fault_point",
     "injection_armed",
+    "rss_bytes",
 ]

@@ -1,0 +1,126 @@
+"""Memory budgets: adapt chunk granularity instead of dying on exhaustion.
+
+A long streamed run's working set is O(chunk), but "chunk" is a guess
+made at launch; a :class:`MemoryBudget` turns that guess into a feedback
+loop.  The pipeline consults the budget at chunk boundaries:
+
+* **sampling** — :meth:`sample` reads current usage from ``tracemalloc``
+  when tracing is active (the bench suite's configuration) and from the
+  process RSS (``/proc/self/statm``) otherwise; sampling happens per
+  *chunk*, never per row;
+* **shrink** — on a budget breach, or on a ``MemoryError`` raised while
+  embedding a chunk, the effective chunk size is halved
+  (:meth:`shrink` doubles the slice ``factor``) and the chunk is
+  *replayed* in slices.  Because every embedding decision is a pure
+  function of the keyed hash of one tuple, slicing a chunk is
+  cell-identical to processing it whole — the sink still receives the
+  original chunk as a single write, so output bytes (including gzip
+  member framing) never change;
+* **regrow** — after :attr:`regrow_after` consecutive healthy chunks the
+  factor halves back toward 1, so a transient pressure spike does not
+  pin the rest of a million-chunk run at the smallest granularity.
+
+Shrink/regrow events are counted in the run's
+:class:`~repro.reliability.report.ReliabilityReport`
+(``chunk_shrinks`` / ``chunk_regrows``) and kept, with causes, in
+:attr:`MemoryBudget.events`.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+
+
+def rss_bytes() -> int:
+    """Current resident set size, or 0 where ``/proc`` is unavailable."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return 0
+
+
+class MemoryBudget:
+    """Per-chunk memory governor with halve-on-breach / regrow semantics.
+
+    ``limit_bytes=None`` (the default) disables proactive sampling but
+    keeps the reactive half: a ``MemoryError`` during chunk processing
+    still shrinks and replays.  ``max_factor`` bounds how far the
+    effective chunk size can halve (beyond it the failure propagates —
+    a budget that cannot be met by slicing is a real exhaustion).
+    """
+
+    def __init__(
+        self,
+        limit_bytes: int | None = None,
+        regrow_after: int = 2,
+        max_factor: int = 64,
+    ):
+        if limit_bytes is not None and limit_bytes <= 0:
+            raise ValueError(
+                f"limit_bytes must be positive or None, got {limit_bytes}"
+            )
+        if regrow_after < 1:
+            raise ValueError(
+                f"regrow_after must be >= 1, got {regrow_after}"
+            )
+        if max_factor < 1:
+            raise ValueError(f"max_factor must be >= 1, got {max_factor}")
+        self.limit_bytes = limit_bytes
+        self.regrow_after = regrow_after
+        self.max_factor = max_factor
+        #: current slice multiplier: a chunk is processed in ``factor``
+        #: sub-slices (1 = whole-chunk, the healthy steady state)
+        self.factor = 1
+        self._healthy_streak = 0
+        #: telemetry: ``(action, cause, factor_after)`` triples
+        self.events: list[tuple[str, str, int]] = []
+
+    def sample(self) -> int:
+        """Current memory usage in bytes (tracemalloc when tracing,
+        process RSS otherwise)."""
+        if tracemalloc.is_tracing():
+            return tracemalloc.get_traced_memory()[0]
+        return rss_bytes()
+
+    def over_budget(self) -> bool:
+        """Is current usage above the configured limit?  (Always false
+        without a limit — the reactive ``MemoryError`` path still runs.)"""
+        if self.limit_bytes is None:
+            return False
+        return self.sample() > self.limit_bytes
+
+    def shrink(self, cause: str) -> bool:
+        """Halve the effective chunk size; false when already at the
+        ``max_factor`` floor (the caller must let the failure propagate)."""
+        if self.factor >= self.max_factor:
+            return False
+        self.factor *= 2
+        self._healthy_streak = 0
+        self.events.append(("shrink", cause, self.factor))
+        return True
+
+    def note_healthy(self) -> bool:
+        """Record one chunk processed without breach or ``MemoryError``;
+        true when sustained headroom regrew the factor one step."""
+        if self.factor == 1:
+            return False
+        self._healthy_streak += 1
+        if self._healthy_streak < self.regrow_after:
+            return False
+        self.factor //= 2
+        self._healthy_streak = 0
+        self.events.append(("regrow", "sustained headroom", self.factor))
+        return True
+
+    def slices(self, rows: int) -> int:
+        """How many sub-slices a ``rows``-row chunk splits into now."""
+        return max(1, min(self.factor, rows))
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (
+            f"MemoryBudget(limit_bytes={self.limit_bytes!r}, "
+            f"factor={self.factor}, events={len(self.events)})"
+        )

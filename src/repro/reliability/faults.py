@@ -35,6 +35,7 @@ import errno
 import os
 import random
 import signal
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -59,11 +60,29 @@ CORRUPT_JSON = "corrupt-json"
 #: pool worker is instructed to die mid-task
 KILL = "kill"
 
-KINDS = (IO_ERROR, TORN_WRITE, TRUNCATED_GZIP, CORRUPT_JSON, KILL)
+#: stall: the injection point sleeps :attr:`FaultPlan.hang_seconds` and
+#: then continues — in-process, recovery is the *deadline's* job (the
+#: next chunk/cell boundary raises); in a pool worker, the watchdog's
+HANG = "hang"
+
+#: throttled I/O: the injection point sleeps :attr:`FaultPlan
+#: .slow_seconds` and continues — the degraded-but-alive dependency a
+#: deadline must tolerate without tripping
+SLOW = "slow"
+
+#: exhaustion: the injection point raises ``MemoryError`` — the trigger
+#: for :class:`~repro.reliability.budget.MemoryBudget` shrink/replay and
+#: for the transient-retry path at the I/O points
+MEMORY = "memory"
+
+KINDS = (
+    IO_ERROR, TORN_WRITE, TRUNCATED_GZIP, CORRUPT_JSON, KILL,
+    HANG, SLOW, MEMORY,
+)
 
 #: kinds :func:`fault_point` resolves itself; the rest are returned to
 #: the (cooperating) injection point
-_SELF_SERVICE = (IO_ERROR, KILL)
+_SELF_SERVICE = (IO_ERROR, KILL, HANG, SLOW, MEMORY)
 
 
 class InjectedFaultError(OSError):
@@ -104,8 +123,18 @@ class FaultPlan:
     clean — exactly how a transient real-world fault behaves.
     """
 
-    def __init__(self, seed: int | str = 0):
+    def __init__(
+        self,
+        seed: int | str = 0,
+        hang_seconds: float = 60.0,
+        slow_seconds: float = 0.05,
+    ):
         self.seed = seed
+        #: how long a :data:`HANG` fault stays silent (tests shrink it;
+        #: a hung pool worker is SIGKILLed by the watchdog mid-sleep)
+        self.hang_seconds = hang_seconds
+        #: per-trigger delay of a :data:`SLOW` fault
+        self.slow_seconds = slow_seconds
         self._pending: dict[tuple[str, int], list] = {}
         #: telemetry: (label, index, kind) triples actually fired
         self.fired: list[tuple[str, int, str]] = []
@@ -198,6 +227,10 @@ def fault_point(label: str, index: int) -> str | None:
 
     * raises :class:`InjectedFaultError` for :data:`IO_ERROR`,
     * ``SIGKILL``-s the process for :data:`KILL` (never returns),
+    * sleeps through :data:`HANG` / :data:`SLOW` (``plan.hang_seconds``
+      / ``plan.slow_seconds``) and then *continues* — stall faults are
+      for the deadline/watchdog layer to observe, not errors,
+    * raises ``MemoryError`` for :data:`MEMORY`,
     * returns the kind for the cooperative faults (:data:`TORN_WRITE`,
       :data:`TRUNCATED_GZIP`, :data:`CORRUPT_JSON`) — the injection
       point itself performs the partial/corrupted write and then fails.
@@ -212,4 +245,12 @@ def fault_point(label: str, index: int) -> str | None:
         os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover — fatal
     if kind == IO_ERROR:
         raise InjectedFaultError(label, index)
+    if kind == HANG:
+        time.sleep(plan.hang_seconds)
+        return None
+    if kind == SLOW:
+        time.sleep(plan.slow_seconds)
+        return None
+    if kind == MEMORY:
+        raise MemoryError(f"injected memory fault at {label}[{index}]")
     return kind

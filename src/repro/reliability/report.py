@@ -34,6 +34,17 @@ class ReliabilityReport:
     pool_respawns: int = 0
     pool_fallbacks: int = 0
     cell_retries: int = 0
+    #: hung pool workers SIGKILLed by the watchdog (heartbeat silence)
+    watchdog_kills: int = 0
+    #: memory-budget adaptations: effective-chunk-size halvings (breach
+    #: or ``MemoryError``) and regrows after sustained headroom
+    chunk_shrinks: int = 0
+    chunk_regrows: int = 0
+    #: VECTOR -> ENGINE stream-backend degradations (bit-identical)
+    backend_fallbacks: int = 0
+    #: circuit-breaker open transitions, by label (``"pool.worker"``,
+    #: ``"stream.vector"``)
+    breaker_trips: Counter = field(default_factory=Counter)
 
     def record_retry(self, label: str, attempt: int, exc: BaseException) -> None:
         """``on_retry`` hook for :func:`~repro.reliability.call_with_retry`."""
@@ -54,6 +65,11 @@ class ReliabilityReport:
             or self.pool_respawns
             or self.pool_fallbacks
             or self.cell_retries
+            or self.watchdog_kills
+            or self.chunk_shrinks
+            or self.chunk_regrows
+            or self.backend_fallbacks
+            or self.breaker_trips
         )
 
     def merge(self, other: "ReliabilityReport") -> None:
@@ -66,6 +82,11 @@ class ReliabilityReport:
         self.pool_respawns += other.pool_respawns
         self.pool_fallbacks += other.pool_fallbacks
         self.cell_retries += other.cell_retries
+        self.watchdog_kills += other.watchdog_kills
+        self.chunk_shrinks += other.chunk_shrinks
+        self.chunk_regrows += other.chunk_regrows
+        self.backend_fallbacks += other.backend_fallbacks
+        self.breaker_trips.update(other.breaker_trips)
 
     def to_dict(self) -> dict:
         return {
@@ -79,6 +100,11 @@ class ReliabilityReport:
             "pool_respawns": self.pool_respawns,
             "pool_fallbacks": self.pool_fallbacks,
             "cell_retries": self.cell_retries,
+            "watchdog_kills": self.watchdog_kills,
+            "chunk_shrinks": self.chunk_shrinks,
+            "chunk_regrows": self.chunk_regrows,
+            "backend_fallbacks": self.backend_fallbacks,
+            "breaker_trips": dict(self.breaker_trips),
         }
 
     def to_json(self) -> str:
@@ -105,10 +131,28 @@ class ReliabilityReport:
                 f"{self.bad_rows} bad rows "
                 f"({self.quarantined_rows} quarantined)"
             )
-        if self.pool_respawns or self.pool_fallbacks or self.cell_retries:
+        if (
+            self.pool_respawns or self.pool_fallbacks or self.cell_retries
+            or self.watchdog_kills
+        ):
             parts.append(
                 f"pool: {self.cell_retries} task retries, "
                 f"{self.pool_respawns} respawns, "
-                f"{self.pool_fallbacks} fallbacks"
+                f"{self.pool_fallbacks} fallbacks, "
+                f"{self.watchdog_kills} watchdog kills"
+            )
+        if self.chunk_shrinks or self.chunk_regrows:
+            parts.append(
+                f"memory: {self.chunk_shrinks} chunk shrinks, "
+                f"{self.chunk_regrows} regrows"
+            )
+        if self.backend_fallbacks or self.breaker_trips:
+            labels = ", ".join(
+                f"{label} x{count}"
+                for label, count in sorted(self.breaker_trips.items())
+            ) or "none"
+            parts.append(
+                f"degradation: {self.backend_fallbacks} backend fallbacks, "
+                f"breaker trips: {labels}"
             )
         return "reliability: " + "; ".join(parts)

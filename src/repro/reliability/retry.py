@@ -36,12 +36,17 @@ PERMANENT = "permanent"
 #: fault classes a retry can plausibly outlast.  ``gzip.BadGzipFile`` is
 #: an ``OSError`` subclass; ``zlib.error`` (truncated compressed data)
 #: is not, hence listed.  ``EOFError`` covers truncated streams surfaced
-#: by ``gzip``/``pickle`` readers.
+#: by ``gzip``/``pickle`` readers.  ``MemoryError`` is transient by the
+#: same logic a disk error is: pressure from elsewhere in the process
+#: (caches, a sibling worker) can clear between attempts, and the
+#: streaming pipeline additionally halves its working set before a
+#: replay (see :class:`~repro.reliability.budget.MemoryBudget`).
 TRANSIENT_TYPES: tuple[type[BaseException], ...] = (
     OSError,
     EOFError,
     zlib.error,
     sqlite3.OperationalError,
+    MemoryError,
 )
 
 #: fault classes no retry can fix — fail fast, preserve the traceback

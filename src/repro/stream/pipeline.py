@@ -28,6 +28,7 @@ mark-then-verify pair — re-seeing a value re-hashes nothing.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -53,13 +54,17 @@ from ..core.embedding import (
 )
 from ..core.errors import DetectionError, SpecError
 from ..core.watermark import Watermark
-from ..crypto import AUTO, BACKENDS, SCALAR, VECTOR, HashEngine, MarkKey
+from ..crypto import AUTO, BACKENDS, ENGINE, SCALAR, VECTOR, HashEngine, MarkKey
 from ..quality import GuardReport, QualityGuard
 from ..relational import CategoricalDomain, Schema, Table
+from ..reliability.breaker import CircuitBreaker
+from ..reliability.budget import MemoryBudget
+from ..reliability.deadline import Deadline, check_deadline
 from ..reliability.faults import fault_point
 from ..reliability.report import ReliabilityReport
 from ..reliability.retry import (
     TRANSIENT,
+    TRANSIENT_TYPES,
     RetryError,
     RetryPolicy,
     call_with_retry,
@@ -74,6 +79,11 @@ from .checkpoint import (
 from .errors import CheckpointError, StreamError
 from .sinks import ChunkSink
 from .sources import DEFAULT_CHUNK_SIZE, resolve_chunks, source_schema
+
+logger = logging.getLogger(__name__)
+
+#: circuit-breaker label of the VECTOR -> ENGINE stream-backend ladder
+STREAM_VECTOR_LABEL = "stream.vector"
 
 #: floor on the stream engine's memoization-cache entry bound; the bound
 #: scales with the chunk size (see :func:`stream_engine`) so steady-state
@@ -185,7 +195,11 @@ def _chunks_with_retry(
             chunk = next(iterator)
         except StopIteration:
             return
-        except Exception as exc:
+        # Only the transient taxonomy is caught at all: a permanent
+        # failure (BadRowError, schema violations, deadline expiry, a
+        # plain bug) propagates with its original traceback instead of
+        # being routed through retry classification.
+        except TRANSIENT_TYPES as exc:
             if classify(exc) is not TRANSIENT:
                 raise
             attempt += 1
@@ -276,6 +290,9 @@ def stream_mark(
     resume: bool = False,
     constraints_factory: Callable[[], list] | None = None,
     retry: RetryPolicy | None = None,
+    deadline: Deadline | None = None,
+    memory_budget: MemoryBudget | None = None,
+    breaker: CircuitBreaker | None = None,
 ) -> StreamMarkResult:
     """Embed ``watermark`` into a streamed relation, chunk by chunk.
 
@@ -355,6 +372,11 @@ def stream_mark(
 
     try:
         for chunk in _chunks_with_retry(source, start, retry, reliability):
+            index = start + result.chunks  # global chunk index
+            # Cooperative stall-safety: the deadline is consulted at every
+            # chunk boundary, so a budgeted run stops (resumably — the
+            # checkpoint of chunk index-1 is durable) instead of hanging.
+            check_deadline(deadline, "pipeline.chunk", index)
             chunk_domain = chunk.schema.attribute(spec.mark_attribute).domain
             if chunk_domain != domain:
                 raise StreamError(
@@ -362,38 +384,22 @@ def stream_mark(
                     "stream_mark sources must be built with "
                     "infer_domains=False"
                 )
-            guard = QualityGuard(
-                list(constraints_factory()) if constraints_factory else []
+            marked, pass_result, guard_report, mode = _embed_chunk(
+                chunk, watermark, key, spec, domain, wm_data,
+                constraints_factory, engine, mode, index,
+                memory_budget, breaker, reliability,
             )
-            guard.bind(chunk)
-            if _vector_chunk(mode, chunk):
-                pass_result = EmbeddingResult(
-                    spec=spec, fit_count=0, applied=0, vetoed=0, unchanged=0,
-                )
-                kernels.embed_vector(
-                    chunk, spec, domain, wm_data, guard, pass_result, engine
-                )
-            else:
-                pass_result = embed(
-                    chunk,
-                    watermark,
-                    key,
-                    spec,
-                    guard=guard,
-                    engine=SCALAR if mode == SCALAR else engine,
-                )
-            _merge_result(result, pass_result, guard.report, len(chunk))
-            index = start + result.chunks - 1  # global chunk index
+            _merge_result(result, pass_result, guard_report, len(chunk))
 
             if retry is None:
-                sink.write_chunk(chunk)
+                sink.write_chunk(marked)
                 state = (
                     sink.flush_state() if checkpoint_path is not None
                     else None
                 )
             else:
                 def _write():
-                    sink.write_chunk(chunk)
+                    sink.write_chunk(marked)
                     return sink.flush_state()
 
                 def _rollback():
@@ -430,6 +436,205 @@ def stream_mark(
     reliability.quarantined_rows += getattr(source, "quarantined_rows", 0)
     result.resumed_at_chunk = start
     return result
+
+
+def _embed_one(
+    chunk: Table,
+    watermark: Watermark,
+    key: MarkKey,
+    spec: EmbeddingSpec,
+    domain: CategoricalDomain,
+    wm_data,
+    guard: QualityGuard,
+    engine: HashEngine | None,
+    mode: str,
+) -> EmbeddingResult:
+    """Embed ``chunk`` in place under the resolved backend ``mode``."""
+    if _vector_chunk(mode, chunk):
+        pass_result = EmbeddingResult(
+            spec=spec, fit_count=0, applied=0, vetoed=0, unchanged=0,
+        )
+        kernels.embed_vector(
+            chunk, spec, domain, wm_data, guard, pass_result, engine
+        )
+        return pass_result
+    return embed(
+        chunk,
+        watermark,
+        key,
+        spec,
+        guard=guard,
+        engine=SCALAR if mode == SCALAR else engine,
+    )
+
+
+def _merge_pass(total: EmbeddingResult, part: EmbeddingResult) -> None:
+    total.fit_count += part.fit_count
+    total.applied += part.applied
+    total.vetoed += part.vetoed
+    total.unchanged += part.unchanged
+    total.slots_written |= part.slots_written
+
+
+def _merge_guard(total: GuardReport, part: GuardReport) -> None:
+    total.applied += part.applied
+    total.vetoed += part.vetoed
+    total.noop += part.noop
+    total.vetoes_by_constraint.update(part.vetoes_by_constraint)
+
+
+def _embed_slices(
+    chunk: Table,
+    slices: int,
+    watermark: Watermark,
+    key: MarkKey,
+    spec: EmbeddingSpec,
+    domain: CategoricalDomain,
+    wm_data,
+    engine: HashEngine | None,
+    mode: str,
+) -> tuple[Table, EmbeddingResult, GuardReport]:
+    """Embed ``chunk`` in ``slices`` bounded pieces (memory-budget path).
+
+    Per-tuple decisions are pure functions of the keyed hash, so slicing
+    at any boundary is cell-identical to embedding the whole chunk; the
+    marked rows are reassembled into ONE table so the sink still receives
+    one write per *original* chunk — the gzip member framing (and hence
+    byte-identity with an unsliced run) is preserved.  Only guard-less
+    embeds may be sliced (guard budgets are chunk-scoped); the caller
+    enforces that.
+    """
+    total = EmbeddingResult(
+        spec=spec, fit_count=0, applied=0, vetoed=0, unchanged=0,
+    )
+    report = GuardReport()
+    rows: list = []
+    n = len(chunk)
+    per = -(-n // slices)  # ceil: bounded working set per piece
+    for offset in range(0, n, per):
+        part = chunk.take(range(offset, min(offset + per, n)))
+        guard = QualityGuard([])
+        guard.bind(part)
+        _merge_pass(
+            total,
+            _embed_one(
+                part, watermark, key, spec, domain, wm_data, guard,
+                engine, mode,
+            ),
+        )
+        _merge_guard(report, guard.report)
+        rows.extend(iter(part))
+    marked = Table.from_trusted_rows(chunk.schema, rows, name=chunk.name)
+    return marked, total, report
+
+
+def _embed_chunk(
+    chunk: Table,
+    watermark: Watermark,
+    key: MarkKey,
+    spec: EmbeddingSpec,
+    domain: CategoricalDomain,
+    wm_data,
+    constraints_factory: Callable[[], list] | None,
+    engine: HashEngine | None,
+    mode: str,
+    index: int,
+    budget: MemoryBudget | None,
+    breaker: CircuitBreaker | None,
+    reliability: ReliabilityReport,
+) -> tuple[Table, EmbeddingResult, GuardReport, str]:
+    """Embed one chunk, adapting to memory pressure and backend faults.
+
+    Returns ``(marked, pass_result, guard_report, mode)`` — ``marked`` is
+    the table to write (the chunk itself on the normal in-place path, a
+    reassembled table when the memory budget sliced the embed) and
+    ``mode`` is the possibly-degraded backend the *remaining* chunks
+    should keep using.  Two bit-identical adaptations can replay the
+    chunk:
+
+    * a :class:`MemoryBudget` breach (sampled here, at the boundary) or a
+      raised ``MemoryError`` halves the effective chunk size and replays;
+      refused when ``constraints_factory`` is set, because guard budgets
+      are chunk-scoped and slicing would change their semantics;
+    * when the circuit breaker opens on :data:`STREAM_VECTOR_LABEL`
+      (K consecutive vector-path transients), the run degrades down the
+      existing ladder to the ENGINE backend — same cells, no numpy.
+    """
+    while True:
+        if budget is not None and budget.over_budget():
+            if budget.shrink(f"over budget before chunk {index}"):
+                reliability.chunk_shrinks += 1
+        slices = (
+            budget.slices(len(chunk))
+            if budget is not None and constraints_factory is None
+            else 1
+        )
+        try:
+            # Injection point: embed-step faults (hang/slow/memory) land
+            # here, *inside* the adaptive retry, unlike the post-durability
+            # "pipeline.chunk" point.
+            fault_point("pipeline.embed", index)
+            if slices == 1:
+                guard = QualityGuard(
+                    list(constraints_factory()) if constraints_factory
+                    else []
+                )
+                guard.bind(chunk)
+                pass_result = _embed_one(
+                    chunk, watermark, key, spec, domain, wm_data, guard,
+                    engine, mode,
+                )
+                marked, report = chunk, guard.report
+            else:
+                marked, pass_result, report = _embed_slices(
+                    chunk, slices, watermark, key, spec, domain, wm_data,
+                    engine, mode,
+                )
+            if breaker is not None and _vector_chunk(mode, chunk):
+                breaker.record_success(STREAM_VECTOR_LABEL)
+            if budget is not None and budget.note_healthy():
+                reliability.chunk_regrows += 1
+            return marked, pass_result, report, mode
+        except TRANSIENT_TYPES as exc:
+            if classify(exc) is not TRANSIENT:
+                raise
+            vectored = _vector_chunk(mode, chunk)
+            if vectored and breaker is not None:
+                if breaker.record_failure(
+                    STREAM_VECTOR_LABEL, cause=repr(exc)
+                ):
+                    reliability.breaker_trips[STREAM_VECTOR_LABEL] += 1
+            if isinstance(exc, MemoryError):
+                if constraints_factory is not None:
+                    # Guard budgets are chunk-scoped: slicing would change
+                    # which alterations the budget admits, so the guarded
+                    # path refuses to adapt and lets the caller see it.
+                    raise
+                if budget is not None and budget.shrink(
+                    f"MemoryError at chunk {index}"
+                ):
+                    reliability.chunk_shrinks += 1
+                    logger.warning(
+                        "memory pressure at chunk %d: replaying in %d "
+                        "slices", index, budget.slices(len(chunk)),
+                    )
+                    continue
+            if (
+                vectored
+                and breaker is not None
+                and breaker.is_open(STREAM_VECTOR_LABEL)
+            ):
+                # Degrade down the existing bit-identical ladder: the
+                # ENGINE backend computes the same cells without numpy.
+                reliability.backend_fallbacks += 1
+                logger.warning(
+                    "circuit breaker open on %s after %r: degrading "
+                    "remaining chunks to the ENGINE backend",
+                    STREAM_VECTOR_LABEL, exc,
+                )
+                mode = ENGINE
+                continue
+            raise
 
 
 def _merge_result(
@@ -584,6 +789,88 @@ def _chunk_votes(
     )
 
 
+def _chunk_votes_adaptive(
+    chunk: Table,
+    key: MarkKey,
+    spec: EmbeddingSpec,
+    embedding_map: dict[Hashable, int] | None,
+    domain: CategoricalDomain,
+    value_mapping: dict[Hashable, Hashable] | None,
+    engine: HashEngine | None,
+    mode: str,
+    index: int,
+    budget: MemoryBudget | None,
+    breaker: CircuitBreaker | None,
+    reliability: ReliabilityReport,
+) -> tuple[list[SlotVotes], str]:
+    """One chunk's tallies, adapting like :func:`_embed_chunk` does.
+
+    Returns ``(tallies, mode)``: the tallies are produced *in row order*
+    (sub-slices of a split chunk stay ordered), so merging them into the
+    accumulator one by one preserves the global first-vote tie rule and
+    the verdict stays bit-identical to an unsplit scan.
+    """
+    while True:
+        if budget is not None and budget.over_budget():
+            if budget.shrink(f"over budget before chunk {index}"):
+                reliability.chunk_shrinks += 1
+        slices = budget.slices(len(chunk)) if budget is not None else 1
+        try:
+            if slices == 1:
+                tallies = [
+                    _chunk_votes(
+                        chunk, key, spec, embedding_map, domain,
+                        value_mapping, engine, mode,
+                    )
+                ]
+            else:
+                tallies = []
+                n = len(chunk)
+                per = -(-n // slices)
+                for offset in range(0, n, per):
+                    part = chunk.take(range(offset, min(offset + per, n)))
+                    tallies.append(
+                        _chunk_votes(
+                            part, key, spec, embedding_map, domain,
+                            value_mapping, engine, mode,
+                        )
+                    )
+            if breaker is not None and _vector_chunk(mode, chunk):
+                breaker.record_success(STREAM_VECTOR_LABEL)
+            if budget is not None and budget.note_healthy():
+                reliability.chunk_regrows += 1
+            return tallies, mode
+        except TRANSIENT_TYPES as exc:
+            if classify(exc) is not TRANSIENT:
+                raise
+            vectored = _vector_chunk(mode, chunk)
+            if vectored and breaker is not None:
+                if breaker.record_failure(
+                    STREAM_VECTOR_LABEL, cause=repr(exc)
+                ):
+                    reliability.breaker_trips[STREAM_VECTOR_LABEL] += 1
+            if isinstance(exc, MemoryError):
+                if budget is not None and budget.shrink(
+                    f"MemoryError at chunk {index}"
+                ):
+                    reliability.chunk_shrinks += 1
+                    continue
+            if (
+                vectored
+                and breaker is not None
+                and breaker.is_open(STREAM_VECTOR_LABEL)
+            ):
+                reliability.backend_fallbacks += 1
+                logger.warning(
+                    "circuit breaker open on %s after %r: degrading "
+                    "remaining chunks to the ENGINE backend",
+                    STREAM_VECTOR_LABEL, exc,
+                )
+                mode = ENGINE
+                continue
+            raise
+
+
 def stream_detect(
     source,
     key: MarkKey,
@@ -594,6 +881,9 @@ def stream_detect(
     value_mapping: dict[Hashable, Hashable] | None = None,
     backend: HashEngine | str | None = None,
     retry: RetryPolicy | None = None,
+    deadline: Deadline | None = None,
+    memory_budget: MemoryBudget | None = None,
+    breaker: CircuitBreaker | None = None,
 ) -> StreamDetection:
     """Blindly extract the most likely watermark from a streamed relation.
 
@@ -613,7 +903,10 @@ def stream_detect(
     accumulator = VoteAccumulator(spec.channel_length)
     reliability = ReliabilityReport()
     rows = 0
+    chunks_seen = 0
     for chunk in _chunks_with_retry(source, 0, retry, reliability):
+        index = chunks_seen
+        check_deadline(deadline, "pipeline.chunk", index)
         if resolved is None:
             resolved = chunk.schema.attribute(spec.mark_attribute).domain
         if resolved is None:
@@ -621,19 +914,21 @@ def stream_detect(
                 f"no categorical domain available for "
                 f"{spec.mark_attribute!r}"
             )
-        accumulator.add(
-            _chunk_votes(
-                chunk, key, spec, embedding_map, resolved, value_mapping,
-                engine, mode,
-            )
+        tallies, mode = _chunk_votes_adaptive(
+            chunk, key, spec, embedding_map, resolved, value_mapping,
+            engine, mode, index, memory_budget, breaker, reliability,
         )
+        for tally in tallies:
+            accumulator.add(tally)
         rows += len(chunk)
+        chunks_seen += 1
+        fault_point("pipeline.chunk", index)
     reliability.bad_rows += getattr(source, "bad_row_count", 0)
     reliability.quarantined_rows += getattr(source, "quarantined_rows", 0)
     return StreamDetection(
         detection=accumulator.detection(spec),
         votes=accumulator.votes(),
-        chunks=accumulator.chunks_merged,
+        chunks=chunks_seen,
         rows=rows,
         reliability=reliability,
     )
@@ -651,6 +946,9 @@ def stream_verify(
     significance: float = DEFAULT_SIGNIFICANCE,
     backend: HashEngine | str | None = None,
     retry: RetryPolicy | None = None,
+    deadline: Deadline | None = None,
+    memory_budget: MemoryBudget | None = None,
+    breaker: CircuitBreaker | None = None,
 ) -> StreamVerification:
     """Streamed counterpart of :func:`repro.core.verify`.
 
@@ -676,6 +974,9 @@ def stream_verify(
         value_mapping=value_mapping,
         backend=backend,
         retry=retry,
+        deadline=deadline,
+        memory_budget=memory_budget,
+        breaker=breaker,
     )
     return StreamVerification(
         verification=_assemble_verification(
@@ -700,6 +1001,7 @@ def stream_verify_multipass(
     significance: float = DEFAULT_SIGNIFICANCE,
     backend: str | None = None,
     retry: RetryPolicy | None = None,
+    deadline: Deadline | None = None,
 ) -> list[VerificationResult]:
     """Streamed counterpart of :func:`repro.core.verify_multipass`.
 
@@ -751,7 +1053,10 @@ def stream_verify_multipass(
         VoteAccumulator(spec.channel_length) for _ in range(pass_count)
     ]
     reliability = ReliabilityReport()
+    chunks_seen = 0
     for chunk in _chunks_with_retry(source, 0, retry, reliability):
+        check_deadline(deadline, "pipeline.chunk", chunks_seen)
+        chunks_seen += 1
         if resolved is None:
             resolved = chunk.schema.attribute(spec.mark_attribute).domain
         if resolved is None:

@@ -48,6 +48,15 @@ class ChunkSink:
         raise NotImplementedError
 
     def write_chunk(self, chunk: Table) -> None:
+        """Append one marked chunk.
+
+        The pipeline calls this exactly once per *original source chunk*,
+        whatever adaptation happened upstream: a memory-budget shrink
+        slices the embed, then reassembles the marked rows so the sink
+        still sees the original framing — which is what keeps gzip member
+        boundaries (hence output bytes) identical across adapted and
+        unadapted runs.
+        """
         raise NotImplementedError
 
     def flush_state(self) -> dict[str, Any]:

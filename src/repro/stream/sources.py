@@ -204,12 +204,22 @@ class CSVChunkSource(ChunkSource):
         self.bad_row_count = 0
         #: subset of ``bad_row_count`` written to the sidecar
         self.quarantined_rows = 0
+        #: subset of ``bad_row_count`` re-seen during the resume
+        #: fast-forward — rows the *interrupted* run already counted (and
+        #: quarantined).  Exactly-once contract: a resumed run's final
+        #: ``bad_row_count`` equals an uninterrupted run's, because the
+        #: sidecar is deterministically rewritten (``"w"`` mode) with the
+        #: identical prefix rather than appended to, and chunk boundaries
+        #: count surviving rows — the re-seen bad rows are the same
+        #: physical records, not new ones.
+        self.fastforward_bad_rows = 0
         self._sidecar = None
         self._sidecar_writer = None
 
     def chunks(self, start: int = 0) -> Iterator[Table]:
         self.bad_row_count = 0
         self.quarantined_rows = 0
+        self.fastforward_bad_rows = 0
         try:
             with open_text(self.path) as handle:
                 reader = csv.reader(handle)
@@ -239,6 +249,7 @@ class CSVChunkSource(ChunkSource):
                         # sidecar with identical content).
                         for _ in islice(typed, start * self.chunk_size):
                             pass
+                        self.fastforward_bad_rows = self.bad_row_count
                 yield from self._batched(typed, start, self.infer)
         finally:
             self._close_sidecar()
@@ -449,6 +460,9 @@ class TableChunkSource(ChunkSource):
         total = len(self.table)
         index = start
         for begin in range(start * self.chunk_size, total, self.chunk_size):
+            # Same injection surface as the file-backed sources: chaos
+            # scenarios address "source.read" whatever the source type.
+            fault_point("source.read", index)
             yield self.table.take(
                 range(begin, min(begin + self.chunk_size, total)),
                 name=f"{self.name}[{index}]",

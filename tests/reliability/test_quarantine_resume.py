@@ -1,0 +1,185 @@
+"""Quarantine sidecars x interrupted runs: the exactly-once contract.
+
+A lossy bad-row policy must interact safely with every recovery path:
+whether a run is interrupted and resumed from its checkpoint, or a
+transient read fault re-opens the source mid-run, the final bad-row
+counts, the quarantine sidecar bytes and the marked output bytes must
+all equal an uninterrupted run's — bad rows are counted and quarantined
+exactly once, never lost and never doubled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MarkKey, Watermark
+from repro.core import EmbeddingSpec
+from repro.datagen import generate_item_scan
+from repro.relational import write_csv
+from repro.reliability import FaultPlan, IO_ERROR, RetryPolicy
+from repro.stream import CSVChunkSource, open_sink, stream_mark
+
+ROWS = 600
+CHUNK = 150
+N_CHUNKS = ROWS // CHUNK
+#: surviving-row positions after which a torn line is spliced in —
+#: one bad row inside every chunk
+BAD_AFTER = (50, 200, 350, 500)
+
+FAST = RetryPolicy(max_attempts=4, base_delay=0.0)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return MarkKey.from_seed("quarantine")
+
+
+@pytest.fixture(scope="module")
+def wm():
+    return Watermark.from_int(0x2AB, 10)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return EmbeddingSpec("Visit_Nbr", "Item_Nbr", 40, 10, 120)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_item_scan(ROWS, item_count=80, seed=13)
+
+
+@pytest.fixture(scope="module")
+def dirty_bytes(base, tmp_path_factory):
+    """A CSV of ``base`` with a torn line spliced into every chunk."""
+    clean = tmp_path_factory.mktemp("dirty") / "clean.csv"
+    write_csv(base, clean)
+    lines = clean.read_bytes().splitlines(keepends=True)
+    # lines[0] is the header; data line i is lines[i]
+    for position in sorted(BAD_AFTER, reverse=True):
+        lines.insert(position + 1, b"torn,line\r\n")
+    return b"".join(lines)
+
+
+def _source(path, base):
+    return CSVChunkSource(
+        path, base.schema, chunk_size=CHUNK, on_bad_rows="quarantine"
+    )
+
+
+def _mark(source, wm, key, spec, out, **kwargs):
+    return stream_mark(source, wm, key, spec, open_sink(out), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def reference(base, key, wm, spec, dirty_bytes, tmp_path_factory):
+    """Uninterrupted quarantined run: output + sidecar ground truth."""
+    root = tmp_path_factory.mktemp("reference")
+    data = root / "dirty.csv"
+    data.write_bytes(dirty_bytes)
+    source = _source(data, base)
+    result = _mark(source, wm, key, spec, root / "out.csv")
+    assert result.rows == ROWS
+    assert result.reliability.bad_rows == len(BAD_AFTER)
+    assert result.reliability.quarantined_rows == len(BAD_AFTER)
+    return {
+        "out": (root / "out.csv").read_bytes(),
+        "sidecar": source.quarantine_path.read_bytes(),
+    }
+
+
+class TestQuarantineResume:
+    def test_interrupted_run_resumes_exactly_once(
+        self, base, key, wm, spec, dirty_bytes, reference, tmp_path
+    ):
+        data = tmp_path / "dirty.csv"
+        data.write_bytes(dirty_bytes)
+        out, ckpt = tmp_path / "out.csv", tmp_path / "run.ckpt"
+        # Fail fast-fail (no retry policy) while writing chunk 2: chunks
+        # 0-1 are durable, the interrupted source quarantined two rows.
+        plan = FaultPlan().add("sink.write", IO_ERROR, at=2)
+        with plan.armed():
+            with pytest.raises(OSError):
+                _mark(
+                    _source(data, base), wm, key, spec, out,
+                    checkpoint_path=ckpt,
+                )
+        resumed_source = _source(data, base)
+        result = _mark(
+            resumed_source, wm, key, spec, out,
+            checkpoint_path=ckpt, resume=True,
+        )
+        assert result.resumed_at_chunk == 2
+        assert result.resumed_at_chunk + result.chunks == N_CHUNKS
+        # Exactly-once: the resumed run's totals equal the uninterrupted
+        # run's — the fast-forward re-counted (not double-counted) the
+        # prefix rows the interrupted run had already quarantined.
+        assert result.reliability.bad_rows == len(BAD_AFTER)
+        assert result.reliability.quarantined_rows == len(BAD_AFTER)
+        assert resumed_source.fastforward_bad_rows == 2  # rows 50, 200
+        assert out.read_bytes() == reference["out"]
+        assert resumed_source.quarantine_path.read_bytes() == \
+            reference["sidecar"]
+
+    def test_boundaries_count_surviving_rows_through_resume(
+        self, base, key, wm, spec, dirty_bytes, reference, tmp_path
+    ):
+        # Resume from every chunk boundary: whatever the interruption
+        # point, boundaries are counted in surviving rows, so the resumed
+        # output and sidecar stay byte-identical.
+        for boundary in range(1, N_CHUNKS):
+            data = tmp_path / f"dirty{boundary}.csv"
+            data.write_bytes(dirty_bytes)
+            out = tmp_path / f"out{boundary}.csv"
+            ckpt = tmp_path / f"run{boundary}.ckpt"
+            plan = FaultPlan().add("sink.write", IO_ERROR, at=boundary)
+            with plan.armed():
+                with pytest.raises(OSError):
+                    _mark(
+                        _source(data, base), wm, key, spec, out,
+                        checkpoint_path=ckpt,
+                    )
+            source = _source(data, base)
+            result = _mark(
+                source, wm, key, spec, out,
+                checkpoint_path=ckpt, resume=True,
+            )
+            assert result.resumed_at_chunk == boundary
+            assert result.rows == ROWS
+            assert result.reliability.bad_rows == len(BAD_AFTER)
+            assert source.fastforward_bad_rows == boundary  # one per chunk
+            assert out.read_bytes() == reference["out"]
+            assert source.quarantine_path.read_bytes() == \
+                reference["sidecar"]
+
+    def test_retry_reopen_does_not_double_count(
+        self, base, key, wm, spec, dirty_bytes, reference, tmp_path
+    ):
+        data = tmp_path / "dirty.csv"
+        data.write_bytes(dirty_bytes)
+        out = tmp_path / "out.csv"
+        # A transient read fault re-opens the source mid-run: the reopen
+        # resets the counters and re-applies the policy from the top, so
+        # the final totals match one uninterrupted pass.
+        plan = FaultPlan().add("source.read", IO_ERROR, at=2)
+        source = _source(data, base)
+        with plan.armed():
+            result = _mark(
+                source, wm, key, spec, out, retry=FAST,
+            )
+        assert plan.pending() == 0
+        assert result.reliability.source_reopens == 1
+        assert result.reliability.bad_rows == len(BAD_AFTER)
+        assert result.reliability.quarantined_rows == len(BAD_AFTER)
+        assert out.read_bytes() == reference["out"]
+        assert source.quarantine_path.read_bytes() == reference["sidecar"]
+
+    def test_uninterrupted_runs_report_no_fastforward(
+        self, base, key, wm, spec, dirty_bytes, tmp_path
+    ):
+        data = tmp_path / "dirty.csv"
+        data.write_bytes(dirty_bytes)
+        source = _source(data, base)
+        _mark(source, wm, key, spec, tmp_path / "out.csv")
+        assert source.fastforward_bad_rows == 0
+        assert source.bad_row_count == len(BAD_AFTER)

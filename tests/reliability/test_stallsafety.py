@@ -1,0 +1,391 @@
+"""Unit tests for the stall-safety primitives.
+
+Deadlines, memory budgets, circuit breakers and the worker watchdog are
+small state machines; these tests pin their contracts (what counts as
+expired / stale / open, what the disarmed fast paths cost nothing for)
+before the chaos hang-matrix exercises them end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+import tracemalloc
+
+import pytest
+
+from repro.reliability import (
+    HANG,
+    MEMORY,
+    SLOW,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceededError,
+    FaultPlan,
+    MemoryBudget,
+    PERMANENT,
+    ReliabilityReport,
+    TRANSIENT,
+    Watchdog,
+    beat,
+    check_deadline,
+    classify,
+    fault_point,
+    rss_bytes,
+)
+from repro.reliability.watchdog import BUSY, IDLE
+
+
+class TestDeadline:
+    def test_budget_must_be_positive(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError, match="positive"):
+                Deadline(bad)
+
+    def test_fresh_deadline_has_headroom(self):
+        deadline = Deadline(60.0)
+        assert not deadline.expired()
+        assert 0.0 <= deadline.elapsed() < 1.0
+        assert 59.0 < deadline.remaining() <= 60.0
+        deadline.check("pipeline.chunk", 3)  # no raise
+
+    def test_expiry_raises_with_resumable_position(self):
+        deadline = Deadline(1e-9)
+        time.sleep(0.002)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check("pipeline.chunk", 7)
+        err = excinfo.value
+        assert err.label == "pipeline.chunk"
+        assert err.position == 7
+        assert err.budget == 1e-9
+        assert err.elapsed >= 0.002
+        assert "exceeded at pipeline.chunk[7]" in str(err)
+
+    def test_expiry_is_permanent_for_the_retry_taxonomy(self):
+        # Retrying a run that ran out of wall-clock inside the same
+        # budget would loop; the taxonomy must not classify it transient.
+        err = DeadlineExceededError("pipeline.chunk", 0, 1.0, 2.0)
+        assert classify(err) == PERMANENT
+
+    def test_timeout_caps_blocking_waits(self):
+        deadline = Deadline(60.0)
+        assert deadline.timeout(0.25) == 0.25
+        assert 59.0 < deadline.timeout() <= 60.0
+        expired = Deadline(1e-9)
+        time.sleep(0.002)
+        assert expired.timeout(5.0) == 0.0  # immediate-timeout poll
+
+    def test_after_reads_like_the_call_site(self):
+        deadline = Deadline.after(30.0)
+        assert deadline.budget == 30.0
+
+    def test_check_deadline_disarmed_is_a_noop(self):
+        check_deadline(None, "anything", 99)  # must not raise
+        armed = Deadline(1e-9)
+        time.sleep(0.002)
+        with pytest.raises(DeadlineExceededError):
+            check_deadline(armed, "sweep.cell", 2)
+
+
+class TestMemoryBudget:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="limit_bytes"):
+            MemoryBudget(limit_bytes=0)
+        with pytest.raises(ValueError, match="regrow_after"):
+            MemoryBudget(regrow_after=0)
+        with pytest.raises(ValueError, match="max_factor"):
+            MemoryBudget(max_factor=0)
+
+    def test_shrink_halves_until_the_floor(self):
+        budget = MemoryBudget(max_factor=4)
+        assert budget.factor == 1
+        assert budget.shrink("test") and budget.factor == 2
+        assert budget.shrink("test") and budget.factor == 4
+        # at the floor: the caller must let the failure propagate
+        assert not budget.shrink("test")
+        assert budget.factor == 4
+        assert [event[0] for event in budget.events] == ["shrink", "shrink"]
+
+    def test_regrow_needs_a_sustained_healthy_streak(self):
+        budget = MemoryBudget(regrow_after=2)
+        budget.shrink("pressure")
+        budget.shrink("pressure")
+        assert budget.factor == 4
+        assert not budget.note_healthy()   # streak 1
+        assert budget.note_healthy()       # streak 2 -> regrow
+        assert budget.factor == 2
+        assert not budget.note_healthy()
+        assert budget.note_healthy()
+        assert budget.factor == 1
+        # healthy at factor 1 is the steady state, not an event
+        assert not budget.note_healthy()
+        assert [event[0] for event in budget.events] == [
+            "shrink", "shrink", "regrow", "regrow",
+        ]
+
+    def test_shrink_resets_the_healthy_streak(self):
+        budget = MemoryBudget(regrow_after=2)
+        budget.shrink("a")
+        budget.note_healthy()
+        budget.shrink("b")       # streak back to zero
+        assert not budget.note_healthy()
+        assert budget.factor == 4
+
+    def test_slices_bounded_by_rows(self):
+        budget = MemoryBudget()
+        assert budget.slices(1000) == 1
+        budget.shrink("x")
+        budget.shrink("x")
+        assert budget.slices(1000) == 4
+        assert budget.slices(3) == 3    # never more slices than rows
+        assert budget.slices(0) == 1
+
+    def test_over_budget_without_limit_is_false(self):
+        assert not MemoryBudget().over_budget()
+
+    def test_over_budget_compares_against_sample(self):
+        # A 1-byte limit is always breached by a live interpreter.
+        budget = MemoryBudget(limit_bytes=1)
+        if budget.sample() == 0:
+            pytest.skip("no memory sampling source on this platform")
+        assert budget.over_budget()
+
+    def test_sample_prefers_tracemalloc_when_tracing(self):
+        was_tracing = tracemalloc.is_tracing()
+        tracemalloc.start()
+        try:
+            ballast = ["x" * 64 for _ in range(1000)]
+            sampled = MemoryBudget().sample()
+            assert 0 < sampled <= tracemalloc.get_traced_memory()[1]
+            del ballast
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()
+
+    def test_rss_bytes_reads_proc(self):
+        if not os.path.exists("/proc/self/statm"):
+            pytest.skip("/proc is unavailable")
+        assert rss_bytes() > 0
+
+
+class TestCircuitBreaker:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown=-1.0)
+
+    def test_opens_on_kth_consecutive_failure(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert not breaker.record_failure("pool.worker")
+        assert not breaker.record_failure("pool.worker")
+        assert breaker.record_failure("pool.worker", cause="boom")
+        assert breaker.is_open("pool.worker")
+        assert breaker.trips("pool.worker") == 1
+        assert ("pool.worker", "open", "boom") in breaker.transitions
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("a")
+        breaker.record_success("a")
+        assert not breaker.record_failure("a")  # streak restarted
+        assert not breaker.is_open("a")
+
+    def test_labels_are_independent(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("a")
+        breaker.record_failure("b")
+        assert not breaker.is_open("a") and not breaker.is_open("b")
+        breaker.record_failure("a")
+        assert breaker.is_open("a") and not breaker.is_open("b")
+        assert breaker.allow("b")
+
+    def test_open_circuit_blocks_until_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure("a")
+        assert not breaker.allow("a")
+        clock.advance(9.0)
+        assert not breaker.allow("a")
+        clock.advance(1.5)
+        assert breaker.allow("a")  # half-open: one trial admitted
+
+    def test_half_open_failure_reopens_for_a_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure("a")
+        clock.advance(11.0)
+        assert breaker.allow("a")
+        # The trial fails: no new open transition, but the cooldown
+        # restarts from now.
+        assert not breaker.record_failure("a")
+        assert breaker.trips("a") == 1
+        assert not breaker.allow("a")
+        clock.advance(11.0)
+        assert breaker.allow("a")
+
+    def test_half_open_success_closes_with_a_transition(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=0.0, clock=clock)
+        breaker.record_failure("a")
+        assert breaker.allow("a")  # zero cooldown: immediately half-open
+        breaker.record_success("a")
+        assert not breaker.is_open("a")
+        assert ("a", "close", "successful call") in breaker.transitions
+        assert breaker.trips() == 1
+
+
+class FakeClock:
+    """Deterministic monotonic clock for breaker cooldown tests."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestWatchdog:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="budget"):
+            Watchdog(budget=0.0)
+        with pytest.raises(ValueError, match="poll"):
+            Watchdog(poll=0.0)
+
+    def _beat_at(self, hb_dir, pid, state, age):
+        beat(str(hb_dir), pid=pid, state=state)
+        stamp = time.time() - age
+        os.utime(os.path.join(str(hb_dir), str(pid)), (stamp, stamp))
+
+    def test_busy_and_silent_past_budget_is_stale(self, tmp_path):
+        dog = Watchdog(budget=5.0, poll=0.1)
+        self._beat_at(tmp_path, 111, BUSY, age=10.0)
+        self._beat_at(tmp_path, 222, BUSY, age=1.0)
+        assert dog.stale_pids(str(tmp_path), [111, 222]) == [111]
+
+    def test_idle_workers_are_never_stale(self, tmp_path):
+        # A worker that finished early and is waiting for the slow one
+        # must not be killed — that would break the executor for nothing.
+        dog = Watchdog(budget=5.0, poll=0.1)
+        self._beat_at(tmp_path, 111, IDLE, age=60.0)
+        assert dog.stale_pids(str(tmp_path), [111]) == []
+
+    def test_never_beat_is_not_stale(self, tmp_path):
+        # A spare worker the executor never fed has no heartbeat file;
+        # a hang before the first beat is the deadline's problem.
+        dog = Watchdog(budget=5.0, poll=0.1)
+        assert dog.stale_pids(str(tmp_path), [12345]) == []
+        assert dog.last_beat(str(tmp_path), 12345) == (0.0, IDLE)
+
+    def test_torn_read_defaults_to_busy(self, tmp_path):
+        # An empty file (caught mid-rewrite) reads as BUSY — harmless,
+        # because its fresh mtime keeps the worker under budget.
+        path = tmp_path / "333"
+        path.write_text("")
+        dog = Watchdog(budget=5.0, poll=0.1)
+        _, state = dog.last_beat(str(tmp_path), 333)
+        assert state == BUSY
+        assert dog.stale_pids(str(tmp_path), [333]) == []
+
+    def test_beat_without_directory_is_a_noop(self):
+        beat(None)  # production default: no heartbeat dir, no I/O
+
+    def test_kill_stale_sigkills_the_hung_process(self, tmp_path):
+        victim = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"]
+        )
+        try:
+            dog = Watchdog(budget=0.5, poll=0.1)
+            self._beat_at(tmp_path, victim.pid, BUSY, age=5.0)
+            killed = dog.kill_stale(str(tmp_path), [victim.pid])
+            assert killed == [victim.pid]
+            assert victim.wait(timeout=10) == -9
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait()
+
+    def test_kill_ignores_already_dead_pids(self, tmp_path):
+        victim = subprocess.Popen([sys.executable, "-c", "pass"])
+        victim.wait()
+        dog = Watchdog(budget=0.5, poll=0.1)
+        assert dog.kill([victim.pid]) == []
+
+
+class TestStallFaultKinds:
+    def test_memory_fault_raises_memory_error(self):
+        plan = FaultPlan().add("pipeline.embed", MEMORY, at=1)
+        with plan.armed():
+            assert fault_point("pipeline.embed", 0) is None
+            with pytest.raises(MemoryError, match=r"pipeline\.embed\[1\]"):
+                fault_point("pipeline.embed", 1)
+        assert plan.pending() == 0
+
+    def test_memory_error_is_transient(self):
+        # MemoryError must route through retry/shrink, not abort: chunk
+        # replay at a smaller granularity is exactly how it is survived.
+        assert classify(MemoryError()) == TRANSIENT
+
+    def test_hang_sleeps_then_continues(self):
+        plan = FaultPlan(hang_seconds=0.05).add("source.read", HANG, at=0)
+        with plan.armed():
+            started = time.monotonic()
+            assert fault_point("source.read", 0) is None
+            assert time.monotonic() - started >= 0.04
+        assert plan.fired == [("source.read", 0, HANG)]
+
+    def test_slow_sleeps_its_own_knob(self):
+        plan = FaultPlan(slow_seconds=0.03).add("sink.write", SLOW, at=0)
+        with plan.armed():
+            started = time.monotonic()
+            assert fault_point("sink.write", 0) is None
+            assert time.monotonic() - started >= 0.02
+        assert plan.pending() == 0
+
+
+class TestReportStallFields:
+    def test_new_counters_round_trip_and_merge(self):
+        first = ReliabilityReport(
+            watchdog_kills=1, chunk_shrinks=2, chunk_regrows=1,
+            backend_fallbacks=1,
+        )
+        first.breaker_trips["stream.vector"] = 1
+        second = ReliabilityReport(watchdog_kills=2)
+        second.breaker_trips["pool.worker"] = 1
+        first.merge(second)
+        payload = first.to_dict()
+        assert payload["watchdog_kills"] == 3
+        assert payload["chunk_shrinks"] == 2
+        assert payload["chunk_regrows"] == 1
+        assert payload["backend_fallbacks"] == 1
+        assert payload["breaker_trips"] == {
+            "stream.vector": 1, "pool.worker": 1,
+        }
+
+    def test_stall_recovery_counts_as_recovery(self):
+        assert ReliabilityReport(watchdog_kills=1).any_recovery
+        assert ReliabilityReport(chunk_shrinks=1).any_recovery
+        assert ReliabilityReport(backend_fallbacks=1).any_recovery
+        tripped = ReliabilityReport()
+        tripped.breaker_trips["pool.worker"] = 1
+        assert tripped.any_recovery
+        assert not ReliabilityReport().any_recovery
+
+    def test_summary_names_the_stall_recoveries(self):
+        report = ReliabilityReport(
+            watchdog_kills=1, chunk_shrinks=2, chunk_regrows=1,
+            backend_fallbacks=1,
+        )
+        report.breaker_trips["stream.vector"] = 1
+        text = report.summary()
+        assert "1 watchdog kills" in text
+        assert "2 chunk shrinks" in text
+        assert "1 backend fallbacks" in text
+        assert "stream.vector x1" in text
