@@ -15,12 +15,18 @@ the tuple's key value alone, so both directions chunk perfectly:
    wall-clock ``Deadline`` — the run stops *resumably* with
    ``DeadlineExceededError`` (the CLI's ``--deadline SECONDS`` / exit
    code 7), and a fresh-budget resume completes byte-identical to the
-   uninterrupted output.
+   uninterrupted output;
+4. multicore detect: the same verification with ``workers="auto"`` — a
+   read-ahead decoder ships raw chunk payloads to a process pool,
+   kernels run worker-side, and tallies merge in chunk order, so the
+   verdict is **bit-identical** to the single-process scan (the CLI's
+   ``--workers N|auto``).
 
 Run:  python examples/streaming_pipeline.py
 """
 
 import tempfile
+import time
 from pathlib import Path
 
 from repro import MarkKey, Watermark
@@ -30,6 +36,8 @@ from repro.stream import (
     CSVChunkSink,
     CSVChunkSource,
     item_scan_source,
+    resolve_workers,
+    shutdown_stream_pool,
     stream_mark,
     stream_verify,
 )
@@ -111,6 +119,31 @@ def main() -> None:
     assert budgeted_path.read_bytes() == marked_path.read_bytes(), \
         "deadline-interrupted resume must be byte-identical"
     print("byte-identical to the uninterrupted output")
+
+    # -- 5. multicore detect: same verdict, N cores --------------------------
+    # ``workers="auto"`` sizes a persistent process pool from cpu_count
+    # (1 on a single-core box — the exact serial path).  Workers parse
+    # and tally chunks; the coordinator merges tallies in chunk order,
+    # so the verdict below is pinned bit-identical to step 3's.
+    workers = resolve_workers("auto")
+    started = time.perf_counter()
+    parallel = stream_verify(
+        CSVChunkSource(
+            marked_path, source.schema, chunk_size=CHUNK, infer_domains=True
+        ),
+        key, spec, watermark,
+        domain=source.schema.attribute("Item_Nbr").domain,
+        workers="auto",
+    )
+    elapsed = time.perf_counter() - started
+    shutdown_stream_pool()
+    assert parallel.detected
+    assert parallel.votes.resolve() == verdict.votes.resolve(), \
+        "parallel verdict must be bit-identical to the serial scan"
+    print(
+        f"parallel re-verify ({workers} worker(s)): "
+        f"{parallel.rows / elapsed:,.0f} rows/s — bit-identical verdict"
+    )
 
 
 if __name__ == "__main__":

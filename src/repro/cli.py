@@ -28,6 +28,13 @@ embed resumable after interruption (``--resume`` picks it back up).
 Streaming mode requires the schema JSON to declare the mark attribute's
 full domain and serves the association channel only.
 
+File-mode runs scale across cores with ``--workers N`` (or ``--workers
+auto``): chunk decode + kernel work fan out over a process pool while an
+ordered merge/commit keeps the output bytes and the detection verdict
+bit-identical to a single-core run.  ``--input`` may be repeated to scan
+several files as one relation (detection accumulators merge across
+files).
+
 plus the experiment harness (previously Python-API-only)::
 
     repro-wm sweep   --data sales.csv --schema schema.json \\
@@ -167,15 +174,32 @@ def _print_reliability(report) -> None:
         print(report.summary())
 
 
+def _workers(args: argparse.Namespace):
+    """``--workers`` to the ``stream_*`` parameter: an int, ``"auto"``,
+    or ``None`` for the historical single-process path."""
+    value = getattr(args, "workers", None)
+    if value is None:
+        return None
+    return int(value) if value.isdigit() else value
+
+
+def _input_paths(args: argparse.Namespace) -> list[str]:
+    """The repeated ``--input`` values (``action="append"`` yields a
+    list; a single flag still arrives as a one-element list)."""
+    value = args.input
+    return [value] if isinstance(value, str) else list(value)
+
+
 def cmd_embed_stream(args: argparse.Namespace) -> int:
     """File-mode embed: chunked, bounded memory, optionally resumable."""
     from .core import EmbeddingSpec, default_channel_length
-    from .stream import count_data_rows, open_sink, open_source, stream_mark
+    from .stream import count_data_rows, open_sink, open_sources, stream_mark
 
     if args.output is None:
         raise SystemExit("--input (streaming embed) requires --output")
     if args.resume and args.checkpoint is None:
         raise SystemExit("--resume requires --checkpoint")
+    paths = _input_paths(args)
     for flag, name in (
         (args.max_alteration is not None, "--max-alteration"),
         (bool(args.p_add), "--p-add"),
@@ -190,7 +214,7 @@ def cmd_embed_stream(args: argparse.Namespace) -> int:
     key = _load_key(args.key)
     watermark = _parse_watermark(args.watermark)
     channel_length = args.channel_length or default_channel_length(
-        count_data_rows(args.input), args.e, len(watermark)
+        sum(count_data_rows(path) for path in paths), args.e, len(watermark)
     )
     spec = EmbeddingSpec(
         key_attribute=schema.primary_key,
@@ -200,8 +224,8 @@ def cmd_embed_stream(args: argparse.Namespace) -> int:
         channel_length=channel_length,
         ecc_name=args.ecc,
     )
-    source = open_source(
-        args.input, schema, chunk_size=args.chunk_size,
+    source = open_sources(
+        paths, schema, chunk_size=args.chunk_size,
         on_bad_rows=args.on_bad_rows,
     )
     result = stream_mark(
@@ -214,6 +238,7 @@ def cmd_embed_stream(args: argparse.Namespace) -> int:
         resume=args.resume,
         retry=_retry_policy(args),
         deadline=_deadline(args),
+        workers=_workers(args),
     )
     domain = schema.attribute(args.attribute).domain
     record = MarkRecord(
@@ -221,7 +246,7 @@ def cmd_embed_stream(args: argparse.Namespace) -> int:
         spec=spec,
         domain_values=domain.values if domain is not None else None,
         metadata={
-            "source": str(args.input),
+            "source": "+".join(str(path) for path in paths),
             "tuples": result.rows,
             "streamed": True,
         },
@@ -281,7 +306,7 @@ def cmd_embed(args: argparse.Namespace) -> int:
 def cmd_detect_stream(args: argparse.Namespace) -> int:
     """File-mode detect: accumulator-based, bit-identical to in-memory."""
     from .relational import CategoricalDomain
-    from .stream import open_source, stream_verify
+    from .stream import open_sources, stream_verify
 
     if args.remap_recovery:
         raise SystemExit(
@@ -301,9 +326,9 @@ def cmd_detect_stream(args: argparse.Namespace) -> int:
     # Suspect copies may hold out-of-domain values; widen per chunk and
     # decode against the escrowed canonical domain, like the in-memory
     # blind detector does.
-    source = open_source(
-        args.input, schema, chunk_size=args.chunk_size, infer_domains=True,
-        on_bad_rows=args.on_bad_rows,
+    source = open_sources(
+        _input_paths(args), schema, chunk_size=args.chunk_size,
+        infer_domains=True, on_bad_rows=args.on_bad_rows,
     )
     result = stream_verify(
         source,
@@ -315,6 +340,7 @@ def cmd_detect_stream(args: argparse.Namespace) -> int:
         significance=args.significance,
         retry=_retry_policy(args),
         deadline=_deadline(args),
+        workers=_workers(args),
     )
     print(
         f"association channel ({result.rows} tuples in {result.chunks} "
@@ -555,8 +581,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--data", default=None, help="input CSV (in-memory mode)"
     )
     embed.add_argument(
-        "--input", default=None,
-        help="input CSV/.csv.gz/SQLite (streaming file mode)",
+        "--input", action="append", default=None,
+        help="input CSV/.csv.gz/SQLite (streaming file mode); repeat to "
+             "concatenate several files into one relation",
     )
     embed.add_argument("--schema", required=True, help="schema JSON")
     embed.add_argument("--key", required=True, help="key JSON from genkey")
@@ -621,6 +648,12 @@ def build_parser() -> argparse.ArgumentParser:
              "run at a resumable chunk boundary with exit code 7",
     )
     embed.add_argument(
+        "--workers", default=None,
+        help="file-mode worker processes for per-chunk embed kernels "
+             "('auto' sizes from cpu count); output stays byte-identical "
+             "to a single-core run (default: 1)",
+    )
+    embed.add_argument(
         "--record", required=True, help="mark record JSON output (escrow)"
     )
     embed.set_defaults(handler=cmd_embed)
@@ -633,8 +666,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--data", default=None, help="suspect CSV (in-memory mode)"
     )
     detect.add_argument(
-        "--input", default=None,
-        help="suspect CSV/.csv.gz/SQLite (streaming file mode)",
+        "--input", action="append", default=None,
+        help="suspect CSV/.csv.gz/SQLite (streaming file mode); repeat "
+             "to scan several files as one relation",
     )
     detect.add_argument(
         "--chunk-size", type=int, default=65_536,
@@ -666,6 +700,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=None,
         help="wall-clock budget in seconds (file mode); expiry stops the "
              "scan with exit code 7",
+    )
+    detect.add_argument(
+        "--workers", default=None,
+        help="file-mode worker processes for per-chunk detect kernels "
+             "('auto' sizes from cpu count); the verdict stays "
+             "bit-identical to a single-core scan (default: 1)",
     )
     detect.set_defaults(handler=cmd_detect)
 

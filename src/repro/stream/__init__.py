@@ -11,7 +11,10 @@ the tuple's key value, so marking and detection chunk perfectly:
   embed kernels into a :class:`ChunkSink` (checkpointed, resumable);
   :func:`stream_verify` / :func:`stream_verify_multipass` merge per-chunk
   vote tallies in O(chunk + channel) memory, bit-identical to the
-  in-memory detector on the concatenated rows.
+  in-memory detector on the concatenated rows;
+* **parallel** — ``workers=N`` (or ``"auto"``) fans chunk decode + kernel
+  work across a persistent process pool with ordered, bit-identical
+  merge/commit (see :mod:`repro.stream.parallel`).
 
 Opens the million-row / on-disk workload class the in-memory
 :class:`~repro.relational.Table` paths cap out on.
@@ -29,6 +32,12 @@ from .errors import (
     CheckpointCorruptError,
     CheckpointError,
     StreamError,
+)
+from .parallel import (
+    AUTO_WORKERS,
+    ParallelReport,
+    resolve_workers,
+    shutdown_stream_pool,
 )
 from .pipeline import (
     StreamDetection,
@@ -51,16 +60,21 @@ from .sinks import (
 from .sources import (
     DEFAULT_CHUNK_SIZE,
     ChunkSource,
+    ChunkTask,
     CSVChunkSource,
+    MultiFileChunkSource,
     SQLiteChunkSource,
     SyntheticChunkSource,
     TableChunkSource,
     count_data_rows,
     item_scan_source,
     open_source,
+    open_sources,
+    payload_chunks,
 )
 
 __all__ = [
+    "AUTO_WORKERS",
     "BadRowError",
     "CSVChunkSink",
     "CSVChunkSource",
@@ -68,9 +82,12 @@ __all__ = [
     "CheckpointError",
     "ChunkSink",
     "ChunkSource",
+    "ChunkTask",
     "DEFAULT_CHUNK_SIZE",
     "MarkCheckpoint",
+    "MultiFileChunkSource",
     "NullChunkSink",
+    "ParallelReport",
     "SQLiteChunkSink",
     "SQLiteChunkSource",
     "StreamDetection",
@@ -87,7 +104,11 @@ __all__ = [
     "mark_fingerprint",
     "open_sink",
     "open_source",
+    "open_sources",
+    "payload_chunks",
+    "resolve_workers",
     "save_checkpoint",
+    "shutdown_stream_pool",
     "stream_detect",
     "stream_engine",
     "stream_mark",

@@ -45,3 +45,10 @@ class BadRowError(StreamError, ValueError):
         self.number = number
         self.reason = reason
         super().__init__(f"{self.path}: bad CSV row {number}: {reason}")
+
+    def __reduce__(self):
+        # Exceptions pickle as ``cls(*args)`` by default, which would
+        # re-call this three-argument __init__ with just the message;
+        # parallel workers raise BadRowError across the process boundary,
+        # so spell out the real constructor arguments.
+        return (BadRowError, (self.path, self.number, self.reason))

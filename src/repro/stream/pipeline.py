@@ -232,6 +232,8 @@ class StreamMarkResult:
     guard_report: GuardReport = field(default_factory=GuardReport)
     resumed_at_chunk: int = 0
     reliability: ReliabilityReport = field(default_factory=ReliabilityReport)
+    #: :class:`~repro.stream.parallel.ParallelReport` when ``workers > 1``
+    parallel: Any = None
 
     @property
     def slot_coverage(self) -> float:
@@ -293,6 +295,8 @@ def stream_mark(
     deadline: Deadline | None = None,
     memory_budget: MemoryBudget | None = None,
     breaker: CircuitBreaker | None = None,
+    workers: int | str | None = None,
+    watchdog=None,
 ) -> StreamMarkResult:
     """Embed ``watermark`` into a streamed relation, chunk by chunk.
 
@@ -326,7 +330,35 @@ def stream_mark(
     (the default) keeps the historical fail-fast behavior.  Resume always
     prefers the newest checkpoint that passes CRC verification, falling
     back to the rotated ``.prev`` record when the newest is corrupt.
+
+    ``workers`` fans the per-chunk embed kernels across a persistent
+    process pool (``"auto"`` sizes it from ``cpu_count``); the ordered
+    commit loop writes marked chunks to the sink in sequence, so output
+    bytes, checkpoints and ``--resume`` stay identical to ``workers=1``.
+    ``watchdog`` (parallel runs only) heartbeat-monitors pool workers;
+    pass ``False`` to disable the default watchdog.
     """
+    from .parallel import resolve_workers
+
+    worker_count = resolve_workers(workers)
+    if worker_count > 1:
+        if isinstance(backend, HashEngine):
+            raise StreamError(
+                "parallel stream_mark cannot share a HashEngine across "
+                "processes; pass a backend sentinel instead"
+            )
+        if constraints_factory is not None:
+            raise StreamError(
+                "parallel stream_mark does not support "
+                "constraints_factory: guard constraints are stateful "
+                "and chunk-scoped — run with workers=1"
+            )
+        if memory_budget is not None:
+            raise StreamError(
+                "parallel stream_mark does not support a memory_budget: "
+                "adaptive chunk slicing is a serial-path feature — run "
+                "with workers=1"
+            )
     schema = source_schema(source)
     if schema is None:
         raise StreamError(
@@ -370,66 +402,94 @@ def stream_mark(
     # rewriting a chunk whose write failed mid-way.
     last_good = sink.flush_state() if retry is not None else None
 
-    try:
-        for chunk in _chunks_with_retry(source, start, retry, reliability):
-            index = start + result.chunks  # global chunk index
-            # Cooperative stall-safety: the deadline is consulted at every
-            # chunk boundary, so a budgeted run stops (resumably — the
-            # checkpoint of chunk index-1 is durable) instead of hanging.
-            check_deadline(deadline, "pipeline.chunk", index)
-            chunk_domain = chunk.schema.attribute(spec.mark_attribute).domain
-            if chunk_domain != domain:
-                raise StreamError(
-                    "chunk domain drifted from the declared domain — "
-                    "stream_mark sources must be built with "
-                    "infer_domains=False"
-                )
-            marked, pass_result, guard_report, mode = _embed_chunk(
-                chunk, watermark, key, spec, domain, wm_data,
-                constraints_factory, engine, mode, index,
-                memory_budget, breaker, reliability,
+    def _commit_marked(index, marked, pass_result, guard_report, nrows):
+        """Make one marked chunk durable: merge its reports, write it to
+        the sink (rolling back and rewriting under ``retry``) and record
+        the checkpoint.  Shared by the serial loop and the parallel
+        ordered-commit loop — both call it in strict chunk order, which
+        is what keeps output bytes and checkpoints identical."""
+        nonlocal last_good
+        _merge_result(result, pass_result, guard_report, nrows)
+
+        if retry is None:
+            sink.write_chunk(marked)
+            state = (
+                sink.flush_state() if checkpoint_path is not None
+                else None
             )
-            _merge_result(result, pass_result, guard_report, len(chunk))
+        else:
+            def _write():
+                sink.write_chunk(marked)
+                return sink.flush_state()
+
+            def _rollback():
+                reliability.sink_rollbacks += 1
+                sink.restore(schema, last_good)
+
+            state = call_with_retry(
+                _write, "sink.write", retry,
+                recover=_rollback, on_retry=reliability.record_retry,
+            )
+            last_good = state
+
+        if checkpoint_path is not None:
+            def _save():
+                save_checkpoint(
+                    checkpoint_path,
+                    _as_checkpoint(result, fingerprint, start, state),
+                )
 
             if retry is None:
-                sink.write_chunk(marked)
-                state = (
-                    sink.flush_state() if checkpoint_path is not None
-                    else None
-                )
+                _save()
             else:
-                def _write():
-                    sink.write_chunk(marked)
-                    return sink.flush_state()
-
-                def _rollback():
-                    reliability.sink_rollbacks += 1
-                    sink.restore(schema, last_good)
-
-                state = call_with_retry(
-                    _write, "sink.write", retry,
-                    recover=_rollback, on_retry=reliability.record_retry,
+                call_with_retry(
+                    _save, "checkpoint.save", retry,
+                    on_retry=reliability.record_retry,
                 )
-                last_good = state
 
-            if checkpoint_path is not None:
-                def _save():
-                    save_checkpoint(
-                        checkpoint_path,
-                        _as_checkpoint(result, fingerprint, start, state),
-                    )
+    try:
+        if worker_count > 1:
+            from .parallel import parallel_mark, resolve_watchdog
 
-                if retry is None:
-                    _save()
-                else:
-                    call_with_retry(
-                        _save, "checkpoint.save", retry,
-                        on_retry=reliability.record_retry,
+            result.parallel = parallel_mark(
+                source, start, _commit_marked,
+                watermark=watermark, key=key, spec=spec, domain=domain,
+                wm_data=wm_data, mode=mode, chunk_size=chunk_size,
+                workers=worker_count, retry=retry, deadline=deadline,
+                watchdog=resolve_watchdog(watchdog), breaker=breaker,
+                reliability=reliability,
+            )
+        else:
+            for chunk in _chunks_with_retry(
+                source, start, retry, reliability
+            ):
+                index = start + result.chunks  # global chunk index
+                # Cooperative stall-safety: the deadline is consulted at
+                # every chunk boundary, so a budgeted run stops (resumably
+                # — the checkpoint of chunk index-1 is durable) instead of
+                # hanging.
+                check_deadline(deadline, "pipeline.chunk", index)
+                chunk_domain = chunk.schema.attribute(
+                    spec.mark_attribute
+                ).domain
+                if chunk_domain != domain:
+                    raise StreamError(
+                        "chunk domain drifted from the declared domain — "
+                        "stream_mark sources must be built with "
+                        "infer_domains=False"
                     )
-            # Injection point: the chunk is fully durable here — a kill at
-            # this boundary is the canonical crash the chaos kill-matrix
-            # resumes from.
-            fault_point("pipeline.chunk", index)
+                marked, pass_result, guard_report, mode = _embed_chunk(
+                    chunk, watermark, key, spec, domain, wm_data,
+                    constraints_factory, engine, mode, index,
+                    memory_budget, breaker, reliability,
+                )
+                _commit_marked(
+                    index, marked, pass_result, guard_report, len(chunk)
+                )
+                # Injection point: the chunk is fully durable here — a kill
+                # at this boundary is the canonical crash the chaos
+                # kill-matrix resumes from.
+                fault_point("pipeline.chunk", index)
     finally:
         sink.close()
     reliability.bad_rows += getattr(source, "bad_row_count", 0)
@@ -712,6 +772,8 @@ class StreamDetection:
     chunks: int
     rows: int
     reliability: ReliabilityReport = field(default_factory=ReliabilityReport)
+    #: :class:`~repro.stream.parallel.ParallelReport` when ``workers > 1``
+    parallel: Any = None
 
 
 @dataclass
@@ -723,6 +785,8 @@ class StreamVerification:
     chunks: int
     rows: int
     reliability: ReliabilityReport = field(default_factory=ReliabilityReport)
+    #: :class:`~repro.stream.parallel.ParallelReport` when ``workers > 1``
+    parallel: Any = None
 
     @property
     def detected(self) -> bool:
@@ -884,6 +948,8 @@ def stream_detect(
     deadline: Deadline | None = None,
     memory_budget: MemoryBudget | None = None,
     breaker: CircuitBreaker | None = None,
+    workers: int | str | None = None,
+    watchdog=None,
 ) -> StreamDetection:
     """Blindly extract the most likely watermark from a streamed relation.
 
@@ -894,12 +960,57 @@ def stream_detect(
     policy makes transient chunk-read failures re-open the source at the
     failed boundary instead of aborting the scan — safe because each
     chunk's tally is merged only after the chunk was fully read.
+
+    ``workers`` fans chunk decode + kernel work across a persistent
+    process pool (``"auto"`` sizes it from ``cpu_count``); tallies are
+    merged in chunk order, so the verdict is bit-identical to
+    ``workers=1`` for every worker count.  ``watchdog`` (parallel runs
+    only) heartbeat-monitors pool workers; ``False`` disables it.
     """
+    from .parallel import resolve_workers
+
     _check_map_inputs(spec, embedding_map)
-    engine, mode = _resolve_stream_backend(
-        backend, key, _source_chunk_size(source)
-    )
+    worker_count = resolve_workers(workers)
+    if worker_count > 1:
+        if isinstance(backend, HashEngine):
+            raise StreamError(
+                "parallel stream_detect cannot share a HashEngine across "
+                "processes; pass a backend sentinel instead"
+            )
+        if memory_budget is not None:
+            raise StreamError(
+                "parallel stream_detect does not support a memory_budget: "
+                "adaptive chunk slicing is a serial-path feature — run "
+                "with workers=1"
+            )
+    chunk_size = _source_chunk_size(source)
+    engine, mode = _resolve_stream_backend(backend, key, chunk_size)
     resolved = _resolve_stream_domain(domain, source, spec)
+    if worker_count > 1:
+        from .parallel import parallel_votes, resolve_watchdog
+
+        reliability = ReliabilityReport()
+        accumulators, chunks_seen, rows, report = parallel_votes(
+            source, [key], spec,
+            maps=[embedding_map], domain=resolved,
+            value_mapping=value_mapping, mode=mode,
+            chunk_size=chunk_size, workers=worker_count, retry=retry,
+            deadline=deadline, watchdog=resolve_watchdog(watchdog),
+            breaker=breaker, reliability=reliability,
+        )
+        accumulator = accumulators[0]
+        reliability.bad_rows += getattr(source, "bad_row_count", 0)
+        reliability.quarantined_rows += getattr(
+            source, "quarantined_rows", 0
+        )
+        return StreamDetection(
+            detection=accumulator.detection(spec),
+            votes=accumulator.votes(),
+            chunks=chunks_seen,
+            rows=rows,
+            reliability=reliability,
+            parallel=report,
+        )
     accumulator = VoteAccumulator(spec.channel_length)
     reliability = ReliabilityReport()
     rows = 0
@@ -949,6 +1060,8 @@ def stream_verify(
     deadline: Deadline | None = None,
     memory_budget: MemoryBudget | None = None,
     breaker: CircuitBreaker | None = None,
+    workers: int | str | None = None,
+    watchdog=None,
 ) -> StreamVerification:
     """Streamed counterpart of :func:`repro.core.verify`.
 
@@ -977,6 +1090,8 @@ def stream_verify(
         deadline=deadline,
         memory_budget=memory_budget,
         breaker=breaker,
+        workers=workers,
+        watchdog=watchdog,
     )
     return StreamVerification(
         verification=_assemble_verification(
@@ -986,6 +1101,7 @@ def stream_verify(
         chunks=streamed.chunks,
         rows=streamed.rows,
         reliability=streamed.reliability,
+        parallel=streamed.parallel,
     )
 
 
@@ -1002,6 +1118,8 @@ def stream_verify_multipass(
     backend: str | None = None,
     retry: RetryPolicy | None = None,
     deadline: Deadline | None = None,
+    workers: int | str | None = None,
+    watchdog=None,
 ) -> list[VerificationResult]:
     """Streamed counterpart of :func:`repro.core.verify_multipass`.
 
@@ -1011,6 +1129,10 @@ def stream_verify_multipass(
     factorization by construction), and P accumulators carry the per-pass
     vote state.  Results are bit-identical to a loop of in-memory
     :func:`~repro.core.verify` calls over the concatenated rows.
+
+    ``workers`` fans the fused per-chunk tally work across a persistent
+    process pool; ordered accumulator merges keep every pass's verdict
+    bit-identical to ``workers=1``.
     """
     keys = list(keys)
     expecteds = list(expecteds)
@@ -1048,7 +1170,30 @@ def stream_verify_multipass(
     mode = resolved_pairs[0][1] if resolved_pairs else AUTO
     resolved = _resolve_stream_domain(domain, source, spec)
 
+    from .parallel import resolve_workers
+
+    worker_count = resolve_workers(workers)
     pass_count = len(keys)
+    if worker_count > 1:
+        from .parallel import parallel_votes, resolve_watchdog
+
+        reliability = ReliabilityReport()
+        accumulators, _, _, _ = parallel_votes(
+            source, keys, spec,
+            maps=maps, domain=resolved, value_mapping=value_mapping,
+            mode=mode, chunk_size=chunk_size, workers=worker_count,
+            retry=retry, deadline=deadline,
+            watchdog=resolve_watchdog(watchdog), breaker=None,
+            reliability=reliability,
+        )
+        ecc = spec.ecc()
+        return [
+            _assemble_verification(
+                accumulator.detection(spec, ecc=ecc), expected,
+                significance,
+            )
+            for accumulator, expected in zip(accumulators, expecteds)
+        ]
     accumulators = [
         VoteAccumulator(spec.channel_length) for _ in range(pass_count)
     ]

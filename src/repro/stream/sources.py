@@ -31,8 +31,10 @@ import csv
 import gzip
 import sqlite3
 from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
 from itertools import islice
 from pathlib import Path
+from typing import Any
 
 from ..datagen import (
     item_catalogue,
@@ -69,6 +71,64 @@ def open_text(path: str | Path):
     return open(path, newline="", encoding="utf-8")
 
 
+def build_chunk_table(
+    schema: Schema,
+    rows: list[tuple],
+    index: int,
+    name: str,
+    infer: bool,
+    trusted: bool,
+) -> Table:
+    """Assemble one chunk :class:`Table` from typed rows.
+
+    The single chunk-materialization rule, shared by the serial sources
+    and the parallel workers (which receive rows as picklable payloads
+    and must type them into the *identical* table the serial path would
+    build — same inference, same trust shortcut, same name).
+    """
+    label = f"{name}[{index}]"
+    if infer:
+        # Inference widens every categorical domain over exactly these
+        # rows, and the cell parsers typed the scalar columns — the
+        # rows are valid under the widened schema by construction.
+        return Table.from_trusted_rows(
+            infer_domains(schema, rows), rows, name=label
+        )
+    if trusted:
+        return Table.from_trusted_rows(schema, rows, name=label)
+    return Table(schema, rows, name=label)
+
+
+#: :class:`ChunkTask` payload kinds — what a parallel worker receives
+#: and how it must materialize the chunk from it
+PAYLOAD_RAW = "raw"        # untyped CSV field lists (worker runs parse_row)
+PAYLOAD_TYPED = "typed"    # typed row tuples (worker builds the Table)
+PAYLOAD_TABLE = "table"    # a finished Table (pickled whole)
+
+
+@dataclass
+class ChunkTask:
+    """One chunk's work unit for the parallel pipeline — picklable.
+
+    ``payload`` holds the cheapest representation the source can produce
+    without typing work: raw CSV field lists keep the expensive per-cell
+    parsing *in the worker*, which is what makes parallel file detection
+    scale (the coordinator then only reads records and pickles strings).
+    """
+
+    index: int
+    kind: str
+    payload: Any
+    count: int
+    #: 1-based data-row number preceding the first payload record (RAW
+    #: payloads only) — keeps worker-side BadRowError messages identical
+    #: to the serial reader's
+    first_row_number: int = 0
+    #: originating file (RAW payloads of multi-file sources) for error
+    #: messages; ``None`` means the pool profile's path applies
+    origin: str | None = None
+
+
 class ChunkSource:
     """Iterable of schema-typed :class:`Table` chunks of one relation.
 
@@ -93,17 +153,9 @@ class ChunkSource:
     trusted_rows = False
 
     def _table(self, rows: list[tuple], index: int, infer: bool) -> Table:
-        name = f"{self.name}[{index}]"
-        if infer:
-            # Inference widens every categorical domain over exactly these
-            # rows, and the cell parsers typed the scalar columns — the
-            # rows are valid under the widened schema by construction.
-            return Table.from_trusted_rows(
-                infer_domains(self.schema, rows), rows, name=name
-            )
-        if self.trusted_rows:
-            return Table.from_trusted_rows(self.schema, rows, name=name)
-        return Table(self.schema, rows, name=name)
+        return build_chunk_table(
+            self.schema, rows, index, self.name, infer, self.trusted_rows
+        )
 
     def _batched(
         self, rows: Iterator[tuple], start: int, infer: bool
@@ -140,6 +192,39 @@ def resolve_chunks(source, start: int = 0) -> Iterator[Table]:
 def source_schema(source) -> Schema | None:
     """The declared schema of ``source`` when it carries one."""
     return getattr(source, "schema", None)
+
+
+def payload_profile(source) -> dict[str, Any]:
+    """Source-level constants a parallel worker needs to materialize
+    :class:`ChunkTask` payloads — shipped once in the pool initializer,
+    never per chunk."""
+    path = getattr(source, "path", None)
+    return {
+        "schema": source_schema(source),
+        "infer": getattr(source, "infer", False),
+        "trusted": getattr(source, "trusted_rows", False),
+        "name": getattr(source, "name", "stream"),
+        "path": str(path) if path is not None else None,
+    }
+
+
+def payload_chunks(source, start: int = 0) -> Iterator[ChunkTask]:
+    """Chunk payloads of ``source`` for the parallel pipeline.
+
+    Sources that implement ``payloads`` ship their cheapest
+    representation (raw CSV records, typed row tuples); everything else
+    — including plain iterables of tables — falls back to pickling whole
+    chunk tables, which is always correct, just less overlapped.
+    """
+    if hasattr(source, "payloads"):
+        return source.payloads(start)
+
+    def tables() -> Iterator[ChunkTask]:
+        for offset, chunk in enumerate(resolve_chunks(source, start)):
+            index = start + offset
+            yield ChunkTask(index, PAYLOAD_TABLE, chunk, len(chunk))
+
+    return tables()
 
 
 #: bad-row policies of :class:`CSVChunkSource`
@@ -267,6 +352,49 @@ class CSVChunkSource(ChunkSource):
                 if self.on_bad_rows == BAD_ROWS_QUARANTINE:
                     self._quarantine(number, row, exc)
 
+    def payloads(self, start: int = 0) -> Iterator[ChunkTask]:
+        """Chunk payloads for the parallel pipeline.
+
+        Under the default ``raise`` policy the payload is the *raw* CSV
+        field lists: typing every cell is the dominant cost of file
+        decoding, and shipping it to the workers is what lets parallel
+        detection beat the serial reader.  The lossy policies must count
+        surviving rows for chunk boundaries (and write the quarantine
+        sidecar) in one deterministic place, so they type rows here and
+        ship finished chunk tables instead.
+        """
+        if self.on_bad_rows != BAD_ROWS_RAISE:
+            for offset, chunk in enumerate(self.chunks(start)):
+                index = start + offset
+                yield ChunkTask(index, PAYLOAD_TABLE, chunk, len(chunk))
+            return
+        self.bad_row_count = 0
+        self.quarantined_rows = 0
+        self.fastforward_bad_rows = 0
+        with open_text(self.path) as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                return
+            check_header(header, self.schema)
+            number = 0
+            for _ in range(start * self.chunk_size):
+                if next(reader, None) is None:
+                    return
+                number += 1
+            index = start
+            while True:
+                fault_point("source.read", index)
+                batch = list(islice(reader, self.chunk_size))
+                if not batch:
+                    return
+                yield ChunkTask(
+                    index, PAYLOAD_RAW, batch, len(batch),
+                    first_row_number=number, origin=str(self.path),
+                )
+                number += len(batch)
+                index += 1
+
     def _quarantine(self, number: int, row: list, exc: Exception) -> None:
         if self._sidecar is None:
             self._sidecar = open(
@@ -373,6 +501,32 @@ class SQLiteChunkSource(ChunkSource):
         finally:
             connection.close()
 
+    def payloads(self, start: int = 0) -> Iterator[ChunkTask]:
+        """Typed-row payloads: SQLite already typed the values, so the
+        workers only validate and build (``trusted`` is False — the
+        database enforces affinity, not the declared schema)."""
+        table = resolve_sqlite_table(self.path, self.table)
+        connection = sqlite3.connect(self.path)
+        try:
+            columns = ", ".join(
+                _quote_identifier(column) for column in self.schema.names
+            )
+            cursor = connection.execute(
+                f"SELECT {columns} FROM {_quote_identifier(table)} "
+                f"ORDER BY rowid LIMIT -1 OFFSET ?",
+                (start * self.chunk_size,),
+            )
+            index = start
+            while True:
+                batch = cursor.fetchmany(self.chunk_size)
+                if not batch:
+                    return
+                rows = [tuple(row) for row in batch]
+                yield ChunkTask(index, PAYLOAD_TYPED, rows, len(rows))
+                index += 1
+        finally:
+            connection.close()
+
 
 class SyntheticChunkSource(ChunkSource):
     """Chunked view over a restartable ``datagen`` row stream.
@@ -407,6 +561,22 @@ class SyntheticChunkSource(ChunkSource):
             for _ in islice(rows, start * self.chunk_size):
                 pass
         yield from self._batched(rows, start, infer=False)
+
+    def payloads(self, start: int = 0) -> Iterator[ChunkTask]:
+        """Typed trusted-row payloads (the generators draw from the
+        schema's own domains, exactly like the serial adoption path)."""
+        rows = iter(self.rows_factory())
+        if start:
+            for _ in islice(rows, start * self.chunk_size):
+                pass
+        index = start
+        while True:
+            fault_point("source.read", index)
+            batch = list(islice(rows, self.chunk_size))
+            if not batch:
+                return
+            yield ChunkTask(index, PAYLOAD_TYPED, batch, len(batch))
+            index += 1
 
 
 def item_scan_source(
@@ -443,6 +613,10 @@ class TableChunkSource(ChunkSource):
     *pipeline's* overhead, not redundant row copying.
     """
 
+    #: rows of a validated Table are schema-valid by construction, so
+    #: parallel workers may adopt them without per-cell re-validation
+    trusted_rows = True
+
     def __init__(
         self,
         table: Table,
@@ -468,6 +642,113 @@ class TableChunkSource(ChunkSource):
                 name=f"{self.name}[{index}]",
             )
             index += 1
+
+    def payloads(self, start: int = 0) -> Iterator[ChunkTask]:
+        total = len(self.table)
+        index = start
+        for begin in range(start * self.chunk_size, total, self.chunk_size):
+            fault_point("source.read", index)
+            window = self.table.take(
+                range(begin, min(begin + self.chunk_size, total))
+            )
+            rows = list(iter(window))
+            yield ChunkTask(index, PAYLOAD_TYPED, rows, len(rows))
+            index += 1
+
+
+class MultiFileChunkSource(ChunkSource):
+    """Concatenation of several same-schema sources — multi-file inputs.
+
+    Chunks keep each file's own boundaries (the last chunk of every file
+    may be ragged) and global chunk indices run file by file in the given
+    order, so the parallel pipeline fans files across workers while the
+    strictly ordered accumulator merge preserves the global row order:
+    the verdict is bit-identical to an in-memory verify over the files'
+    concatenated rows.
+
+    All children must share one declared schema and the same typing rules
+    (``infer_domains``, trusted rows) — the parallel workers materialize
+    every file's payloads under a single shipped profile.  Resume-style
+    skips (``start > 0``) decode and discard the skipped files' records;
+    checkpointed embeds over huge multi-file inputs should prefer one
+    run per file.
+    """
+
+    def __init__(self, sources, name: str | None = None):
+        sources = list(sources)
+        if not sources:
+            raise StreamError(
+                "MultiFileChunkSource needs at least one source"
+            )
+        first = sources[0]
+        schema = source_schema(first)
+        if schema is None:
+            raise StreamError(
+                "MultiFileChunkSource needs schema-carrying sources"
+            )
+        infer = getattr(first, "infer", False)
+        trusted = getattr(first, "trusted_rows", False)
+        for other in sources[1:]:
+            if source_schema(other) != schema:
+                raise StreamError(
+                    "all sources of a MultiFileChunkSource must share "
+                    "one declared schema"
+                )
+            if (
+                getattr(other, "infer", False) != infer
+                or getattr(other, "trusted_rows", False) != trusted
+            ):
+                raise StreamError(
+                    "all sources of a MultiFileChunkSource must share "
+                    "the same infer_domains / trusted-row typing rules"
+                )
+        self.sources = sources
+        self.schema = schema
+        self.infer = infer
+        self.trusted_rows = trusted
+        self.chunk_size = max(
+            getattr(source, "chunk_size", DEFAULT_CHUNK_SIZE)
+            for source in sources
+        )
+        self.name = name or "+".join(
+            getattr(source, "name", "stream") for source in sources
+        )
+
+    def chunks(self, start: int = 0) -> Iterator[Table]:
+        index = 0
+        for source in self.sources:
+            for chunk in source.chunks():
+                if index >= start:
+                    yield chunk
+                index += 1
+
+    def payloads(self, start: int = 0) -> Iterator[ChunkTask]:
+        index = 0
+        for source in self.sources:
+            origin = getattr(source, "path", None)
+            for task in payload_chunks(source):
+                if index >= start:
+                    yield ChunkTask(
+                        index, task.kind, task.payload, task.count,
+                        first_row_number=task.first_row_number,
+                        origin=task.origin
+                        or (str(origin) if origin is not None else None),
+                    )
+                index += 1
+
+    # Aggregated bad-row telemetry (the pipeline reads these attributes
+    # off whatever source it was handed).
+    @property
+    def bad_row_count(self) -> int:
+        return sum(
+            getattr(source, "bad_row_count", 0) for source in self.sources
+        )
+
+    @property
+    def quarantined_rows(self) -> int:
+        return sum(
+            getattr(source, "quarantined_rows", 0) for source in self.sources
+        )
 
 
 def open_source(
@@ -502,6 +783,31 @@ def open_source(
         path, schema, chunk_size=chunk_size, infer_domains=infer_domains,
         on_bad_rows=on_bad_rows,
     )
+
+
+def open_sources(
+    paths,
+    schema: Schema,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    infer_domains: bool = False,
+    table: str | None = None,
+    on_bad_rows: str = BAD_ROWS_RAISE,
+) -> ChunkSource:
+    """One chunk source over ``paths``: a plain :func:`open_source` for a
+    single path, a :class:`MultiFileChunkSource` concatenation for
+    several (the CLI's repeated ``--input``)."""
+    paths = [paths] if isinstance(paths, (str, Path)) else list(paths)
+    sources = [
+        open_source(
+            path, schema, chunk_size=chunk_size,
+            infer_domains=infer_domains, table=table,
+            on_bad_rows=on_bad_rows,
+        )
+        for path in paths
+    ]
+    if len(sources) == 1:
+        return sources[0]
+    return MultiFileChunkSource(sources)
 
 
 _SQLITE_SUFFIXES = {".sqlite", ".sqlite3", ".db"}

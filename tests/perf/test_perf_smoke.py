@@ -292,3 +292,116 @@ def test_stream_second_chunk_is_hash_free():
 
     elapsed = time.perf_counter() - started
     assert elapsed < 2.0, f"stream perf smoke took {elapsed:.2f}s (budget 2s)"
+
+
+@pytest.mark.perf_smoke
+def test_warm_parallel_verify_is_coordinator_hash_free_and_fused():
+    """Parallel streaming's cache story, asserted by accounting.
+
+    Three mechanisms at once: (1) a warm parallel verify performs **zero**
+    SHA-256 computations in the coordinator — it only decodes payloads and
+    merges vote tallies, so every dict-backed digest primitive is made to
+    raise after the pool is warm (the workers forked *before* the patch
+    and are unaffected); (2) each worker performs exactly one fused kernel
+    launch per chunk (per-worker telemetry pins ``detect_votes`` calls ==
+    chunks processed, cumulatively since the fork); (3) per-worker
+    ``stream_engine`` caches warm once — no worker ever computes more
+    digests than one full pass over the distinct values needs, no matter
+    how many chunks it processes across repeated verifies.
+    """
+    from repro.core import EmbeddingSpec
+    from repro.crypto import VECTOR, KeyedDigestCache
+    from repro.stream import (
+        TableChunkSource,
+        shutdown_stream_pool,
+        stream_engine,
+        stream_verify,
+        stream_verify_multipass,
+    )
+
+    started = time.perf_counter()
+    shutdown_stream_pool()
+    table = generate_item_scan(4_000, item_count=100, seed=77)
+    key = MarkKey.from_seed("perf-smoke-parallel")
+    spec = EmbeddingSpec("Visit_Nbr", "Item_Nbr", 40, 10, 50)
+    watermark = Watermark.from_int(0x2AB, 10)
+
+    # One warm serial pass fixes the digest budget: the number of
+    # distinct-value hashes a single engine needs to tally the whole
+    # table.  No pool worker may ever exceed it, however many chunks the
+    # dynamic schedule hands it across repeated verifies.
+    probe = stream_engine(key, chunk_size=500)
+    stream_verify(
+        TableChunkSource(table, chunk_size=500), key, spec, watermark,
+        backend=probe,
+    )
+    full_pass_digests = probe.computed_digests
+
+    def run():
+        return stream_verify(
+            TableChunkSource(table, chunk_size=500), key, spec, watermark,
+            backend=VECTOR, workers=2,
+        )
+
+    def assert_fused(report):
+        assert report.worker_stats, "no worker telemetry came back"
+        for stats in report.worker_stats.values():
+            assert stats["kernel_calls"]["detect_votes"] == stats["chunks"]
+
+    try:
+        # Warm-up BEFORE patching: the pool forks its workers here, so
+        # they must inherit an unpatched engine.
+        warm = run()
+        assert warm.chunks == 8
+        assert_fused(warm.parallel)
+
+        def forbidden(name):
+            def _raise(*args, **kwargs):
+                raise AssertionError(
+                    f"parallel verify called {name} in the coordinator — "
+                    f"hashing belongs in the workers"
+                )
+            return _raise
+
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setattr(KeyedDigestCache, "digest", forbidden("digest"))
+            patch.setattr(
+                KeyedDigestCache, "digest_many", forbidden("digest_many")
+            )
+            second = run()
+            third = run()
+        assert second.detected == warm.detected
+        assert second.votes == warm.votes == third.votes
+        assert_fused(second.parallel)
+        assert_fused(third.parallel)
+        # Warm engines: cumulative digests per worker stay within one
+        # full-pass budget — values re-seen across runs are never
+        # re-hashed.
+        for report in (warm.parallel, second.parallel, third.parallel):
+            for stats in report.worker_stats.values():
+                assert stats["computed_digests"] <= full_pass_digests
+
+        # The fused multi-pass tier: a fresh run state forks fresh
+        # workers; the fused per-chunk tally stays bit-identical to the
+        # single-process pass.
+        keys = [MarkKey.from_seed(f"perf-smoke-mp:{p}") for p in range(3)]
+        expecteds = [watermark] * 3
+        results = stream_verify_multipass(
+            TableChunkSource(table, chunk_size=500), keys, spec, expecteds,
+            backend=VECTOR, workers=2,
+        )
+        serial = stream_verify_multipass(
+            TableChunkSource(table, chunk_size=500), keys, spec, expecteds,
+            backend=VECTOR,
+        )
+        assert len(results) == len(serial) == 3
+        for got, want in zip(results, serial):
+            assert got.matching_bits == want.matching_bits
+            assert got.detection.watermark == want.detection.watermark
+    finally:
+        shutdown_stream_pool()
+
+    elapsed = time.perf_counter() - started
+    assert elapsed < 10.0, (
+        f"parallel perf smoke took {elapsed:.2f}s (budget 10s)"
+    )
