@@ -17,7 +17,12 @@ is *free* until something actually fails:
   fail-fast path's throughput on a clean run;
 * **deadline-armed streaming** — a generous ``Deadline`` threaded
   through the same run (one boundary check per chunk) must also hold
-  0.6x, byte-identically.
+  0.6x, byte-identically;
+* **manifest-armed streaming** — a checkpointed run that additionally
+  journals chunk-hash digests (sha256 over every flushed byte plus a
+  row-content digest per chunk) must hold at least 0.9x the throughput
+  of the same checkpointed run with recording off: integrity is only
+  on-by-default because hashing is nearly free next to the embed kernel.
 
 All series land in ``benchmarks/results/reliability_overhead.json``.
 ``REPRO_BENCH_RELIABILITY_ROWS`` selects the tier (default 100,000).
@@ -54,11 +59,11 @@ def _spec() -> EmbeddingSpec:
     )
 
 
-def _mark_seconds(base, key, spec, path, retry, deadline=None) -> float:
+def _mark_seconds(base, key, spec, path, retry, deadline=None, **kwargs) -> float:
     started = time.perf_counter()
     result = stream_mark(
         TableChunkSource(base, chunk_size=CHUNK), WATERMARK, key, spec,
-        CSVChunkSink(path), retry=retry, deadline=deadline,
+        CSVChunkSink(path), retry=retry, deadline=deadline, **kwargs,
     )
     seconds = time.perf_counter() - started
     assert result.rows == ROWS
@@ -124,6 +129,24 @@ def test_disarmed_and_fault_free_overhead(record, record_json, tmp_path):
         "stall-safety is no longer near-free when the budget is generous"
     )
 
+    # -- manifest-armed vs recording-off, same checkpointed run ------------
+    # both runs checkpoint (equal durability cost); the delta is purely
+    # the sha256 pass over flushed bytes + the per-chunk journal append
+    plain_ckpt = _mark_seconds(
+        base, key, spec, tmp_path / "d.csv", None,
+        checkpoint_path=tmp_path / "d.ckpt", manifest=False,
+    )
+    hashed = _mark_seconds(
+        base, key, spec, tmp_path / "e.csv", None,
+        checkpoint_path=tmp_path / "e.ckpt", manifest=True,
+    )
+    assert (tmp_path / "d.csv").read_bytes() == (tmp_path / "e.csv").read_bytes()
+    manifest_ratio = plain_ckpt / hashed
+    assert manifest_ratio >= 0.9, (
+        f"manifest hashing costs {1 / manifest_ratio:.2f}x on a clean "
+        "checkpointed run — too heavy to stay on by default"
+    )
+
     lines = [
         f"reliability overhead tier: {ROWS} rows, chunk {CHUNK}",
         f"  disarmed fault_point   : {per_call * 1e9:>8.1f} ns/call",
@@ -134,6 +157,9 @@ def test_disarmed_and_fault_free_overhead(record, record_json, tmp_path):
         f"({ratio:.2f}x of fail-fast)",
         f"  mark deadline-armed    : {ROWS / budgeted:>12,.0f} rows/s "
         f"({deadline_ratio:.2f}x of fail-fast)",
+        f"  mark checkpointed      : {ROWS / plain_ckpt:>12,.0f} rows/s",
+        f"  mark manifest-armed    : {ROWS / hashed:>12,.0f} rows/s "
+        f"({manifest_ratio:.2f}x of checkpointed)",
     ]
     record("reliability_overhead", "\n".join(lines))
     record_json(
@@ -149,5 +175,8 @@ def test_disarmed_and_fault_free_overhead(record, record_json, tmp_path):
             "mark_deadline_armed_rows_per_s": round(ROWS / budgeted),
             "armed_over_fail_fast": round(armed / fail_fast, 4),
             "deadline_over_fail_fast": round(budgeted / fail_fast, 4),
+            "mark_checkpointed_rows_per_s": round(ROWS / plain_ckpt),
+            "mark_manifest_armed_rows_per_s": round(ROWS / hashed),
+            "manifest_over_checkpointed": round(hashed / plain_ckpt, 4),
         },
     )

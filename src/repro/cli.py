@@ -48,13 +48,22 @@ plus the experiment harness (previously Python-API-only)::
 pass's embed/verify; ``--mode`` the sweep engine's execution mode
 (``serial`` re-embeds per cell — the reference cost model).
 
+Checkpointed embeds journal a chunk-hash manifest next to the
+checkpoint; ``repro-wm audit --output marked.csv --checkpoint run.ckpt``
+later verifies the output byte-for-byte against it, localizing any
+corruption to the exact chunk.  ``--resume --verify-resume`` re-hashes
+the surviving prefix before continuing, and ``--lock`` holds a lease so
+two concurrent resumes of the same run cannot interleave.
+
 ``detect`` exits 0 when the watermark is detected and 3 when it is not, so
 the tool composes into shell pipelines.  Failures carry their own codes:
 4 for a corrupt checkpoint with no verified rollback target, 5 when
 ``--retries`` was exhausted by persistent transient I/O failures, 6
 when a malformed CSV row aborted the run under ``--on-bad-rows raise``,
-and 7 when a ``--deadline`` budget expired (the run stops at a resumable
-chunk boundary — re-run with ``--resume`` and a fresh budget).
+7 when a ``--deadline`` budget expired (the run stops at a resumable
+chunk boundary — re-run with ``--resume`` and a fresh budget), and 8 for
+an integrity violation (``audit`` found corrupt chunks, a verified read
+hit rotted source data, or another live process holds the run lease).
 File-mode runs accept ``--retries N`` (crash-safe retry with
 deterministic backoff), ``--on-bad-rows {raise,skip,quarantine}`` and
 ``--deadline SECONDS`` (cooperative wall-clock stall-safety).
@@ -65,6 +74,7 @@ format.
 from __future__ import annotations
 
 import argparse
+import errno
 import json
 import sys
 from pathlib import Path
@@ -99,6 +109,11 @@ EXIT_BAD_ROWS = 6
 #: resumable boundary (re-run with --checkpoint/--resume and a fresh
 #: budget to continue)
 EXIT_DEADLINE_EXCEEDED = 7
+
+#: an integrity violation: `repro-wm audit` found chunks whose bytes no
+#: longer match the journalled manifest, a verified read hit a rotted
+#: source chunk, or another live process holds the run lease
+EXIT_INTEGRITY = 8
 
 
 def _load_schema(path: str):
@@ -199,6 +214,8 @@ def cmd_embed_stream(args: argparse.Namespace) -> int:
         raise SystemExit("--input (streaming embed) requires --output")
     if args.resume and args.checkpoint is None:
         raise SystemExit("--resume requires --checkpoint")
+    if args.verify_resume and not args.resume:
+        raise SystemExit("--verify-resume requires --resume")
     paths = _input_paths(args)
     for flag, name in (
         (args.max_alteration is not None, "--max-alteration"),
@@ -239,6 +256,8 @@ def cmd_embed_stream(args: argparse.Namespace) -> int:
         retry=_retry_policy(args),
         deadline=_deadline(args),
         workers=_workers(args),
+        verify_resume=args.verify_resume,
+        lock=args.lock,
     )
     domain = schema.attribute(args.attribute).domain
     record = MarkRecord(
@@ -556,6 +575,32 @@ def cmd_schema(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Verify a marked output against its chunk-hash journal.
+
+    Re-hashes every journalled chunk of the CSV/.csv.gz/SQLite output and
+    localizes any corruption to the exact chunk, so an operator can tell
+    "the archive rotted at chunk 17" apart from "the whole file is fake".
+    Exit code 0 = every chunk verifies; 8 = integrity violation.
+    """
+    from .reliability import audit_stream, journal_path
+
+    if (args.checkpoint is None) == (args.journal is None):
+        raise SystemExit(
+            "exactly one of --checkpoint (journal lives next to it) and "
+            "--journal is required"
+        )
+    journal = args.journal or journal_path(args.checkpoint)
+    report = audit_stream(args.output, journal=journal, table=args.table)
+    print(report.summary())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"audit report  -> {args.json}")
+    return 0 if report.ok else EXIT_INTEGRITY
+
+
 # -- parser ---------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -654,9 +699,46 @@ def build_parser() -> argparse.ArgumentParser:
              "to a single-core run (default: 1)",
     )
     embed.add_argument(
+        "--verify-resume", action="store_true",
+        help="with --resume: re-hash the surviving output against the "
+             "chunk journal and rewind to the last verified chunk, so "
+             "recovery stays byte-identical even under silent bit rot",
+    )
+    embed.add_argument(
+        "--lock", action="store_true",
+        help="exactly-once run locking: hold a lease next to the "
+             "checkpoint so a concurrent embed/resume of the same run "
+             "fails fast with exit code 8 instead of interleaving writes",
+    )
+    embed.add_argument(
         "--record", required=True, help="mark record JSON output (escrow)"
     )
     embed.set_defaults(handler=cmd_embed)
+
+    audit = sub.add_parser(
+        "audit",
+        help="verify a marked output against its chunk-hash journal",
+    )
+    audit.add_argument(
+        "--output", required=True,
+        help="marked CSV/.csv.gz/SQLite output to verify",
+    )
+    audit.add_argument(
+        "--checkpoint", default=None,
+        help="checkpoint path of the embed run (journal sits next to it)",
+    )
+    audit.add_argument(
+        "--journal", default=None,
+        help="explicit journal path (instead of --checkpoint)",
+    )
+    audit.add_argument(
+        "--table", default="relation",
+        help="SQLite table name (default: relation)",
+    )
+    audit.add_argument(
+        "--json", default=None, help="also write the audit report as JSON"
+    )
+    audit.set_defaults(handler=cmd_audit)
 
     detect = sub.add_parser(
         "detect",
@@ -798,7 +880,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    from .reliability import DeadlineExceededError, RetryError
+    from .reliability import (
+        DeadlineExceededError,
+        IntegrityError,
+        RetryError,
+        RunLockedError,
+    )
     from .stream import BadRowError, CheckpointCorruptError
 
     # The failure taxonomy as exit codes, so shell pipelines can
@@ -829,6 +916,32 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return EXIT_DEADLINE_EXCEEDED
+    except RunLockedError as exc:
+        print(
+            f"error: {exc}\n(another process holds this run's lease; "
+            f"wait for it to finish, or remove the .lock file if it is "
+            f"provably dead)",
+            file=sys.stderr,
+        )
+        return EXIT_INTEGRITY
+    except IntegrityError as exc:
+        print(
+            f"error: {exc}\n(run `repro-wm audit` to localize the damage,"
+            f" restore the corrupt chunks from a replica, then "
+            f"--resume --verify-resume)",
+            file=sys.stderr,
+        )
+        return EXIT_INTEGRITY
+    except OSError as exc:
+        if exc.errno != errno.ENOSPC:
+            raise
+        print(
+            f"error: {exc}\n(disk full; progress up to the last durable "
+            f"boundary is checkpointed — free space and re-run with "
+            f"--checkpoint ... --resume to continue)",
+            file=sys.stderr,
+        )
+        return EXIT_RETRY_EXHAUSTED
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,7 +26,11 @@ makes recovery *provable* instead of hoped-for:
 * :mod:`~repro.reliability.breaker` — a :class:`CircuitBreaker` opening
   after K consecutive transient failures on one label, steering runs
   down the bit-identical degradation ladders instead of retrying
-  forever.
+  forever;
+* :mod:`~repro.reliability.integrity` — chunk-hash manifests journalled
+  next to the checkpoint, :func:`audit_stream` corruption localization,
+  verified (re-hashing) resume, and the :class:`RunLock` lease that
+  makes concurrent embed/resume exactly-once.
 
 The chaos suite (``pytest -m chaos``) kills real subprocesses at every
 chunk boundary and asserts resumed runs are byte-identical to
@@ -38,7 +42,9 @@ from .breaker import CircuitBreaker
 from .budget import MemoryBudget, rss_bytes
 from .deadline import Deadline, DeadlineExceededError, check_deadline
 from .faults import (
+    BITFLIP,
     CORRUPT_JSON,
+    DISK_FULL,
     Fault,
     FaultPlan,
     HANG,
@@ -56,6 +62,17 @@ from .faults import (
     fault_point,
     injection_armed,
 )
+from .integrity import (
+    AuditReport,
+    ChunkDigest,
+    ChunkManifest,
+    IntegrityError,
+    RunLock,
+    RunLockedError,
+    audit_stream,
+    digest_rows,
+    journal_path,
+)
 from .report import ReliabilityReport
 from .retry import (
     NO_RETRY,
@@ -69,12 +86,18 @@ from .retry import (
 from .watchdog import Watchdog, beat
 
 __all__ = [
+    "AuditReport",
+    "BITFLIP",
     "CORRUPT_JSON",
+    "ChunkDigest",
+    "ChunkManifest",
     "CircuitBreaker",
+    "DISK_FULL",
     "Deadline",
     "DeadlineExceededError",
     "Fault",
     "FaultPlan",
+    "IntegrityError",
     "HANG",
     "IO_ERROR",
     "InjectedFaultError",
@@ -87,6 +110,8 @@ __all__ = [
     "ReliabilityReport",
     "RetryError",
     "RetryPolicy",
+    "RunLock",
+    "RunLockedError",
     "SLOW",
     "TORN_WRITE",
     "TRANSIENT",
@@ -94,12 +119,15 @@ __all__ = [
     "Watchdog",
     "active_plan",
     "arm",
+    "audit_stream",
     "beat",
     "call_with_retry",
     "check_deadline",
     "classify",
+    "digest_rows",
     "disarm",
     "fault_point",
     "injection_armed",
+    "journal_path",
     "rss_bytes",
 ]

@@ -75,30 +75,46 @@ SLOW = "slow"
 #: for the transient-retry path at the I/O points
 MEMORY = "memory"
 
+#: cooperative: silent media damage — the injection point corrupts one
+#: already-flushed byte (a written chunk, a journal line, a read record)
+#: and then *continues as if nothing happened*.  No error is raised; the
+#: corruption must be caught downstream by the chunk-hash manifest
+#: (:mod:`~repro.reliability.integrity`), never by the retry layer.
+BITFLIP = "bitflip"
+
+#: the disk filled: an ``OSError`` with ``errno=ENOSPC`` at a
+#: write/flush point.  Classified *permanent* — a full disk does not
+#: heal between retry attempts — so the run stops gracefully at the
+#: last durable boundary and resumes after the operator frees space.
+DISK_FULL = "disk-full"
+
 KINDS = (
     IO_ERROR, TORN_WRITE, TRUNCATED_GZIP, CORRUPT_JSON, KILL,
-    HANG, SLOW, MEMORY,
+    HANG, SLOW, MEMORY, BITFLIP, DISK_FULL,
 )
 
 #: kinds :func:`fault_point` resolves itself; the rest are returned to
 #: the (cooperating) injection point
-_SELF_SERVICE = (IO_ERROR, KILL, HANG, SLOW, MEMORY)
+_SELF_SERVICE = (IO_ERROR, KILL, HANG, SLOW, MEMORY, DISK_FULL)
 
 
 class InjectedFaultError(OSError):
     """The transient I/O failure a :class:`FaultPlan` injects.
 
-    An ``OSError`` with ``errno=EIO``, so retry classification treats it
-    exactly like a real disk error — no test-only code path in the
-    recovery layer.
+    An ``OSError`` with ``errno=EIO`` (``ENOSPC`` for :data:`DISK_FULL`),
+    so retry classification treats it exactly like a real disk error —
+    no test-only code path in the recovery layer.
     """
 
-    def __init__(self, label: str, index: int, kind: str = IO_ERROR):
+    def __init__(
+        self, label: str, index: int, kind: str = IO_ERROR,
+        err: int = errno.EIO,
+    ):
         self.label = label
         self.index = index
         self.kind = kind
         super().__init__(
-            errno.EIO, f"injected {kind} fault at {label}[{index}]"
+            err, f"injected {kind} fault at {label}[{index}]"
         )
 
 
@@ -231,9 +247,12 @@ def fault_point(label: str, index: int) -> str | None:
       / ``plan.slow_seconds``) and then *continues* — stall faults are
       for the deadline/watchdog layer to observe, not errors,
     * raises ``MemoryError`` for :data:`MEMORY`,
+    * raises :class:`InjectedFaultError` with ``errno=ENOSPC`` for
+      :data:`DISK_FULL` — the graceful-stop path, never retried,
     * returns the kind for the cooperative faults (:data:`TORN_WRITE`,
-      :data:`TRUNCATED_GZIP`, :data:`CORRUPT_JSON`) — the injection
-      point itself performs the partial/corrupted write and then fails.
+      :data:`TRUNCATED_GZIP`, :data:`CORRUPT_JSON`, :data:`BITFLIP`) —
+      the injection point itself performs the partial/corrupted write
+      and then fails (or, for :data:`BITFLIP`, silently continues).
     """
     plan = _PLAN
     if plan is None:
@@ -245,6 +264,8 @@ def fault_point(label: str, index: int) -> str | None:
         os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover — fatal
     if kind == IO_ERROR:
         raise InjectedFaultError(label, index)
+    if kind == DISK_FULL:
+        raise InjectedFaultError(label, index, DISK_FULL, errno.ENOSPC)
     if kind == HANG:
         time.sleep(plan.hang_seconds)
         return None

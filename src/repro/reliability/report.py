@@ -45,6 +45,17 @@ class ReliabilityReport:
     #: circuit-breaker open transitions, by label (``"pool.worker"``,
     #: ``"stream.vector"``)
     breaker_trips: Counter = field(default_factory=Counter)
+    #: integrity layer (see :mod:`~repro.reliability.integrity`):
+    #: output-prefix chunks re-hashed during a verified resume
+    chunks_verified: int = 0
+    #: journalled chunks discarded on resume because their on-disk bytes
+    #: no longer matched the recorded digest (bit-rot rewinds)
+    integrity_rewinds: int = 0
+    #: source chunks skipped by verified-read because their row-content
+    #: digest mismatched the manifest
+    corrupt_chunks: int = 0
+    #: stale run leases taken over (dead holder pid / expired heartbeat)
+    lease_takeovers: int = 0
 
     def record_retry(self, label: str, attempt: int, exc: BaseException) -> None:
         """``on_retry`` hook for :func:`~repro.reliability.call_with_retry`."""
@@ -70,6 +81,9 @@ class ReliabilityReport:
             or self.chunk_regrows
             or self.backend_fallbacks
             or self.breaker_trips
+            or self.integrity_rewinds
+            or self.corrupt_chunks
+            or self.lease_takeovers
         )
 
     def merge(self, other: "ReliabilityReport") -> None:
@@ -87,6 +101,10 @@ class ReliabilityReport:
         self.chunk_regrows += other.chunk_regrows
         self.backend_fallbacks += other.backend_fallbacks
         self.breaker_trips.update(other.breaker_trips)
+        self.chunks_verified += other.chunks_verified
+        self.integrity_rewinds += other.integrity_rewinds
+        self.corrupt_chunks += other.corrupt_chunks
+        self.lease_takeovers += other.lease_takeovers
 
     def to_dict(self) -> dict:
         return {
@@ -105,6 +123,10 @@ class ReliabilityReport:
             "chunk_regrows": self.chunk_regrows,
             "backend_fallbacks": self.backend_fallbacks,
             "breaker_trips": dict(self.breaker_trips),
+            "chunks_verified": self.chunks_verified,
+            "integrity_rewinds": self.integrity_rewinds,
+            "corrupt_chunks": self.corrupt_chunks,
+            "lease_takeovers": self.lease_takeovers,
         }
 
     def to_json(self) -> str:
@@ -112,7 +134,7 @@ class ReliabilityReport:
 
     def summary(self) -> str:
         """One-line human summary (the CLI prints it after recovery)."""
-        if not self.any_recovery and not self.bad_rows:
+        if not self.any_recovery and not self.bad_rows and not self.chunks_verified:
             return "reliability: clean run (no retries, no recovery)"
         parts = []
         if self.total_retries:
@@ -154,5 +176,15 @@ class ReliabilityReport:
             parts.append(
                 f"degradation: {self.backend_fallbacks} backend fallbacks, "
                 f"breaker trips: {labels}"
+            )
+        if (
+            self.chunks_verified or self.integrity_rewinds
+            or self.corrupt_chunks or self.lease_takeovers
+        ):
+            parts.append(
+                f"integrity: {self.chunks_verified} chunks verified, "
+                f"{self.integrity_rewinds} rewinds, "
+                f"{self.corrupt_chunks} corrupt source chunks, "
+                f"{self.lease_takeovers} lease takeovers"
             )
         return "reliability: " + "; ".join(parts)

@@ -20,6 +20,7 @@ marker, a checkpoint save, a chunk re-read).  Two properties matter:
 
 from __future__ import annotations
 
+import errno
 import random
 import sqlite3
 import time
@@ -63,6 +64,11 @@ def classify(exc: BaseException) -> str:
     bug is worse than failing loudly on a transient we misjudged.
     """
     if isinstance(exc, PERMANENT_TYPES):
+        return PERMANENT
+    if isinstance(exc, OSError) and exc.errno == errno.ENOSPC:
+        # A full disk does not heal between backoff sleeps.  Fail fast at
+        # the last durable boundary; the operator frees space and the run
+        # continues with ``--resume``.
         return PERMANENT
     if isinstance(exc, TRANSIENT_TYPES):
         return TRANSIENT

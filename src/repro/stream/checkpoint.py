@@ -45,6 +45,7 @@ from typing import Any
 from ..core import EmbeddingSpec, Watermark
 from ..crypto import MarkKey
 from ..reliability.faults import (
+    BITFLIP,
     CORRUPT_JSON,
     TORN_WRITE,
     active_plan,
@@ -182,6 +183,11 @@ def save_checkpoint(path: str | Path, checkpoint: MarkCheckpoint) -> None:
     # corruption is most dangerous, so the chaos suite plants torn and
     # bit-rotted payloads here (CRC verification must catch both).
     kind = fault_point("checkpoint.save", checkpoint.chunks_done)
+    if kind in (CORRUPT_JSON, BITFLIP):
+        # BITFLIP here is post-flush media damage on the checkpoint file
+        # itself — same observable as CORRUPT_JSON: payload lands whole
+        # but rotted, and only the CRC can tell.
+        kind = CORRUPT_JSON
     if kind == CORRUPT_JSON:
         payload = _bit_rot(
             payload, active_plan().rng("checkpoint.save", checkpoint.chunks_done)

@@ -591,9 +591,17 @@ class _OrderedRun:
                 raise
             self._recover_pool(entry, exc)
             return
-        except Exception as exc:
+        except TRANSIENT_TYPES as exc:
+            # Anything outside the shared transient taxonomy propagates
+            # untouched (a logic error replayed is a logic error twice);
+            # ``classify`` still vets members of the tuple, because some
+            # carry a permanent payload (e.g. ``OSError`` + ENOSPC).
             if classify(exc) is not TRANSIENT:
                 raise
+            logger.warning(
+                "parallel chunk %d failed with transient %r; recovering",
+                entry[1].index, exc,
+            )
             self._trip(exc)
             if self.retry is None:
                 raise
@@ -745,7 +753,14 @@ def _run_blob(
     }
     try:
         return pickle.dumps(state)
-    except Exception as exc:
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        # The three ways pickling actually fails: a declared-unpicklable
+        # object, an unsupported type (lambda, local class), or a lookup
+        # that dies during __reduce__.  Anything else is a real bug in
+        # run-state assembly and should surface with its own traceback.
+        logger.warning(
+            "run state for %s is not picklable: %r", profile["name"], exc
+        )
         raise StreamError(
             f"parallel streaming needs a picklable run state: {exc}"
         ) from exc

@@ -29,6 +29,7 @@ mark-then-verify pair — re-seeing a value re-hashes nothing.
 from __future__ import annotations
 
 import logging
+import os
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -61,6 +62,16 @@ from ..reliability.breaker import CircuitBreaker
 from ..reliability.budget import MemoryBudget
 from ..reliability.deadline import Deadline, check_deadline
 from ..reliability.faults import fault_point
+from ..reliability.integrity import (
+    RunLock,
+    append_journal_chunk,
+    audit_stream,
+    journal_path,
+    load_journal,
+    manifest_from_journal,
+    truncate_journal,
+    write_journal_header,
+)
 from ..reliability.report import ReliabilityReport
 from ..reliability.retry import (
     TRANSIENT,
@@ -234,6 +245,9 @@ class StreamMarkResult:
     reliability: ReliabilityReport = field(default_factory=ReliabilityReport)
     #: :class:`~repro.stream.parallel.ParallelReport` when ``workers > 1``
     parallel: Any = None
+    #: the :class:`~repro.reliability.integrity.ChunkManifest` recorded
+    #: by the sink (``None`` when manifest recording was not armed)
+    manifest: Any = None
 
     @property
     def slot_coverage(self) -> float:
@@ -297,6 +311,9 @@ def stream_mark(
     breaker: CircuitBreaker | None = None,
     workers: int | str | None = None,
     watchdog=None,
+    manifest: bool | None = None,
+    verify_resume: bool = False,
+    lock: bool = False,
 ) -> StreamMarkResult:
     """Embed ``watermark`` into a streamed relation, chunk by chunk.
 
@@ -337,6 +354,22 @@ def stream_mark(
     bytes, checkpoints and ``--resume`` stay identical to ``workers=1``.
     ``watchdog`` (parallel runs only) heartbeat-monitors pool workers;
     pass ``False`` to disable the default watchdog.
+
+    Integrity layer (see :mod:`repro.reliability.integrity`):
+    ``manifest`` arms per-chunk sha256 recording in the sink, journalled
+    next to the checkpoint (``<checkpoint>.journal``) so
+    :func:`~repro.reliability.integrity.audit_stream` can localize any
+    later corruption to the exact chunk.  The default (``None``) arms it
+    automatically whenever a ``checkpoint_path`` is given and the sink
+    supports it — hashing never changes the output bytes.
+    ``verify_resume=True`` makes resume re-hash the surviving output
+    prefix against the journal instead of trusting it, rewinding to the
+    last *verified* chunk (bit-rot in the prefix is rewritten, and the
+    final output stays byte-identical to an uninterrupted run).
+    ``lock=True`` takes an ``O_EXCL`` run lease on the checkpoint/sink
+    pair so a concurrent embed/resume of the same output fails fast with
+    :class:`~repro.reliability.integrity.RunLockedError` instead of
+    interleaving writes; a lease whose holder died is taken over.
     """
     from .parallel import resolve_workers
 
@@ -376,28 +409,134 @@ def stream_mark(
     )
     fingerprint = mark_fingerprint(key, spec, watermark)
     reliability = result.reliability
-    start = 0
-    if resume:
-        if checkpoint_path is None:
-            raise CheckpointError("resume=True needs a checkpoint_path")
-        checkpoint, rolled_back = load_verified_checkpoint(checkpoint_path)
-        if checkpoint is None:
-            raise CheckpointError(
-                f"no checkpoint to resume from at {checkpoint_path}"
-            )
-        if rolled_back:
-            reliability.checkpoint_rollbacks += 1
-        if checkpoint.fingerprint != fingerprint:
-            raise CheckpointError(
-                "checkpoint belongs to a different (key, spec, watermark) "
-                "run — refusing to resume into a half-marked relation"
-            )
-        start = checkpoint.chunks_done
-        _restore_result(result, checkpoint)
-        sink.restore(schema, checkpoint.sink_state)
-    else:
-        sink.open(schema)
 
+    supports_manifest = getattr(sink, "supports_manifest", False)
+    record_manifest = (
+        manifest if manifest is not None
+        else (checkpoint_path is not None and supports_manifest)
+    )
+    if record_manifest and not supports_manifest:
+        raise StreamError(
+            f"{type(sink).__name__} cannot record a chunk-hash manifest; "
+            f"use a CSV/gzip/SQLite sink or pass manifest=False"
+        )
+    if verify_resume and not resume:
+        raise StreamError("verify_resume=True requires resume=True")
+    if verify_resume and not record_manifest:
+        raise StreamError(
+            "verified resume needs the chunk-hash manifest: keep "
+            "manifest recording enabled (a checkpoint_path plus a "
+            "manifest-capable sink)"
+        )
+    journal = (
+        journal_path(checkpoint_path)
+        if record_manifest and checkpoint_path is not None
+        else None
+    )
+
+    run_lock = None
+    if lock:
+        # The lease guards the whole run, resume inspection included — a
+        # concurrent process must not even read the checkpoint while we
+        # may be rewriting it.
+        run_lock = RunLock(
+            _lock_path(checkpoint_path, sink), fingerprint=fingerprint
+        )
+        if run_lock.acquire():
+            reliability.lease_takeovers += 1
+
+    start = 0
+    try:
+        if resume:
+            if checkpoint_path is None:
+                raise CheckpointError("resume=True needs a checkpoint_path")
+            checkpoint, rolled_back = load_verified_checkpoint(checkpoint_path)
+            if checkpoint is None:
+                raise CheckpointError(
+                    f"no checkpoint to resume from at {checkpoint_path}"
+                )
+            if rolled_back:
+                reliability.checkpoint_rollbacks += 1
+            if checkpoint.fingerprint != fingerprint:
+                raise CheckpointError(
+                    "checkpoint belongs to a different (key, spec, watermark) "
+                    "run — refusing to resume into a half-marked relation"
+                )
+            if verify_resume:
+                start = _verified_restore(
+                    result, sink, schema, journal, fingerprint, reliability
+                )
+            else:
+                start = checkpoint.chunks_done
+                _restore_result(result, checkpoint)
+                prefix = None
+                if journal is not None:
+                    jheader, jrecords = load_journal(journal)
+                    if (
+                        jheader is not None
+                        and jheader.get("fingerprint") == fingerprint
+                        and len(jrecords) >= start
+                    ):
+                        prefix = manifest_from_journal(
+                            jheader, jrecords[:start]
+                        )
+                    else:
+                        # The journal is missing, foreign, or shorter than
+                        # the checkpoint: the prefix digests cannot be
+                        # reconstructed, so recording cannot continue
+                        # coherently — drop it rather than leave a
+                        # misleading half-manifest for a later audit.
+                        logger.warning(
+                            "chunk-hash journal at %s is missing or does "
+                            "not match this run; manifest recording "
+                            "disabled for the resumed run", journal,
+                        )
+                        try:
+                            os.unlink(journal)
+                        except OSError:
+                            pass
+                        journal = None
+                        record_manifest = False
+                if record_manifest:
+                    sink.arm_manifest()
+                sink.restore(schema, checkpoint.sink_state)
+                if prefix is not None:
+                    sink.restore_manifest(prefix)
+                    truncate_journal(journal, start)
+        else:
+            if record_manifest:
+                sink.arm_manifest()
+            sink.open(schema)
+            _start_journal(journal, sink, fingerprint)
+
+        return _stream_mark_run(
+            source=source, sink=sink, schema=schema, result=result,
+            reliability=reliability, start=start, fingerprint=fingerprint,
+            watermark=watermark, key=key, spec=spec, domain=domain,
+            wm_data=wm_data, engine=engine, mode=mode,
+            chunk_size=chunk_size, constraints_factory=constraints_factory,
+            checkpoint_path=checkpoint_path, journal=journal,
+            run_lock=run_lock, retry=retry, deadline=deadline,
+            memory_budget=memory_budget, breaker=breaker,
+            worker_count=worker_count, watchdog=watchdog,
+            record_manifest=record_manifest,
+        )
+    finally:
+        if run_lock is not None:
+            run_lock.release()
+
+
+def _stream_mark_run(
+    *,
+    source, sink, schema, result, reliability, start, fingerprint,
+    watermark, key, spec, domain, wm_data, engine, mode, chunk_size,
+    constraints_factory, checkpoint_path, journal, run_lock, retry,
+    deadline, memory_budget, breaker, worker_count, watchdog,
+    record_manifest,
+) -> StreamMarkResult:
+    """The chunk loop of :func:`stream_mark`, after the sink/journal/
+    lease are positioned (split out so the lease's try/finally wraps
+    everything without another indentation level)."""
     # The durable marker the retry layer rolls the sink back to before
     # rewriting a chunk whose write failed mid-way.
     last_good = sink.flush_state() if retry is not None else None
@@ -431,6 +570,20 @@ def stream_mark(
                 recover=_rollback, on_retry=reliability.record_retry,
             )
             last_good = state
+
+        if journal is not None:
+            # Journal before checkpoint: a crash between the two leaves
+            # the journal one record ahead, which resume tolerates (the
+            # journalled chunk's bytes are durable — flush_state above).
+            append_journal_chunk(
+                journal,
+                index=index,
+                entry=sink.manifest.entries[-1],
+                delta=_journal_delta(pass_result, guard_report, nrows),
+                sink_state=state,
+            )
+        if run_lock is not None:
+            run_lock.heartbeat()
 
         if checkpoint_path is not None:
             def _save():
@@ -494,8 +647,127 @@ def stream_mark(
         sink.close()
     reliability.bad_rows += getattr(source, "bad_row_count", 0)
     reliability.quarantined_rows += getattr(source, "quarantined_rows", 0)
+    reliability.corrupt_chunks += getattr(source, "corrupt_chunks", 0)
     result.resumed_at_chunk = start
+    if record_manifest:
+        result.manifest = getattr(sink, "manifest", None)
     return result
+
+
+def _lock_path(checkpoint_path, sink) -> str:
+    """Where the run lease lives: next to the checkpoint when there is
+    one (the thing two resumes actually race on), else next to the
+    sink's output file."""
+    if checkpoint_path is not None:
+        return str(checkpoint_path) + ".lock"
+    path = getattr(sink, "path", None)
+    if path is None:
+        raise StreamError(
+            "run locking needs a checkpoint_path or a path-backed sink"
+        )
+    return str(path) + ".lock"
+
+
+def _start_journal(journal, sink, fingerprint: str) -> None:
+    """Begin a fresh chunk-hash journal for a just-opened sink."""
+    if journal is None:
+        return
+    write_journal_header(
+        journal,
+        fingerprint=fingerprint,
+        kind=sink.manifest.kind,
+        header_entry=sink.manifest.header,
+        open_state=sink.flush_state(),
+    )
+
+
+def _journal_delta(pass_result, guard_report, nrows: int) -> dict:
+    """One chunk's counter contributions — per-chunk *deltas*, so any
+    journal prefix reconstructs the cumulative result exactly."""
+    return {
+        "rows": nrows,
+        "fit_count": pass_result.fit_count,
+        "applied": pass_result.applied,
+        "vetoed": pass_result.vetoed,
+        "unchanged": pass_result.unchanged,
+        "report_applied": guard_report.applied,
+        "report_vetoed": guard_report.vetoed,
+        "report_noop": guard_report.noop,
+        "slots": sorted(pass_result.slots_written),
+        "vetoes": dict(guard_report.vetoes_by_constraint),
+    }
+
+
+def _restore_result_from_journal(result: StreamMarkResult, records) -> None:
+    """Rebuild cumulative counters from journalled per-chunk deltas.
+
+    Under verified resume the journal prefix is authoritative — the
+    checkpoint may describe chunks the rewind just discarded."""
+    for record in records:
+        delta = record.get("delta") or {}
+        result.rows += int(delta.get("rows", 0))
+        result.fit_count += int(delta.get("fit_count", 0))
+        result.applied += int(delta.get("applied", 0))
+        result.vetoed += int(delta.get("vetoed", 0))
+        result.unchanged += int(delta.get("unchanged", 0))
+        result.guard_report.applied += int(delta.get("report_applied", 0))
+        result.guard_report.vetoed += int(delta.get("report_vetoed", 0))
+        result.guard_report.noop += int(delta.get("report_noop", 0))
+        result.slots_written.update(delta.get("slots", ()))
+        result.guard_report.vetoes_by_constraint.update(
+            delta.get("vetoes", {})
+        )
+
+
+def _verified_restore(
+    result: StreamMarkResult,
+    sink,
+    schema,
+    journal,
+    fingerprint: str,
+    reliability: ReliabilityReport,
+) -> int:
+    """Re-hash the surviving output prefix and position sink + journal +
+    result at the last *verified* chunk.  Returns the resume index.
+
+    Bit-rot anywhere in the prefix rewinds to just before the damage (a
+    damaged header segment restarts from scratch); the rewound chunks are
+    rewritten by the resumed run, so the final output is byte-identical
+    to an uninterrupted one.
+    """
+    header, records = load_journal(journal)
+    if header is None or header.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"verified resume needs an intact chunk-hash journal at "
+            f"{journal} matching this run; re-run with "
+            f"verify_resume=False, or restart without resume"
+        )
+    prefix = manifest_from_journal(header, records)
+    report = audit_stream(
+        sink.path, manifest=prefix,
+        table=getattr(sink, "table", "relation"),
+    )
+    reliability.chunks_verified += report.chunks
+    sink.arm_manifest()
+    open_state = header.get("open_state")
+    verified = report.verified_chunks
+    if not report.header_ok or (verified == 0 and open_state is None):
+        # even the preamble is damaged (or there is nothing trustworthy
+        # to rewind to): restart the output from scratch
+        reliability.integrity_rewinds += len(records) + 1
+        sink.open(schema)
+        _start_journal(journal, sink, fingerprint)
+        return 0
+    if verified < len(records):
+        reliability.integrity_rewinds += len(records) - verified
+    _restore_result_from_journal(result, records[:verified])
+    if verified == 0:
+        sink.restore(schema, open_state)
+    else:
+        sink.restore(schema, records[verified - 1]["sink_state"])
+    sink.restore_manifest(manifest_from_journal(header, records[:verified]))
+    truncate_journal(journal, verified)
+    return verified
 
 
 def _embed_one(
@@ -1003,6 +1275,7 @@ def stream_detect(
         reliability.quarantined_rows += getattr(
             source, "quarantined_rows", 0
         )
+        reliability.corrupt_chunks += getattr(source, "corrupt_chunks", 0)
         return StreamDetection(
             detection=accumulator.detection(spec),
             votes=accumulator.votes(),
@@ -1036,6 +1309,7 @@ def stream_detect(
         fault_point("pipeline.chunk", index)
     reliability.bad_rows += getattr(source, "bad_row_count", 0)
     reliability.quarantined_rows += getattr(source, "quarantined_rows", 0)
+    reliability.corrupt_chunks += getattr(source, "corrupt_chunks", 0)
     return StreamDetection(
         detection=accumulator.detection(spec),
         votes=accumulator.votes(),

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import csv
 import gzip
+import hashlib
 import io
 import os
 import sqlite3
@@ -30,18 +31,39 @@ from typing import Any
 
 from ..relational import AttributeType, Schema, Table
 from ..reliability.faults import (
+    BITFLIP,
     TORN_WRITE,
     InjectedFaultError,
     active_plan,
     fault_point,
     injection_armed,
 )
+from ..reliability.integrity import ChunkDigest, ChunkManifest, digest_rows
 from .errors import StreamError
 from .sources import _quote_identifier
 
 
 class ChunkSink:
     """Destination for the marked chunks of a streaming embed."""
+
+    #: sinks that can record a per-chunk content-digest manifest (byte
+    #: ranges for file sinks, rowid ranges for SQLite) override this and
+    #: honour :meth:`arm_manifest` called before ``open``/``restore``
+    supports_manifest = False
+
+    #: the :class:`~repro.reliability.integrity.ChunkManifest` recorded
+    #: so far (``None`` when recording is not armed)
+    manifest: ChunkManifest | None = None
+
+    def arm_manifest(self) -> None:
+        """Turn on chunk-digest recording (before ``open``/``restore``)."""
+        raise StreamError(
+            f"{type(self).__name__} does not record a chunk-hash manifest"
+        )
+
+    def restore_manifest(self, manifest: ChunkManifest) -> None:
+        """Install a manifest prefix recovered from the journal (resume)."""
+        self.manifest = manifest
 
     def open(self, schema: Schema) -> None:
         """Begin a fresh output for ``schema`` (truncates prior content)."""
@@ -103,13 +125,35 @@ class CSVChunkSink(ChunkSink):
         self._writer = None
         self._schema: Schema | None = None
         self._chunks = 0
+        self._record = False
+        self._segment_start = 0
+
+    supports_manifest = True
+
+    def arm_manifest(self) -> None:
+        self._record = True
 
     # -- lifecycle -------------------------------------------------------------
     def open(self, schema: Schema) -> None:
         self._schema = schema
         self._chunks = 0
         self._raw = open(self.path, "wb")
-        if self.compress:
+        if self._record:
+            # recording encodes each segment in memory first, so its
+            # digest comes straight off the bytes about to be written —
+            # no read-back pass, no hashing proxy on the write path
+            self.manifest = ChunkManifest(kind="bytes")
+            payload = self._encode_segment([schema.names])
+            self._raw.write(payload)
+            # the header segment (column names) gets its own digest so an
+            # audit can tell "damaged preamble" from "damaged chunk k"
+            self.manifest.header = ChunkDigest(
+                index=-1,
+                start=0,
+                end=len(payload),
+                digest=hashlib.sha256(payload).hexdigest(),
+            )
+        elif self.compress:
             self._begin_member()
             self._write_rows([schema.names])
             self._end_member()
@@ -126,7 +170,14 @@ class CSVChunkSink(ChunkSink):
         self._raw = open(self.path, "r+b")
         self._raw.truncate(offset)
         self._raw.seek(offset)
-        if not self.compress:
+        if self._record:
+            if self.manifest is None:
+                self.manifest = ChunkManifest(kind="bytes")
+            else:
+                # a retry rollback re-writes the chunk; its stale entry
+                # must not survive next to the fresh one
+                self.manifest.truncate(self._chunks)
+        elif not self.compress:
             self._begin_text()
 
     def _abort(self) -> None:
@@ -164,13 +215,53 @@ class CSVChunkSink(ChunkSink):
             "sink.write.mid", index
         ):
             self._write_torn(chunk, index)
-        if self.compress:
+        if self._record:
+            # the whole segment is encoded in memory, hashed, and written
+            # with one raw call; ``digest`` covers exactly the bytes an
+            # audit (or a verified read) will find in ``[start, end)``
+            payload = self._encode_segment(chunk)
+            self._segment_start = self._raw.tell()
+            self._raw.write(payload)
+            self.manifest.entries.append(ChunkDigest(
+                index=index,
+                start=self._segment_start,
+                end=self._segment_start + len(payload),
+                digest=hashlib.sha256(payload).hexdigest(),
+            ))
+        elif self.compress:
             self._begin_member()
             self._write_rows(chunk)
             self._end_member()
         else:
             self._write_rows(chunk)
         self._chunks += 1
+        if injection_armed() and active_plan().scheduled(
+            "sink.bitflip", index
+        ):
+            self._bitflip(index)
+
+    def _bitflip(self, index: int) -> None:
+        # Silent post-flush media damage: flip one bit inside the chunk
+        # just written, then continue as if nothing happened.  No error
+        # surfaces — only the manifest digest can reveal the damage.
+        kind = fault_point("sink.bitflip", index)
+        if kind != BITFLIP:
+            return
+        if self._text is not None and not self.compress:
+            self._text.flush()
+        self._raw.flush()
+        os.fsync(self._raw.fileno())
+        start = self._segment_start if self._record else 0
+        end = self._raw.tell()
+        if end <= start:  # pragma: no cover — empty chunk
+            return
+        rng = active_plan().rng("sink.bitflip", index)
+        position = rng.randrange(start, end)
+        with open(self.path, "r+b") as handle:
+            handle.seek(position)
+            byte = handle.read(1)
+            handle.seek(position)
+            handle.write(bytes([byte[0] ^ (1 << rng.randrange(8))]))
 
     def _write_torn(self, chunk: Table, index: int) -> None:
         plan = active_plan()
@@ -178,7 +269,9 @@ class CSVChunkSink(ChunkSink):
         cut = plan.rng("sink.write.mid", index).randrange(
             1, max(2, len(rows))
         )
-        if self.compress:
+        if self._record:
+            self._raw.write(self._encode_segment(rows[:cut], torn=True))
+        elif self.compress:
             self._begin_member()
             self._write_rows(rows[:cut])
             member = self._text.detach()
@@ -195,13 +288,38 @@ class CSVChunkSink(ChunkSink):
 
     def flush_state(self) -> dict[str, Any]:
         fault_point("sink.flush", self._chunks)
-        if not self.compress:
+        if self._text is not None and not self.compress:
             self._text.flush()
         self._raw.flush()
         os.fsync(self._raw.fileno())
         return {"offset": self._raw.tell(), "chunks": self._chunks}
 
     # -- internals -------------------------------------------------------------
+    def _encode_segment(self, rows, torn: bool = False) -> bytes:
+        """The exact bytes one flush segment of ``rows`` puts on disk.
+
+        Produces byte-for-byte what the streaming writers produce — a
+        gzip member (``filename=""``, ``mtime=0``; deflate output depends
+        only on the input bytes, not on write chunking) or utf-8 CSV text
+        — so recorded digests hold for armed and disarmed runs alike.
+        ``torn`` emits a gzip member *without* its trailer (the state a
+        crash mid-flush leaves) instead of a complete one.
+        """
+        if not self.compress:
+            buffer = io.StringIO()
+            csv.writer(buffer).writerows(rows)
+            return buffer.getvalue().encode("utf-8")
+        raw = io.BytesIO()
+        member = gzip.GzipFile(filename="", fileobj=raw, mode="wb", mtime=0)
+        text = io.TextIOWrapper(member, encoding="utf-8", newline="")
+        csv.writer(text).writerows(rows)
+        text.detach()
+        if torn:
+            member.flush()  # compressed bytes, no trailer
+        else:
+            member.close()
+        return raw.getvalue()
+
     def _begin_text(self) -> None:
         self._text = io.TextIOWrapper(
             self._raw, encoding="utf-8", newline=""
@@ -253,10 +371,19 @@ class SQLiteChunkSink(ChunkSink):
         self.table = table
         self._connection: sqlite3.Connection | None = None
         self._insert: str | None = None
+        self._names: list[str] = []
         self._rows_written = 0
         self._chunks = 0
+        self._record = False
+
+    supports_manifest = True
+
+    def arm_manifest(self) -> None:
+        self._record = True
 
     def open(self, schema: Schema) -> None:
+        if self._record:
+            self.manifest = ChunkManifest(kind="rows")
         self._connect(schema)
         quoted = _quote_identifier(self.table)
         self._connection.execute(f"DROP TABLE IF EXISTS {quoted}")
@@ -284,9 +411,15 @@ class SQLiteChunkSink(ChunkSink):
         self._connection.commit()
         self._rows_written = rows
         self._chunks = int(state.get("chunks", 0))
+        if self._record:
+            if self.manifest is None:
+                self.manifest = ChunkManifest(kind="rows")
+            else:
+                self.manifest.truncate(self._chunks)
 
     def _connect(self, schema: Schema) -> None:
         self._connection = sqlite3.connect(self.path)
+        self._names = list(schema.names)
         placeholders = ", ".join("?" for _ in schema.names)
         columns = ", ".join(
             _quote_identifier(column) for column in schema.names
@@ -300,11 +433,46 @@ class SQLiteChunkSink(ChunkSink):
         # Injection point: a failed commit rolls the chunk back — SQLite
         # itself is the torn-write protection, so only the boundary
         # fault is meaningful here.
-        fault_point("sink.write", self._chunks)
+        index = self._chunks
+        fault_point("sink.write", index)
         self._connection.executemany(self._insert, iter(chunk))
         self._connection.commit()
+        start = self._rows_written
         self._rows_written += len(chunk)
         self._chunks += 1
+        if self._record:
+            # ranges are rowid offsets; byte offsets are meaningless in a
+            # database file, so the row-content digest is the identity
+            rows_digest = digest_rows(chunk)
+            self.manifest.entries.append(ChunkDigest(
+                index=index,
+                start=start,
+                end=self._rows_written,
+                digest=rows_digest,
+                rows_digest=rows_digest,
+            ))
+        if injection_armed() and active_plan().scheduled(
+            "sink.bitflip", index
+        ):
+            self._bitflip(index, start, self._rows_written)
+
+    def _bitflip(self, index: int, start: int, end: int) -> None:
+        # Silent committed-data damage: overwrite one cell in the chunk
+        # just committed, then continue.  Only the audit can catch it.
+        kind = fault_point("sink.bitflip", index)
+        if kind != BITFLIP:
+            return
+        rng = active_plan().rng("sink.bitflip", index)
+        offset = rng.randrange(start, max(start + 1, end))
+        column = rng.choice(self._names)
+        quoted = _quote_identifier(self.table)
+        self._connection.execute(
+            f"UPDATE {quoted} SET {_quote_identifier(column)} = ? "
+            f"WHERE rowid = (SELECT rowid FROM {quoted} "
+            f"ORDER BY rowid LIMIT 1 OFFSET ?)",
+            ("☠bitrot", offset),
+        )
+        self._connection.commit()
 
     def flush_state(self) -> dict[str, Any]:
         fault_point("sink.flush", self._chunks)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import csv
 import gzip
+import hashlib
 import sqlite3
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
@@ -44,6 +45,7 @@ from ..datagen import (
 from ..relational import Schema, Table, infer_domains
 from ..relational.csvio import cell_parsers, check_header, parse_row
 from ..reliability.faults import fault_point
+from ..reliability.integrity import IntegrityError, digest_rows
 from .errors import BadRowError, StreamError
 
 #: default rows per chunk — small enough that a chunk's Python objects
@@ -152,10 +154,51 @@ class ChunkSource:
     #: table, generator output) — skip per-cell re-validation
     trusted_rows = False
 
+    #: optional verified-read mode: a
+    #: :class:`~repro.reliability.integrity.ChunkManifest` recorded at
+    #: mark time; every chunk's row-content digest is recomputed and
+    #: compared before the chunk is released downstream
+    verify_manifest = None
+    #: what to do with a mismatching chunk: ``"raise"`` aborts with
+    #: :class:`~repro.reliability.integrity.IntegrityError`; ``"skip"``
+    #: drops it (counted in ``corrupt_chunks``, feeding the quarantine
+    #: policy's exactly-once accounting)
+    on_corrupt_chunks = "raise"
+    #: chunks dropped by verified-read during the most recent iteration
+    corrupt_chunks = 0
+
     def _table(self, rows: list[tuple], index: int, infer: bool) -> Table:
         return build_chunk_table(
             self.schema, rows, index, self.name, infer, self.trusted_rows
         )
+
+    def _admit(self, table: Table, index: int) -> bool:
+        """Verified-read gate: does chunk ``index`` match the manifest?"""
+        if self.verify_manifest is None:
+            return True
+        ok, reason = self._verify_chunk(table, index)
+        if ok:
+            return True
+        if self.on_corrupt_chunks != CORRUPT_SKIP:
+            raise IntegrityError(
+                getattr(self, "path", self.name), reason, chunk=index
+            )
+        self.corrupt_chunks += 1
+        return False
+
+    def _verify_chunk(self, table: Table, index: int) -> tuple[bool, str]:
+        """Row-content check: the default for row-canonical manifests
+        (SQLite's rowid ranges, in-memory tables).  Byte-canonical file
+        sources override this to hash the on-disk segment instead."""
+        entries = self.verify_manifest.entries
+        expected = (
+            entries[index].rows_digest if index < len(entries) else None
+        )
+        if not expected:
+            return False, "chunk has no manifest entry"
+        if digest_rows(table) == expected:
+            return True, ""
+        return False, "row-content digest mismatch"
 
     def _batched(
         self, rows: Iterator[tuple], start: int, infer: bool
@@ -169,7 +212,9 @@ class ChunkSource:
             batch = list(islice(rows, self.chunk_size))
             if not batch:
                 return
-            yield self._table(batch, index, infer)
+            table = self._table(batch, index, infer)
+            if self._admit(table, index):
+                yield table
             index += 1
 
 
@@ -233,6 +278,11 @@ BAD_ROWS_SKIP = "skip"
 BAD_ROWS_QUARANTINE = "quarantine"
 BAD_ROWS_POLICIES = (BAD_ROWS_RAISE, BAD_ROWS_SKIP, BAD_ROWS_QUARANTINE)
 
+#: verified-read policies (``on_corrupt_chunks``) of the file sources
+CORRUPT_RAISE = "raise"
+CORRUPT_SKIP = "skip"
+CORRUPT_POLICIES = (CORRUPT_RAISE, CORRUPT_SKIP)
+
 
 class CSVChunkSource(ChunkSource):
     """Chunked reader over a CSV file (gzip detected automatically).
@@ -267,6 +317,8 @@ class CSVChunkSource(ChunkSource):
         name: str | None = None,
         on_bad_rows: str = BAD_ROWS_RAISE,
         quarantine_path: str | Path | None = None,
+        verify_manifest=None,
+        on_corrupt_chunks: str = CORRUPT_RAISE,
     ):
         if chunk_size <= 0:
             raise StreamError(f"chunk size must be positive, got {chunk_size}")
@@ -275,6 +327,13 @@ class CSVChunkSource(ChunkSource):
                 f"on_bad_rows must be one of {BAD_ROWS_POLICIES}, "
                 f"got {on_bad_rows!r}"
             )
+        if on_corrupt_chunks not in CORRUPT_POLICIES:
+            raise StreamError(
+                f"on_corrupt_chunks must be one of {CORRUPT_POLICIES}, "
+                f"got {on_corrupt_chunks!r}"
+            )
+        self.verify_manifest = verify_manifest
+        self.on_corrupt_chunks = on_corrupt_chunks
         self.path = Path(path)
         self.schema = schema
         self.chunk_size = chunk_size
@@ -305,6 +364,7 @@ class CSVChunkSource(ChunkSource):
         self.bad_row_count = 0
         self.quarantined_rows = 0
         self.fastforward_bad_rows = 0
+        self.corrupt_chunks = 0
         try:
             with open_text(self.path) as handle:
                 reader = csv.reader(handle)
@@ -352,6 +412,29 @@ class CSVChunkSource(ChunkSource):
                 if self.on_bad_rows == BAD_ROWS_QUARANTINE:
                     self._quarantine(number, row, exc)
 
+    def _verify_chunk(self, table: Table, index: int) -> tuple[bool, str]:
+        # CSV files are byte-canonical, so a verified read checks the
+        # same thing the sink recorded and an audit would check: the
+        # sha256 of the chunk's on-disk ``[start, end)`` segment (for
+        # gzip, the compressed member) — cheaper than re-digesting rows
+        # and sensitive to any rot, parseable or not.
+        manifest = self.verify_manifest
+        if manifest.kind != "bytes":
+            return super()._verify_chunk(table, index)
+        entries = manifest.entries
+        entry = entries[index] if index < len(entries) else None
+        if entry is None:
+            return False, "chunk has no manifest entry"
+        with open(self.path, "rb") as handle:
+            handle.seek(entry.start)
+            data = handle.read(entry.end - entry.start)
+        if (
+            len(data) == entry.end - entry.start
+            and hashlib.sha256(data).hexdigest() == entry.digest
+        ):
+            return True, ""
+        return False, "byte-segment digest mismatch"
+
     def payloads(self, start: int = 0) -> Iterator[ChunkTask]:
         """Chunk payloads for the parallel pipeline.
 
@@ -361,9 +444,11 @@ class CSVChunkSource(ChunkSource):
         detection beat the serial reader.  The lossy policies must count
         surviving rows for chunk boundaries (and write the quarantine
         sidecar) in one deterministic place, so they type rows here and
-        ship finished chunk tables instead.
+        ship finished chunk tables instead.  Verified-read mode takes
+        the same fallback: the digest check needs the typed chunk, and
+        skip-policy chunk accounting must happen exactly once.
         """
-        if self.on_bad_rows != BAD_ROWS_RAISE:
+        if self.on_bad_rows != BAD_ROWS_RAISE or self.verify_manifest is not None:
             for offset, chunk in enumerate(self.chunks(start)):
                 index = start + offset
                 yield ChunkTask(index, PAYLOAD_TABLE, chunk, len(chunk))
@@ -467,18 +552,28 @@ class SQLiteChunkSource(ChunkSource):
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         infer_domains: bool = False,
         name: str | None = None,
+        verify_manifest=None,
+        on_corrupt_chunks: str = CORRUPT_RAISE,
     ):
         if chunk_size <= 0:
             raise StreamError(f"chunk size must be positive, got {chunk_size}")
+        if on_corrupt_chunks not in CORRUPT_POLICIES:
+            raise StreamError(
+                f"on_corrupt_chunks must be one of {CORRUPT_POLICIES}, "
+                f"got {on_corrupt_chunks!r}"
+            )
         self.path = Path(path)
         self.schema = schema
         self.table = table
         self.chunk_size = chunk_size
         self.infer = infer_domains
         self.name = name or table or self.path.stem
+        self.verify_manifest = verify_manifest
+        self.on_corrupt_chunks = on_corrupt_chunks
 
     def chunks(self, start: int = 0) -> Iterator[Table]:
         table = resolve_sqlite_table(self.path, self.table)
+        self.corrupt_chunks = 0
         connection = sqlite3.connect(self.path)
         try:
             columns = ", ".join(
@@ -494,9 +589,11 @@ class SQLiteChunkSource(ChunkSource):
                 batch = cursor.fetchmany(self.chunk_size)
                 if not batch:
                     return
-                yield self._table(
+                chunk = self._table(
                     [tuple(row) for row in batch], index, self.infer
                 )
+                if self._admit(chunk, index):
+                    yield chunk
                 index += 1
         finally:
             connection.close()
@@ -504,7 +601,15 @@ class SQLiteChunkSource(ChunkSource):
     def payloads(self, start: int = 0) -> Iterator[ChunkTask]:
         """Typed-row payloads: SQLite already typed the values, so the
         workers only validate and build (``trusted`` is False — the
-        database enforces affinity, not the declared schema)."""
+        database enforces affinity, not the declared schema).
+        Verified-read mode ships finished chunk tables instead, so the
+        digest check and skip accounting happen exactly once, here."""
+        if self.verify_manifest is not None:
+            for offset, chunk in enumerate(self.chunks(start)):
+                yield ChunkTask(
+                    start + offset, PAYLOAD_TABLE, chunk, len(chunk)
+                )
+            return
         table = resolve_sqlite_table(self.path, self.table)
         connection = sqlite3.connect(self.path)
         try:

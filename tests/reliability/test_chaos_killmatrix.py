@@ -189,6 +189,36 @@ class TestStreamKillMatrix:
         )
         assert result.resumed_at_chunk in (1, 2)
 
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_kill_at_final_flush_resumes_byte_identical(
+        self, base, key, wm, spec, reference, tmp_path, chaos_report, fmt
+    ):
+        out, ckpt = tmp_path / f"out.{fmt}", tmp_path / "run.ckpt"
+        # the narrowest window of all: the last chunk's bytes are written
+        # but its flush (index == N_CHUNKS) never completes, so neither
+        # the final checkpoint nor sink.close() run.  Resume must rewind
+        # to chunk N-1's durable marker and re-mark exactly one chunk.
+        _crash_run("sink.flush", N_CHUNKS, out, ckpt)
+        result = _resume_and_compare(
+            base, key, wm, spec, reference, out, ckpt, fmt, chaos_report
+        )
+        assert result.resumed_at_chunk == N_CHUNKS - 1
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_kill_at_final_checkpoint_resumes_byte_identical(
+        self, base, key, wm, spec, reference, tmp_path, chaos_report, fmt
+    ):
+        out, ckpt = tmp_path / f"out.{fmt}", tmp_path / "run.ckpt"
+        # one step later: the last chunk is flushed and durable, but the
+        # run dies recording the final checkpoint (chunks_done == N),
+        # before sink.close().  Resume lands on N-1's record, re-marks
+        # the last chunk, and the bytes still come out identical.
+        _crash_run("checkpoint.save", N_CHUNKS, out, ckpt)
+        result = _resume_and_compare(
+            base, key, wm, spec, reference, out, ckpt, fmt, chaos_report
+        )
+        assert result.resumed_at_chunk == N_CHUNKS - 1
+
 
 class TestPoolChaos:
     PROTOCOL = SweepProtocol(mark_attribute="Item_Nbr", e=40)

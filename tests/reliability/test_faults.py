@@ -93,5 +93,5 @@ class TestArming:
     def test_all_kinds_enumerated(self):
         assert set(KINDS) == {
             "io-error", "torn-write", "truncated-gzip", "corrupt-json", "kill",
-            "hang", "slow", "memory",
+            "hang", "slow", "memory", "bitflip", "disk-full",
         }
